@@ -1,0 +1,63 @@
+"""Ablation: cache-aware vs flat-bandwidth memory model.
+
+DESIGN.md calls out the cache-aware roofline as the load-bearing design
+choice: with every cache level flattened to main-memory bandwidth, the
+model can no longer reproduce the i5-3550's small->medium degradation
+(Fig. 2b/2d/2e), because that effect exists only if the 6 MiB L3
+matters.  This bench quantifies the difference.
+"""
+
+import dataclasses
+
+import numpy as np
+from conftest import emit
+
+from repro.devices import get_device
+from repro.dwarfs import create
+from repro.harness import render_table
+from repro.perfmodel import iteration_time
+
+
+def _flatten_caches(spec):
+    """All cache levels serve at main-memory bandwidth."""
+    flat = tuple(
+        dataclasses.replace(level, bandwidth_gbs=spec.memory.bandwidth_gbs,
+                            latency_ns=spec.memory.latency_ns)
+        for level in spec.caches
+    )
+    return dataclasses.replace(spec, caches=flat)
+
+
+def _medium_over_small(spec, bench_name="fft"):
+    times = {}
+    for size in ("small", "medium"):
+        bench = create(bench_name, size)
+        times[size] = iteration_time(spec, bench.profiles()).total_s
+    return times["medium"] / times["small"]
+
+
+def test_flat_bandwidth_loses_l3_effect(benchmark, output_dir):
+    i5 = get_device("i5-3550")
+    i7 = get_device("i7-6700K")
+
+    def run():
+        aware = (_medium_over_small(i5), _medium_over_small(i7))
+        flat = (_medium_over_small(_flatten_caches(i5)),
+                _medium_over_small(_flatten_caches(i7)))
+        return aware, flat
+
+    (aware_i5, aware_i7), (flat_i5, flat_i7) = benchmark(run)
+    rows = [
+        {"model": "cache-aware", "i5-3550 medium/small": round(aware_i5, 2),
+         "i7-6700K medium/small": round(aware_i7, 2),
+         "i5 penalty vs i7": round(aware_i5 / aware_i7, 2)},
+        {"model": "flat-bandwidth", "i5-3550 medium/small": round(flat_i5, 2),
+         "i7-6700K medium/small": round(flat_i7, 2),
+         "i5 penalty vs i7": round(flat_i5 / flat_i7, 2)},
+    ]
+    emit(output_dir, "ablation_cachemodel",
+         render_table(rows, "Ablation: fft small->medium slowdown"))
+
+    # cache-aware model shows the i5's extra penalty; flat model doesn't
+    assert aware_i5 / aware_i7 > 1.5
+    assert abs(flat_i5 / flat_i7 - 1.0) < 0.35

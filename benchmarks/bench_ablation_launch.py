@@ -1,0 +1,51 @@
+"""Ablation: kernel-launch overhead and the nw AMD divergence.
+
+With launch overheads zeroed, the AMD-vs-NVIDIA gap on nw collapses —
+demonstrating that Fig. 3b's shape is a *runtime* effect (per-enqueue
+cost), not a compute/bandwidth one.  This is the paper's own reading:
+'Dynamic Programming problems have performance results tied to
+micro-architecture or OpenCL runtime support'.
+"""
+
+import dataclasses
+
+import numpy as np
+from conftest import emit
+
+from repro.devices import get_device
+from repro.dwarfs import create
+from repro.harness import render_table
+from repro.perfmodel import iteration_time
+
+
+def _zero_launch(spec):
+    runtime = dataclasses.replace(spec.runtime, kernel_launch_us=0.0,
+                                  dispatch_ns_per_group=0.0,
+                                  launch_ns_per_mib=0.0)
+    return dataclasses.replace(spec, runtime=runtime)
+
+
+def _nw_ratio(transform):
+    """AMD / NVIDIA mean nw-large time under a spec transform."""
+    bench = create("nw", "large")
+    amd = [transform(get_device(n)) for n in ("R9 290X", "R9 Fury X", "RX 480")]
+    nvidia = [transform(get_device(n)) for n in ("GTX 1080", "Titan X", "K40m")]
+    amd_t = np.mean([iteration_time(s, bench.profiles()).total_s for s in amd])
+    nv_t = np.mean([iteration_time(s, bench.profiles()).total_s for s in nvidia])
+    return amd_t / nv_t
+
+
+def test_launch_overhead_drives_amd_gap(benchmark, output_dir):
+    def run():
+        return _nw_ratio(lambda s: s), _nw_ratio(_zero_launch)
+
+    with_launch, without_launch = benchmark(run)
+    rows = [
+        {"launch model": "realistic", "AMD/NVIDIA nw large": round(with_launch, 2)},
+        {"launch model": "zeroed", "AMD/NVIDIA nw large": round(without_launch, 2)},
+    ]
+    emit(output_dir, "ablation_launch",
+         render_table(rows, "Ablation: nw large AMD/NVIDIA ratio"))
+
+    assert with_launch > 1.5           # the Fig. 3b gap
+    assert without_launch < with_launch * 0.75  # collapses without launches

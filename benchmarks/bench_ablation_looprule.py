@@ -1,0 +1,44 @@
+"""Ablation: the 2-second loop rule (paper §2).
+
+The paper loops every benchmark for at least two seconds per sample
+"to ensure that sampling ... was not significantly affected by
+operating system noise".  This bench measures the coefficient of
+variation of single-shot sampling vs the loop rule across devices and
+shows the paper-level noise reduction.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.devices import get_device
+from repro.harness import render_table
+from repro.perfmodel import noisy_samples
+
+
+def test_loop_rule_tightens_cov(benchmark, output_dir):
+    devices = ("i7-6700K", "GTX 1080", "K20m", "Xeon Phi 7210")
+    nominal = 1e-3  # a 1 ms kernel
+    rng = np.random.default_rng(2018)
+
+    def run():
+        out = {}
+        for name in devices:
+            spec = get_device(name)
+            single = noisy_samples(spec, nominal, 50, rng, loop_iterations=1)
+            looped = noisy_samples(spec, nominal, 50, rng,
+                                   loop_iterations=2000)
+            out[name] = (float(single.std() / single.mean()),
+                         float(looped.std() / looped.mean()))
+        return out
+
+    covs = benchmark(run)
+    rows = [
+        {"device": name, "single-shot CoV": round(s, 4),
+         "2s-loop CoV": round(l, 5), "reduction": round(s / max(l, 1e-9), 1)}
+        for name, (s, l) in covs.items()
+    ]
+    emit(output_dir, "ablation_looprule",
+         render_table(rows, "Ablation: 2-second loop rule"))
+
+    for name, (single, looped) in covs.items():
+        assert looped < single / 5, name

@@ -1,0 +1,27 @@
+"""AIWC characterization and suite diversity (paper §2 and §7).
+
+Regenerates the diversity analysis that justified the original suite's
+composition, over our architecture-independent metrics: crc should be
+the structural outlier (hence its unique Fig. 1 behaviour) and the two
+Spectral Methods benchmarks should be near neighbours.
+"""
+
+from conftest import emit
+
+from repro.aiwc import analyze, characterize_suite
+from repro.harness import render_table
+
+
+def test_aiwc_diversity(benchmark, output_dir):
+    metrics = benchmark(characterize_suite, "large")
+    report = analyze(metrics)
+
+    text = render_table([m.as_row() for m in metrics],
+                        "AIWC metrics (large size)")
+    text += "\n" + render_table(report.distinctiveness_rows(),
+                                "Distinctiveness (distance to nearest)")
+    text += "\nMST: " + ", ".join(f"{a}-{b}({d})" for a, b, d in report.mst_edges)
+    emit(output_dir, "aiwc_diversity", text)
+
+    assert report.most_distinct()[0] == "crc"
+    assert len(report.mst_edges) == 10

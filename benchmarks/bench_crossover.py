@@ -1,0 +1,51 @@
+"""Crossover study: the problem size where the GPU overtakes the CPU.
+
+The paper's core critique of fixed-size suites is that they miss "the
+problem sizes where these limitations occur" (§3).  This bench sweeps
+each scalable benchmark's size parameter and reports the footprint at
+which the GTX 1080 overtakes the i7-6700K — the quantity a scheduler
+would key on.  Expected structure: crossovers cluster around the CPU's
+cache capacity for memory-bound dwarfs, and crc never crosses at all.
+"""
+
+from conftest import emit
+
+from repro.harness import render_table, sweep
+
+BENCHES = ("kmeans", "lud", "csr", "fft", "dwt", "srad", "nw", "crc")
+
+
+def _study():
+    rows, results = [], {}
+    for bench in BENCHES:
+        result = sweep(bench, "i7-6700K", "GTX 1080", stride=4)
+        results[bench] = result
+        if result.crossover is not None:
+            where = (f"Φ={result.crossover.phi} "
+                     f"({result.crossover.footprint_bytes / 1024:.0f} KiB)")
+        elif result.challenger_always_wins:
+            where = "GPU wins at every size"
+        elif not result.challenger_ever_wins:
+            where = "CPU wins at every size"
+        else:
+            where = "unstable"
+        rows.append({
+            "benchmark": bench,
+            "crossover": where,
+            "largest-size ratio": round(result.points[-1].ratio, 2),
+        })
+    return rows, results
+
+
+def test_crossover_study(benchmark, output_dir):
+    rows, results = benchmark.pedantic(_study, iterations=1, rounds=1)
+    emit(output_dir, "crossover",
+         render_table(rows, "GPU-overtakes-CPU crossover (i7-6700K vs GTX 1080)"))
+
+    # crc is the exception: the CPU holds at every size (Fig. 1)
+    assert not results["crc"].challenger_ever_wins
+    # memory/compute-bound dwarfs all cross within cache territory
+    for bench in ("srad", "fft", "lud", "dwt"):
+        x = results[bench].crossover
+        assert x is not None, bench
+        assert x.footprint_bytes <= 64 << 20, bench

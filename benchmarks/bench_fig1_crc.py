@@ -1,0 +1,30 @@
+"""Figure 1: crc kernel execution times on all 15 devices x 4 sizes.
+
+Paper finding reproduced: crc (Combinational Logic — a byte-serial
+dependent chain with negligible floating-point work) is the one
+benchmark where CPUs beat every GPU, and the KNL is poor; this is why
+the paper drops the KNL from the remaining figures.
+"""
+
+from conftest import emit_figure
+
+from repro.harness import (
+    check_cov_tracks_clock,
+    check_fig1_cpu_wins,
+    class_means,
+    figure1_crc,
+)
+
+
+def test_figure1(benchmark, output_dir):
+    fig = benchmark.pedantic(figure1_crc, kwargs={"samples": 50},
+                             iterations=1, rounds=1)
+    emit_figure(output_dir, "figure1_crc", fig)
+
+    # the paper's qualitative findings
+    assert check_fig1_cpu_wins(fig)
+    assert check_cov_tracks_clock(fig.results)
+    for size in fig.panels:
+        means = class_means(fig, size)
+        assert means["CPU"] == min(means.values()), size
+        assert means["MIC"] > means["CPU"], size

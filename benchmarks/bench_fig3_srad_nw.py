@@ -1,0 +1,55 @@
+"""Figures 3a/3b: srad (Structured Grid) and nw (Dynamic Programming).
+
+Shapes reproduced:
+
+* 3a srad — memory-bandwidth limited: the CPU-GPU gap widens strictly
+  from tiny to large (paper: 'codes representative of structured grid
+  dwarfs are well suited to GPUs');
+* 3b nw — wavefront code launching 2N/B-1 kernels: performance is tied
+  to runtime launch overhead, so AMD GPUs fall progressively behind
+  while Intel CPUs and NVIDIA GPUs stay comparable.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit_figure
+
+from repro.devices import Vendor, get_device
+from repro.harness import (
+    check_fig3a_gap_widens,
+    check_fig3b_amd_degrades,
+    class_means,
+    figure3,
+)
+
+SAMPLES = 50
+
+
+def _vendor_mean(panel, vendor):
+    vals = [s["mean"] for d, s in panel.items()
+            if get_device(d).vendor == vendor and get_device(d).is_gpu]
+    return float(np.mean(vals))
+
+
+def test_figure3a_srad(benchmark, output_dir):
+    fig = benchmark.pedantic(figure3, args=("srad",),
+                             kwargs={"samples": SAMPLES},
+                             iterations=1, rounds=1)
+    emit_figure(output_dir, "figure3a_srad", fig)
+    assert check_fig3a_gap_widens(fig)
+    means = class_means(fig, "large")
+    assert means["CPU"] > 3 * min(means["Consumer GPU"], means["HPC GPU"])
+
+
+def test_figure3b_nw(benchmark, output_dir):
+    fig = benchmark.pedantic(figure3, args=("nw",),
+                             kwargs={"samples": SAMPLES},
+                             iterations=1, rounds=1)
+    emit_figure(output_dir, "figure3b_nw", fig)
+    assert check_fig3b_amd_degrades(fig)
+    # AMD/NVIDIA ratio grows from tiny to large
+    tiny = _vendor_mean(fig.panels["tiny"], Vendor.AMD) / _vendor_mean(
+        fig.panels["tiny"], Vendor.NVIDIA)
+    large = _vendor_mean(fig.panels["large"], Vendor.AMD) / _vendor_mean(
+        fig.panels["large"], Vendor.NVIDIA)
+    assert large > tiny

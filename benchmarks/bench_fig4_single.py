@@ -1,0 +1,23 @@
+"""Figure 4: gem, nqueens and hmm at their single evaluated size.
+
+gem (N-Body, Fig. 4a) runs the tiny 4TUT molecule (the only size the
+paper could validate); nqueens (Fig. 4b) runs N=18; hmm (Fig. 4c) runs
+the tiny 8-state model (likewise the only validated size).
+"""
+
+from conftest import emit_figure
+
+from repro.harness import class_means, figure4
+
+
+def test_figure4(benchmark, output_dir):
+    fig = benchmark.pedantic(figure4, kwargs={"samples": 50},
+                             iterations=1, rounds=1)
+    emit_figure(output_dir, "figure4_single", fig)
+
+    assert set(fig.panels) == {"gem", "nqueens", "hmm"}
+    # gem: flop-dense N-body favours GPUs
+    gem = class_means(fig, "gem")
+    assert min(gem["Consumer GPU"], gem["HPC GPU"]) < gem["CPU"]
+    # every panel covers the 14 non-KNL devices
+    assert all(len(panel) == 14 for panel in fig.panels.values())

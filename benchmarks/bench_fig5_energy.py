@@ -1,0 +1,38 @@
+"""Figure 5: kernel execution energy (large size), i7-6700K vs GTX 1080.
+
+Reproduces both panels (the linear 5a view and, numerically, the log
+5b view) and the paper's §5.2 findings: every benchmark costs more
+energy on the CPU except crc, and energy variance is larger on the CPU.
+"""
+
+import numpy as np
+from conftest import emit, emit_figure
+
+from repro.harness import (
+    ENERGY_BENCHMARKS,
+    check_fig5_cpu_energy_higher,
+    figure5,
+)
+
+
+def test_figure5(benchmark, output_dir):
+    fig = benchmark.pedantic(figure5, kwargs={"samples": 50},
+                             iterations=1, rounds=1)
+    text = fig.render()
+    # the log view of Fig. 5b, as data
+    lines = ["", "Figure 5b (log10 J):"]
+    for bench, panel in fig.panels.items():
+        cpu = np.log10(panel["i7-6700K"]["mean"])
+        gpu = np.log10(panel["GTX 1080"]["mean"])
+        lines.append(f"  {bench:8s} cpu={cpu:+.3f}  gpu={gpu:+.3f}")
+    emit(output_dir, "figure5_energy", text + "\n".join(lines), fig.to_csv())
+    emit_figure(output_dir, "figure5_energy_plot", fig, log_scale=True)
+
+    assert list(fig.panels) == list(ENERGY_BENCHMARKS)
+    assert check_fig5_cpu_energy_higher(fig)
+    # CPU variance larger (paper §5.2)
+    cpu_covs = [r.energy_summary.cov for r in fig.results
+                if r.device == "i7-6700K"]
+    gpu_covs = [r.energy_summary.cov for r in fig.results
+                if r.device == "GTX 1080"]
+    assert np.median(cpu_covs) > np.median(gpu_covs)

@@ -1,0 +1,73 @@
+"""Microbenchmarks of the functional numpy kernels themselves.
+
+These time the *simulator's* execution speed (how fast the suite runs
+on the host machine), not the modeled device times; they exist so that
+performance regressions in the vectorised kernel implementations are
+caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.dwarfs import create
+from repro.dwarfs.crc import make_table
+from repro.dwarfs.dwt import lift53_forward
+from repro.dwarfs.fft import stockham_stage
+
+
+@pytest.fixture
+def cpu_pair():
+    device = ocl.find_device("i7-6700K")
+    ctx = ocl.Context(device)
+    return ctx, ocl.CommandQueue(ctx)
+
+
+def test_fft_stage_throughput(benchmark):
+    n = 1 << 18
+    rng = np.random.default_rng(0)
+    src = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(np.complex64)
+    dst = np.empty_like(src)
+    benchmark(stockham_stage, src, dst, n, 4)
+
+
+def test_lifting_pass_throughput(benchmark):
+    img = np.random.default_rng(0).uniform(0, 255, (864, 1152)).astype(np.float32)
+    benchmark(lift53_forward, img, 1)
+
+
+def test_crc_table_generation(benchmark):
+    table = benchmark(make_table)
+    assert table[1] == 0x77073096
+
+
+def test_srad_iteration(benchmark, cpu_pair):
+    ctx, queue = cpu_pair
+    bench = create("srad", "small")
+    bench.host_setup(ctx)
+    bench.transfer_inputs(queue)
+    benchmark(bench.run_iteration, queue)
+
+
+def test_nw_full_alignment(benchmark, cpu_pair):
+    ctx, queue = cpu_pair
+    bench = create("nw", "small")
+    bench.host_setup(ctx)
+    bench.transfer_inputs(queue)
+    benchmark(bench.run_iteration, queue)
+
+
+def test_kmeans_sweep(benchmark, cpu_pair):
+    ctx, queue = cpu_pair
+    bench = create("kmeans", "medium")
+    bench.host_setup(ctx)
+    bench.transfer_inputs(queue)
+    benchmark(bench.run_iteration, queue)
+
+
+def test_spmv(benchmark, cpu_pair):
+    ctx, queue = cpu_pair
+    bench = create("csr", "medium")
+    bench.host_setup(ctx)
+    bench.transfer_inputs(queue)
+    benchmark(bench.run_iteration, queue)

@@ -1,0 +1,53 @@
+"""Roofline study: 'ideal' performance per benchmark x device (§7).
+
+Emits a roofline chart per reference device with every floating-point
+benchmark placed on it, plus the efficiency table — the paper's
+future-work notion of per-combination ideal performance, realised.
+"""
+
+from conftest import emit
+
+from repro.devices import get_device
+from repro.harness import render_table
+from repro.perfmodel import ridge_point, save_roofline_html, suite_points
+
+DEVICES = ("i7-6700K", "GTX 1080", "R9 290X", "Xeon Phi 7210")
+
+
+def _study():
+    out = {}
+    for name in DEVICES:
+        spec = get_device(name)
+        out[name] = suite_points(spec, "large")
+    return out
+
+
+def test_roofline_study(benchmark, output_dir):
+    per_device = benchmark.pedantic(_study, iterations=1, rounds=1)
+    rows = []
+    for device, points in per_device.items():
+        spec = get_device(device)
+        save_roofline_html(
+            spec, points,
+            output_dir / f"roofline_{device.replace(' ', '_')}.html")
+        for p in points:
+            rows.append({
+                "device": device,
+                "kernel": p.label,
+                "AI (flop/B)": round(p.arithmetic_intensity, 3),
+                "achieved GF/s": round(p.achieved_gflops, 2),
+                "attainable GF/s": round(p.attainable_gflops, 2),
+                "efficiency": f"{p.efficiency:.0%}",
+                "regime": ("compute" if p.arithmetic_intensity
+                           > ridge_point(spec) else "memory"),
+            })
+    emit(output_dir, "roofline",
+         render_table(rows, "Roofline positions (large size)"))
+
+    # structural expectations
+    for device, points in per_device.items():
+        by_label = {p.label: p for p in points}
+        spec = get_device(device)
+        assert by_label["gem"].arithmetic_intensity > ridge_point(spec)
+        assert by_label["csr"].arithmetic_intensity < ridge_point(spec)
+        assert all(p.efficiency <= 1.05 for p in points), device

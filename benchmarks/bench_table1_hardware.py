@@ -1,0 +1,16 @@
+"""Table 1: hardware characteristics of the fifteen platforms."""
+
+from conftest import emit
+
+from repro.harness import table1_rows, table1_text
+
+
+def test_table1_regeneration(benchmark, output_dir):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 15
+    emit(output_dir, "table1", table1_text())
+    # spot-check the published cells
+    by_name = {r["Name"]: r for r in rows}
+    assert by_name["i7-6700K"]["Cache (KiB)"] == "32/256/8192"
+    assert by_name["Titan X"]["CoreCount"] == "3584†"
+    assert by_name["Xeon Phi 7210"]["TDP (W)"] == 215

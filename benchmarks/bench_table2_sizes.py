@@ -1,0 +1,51 @@
+"""Table 2: workload scale parameters Φ.
+
+Regenerates the published table from the benchmark registry and runs
+the §4.4 sizing methodology (solver) against the Skylake reference to
+show the published values land in the intended cache levels.
+"""
+
+from conftest import emit
+
+from repro.devices import get_device
+from repro.harness import render_table, table2_text
+from repro.sizing import (
+    SCALE_GENERATORS,
+    preset_fit_report,
+    solve_sizes,
+)
+
+
+def test_table2_regeneration(benchmark, output_dir):
+    emit(output_dir, "table2", benchmark(table2_text))
+
+
+def test_table2_presets_fit_skylake_caches(benchmark, output_dir):
+    report = benchmark(preset_fit_report)
+    rows = []
+    for bench, sizes in report.items():
+        row = {"Benchmark": bench}
+        for size, (kib, fits) in sizes.items():
+            row[size] = f"{kib:.1f} KiB -> {fits}"
+        rows.append(row)
+    emit(output_dir, "table2_fit",
+         render_table(rows, "Table 2 presets vs Skylake cache levels"))
+    for bench in ("kmeans", "lud", "fft", "dwt", "srad", "nw", "gem"):
+        for size in ("tiny", "small", "medium", "large"):
+            assert report[bench][size][1] == size, (bench, size)
+
+
+def test_table2_solver(benchmark, output_dir):
+    """Time the sizing solver (kmeans) and report all solved sizes."""
+    skylake = get_device("i7-6700K")
+    benchmark(solve_sizes, "kmeans", skylake)
+    rows = []
+    for name in SCALE_GENERATORS:
+        sel = solve_sizes(name, skylake)
+        rows.append({
+            "Benchmark": name,
+            **{size: f"{sel.phi(size)} ({sel.footprint(size) / 1024:.1f} KiB)"
+               for size in ("tiny", "small", "medium", "large")},
+        })
+    emit(output_dir, "table2_solved",
+         render_table(rows, "Sizes solved by the §4.4 methodology (Skylake)"))

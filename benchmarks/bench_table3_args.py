@@ -1,0 +1,33 @@
+"""Table 3: program arguments, and the argument-parsing round trip."""
+
+from conftest import emit
+
+from repro.dwarfs import BENCHMARKS
+from repro.harness import table3_text
+
+
+def _round_trip_all():
+    """Render every benchmark's Table 3 arguments and parse them back."""
+    built = {}
+    for name, cls in BENCHMARKS.items():
+        for size in cls.available_sizes():
+            text = cls.cli_args(size)
+            if hasattr(cls, "from_args"):
+                built[(name, size)] = cls.from_args(text.split())
+    return built
+
+
+def test_table3_regeneration(benchmark, output_dir):
+    built = benchmark(_round_trip_all)
+    emit(output_dir, "table3", table3_text())
+    # the parsed instances reproduce the Table 2 scales
+    assert built[("kmeans", "medium")].n_points == 65600
+    assert built[("lud", "large")].n == 4096
+    assert built[("fft", "tiny")].n == 2048
+    assert built[("dwt", "large")].width == 3648
+    assert built[("srad", "medium")].rows == 1024
+    assert built[("crc", "small")].n_bytes == 16000
+    assert built[("nw", "medium")].n == 1008
+    assert built[("gem", "small")].dataset == "2D3V"
+    assert built[("nqueens", "tiny")].n == 18
+    assert built[("hmm", "large")].n_states == 2048

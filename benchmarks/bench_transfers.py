@@ -1,0 +1,36 @@
+"""Memory-transfer times (measured in the paper, §4.3, but unpublished).
+
+"For each benchmark we also measured memory transfer times between
+host and device, however, only the kernel execution times and energies
+are presented here."  This bench presents them: input/output transfer
+times for every benchmark at the small size on a CPU (no bus), a
+modern PCIe-3 GPU and an older PCIe-2 GPU.
+"""
+
+from conftest import emit
+
+from repro.harness import render_table, transfer_table
+
+BENCHES = ("kmeans", "lud", "csr", "fft", "dwt", "srad", "crc", "nw",
+           "gem", "hmm")
+DEVICES = ("i7-6700K", "GTX 1080", "K20m")
+
+
+def test_transfer_times(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        transfer_table, args=(list(BENCHES),),
+        kwargs={"size": "small", "devices": DEVICES},
+        iterations=1, rounds=1)
+    emit(output_dir, "transfers",
+         render_table([r.as_row() for r in rows],
+                      "Host<->device transfer times (small size)"))
+
+    by_key = {(r.benchmark, r.device): r for r in rows}
+    for bench in BENCHES:
+        cpu = by_key[(bench, "i7-6700K")]
+        pcie3 = by_key[(bench, "GTX 1080")]
+        pcie2 = by_key[(bench, "K20m")]
+        # same bytes everywhere; discrete GPUs pay the bus, and the
+        # PCIe-2 board pays more than the PCIe-3 board
+        assert cpu.bytes_to_device == pcie3.bytes_to_device == pcie2.bytes_to_device
+        assert cpu.to_device_s < pcie3.to_device_s <= pcie2.to_device_s

@@ -1,0 +1,39 @@
+"""Shared helpers for the table/figure regeneration benches.
+
+Every bench in this directory regenerates one table or figure of the
+paper (printed to stdout, written to ``benchmarks/output/``) and times
+the regeneration machinery under pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def emit(output_dir: Path, name: str, text: str, csv: str | None = None) -> None:
+    """Print a regenerated artifact and persist it."""
+    print()
+    print(text)
+    (output_dir / f"{name}.txt").write_text(text)
+    if csv is not None:
+        (output_dir / f"{name}.csv").write_text(csv)
+
+
+def emit_figure(output_dir: Path, name: str, fig, log_scale: bool = False) -> None:
+    """Persist a figure's text, CSV and rendered HTML boxplots."""
+    from repro.harness import save_figure_html
+
+    emit(output_dir, name, fig.render(), fig.to_csv())
+    save_figure_html(fig, output_dir / f"{name}.html", log_scale=log_scale)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The paper's §7 roadmap, working end to end.
+
+1. **AIWC** — characterise every benchmark architecture-independently
+   and run the suite diversity analysis (which dwarfs are structurally
+   close, which stand alone);
+2. **auto-tuning** — sweep local work-group sizes for a kernel on
+   several devices and report the chosen configuration per device;
+3. **scheduling** — place a batch of dwarf tasks on a heterogeneous
+   device pool, comparing an affinity-aware policy (LPT by modeled
+   time) against round-robin.
+
+Run:  python examples/characterize_and_schedule.py
+"""
+
+from repro.aiwc import analyze, characterize_suite
+from repro.devices import get_device
+from repro.dwarfs import create
+from repro.harness import render_table
+from repro.scheduling import Task, schedule_lpt, schedule_round_robin
+from repro.tuning import autotune
+
+
+def main() -> None:
+    # --- 1. AIWC characterization --------------------------------------
+    metrics = characterize_suite("large")
+    print(render_table([m.as_row() for m in metrics],
+                       "AIWC metrics (large problem size)"))
+
+    report = analyze(metrics)
+    a, b, d = report.most_similar_pair()
+    distinct, dd = report.most_distinct()
+    print(f"most similar pair : {a} <-> {b} (distance {d:.2f})")
+    print(f"most distinct     : {distinct} (nearest neighbour {dd:.2f} away)")
+    print("suite minimum spanning tree:")
+    for edge in report.mst_edges:
+        print(f"  {edge[0]:8s} -- {edge[1]:8s} ({edge[2]})")
+    print()
+
+    # --- 2. local work-group auto-tuning --------------------------------
+    profile = create("srad", "large").profiles()[0]
+    rows = []
+    for name in ("i7-6700K", "GTX 1080", "R9 290X"):
+        result = autotune(get_device(name), profile)
+        rows.append({
+            "device": name,
+            "best local size": result.best_local_size,
+            "modeled ms": round(result.best_time_s * 1e3, 4),
+            "speedup vs worst": f"{result.speedup_vs_worst:.1f}x",
+        })
+    print(render_table(rows, "Auto-tuned local work-group size (srad1)"))
+
+    # --- 3. heterogeneous scheduling ------------------------------------
+    tasks = [Task(f"{n}-large", create(n, "large"))
+             for n in ("crc", "srad", "fft", "nw", "kmeans", "lud")]
+    pool = ["i7-6700K", "GTX 1080", "R9 290X"]
+    lpt = schedule_lpt(tasks, pool)
+    rr = schedule_round_robin(tasks, pool)
+    print(render_table(lpt.rows(), "LPT schedule (model-driven)"))
+    print(f"makespan: LPT {lpt.makespan * 1e3:.2f} ms vs "
+          f"round-robin {rr.makespan * 1e3:.2f} ms "
+          f"({rr.makespan / lpt.makespan:.2f}x better)")
+
+
+if __name__ == "__main__":
+    main()

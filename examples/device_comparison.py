@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Compare a benchmark across all 15 devices and 4 problem sizes.
+
+Reproduces the structure of the paper's Figures 1-3 for any benchmark:
+per problem size, the mean kernel time on every catalog device, with
+the accelerator-class colour coding rendered as labels.  Also prints
+the class-level summary that backs the paper's §5.1 narrative.
+
+Run:  python examples/device_comparison.py [benchmark]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.devices import device_names
+from repro.dwarfs import get_benchmark
+from repro.harness import ResultSet, render_table, run_matrix
+
+
+def main(benchmark_name: str = "srad") -> None:
+    cls = get_benchmark(benchmark_name)
+    sizes = list(cls.available_sizes())
+    print(f"{benchmark_name} ({cls.dwarf} dwarf) across the Table 1 devices")
+    print(f"problem sizes: {', '.join(sizes)}\n")
+
+    results = ResultSet(run_matrix(benchmark_name, sizes, samples=50))
+
+    rows = []
+    for device in device_names():
+        row = {"device": device,
+               "class": results.get(benchmark_name, sizes[0], device).device_class}
+        for size in sizes:
+            r = results.get(benchmark_name, size, device)
+            row[size + " (ms)"] = f"{r.mean_ms:10.4f}"
+        rows.append(row)
+    print(render_table(rows, f"Mean kernel time, {benchmark_name}"))
+
+    # class-level narrative, as in §5.1
+    print("class means (ms):")
+    classes = sorted({r.device_class for r in results})
+    for size in sizes:
+        parts = []
+        for device_class in classes:
+            try:
+                mean = results.class_mean_ms(benchmark_name, size, device_class)
+                parts.append(f"{device_class}={mean:.4f}")
+            except KeyError:
+                pass
+        print(f"  {size:7s} " + "  ".join(parts))
+
+    best = {size: results.best_device(benchmark_name, size).device
+            for size in sizes}
+    print("\nfastest device per size:", best)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "srad")

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Energy measurement and time/energy device selection.
+
+First reproduces the paper's Figure 5 comparison — kernel energy on the
+RAPL-instrumented i7-6700K versus the NVML-instrumented GTX 1080 at the
+large problem size — then demonstrates the paper's stated end goal
+(§7): choosing the best device for a task "under time and/or energy
+constraints".
+
+Run:  python examples/energy_profile.py
+"""
+
+from repro.devices import device_names
+from repro.harness import ENERGY_BENCHMARKS, render_table, run_matrix, ResultSet
+from repro.harness.runner import RunConfig, run_benchmark
+
+
+def main() -> None:
+    # --- Figure 5: the two instrumented devices ------------------------
+    rows = []
+    for bench in ENERGY_BENCHMARKS:
+        cpu = run_benchmark(RunConfig(bench, "large", "i7-6700K",
+                                      execute=False, validate=False))
+        gpu = run_benchmark(RunConfig(bench, "large", "GTX 1080",
+                                      execute=False, validate=False))
+        rows.append({
+            "benchmark": bench,
+            "i7-6700K (J)": f"{cpu.mean_energy_j:10.4f}",
+            "GTX 1080 (J)": f"{gpu.mean_energy_j:10.4f}",
+            "CPU/GPU": f"{cpu.mean_energy_j / gpu.mean_energy_j:6.2f}x",
+        })
+    print(render_table(rows, "Kernel energy at the large size (Fig. 5)"))
+    print("reading: every benchmark costs more energy on the CPU except")
+    print("crc, whose serial integer kernel the CPU finishes far sooner.\n")
+
+    # --- device selection under constraints ----------------------------
+    bench = "srad"
+    results = ResultSet(run_matrix(bench, ["large"], list(device_names()),
+                                   samples=30))
+    candidates = [(r.device, r.mean_ms, r.mean_energy_j)
+                  for r in results]
+
+    fastest = min(candidates, key=lambda c: c[1])
+    thriftiest = min(candidates, key=lambda c: c[2])
+    print(f"{bench} large across all devices:")
+    print(f"  fastest        : {fastest[0]} ({fastest[1]:.3f} ms, "
+          f"{fastest[2]:.4f} J)")
+    print(f"  least energy   : {thriftiest[0]} ({thriftiest[1]:.3f} ms, "
+          f"{thriftiest[2]:.4f} J)")
+
+    budget_ms = 2.0
+    under_budget = [c for c in candidates if c[1] <= budget_ms]
+    if under_budget:
+        pick = min(under_budget, key=lambda c: c[2])
+        print(f"  best under a {budget_ms:.0f} ms deadline: {pick[0]} "
+              f"({pick[1]:.3f} ms, {pick[2]:.4f} J)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires building a PEP 660 wheel, which needs the
+``wheel`` distribution; on offline machines without it, install with::
+
+    python setup.py develop
+
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""AIWC: architecture-independent workload characterization (paper §7)."""
+
+from .diversity import DiversityReport, analyze, standardize
+from .metrics import AIWCMetrics, characterize, characterize_suite
+
+__all__ = [
+    "AIWCMetrics",
+    "DiversityReport",
+    "analyze",
+    "characterize",
+    "characterize_suite",
+    "standardize",
+]

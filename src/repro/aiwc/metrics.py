@@ -1,0 +1,157 @@
+"""Architecture-Independent Workload Characterization (AIWC).
+
+The paper's §7: "Each OpenCL kernel presented in this paper has been
+inspected using the Architecture Independent Workload Characterization
+(AIWC).  Analysis using AIWC helps understand how the structure of
+kernels contributes to the varying runtime characteristics between
+devices."  This module implements that characterization over our
+kernel profiles and access traces: a vector of architecture-independent
+metrics per benchmark, grouped the way AIWC groups them (compute,
+parallelism, memory, control).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..dwarfs.base import Benchmark
+from ..perfmodel.characterization import KernelProfile
+
+
+@dataclass(frozen=True)
+class AIWCMetrics:
+    """One benchmark's architecture-independent feature vector.
+
+    Compute
+    -------
+    opcode_total:
+        Total operations per iteration (fp + int + chain), log10.
+    fp_fraction:
+        Share of floating-point among all operations.
+    arithmetic_intensity:
+        FLOPs per byte of unique traffic (roofline x-coordinate).
+
+    Parallelism
+    -----------
+    work_items_log:
+        log10 of the widest kernel's NDRange.
+    granularity:
+        Operations per work item (barrier-free work between
+        synchronisation points), log10.
+    serial_fraction:
+        Share of operations on serial/chain critical paths — the
+        Amdahl term that penalises wide devices.
+    launch_intensity:
+        Kernel launches per iteration, log10 (wavefront codes score
+        high; single-kernel codes score 0).
+
+    Memory
+    ------
+    memory_entropy:
+        Shannon entropy (bits) of the access-pattern mix — 0 for pure
+        streaming, up to log2(3) for an even seq/strided/random blend.
+    unique_footprint_log:
+        log10 of the device-side working set.
+
+    Control
+    -------
+    branch_fraction:
+        Share of operations behind data-dependent branches.
+    """
+
+    benchmark: str
+    dwarf: str
+    opcode_total: float
+    fp_fraction: float
+    arithmetic_intensity: float
+    work_items_log: float
+    granularity: float
+    serial_fraction: float
+    launch_intensity: float
+    memory_entropy: float
+    unique_footprint_log: float
+    branch_fraction: float
+
+    NUMERIC_FIELDS = (
+        "opcode_total", "fp_fraction", "arithmetic_intensity",
+        "work_items_log", "granularity", "serial_fraction",
+        "launch_intensity", "memory_entropy", "unique_footprint_log",
+        "branch_fraction",
+    )
+
+    def vector(self) -> np.ndarray:
+        """The metrics as a plain feature vector (fixed field order)."""
+        return np.array([getattr(self, f) for f in self.NUMERIC_FIELDS])
+
+    def as_row(self) -> dict:
+        row = {"benchmark": self.benchmark, "dwarf": self.dwarf}
+        row.update({f: round(getattr(self, f), 3) for f in self.NUMERIC_FIELDS})
+        return row
+
+
+def _pattern_entropy(profiles: list[KernelProfile]) -> float:
+    """Traffic-weighted Shannon entropy of the access-pattern mix."""
+    weights = np.zeros(3)
+    for p in profiles:
+        traffic = p.bytes_total * p.launches
+        weights += traffic * np.array(
+            [p.seq_fraction, p.strided_fraction, p.random_fraction])
+    total = weights.sum()
+    if total <= 0:
+        return 0.0
+    probs = weights / total
+    probs = probs[probs > 0]
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def characterize(bench: Benchmark) -> AIWCMetrics:
+    """Compute the AIWC feature vector for a benchmark instance."""
+    profiles = bench.profiles()
+    if not profiles:
+        raise ValueError(f"{bench.name}: no kernel profiles to characterise")
+
+    flops = sum(p.flops * p.launches for p in profiles)
+    int_ops = sum(p.int_ops * p.launches for p in profiles)
+    chain = sum(p.chain_ops * p.work_items * p.launches for p in profiles)
+    serial = sum(p.serial_ops * p.launches for p in profiles) + chain
+    total_ops = flops + int_ops + chain
+    bytes_total = sum(p.bytes_total * p.launches for p in profiles)
+    launches = sum(p.launches for p in profiles)
+    max_items = max(p.work_items for p in profiles)
+
+    branch = 0.0
+    if total_ops > 0:
+        branch = sum(
+            p.branch_fraction * (p.flops + p.int_ops + p.chain_ops) * p.launches
+            for p in profiles
+        ) / max(total_ops, 1.0)
+
+    return AIWCMetrics(
+        benchmark=bench.name,
+        dwarf=bench.dwarf,
+        opcode_total=math.log10(max(total_ops, 1.0)),
+        fp_fraction=flops / total_ops if total_ops else 0.0,
+        arithmetic_intensity=flops / bytes_total if bytes_total else 0.0,
+        work_items_log=math.log10(max(max_items, 1)),
+        granularity=math.log10(max(total_ops / max(max_items * launches, 1), 1.0)),
+        serial_fraction=min(serial / total_ops, 1.0) if total_ops else 0.0,
+        launch_intensity=math.log10(max(launches, 1)),
+        memory_entropy=_pattern_entropy(profiles),
+        unique_footprint_log=math.log10(max(bench.footprint_bytes(), 1)),
+        branch_fraction=float(branch),
+    )
+
+
+def characterize_suite(size: str = "large") -> list[AIWCMetrics]:
+    """Characterise every benchmark at a problem size (fallback: the
+    largest size the benchmark supports)."""
+    from ..dwarfs.registry import BENCHMARKS
+
+    out = []
+    for cls in BENCHMARKS.values():
+        use = size if size in cls.presets else cls.available_sizes()[-1]
+        out.append(characterize(cls.from_size(use)))
+    return out

@@ -1,0 +1,62 @@
+"""Branch predictor model (2-bit saturating counters).
+
+Provides the ``PAPI_BR_INS`` / ``PAPI_BR_MSP`` counters of the paper's
+verification set.  A classic bimodal predictor: a table of 2-bit
+saturating counters indexed by (hashed) branch PC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# 2-bit counter states: 0,1 predict not-taken; 2,3 predict taken.
+_WEAK_NOT_TAKEN = 1
+
+
+class BranchPredictor:
+    """Bimodal predictor with a power-of-two counter table."""
+
+    def __init__(self, table_size: int = 4096):
+        if table_size & (table_size - 1) or table_size < 1:
+            raise ValueError(f"table size must be a power of two, got {table_size}")
+        self.table_size = table_size
+        self._mask = table_size - 1
+        self._table = np.full(table_size, _WEAK_NOT_TAKEN, dtype=np.int8)
+        self.branches = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict one branch, update the counter; returns the prediction."""
+        idx = (int(pc) >> 2) & self._mask
+        counter = self._table[idx]
+        prediction = counter >= 2
+        self.branches += 1
+        if prediction != bool(taken):
+            self.mispredictions += 1
+        if taken:
+            self._table[idx] = min(counter + 1, 3)
+        else:
+            self._table[idx] = max(counter - 1, 0)
+        return bool(prediction)
+
+    def run_trace(self, pcs, outcomes) -> int:
+        """Feed parallel arrays of PCs and outcomes; returns new mispredictions."""
+        pcs = np.asarray(pcs)
+        outcomes = np.asarray(outcomes, dtype=bool)
+        if pcs.shape != outcomes.shape:
+            raise ValueError(
+                f"pc/outcome traces differ in length: {pcs.shape} vs {outcomes.shape}"
+            )
+        before = self.mispredictions
+        for pc, taken in zip(pcs.tolist(), outcomes.tolist()):
+            self.predict_and_update(pc, taken)
+        return self.mispredictions - before
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    def reset(self) -> None:
+        self._table.fill(_WEAK_NOT_TAKEN)
+        self.branches = 0
+        self.mispredictions = 0

@@ -1,0 +1,92 @@
+"""Multi-level cache hierarchy.
+
+Chains :class:`SetAssociativeCache` levels the way the paper's CPU
+platforms do (L1 -> L2 -> L3 -> memory): an access probes levels
+inward-out, allocating in every level it missed (inclusive fill).
+Per-level counters map onto the PAPI events the paper collects
+(``PAPI_L1_DCM``, ``PAPI_L2_DCM``, ``PAPI_L3_TCM``).
+"""
+
+from __future__ import annotations
+
+from ..devices.specs import DeviceSpec
+from .setassoc import SetAssociativeCache
+
+
+class CacheHierarchy:
+    """An inclusive multi-level cache fed with byte addresses."""
+
+    def __init__(self, levels: list[SetAssociativeCache]):
+        if not levels:
+            raise ValueError("hierarchy needs at least one level")
+        sizes = [l.size_bytes for l in levels]
+        if sizes != sorted(sizes):
+            raise ValueError(f"levels must grow outward, got sizes {sizes}")
+        self.levels = levels
+        #: Number of accesses that missed every level (went to memory).
+        self.memory_accesses = 0
+
+    @classmethod
+    def for_device(cls, spec: DeviceSpec) -> "CacheHierarchy":
+        """Build the hierarchy described by a device's spec.
+
+        Cache sizes are rounded down to the nearest valid power-of-two
+        set count (the i5-3550's 6 MiB L3, for instance, is 12-way with
+        a non-power-of-two capacity; modelling it as the nearest valid
+        geometry at the same capacity-per-way keeps miss behaviour
+        realistic).
+        """
+        levels = []
+        names = ("L1", "L2", "L3")
+        for i, level in enumerate(spec.caches):
+            size = level.size_kib * 1024
+            line = level.line_bytes
+            ways = level.associativity
+            n_sets = max(1, size // (line * ways))
+            pow2_sets = 1 << (n_sets.bit_length() - 1)
+            levels.append(
+                SetAssociativeCache(
+                    size_bytes=pow2_sets * line * ways,
+                    line_bytes=line,
+                    associativity=ways,
+                    name=names[i] if i < len(names) else f"L{i + 1}",
+                )
+            )
+        return cls(levels)
+
+    # ------------------------------------------------------------------
+    def access(self, address: int) -> int:
+        """Access an address; returns the level index that hit.
+
+        ``len(levels)`` means main memory.  Fills are inclusive: a miss
+        at level *i* allocates the line in levels ``0..i``.
+        """
+        for i, cache in enumerate(self.levels):
+            if cache.access(address):
+                return i
+        self.memory_accesses += 1
+        return len(self.levels)
+
+    def access_many(self, addresses) -> None:
+        """Feed a whole trace (iterable of byte addresses)."""
+        access = self.access
+        for a in addresses:
+            access(int(a))
+
+    # ------------------------------------------------------------------
+    def miss_counts(self) -> dict[str, int]:
+        """Misses per level keyed by level name."""
+        return {c.name: c.stats.misses for c in self.levels}
+
+    def miss_rates(self) -> dict[str, float]:
+        """Miss rate per level (misses / accesses at that level)."""
+        return {c.name: c.stats.miss_rate for c in self.levels}
+
+    def reset(self) -> None:
+        for c in self.levels:
+            c.reset()
+        self.memory_accesses = 0
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.levels)
+        return f"<CacheHierarchy [{inner}]>"

@@ -1,0 +1,142 @@
+"""Set-associative cache with LRU replacement.
+
+A faithful (if simple) single-level cache model: addresses are split
+into line offset / set index / tag; each set holds ``associativity``
+tags in LRU order.  Used by the problem-size verifier to reproduce the
+paper's PAPI-counter methodology: miss rates jump when a benchmark's
+working set no longer fits a level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = 0
+
+
+class SetAssociativeCache:
+    """One level of set-associative, write-allocate, LRU cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity; must be a power-of-two multiple of
+        ``line_bytes * associativity``.
+    line_bytes:
+        Cache line size (power of two).
+    associativity:
+        Ways per set.
+    name:
+        Label used in reports ("L1", "L2", ...).
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, associativity: int = 8,
+                 name: str = "cache"):
+        if not _is_pow2(line_bytes):
+            raise ValueError(f"line size must be a power of two, got {line_bytes}")
+        if associativity < 1:
+            raise ValueError(f"associativity must be >= 1, got {associativity}")
+        if size_bytes < line_bytes * associativity:
+            raise ValueError(
+                f"cache of {size_bytes} B cannot hold one set of "
+                f"{associativity} x {line_bytes} B lines"
+            )
+        n_sets = size_bytes // (line_bytes * associativity)
+        if not _is_pow2(n_sets):
+            raise ValueError(
+                f"size {size_bytes} / (line {line_bytes} x ways {associativity}) "
+                f"gives {n_sets} sets, which is not a power of two"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.n_sets = n_sets
+        self._offset_bits = line_bytes.bit_length() - 1
+        self._index_mask = n_sets - 1
+        # Per-set LRU stacks: dicts preserve insertion order; the first
+        # key is the LRU line, the last the MRU.
+        self._sets: list[dict[int, None]] = [dict() for _ in range(n_sets)]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _split(self, address: int) -> tuple[int, int]:
+        line = address >> self._offset_bits
+        return line & self._index_mask, line >> (self.n_sets.bit_length() - 1)
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on hit.
+
+        Misses allocate the line, evicting LRU if the set is full.
+        """
+        set_index, tag = self._split(int(address))
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in ways:
+            # refresh LRU position
+            del ways[tag]
+            ways[tag] = None
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.associativity:
+            ways.pop(next(iter(ways)))  # evict LRU
+        ways[tag] = None
+        return False
+
+    def access_many(self, addresses) -> int:
+        """Run a sequence of byte addresses; returns the miss count added."""
+        before = self.stats.misses
+        access = self.access
+        for a in addresses:
+            access(a)
+        return self.stats.misses - before
+
+    # ------------------------------------------------------------------
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident (no LRU update)."""
+        set_index, tag = self._split(int(address))
+        return tag in self._sets[set_index]
+
+    @property
+    def lines_resident(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> None:
+        """Invalidate all lines (counters are preserved)."""
+        for s in self._sets:
+            s.clear()
+
+    def reset(self) -> None:
+        """Invalidate all lines and zero the counters."""
+        self.flush()
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.name}: {self.size_bytes >> 10} KiB, "
+            f"{self.associativity}-way, {self.n_sets} sets>"
+        )

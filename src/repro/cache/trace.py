@@ -1,0 +1,103 @@
+"""Synthetic memory-access trace builders.
+
+The sizing verifier replays a short, representative address trace per
+benchmark through the cache simulator to confirm that *tiny/small/
+medium/large* working sets produce the expected per-level miss-rate
+transitions — the role PAPI counters play in the paper (§4.4).
+
+Traces are numpy int64 arrays of byte addresses.  Builders cap trace
+length (``max_len``) and scale strides up instead, so verification of
+multi-megabyte working sets stays fast while still sweeping the whole
+footprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_MAX_LEN = 200_000
+
+
+def sequential(working_set_bytes: int, element_bytes: int = 4, passes: int = 2,
+               max_len: int = DEFAULT_MAX_LEN) -> np.ndarray:
+    """Stream through the working set ``passes`` times, unit stride.
+
+    If the trace would exceed ``max_len`` accesses, the stride is
+    raised (still touching every cache line proportionally) so the
+    footprint is preserved.
+    """
+    if working_set_bytes <= 0:
+        return np.empty(0, dtype=np.int64)
+    n = max(1, working_set_bytes // element_bytes)
+    per_pass = max_len // max(passes, 1)
+    step = max(1, int(np.ceil(n / max(per_pass, 1))))
+    offsets = (np.arange(0, n, step, dtype=np.int64) * element_bytes)
+    return np.tile(offsets, passes)
+
+
+def strided(working_set_bytes: int, stride_bytes: int, element_bytes: int = 4,
+            passes: int = 2, max_len: int = DEFAULT_MAX_LEN) -> np.ndarray:
+    """Constant-stride sweep of the working set."""
+    if working_set_bytes <= 0:
+        return np.empty(0, dtype=np.int64)
+    addresses = np.arange(0, working_set_bytes, stride_bytes, dtype=np.int64)
+    if passes * len(addresses) > max_len:
+        keep = max(1, max_len // max(passes, 1))
+        idx = np.linspace(0, len(addresses) - 1, keep).astype(np.int64)
+        addresses = addresses[idx]
+    return np.tile(addresses, passes)
+
+
+def random_uniform(working_set_bytes: int, n_accesses: int,
+                   rng: np.random.Generator, element_bytes: int = 4) -> np.ndarray:
+    """Uniformly random element accesses within the working set."""
+    if working_set_bytes <= 0 or n_accesses <= 0:
+        return np.empty(0, dtype=np.int64)
+    n_elements = max(1, working_set_bytes // element_bytes)
+    return rng.integers(0, n_elements, size=n_accesses, dtype=np.int64) * element_bytes
+
+
+def blocked(working_set_bytes: int, block_bytes: int, reuse: int = 4,
+            max_len: int = DEFAULT_MAX_LEN) -> np.ndarray:
+    """Block-wise traversal: stream each block ``reuse`` times in turn.
+
+    Models tiled kernels (``lud``) whose inner loops re-touch a block
+    before moving on.
+    """
+    if working_set_bytes <= 0:
+        return np.empty(0, dtype=np.int64)
+    block_bytes = min(block_bytes, working_set_bytes)
+    n_blocks = max(1, working_set_bytes // block_bytes)
+    per_block = max(8, max_len // (n_blocks * max(reuse, 1)))
+    step = max(4, block_bytes // per_block)
+    parts = []
+    for b in range(n_blocks):
+        base = b * block_bytes
+        once = np.arange(base, base + block_bytes, step, dtype=np.int64)
+        parts.append(np.tile(once, reuse))
+    return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+
+def interleaved(traces: list[np.ndarray]) -> np.ndarray:
+    """Round-robin interleave several traces (multi-array kernels).
+
+    Shorter traces are exhausted first; remaining entries of longer
+    traces follow in order.
+    """
+    traces = [t for t in traces if len(t)]
+    if not traces:
+        return np.empty(0, dtype=np.int64)
+    longest = max(len(t) for t in traces)
+    out = []
+    for i in range(longest):
+        for t in traces:
+            if i < len(t):
+                out.append(t[i])
+    return np.asarray(out, dtype=np.int64)
+
+
+def offset_trace(trace: np.ndarray, base_address: int) -> np.ndarray:
+    """Rebase a trace at ``base_address`` (distinct arrays in memory)."""
+    if len(trace) == 0:
+        return trace
+    return trace + np.int64(base_address)

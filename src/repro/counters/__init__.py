@@ -1,0 +1,14 @@
+"""Hardware-counter facades: PAPI events, RAPL and NVML energy."""
+
+from .nvml import NvmlSensor, POWER_ACCURACY_W
+from .papi import COUNTER_NAMES, CounterReport, PapiEventSet
+from .rapl import RaplSensor
+
+__all__ = [
+    "COUNTER_NAMES",
+    "CounterReport",
+    "NvmlSensor",
+    "POWER_ACCURACY_W",
+    "PapiEventSet",
+    "RaplSensor",
+]

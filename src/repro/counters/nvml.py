@@ -1,0 +1,53 @@
+"""NVML power sensor facade.
+
+Models the PAPI NVML module used on the GTX 1080: instantaneous board
+power readings (``nvml:::<device>:power``) in milliwatts with a ±5 W
+accuracy band, integrated over the measured region to joules — total
+draw for the entire card, memory and chip (paper §5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..devices.specs import DeviceSpec, Vendor
+from ..perfmodel.energy import mean_power_w
+
+#: NVML documents ±5 W accuracy on these boards.
+POWER_ACCURACY_W = 5.0
+
+#: NVML reports milliwatts.
+RESOLUTION_W = 1e-3
+
+
+class NvmlSensor:
+    """Board power sampler for NVIDIA devices."""
+
+    def __init__(self, spec: DeviceSpec, rng: np.random.Generator | None = None):
+        if spec.vendor != Vendor.NVIDIA:
+            raise ValueError(
+                f"NVML is only available on NVIDIA devices, not {spec.vendor.value}"
+            )
+        self.spec = spec
+        self.rng = rng
+
+    def power_w(self, utilization: float) -> float:
+        """One instantaneous power reading at the given utilisation."""
+        p = mean_power_w(self.spec, utilization)
+        if self.rng is not None:
+            p += float(self.rng.uniform(-POWER_ACCURACY_W, POWER_ACCURACY_W))
+        p = max(p, 0.0)
+        return round(p / RESOLUTION_W) * RESOLUTION_W
+
+    def measure(self, duration_s: float, utilization: float, samples: int = 10) -> float:
+        """Integrate sampled power over a region; returns joules.
+
+        NVML is polled; we take ``samples`` readings across the region
+        and integrate with the trapezoid rule, as LibSciBench does.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        if samples < 2:
+            return self.power_w(utilization) * duration_s
+        readings = np.array([self.power_w(utilization) for _ in range(samples)])
+        return float(np.trapezoid(readings, dx=duration_s / (samples - 1)))

@@ -1,0 +1,37 @@
+"""Device catalog: the fifteen platforms of the paper's Table 1.
+
+Public API::
+
+    from repro.devices import CATALOG, get_device, DeviceClass
+
+    skylake = get_device("i7-6700K")
+    gpus = devices_by_class(DeviceClass.CONSUMER_GPU)
+"""
+
+from .catalog import CATALOG, build_catalog, device_names, devices_by_class, get_device
+from .specs import (
+    CacheLevel,
+    ComputeEngine,
+    DeviceClass,
+    DeviceSpec,
+    MemorySystem,
+    PowerModel,
+    RuntimeModel,
+    Vendor,
+)
+
+__all__ = [
+    "CATALOG",
+    "CacheLevel",
+    "ComputeEngine",
+    "DeviceClass",
+    "DeviceSpec",
+    "MemorySystem",
+    "PowerModel",
+    "RuntimeModel",
+    "Vendor",
+    "build_catalog",
+    "device_names",
+    "devices_by_class",
+    "get_device",
+]

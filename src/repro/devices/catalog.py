@@ -1,0 +1,367 @@
+"""The fifteen benchmark platforms of the paper's Table 1.
+
+Each entry reproduces the published Table 1 columns exactly, and adds
+the microarchitectural parameters (public spec-sheet values) that drive
+the analytic performance model: peak FLOP rate, memory bandwidth, cache
+latencies/bandwidths, kernel-launch overhead and the power envelope.
+
+Calibration notes
+-----------------
+* CPU fp32 peak = physical cores x clock x SIMD lanes x FMA factor.
+* GPU fp32 peak = 2 x shader cores x clock (the usual 2-op FMA count).
+* The Xeon Phi 7210 peak is *halved* relative to AVX-512 because the
+  Intel OpenCL SDK only emits 256-bit vectors on KNL (paper §4.2); its
+  runtime efficiency is further derated, matching the paper's
+  observation that KNL OpenCL performance is poor.
+* AMD's OpenCL runtime carries a noticeably higher per-kernel launch
+  cost than NVIDIA's; this is what makes AMD devices fall behind on the
+  launch-dominated ``nw`` wavefront benchmark as problem size (and thus
+  launch count) grows (paper Fig. 3b).
+* The R9 295x2 is a dual-Hawaii board; OpenCL enqueues to one of the
+  two GPUs, so its model parameters match a single R9 290X at a
+  slightly higher clock, although Table 1 lists the combined shader
+  count.  (The paper's results for the 295x2 track the 290X closely.)
+"""
+
+from __future__ import annotations
+
+from ..ocl.types import DeviceType
+from .specs import (
+    CacheLevel,
+    ComputeEngine,
+    DeviceClass,
+    DeviceSpec,
+    MemorySystem,
+    PowerModel,
+    RuntimeModel,
+    Vendor,
+)
+
+# Reference clock for the timing-noise model: the paper observes that the
+# coefficient of variation is larger on lower-clocked devices regardless
+# of accelerator type; we scale a common baseline CoV inversely with clock.
+_COV_AT_1GHZ = 0.055
+
+
+def _cov(clock_mhz: int) -> float:
+    return _COV_AT_1GHZ / (clock_mhz / 1000.0)
+
+
+def _cpu(
+    *,
+    name: str,
+    series: str,
+    hyperthreads: int,
+    physical_cores: int,
+    clock: tuple[int, int, int | None],
+    l1_kib: int,
+    l2_kib: int,
+    l3_kib: int,
+    tdp_w: int,
+    launch: str,
+    mem_bw_gbs: float,
+    simd_lanes_fp32: int,
+    fma: bool,
+    driver: str = "Intel OpenCL 6.3 (16.1.1, 2016-R3 SDK)",
+) -> DeviceSpec:
+    clock_ghz = clock[1] / 1000.0
+    # FMA cores (Haswell+) retire 2 FMAs x 8 lanes x 2 flops = 32
+    # flops/cycle; pre-FMA AVX cores dual-issue mul+add for 16.
+    fma_factor = 4.0 if fma else 2.0
+    fp32 = physical_cores * clock_ghz * simd_lanes_fp32 * fma_factor
+    # Aggregate cache bandwidths: L1 streams a cache line per core per
+    # cycle; outer levels fall off roughly 2x per level.
+    l1_bw = physical_cores * clock_ghz * 64.0
+    l2_bw = l1_bw / 2.0
+    l3_bw = max(l1_bw / 4.0, mem_bw_gbs * 2.5)
+    return DeviceSpec(
+        name=name,
+        vendor=Vendor.INTEL,
+        device_type=DeviceType.CPU,
+        series=series,
+        core_count=hyperthreads,
+        core_count_note="*",
+        clock_min_mhz=clock[0],
+        clock_max_mhz=clock[1],
+        clock_turbo_mhz=clock[2],
+        tdp_w=tdp_w,
+        launch_date=launch,
+        device_class=DeviceClass.CPU,
+        caches=(
+            CacheLevel(l1_kib, latency_ns=4 / clock_ghz, bandwidth_gbs=l1_bw, associativity=8),
+            CacheLevel(l2_kib, latency_ns=12 / clock_ghz, bandwidth_gbs=l2_bw, associativity=8),
+            CacheLevel(l3_kib, latency_ns=40 / clock_ghz, bandwidth_gbs=l3_bw, associativity=16),
+        ),
+        memory=MemorySystem(
+            bandwidth_gbs=mem_bw_gbs,
+            latency_ns=85.0,
+            size_mib=32768,
+            link_bandwidth_gbs=mem_bw_gbs,  # no PCIe hop for CPU "transfers"
+            link_latency_us=0.5,
+        ),
+        compute=ComputeEngine(
+            parallel_lanes=hyperthreads * simd_lanes_fp32,
+            fp32_gflops=fp32,
+            int_ratio=2.0,
+            simd_width_bits=simd_lanes_fp32 * 32,
+            efficiency=0.55,
+            saturation_items=hyperthreads * simd_lanes_fp32,
+            divergence_penalty=1.15,
+            chain_latency_cycles=4.0,
+        ),
+        runtime=RuntimeModel(
+            # launching a "kernel" on the host device is a thread-pool
+            # dispatch, far cheaper than a PCIe doorbell
+            kernel_launch_us=6.0,
+            # the thread pool dispatches work-groups in per-core chunks
+            dispatch_ns_per_group=2.0,
+            base_cov=_cov(clock[1]),
+        ),
+        power=PowerModel(tdp_w=tdp_w, idle_fraction=0.35, max_fraction=0.92),
+        opencl_driver=driver,
+    )
+
+
+def _gpu(
+    *,
+    name: str,
+    vendor: Vendor,
+    series: str,
+    cores: int,
+    model_lanes: int | None = None,
+    clock: tuple[int, int | None],
+    l1_kib: int,
+    l2_kib: int,
+    tdp_w: int,
+    launch: str,
+    mem_bw_gbs: float,
+    mem_mib: int,
+    device_class: DeviceClass,
+    pcie_gbs: float = 12.0,
+    note: str = "",
+) -> DeviceSpec:
+    lanes = model_lanes if model_lanes is not None else cores
+    clock_ghz = (clock[1] or clock[0]) / 1000.0
+    fp32 = 2.0 * lanes * clock_ghz
+    if vendor == Vendor.NVIDIA:
+        launch_us, launch_ns_mib, int_ratio, eff = 10.0, 0.0, 0.35, 0.60
+        note_mark = "†"  # dagger: CUDA cores
+    else:
+        launch_us, launch_ns_mib, int_ratio, eff = 20.0, 100.0, 0.30, 0.50
+        note_mark = "∥"  # parallel bars: stream processors
+    return DeviceSpec(
+        name=name,
+        vendor=vendor,
+        device_type=DeviceType.GPU,
+        series=series,
+        core_count=cores,
+        core_count_note=note_mark,
+        clock_min_mhz=clock[0],
+        clock_max_mhz=clock[1] or clock[0],
+        clock_turbo_mhz=None,
+        tdp_w=tdp_w,
+        launch_date=launch,
+        device_class=device_class,
+        caches=(
+            CacheLevel(l1_kib, latency_ns=28.0, bandwidth_gbs=mem_bw_gbs * 8.0, associativity=4),
+            CacheLevel(l2_kib, latency_ns=150.0, bandwidth_gbs=mem_bw_gbs * 3.0, associativity=16),
+        ),
+        memory=MemorySystem(
+            bandwidth_gbs=mem_bw_gbs,
+            latency_ns=350.0,
+            size_mib=mem_mib,
+            link_bandwidth_gbs=pcie_gbs,
+            link_latency_us=10.0,
+        ),
+        compute=ComputeEngine(
+            parallel_lanes=lanes,
+            fp32_gflops=fp32,
+            int_ratio=int_ratio,
+            simd_width_bits=32 * 32,  # one warp/wavefront-ish
+            efficiency=eff,
+            saturation_items=lanes * 4,
+            divergence_penalty=1.6,
+            chain_latency_cycles=28.0,
+        ),
+        runtime=RuntimeModel(
+            kernel_launch_us=launch_us,
+            # hardware work distributors retire group launches ~per cycle
+            dispatch_ns_per_group=0.5,
+            launch_ns_per_mib=launch_ns_mib,
+            base_cov=_cov(clock[1] or clock[0]),
+        ),
+        power=PowerModel(tdp_w=tdp_w, idle_fraction=0.22, max_fraction=0.85),
+        opencl_driver=(
+            "Nvidia OpenCL 375.66 (CUDA 8.0.61)"
+            if vendor == Vendor.NVIDIA
+            else "AMD APP SDK v3.0"
+        ),
+        extra={"note": note} if note else {},
+    )
+
+
+def _knl() -> DeviceSpec:
+    # Xeon Phi 7210: 64 physical cores x 4 threads = 256 logical.
+    # AVX-512 would give 32 fp32 lanes/core, but the Intel OpenCL SDK is
+    # limited to 256-bit vectors (8 lanes): half the theoretical peak.
+    physical, clock_ghz = 64, 1.3
+    lanes = 8
+    fp32 = physical * clock_ghz * lanes * 2  # FMA
+    mem_bw = 102.0  # DDR4 path; OpenCL allocations do not target MCDRAM
+    return DeviceSpec(
+        name="Xeon Phi 7210",
+        vendor=Vendor.INTEL,
+        device_type=DeviceType.ACCELERATOR,
+        series="KNL",
+        core_count=256,
+        core_count_note="‡",
+        clock_min_mhz=1300,
+        clock_max_mhz=1500,
+        clock_turbo_mhz=None,
+        tdp_w=215,
+        launch_date="Q2 2016",
+        device_class=DeviceClass.MIC,
+        caches=(
+            CacheLevel(32, latency_ns=4 / clock_ghz, bandwidth_gbs=physical * clock_ghz * 64.0),
+            CacheLevel(1024, latency_ns=20 / clock_ghz, bandwidth_gbs=physical * clock_ghz * 32.0),
+        ),
+        memory=MemorySystem(
+            bandwidth_gbs=mem_bw,
+            latency_ns=150.0,
+            size_mib=196608,
+            link_bandwidth_gbs=mem_bw,
+            link_latency_us=1.0,
+        ),
+        compute=ComputeEngine(
+            parallel_lanes=256 * lanes,
+            fp32_gflops=fp32,
+            int_ratio=0.8,
+            simd_width_bits=256,
+            efficiency=0.18,  # poor Intel OpenCL code generation on KNL
+            saturation_items=256 * lanes,
+            divergence_penalty=1.4,
+            # in-order cores + poor OpenCL codegen: dependent chains stall badly
+            chain_latency_cycles=56.0,
+        ),
+        runtime=RuntimeModel(
+            kernel_launch_us=80.0,
+            dispatch_ns_per_group=10.0,
+            base_cov=_cov(1500),
+        ),
+        power=PowerModel(tdp_w=215, idle_fraction=0.45, max_fraction=0.9),
+        opencl_driver="Intel OpenCL 6.3 (2018-R1 compiler)",
+    )
+
+
+def build_catalog() -> tuple[DeviceSpec, ...]:
+    """Construct all 15 devices in the paper's Table 1 row order."""
+    return (
+        _cpu(
+            name="Xeon E5-2697 v2", series="Ivy Bridge", hyperthreads=24, physical_cores=12,
+            clock=(1200, 2700, 3500), l1_kib=32, l2_kib=256, l3_kib=30720, tdp_w=130,
+            launch="Q3 2013", mem_bw_gbs=59.7, simd_lanes_fp32=8, fma=False,
+        ),
+        _cpu(
+            name="i7-6700K", series="Skylake", hyperthreads=8, physical_cores=4,
+            clock=(800, 4000, 4300), l1_kib=32, l2_kib=256, l3_kib=8192, tdp_w=91,
+            launch="Q3 2015", mem_bw_gbs=34.1, simd_lanes_fp32=8, fma=True,
+        ),
+        _cpu(
+            name="i5-3550", series="Ivy Bridge", hyperthreads=4, physical_cores=4,
+            clock=(1600, 3380, 3700), l1_kib=32, l2_kib=256, l3_kib=6144, tdp_w=77,
+            launch="Q2 2012", mem_bw_gbs=25.6, simd_lanes_fp32=8, fma=False,
+        ),
+        _gpu(
+            name="Titan X", vendor=Vendor.NVIDIA, series="Pascal", cores=3584,
+            clock=(1417, 1531), l1_kib=48, l2_kib=2048, tdp_w=250, launch="Q3 2016",
+            mem_bw_gbs=480.0, mem_mib=12288, device_class=DeviceClass.CONSUMER_GPU,
+        ),
+        _gpu(
+            name="GTX 1080", vendor=Vendor.NVIDIA, series="Pascal", cores=2560,
+            clock=(1607, 1733), l1_kib=48, l2_kib=2048, tdp_w=180, launch="Q2 2016",
+            mem_bw_gbs=320.0, mem_mib=8192, device_class=DeviceClass.CONSUMER_GPU,
+        ),
+        _gpu(
+            name="GTX 1080 Ti", vendor=Vendor.NVIDIA, series="Pascal", cores=3584,
+            clock=(1480, 1582), l1_kib=48, l2_kib=2048, tdp_w=250, launch="Q1 2017",
+            mem_bw_gbs=484.0, mem_mib=11264, device_class=DeviceClass.CONSUMER_GPU,
+        ),
+        _gpu(
+            name="K20m", vendor=Vendor.NVIDIA, series="Kepler", cores=2496,
+            clock=(706, None), l1_kib=64, l2_kib=1536, tdp_w=225, launch="Q4 2012",
+            mem_bw_gbs=208.0, mem_mib=5120, device_class=DeviceClass.HPC_GPU,
+            pcie_gbs=6.0,
+        ),
+        _gpu(
+            name="K40m", vendor=Vendor.NVIDIA, series="Kepler", cores=2880,
+            clock=(745, 875), l1_kib=64, l2_kib=1536, tdp_w=235, launch="Q4 2013",
+            mem_bw_gbs=288.0, mem_mib=12288, device_class=DeviceClass.HPC_GPU,
+        ),
+        _gpu(
+            name="FirePro S9150", vendor=Vendor.AMD, series="Hawaii", cores=2816,
+            clock=(900, None), l1_kib=16, l2_kib=1024, tdp_w=235, launch="Q3 2014",
+            mem_bw_gbs=320.0, mem_mib=16384, device_class=DeviceClass.HPC_GPU,
+        ),
+        _gpu(
+            name="HD 7970", vendor=Vendor.AMD, series="Tahiti", cores=2048,
+            clock=(925, 1010), l1_kib=16, l2_kib=768, tdp_w=250, launch="Q4 2011",
+            mem_bw_gbs=264.0, mem_mib=3072, device_class=DeviceClass.CONSUMER_GPU,
+        ),
+        _gpu(
+            name="R9 290X", vendor=Vendor.AMD, series="Hawaii", cores=2816,
+            clock=(1000, None), l1_kib=16, l2_kib=1024, tdp_w=250, launch="Q3 2014",
+            mem_bw_gbs=320.0, mem_mib=4096, device_class=DeviceClass.CONSUMER_GPU,
+        ),
+        _gpu(
+            name="R9 295x2", vendor=Vendor.AMD, series="Hawaii", cores=5632,
+            model_lanes=2816, clock=(1018, None), l1_kib=16, l2_kib=1024, tdp_w=500,
+            launch="Q2 2014", mem_bw_gbs=320.0, mem_mib=4096,
+            device_class=DeviceClass.CONSUMER_GPU,
+            note="dual-GPU board; OpenCL kernels execute on one Hawaii die",
+        ),
+        _gpu(
+            name="R9 Fury X", vendor=Vendor.AMD, series="Fuji", cores=4096,
+            clock=(1050, None), l1_kib=16, l2_kib=2048, tdp_w=273, launch="Q2 2015",
+            mem_bw_gbs=512.0, mem_mib=4096, device_class=DeviceClass.CONSUMER_GPU,
+        ),
+        _gpu(
+            name="RX 480", vendor=Vendor.AMD, series="Polaris", cores=4096,
+            model_lanes=2304, clock=(1120, 1266), l1_kib=16, l2_kib=2048, tdp_w=150,
+            launch="Q2 2016", mem_bw_gbs=256.0, mem_mib=8192,
+            device_class=DeviceClass.CONSUMER_GPU,
+            note="Table 1 lists 4096 SPs; the Polaris 10 die has 2304",
+        ),
+        _knl(),
+    )
+
+
+#: The catalog in Table 1 row order.
+CATALOG: tuple[DeviceSpec, ...] = build_catalog()
+
+#: Device lookup by (case-insensitive) name.
+_BY_NAME = {spec.name.lower(): spec for spec in CATALOG}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by its Table 1 name (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        If no device of that name exists in the catalog.
+    """
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(s.name for s in CATALOG)
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None
+
+
+def devices_by_class(device_class: DeviceClass) -> tuple[DeviceSpec, ...]:
+    """All catalog devices in the given accelerator class."""
+    return tuple(s for s in CATALOG if s.device_class == device_class)
+
+
+def device_names() -> tuple[str, ...]:
+    """Catalog device names in Table 1 order."""
+    return tuple(s.name for s in CATALOG)

@@ -1,0 +1,286 @@
+"""Device specification records.
+
+:class:`DeviceSpec` captures everything the harness and performance
+model need to know about a compute device:
+
+* the columns of Table 1 of the paper (vendor, type, series, core count,
+  clock range, cache sizes, TDP, launch date); and
+* microarchitectural parameters (SIMD width, memory bandwidth, cache
+  latencies, kernel launch overhead, PCIe link characteristics) taken
+  from public specification sheets, which drive the analytic
+  performance model.
+
+These records are plain frozen dataclasses so the catalog is hashable,
+comparable and safe to share between threads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..ocl.types import DeviceType
+
+
+class DeviceClass(enum.Enum):
+    """Accelerator class used to colour the paper's figures."""
+
+    CPU = "CPU"
+    CONSUMER_GPU = "Consumer GPU"
+    HPC_GPU = "HPC GPU"
+    MIC = "MIC"
+
+
+class Vendor(enum.Enum):
+    """Hardware vendor; determines the OpenCL driver model used."""
+
+    INTEL = "Intel"
+    NVIDIA = "Nvidia"
+    AMD = "AMD"
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the on-chip cache hierarchy.
+
+    Parameters
+    ----------
+    size_kib:
+        Capacity in KiB.  For CPUs the L1 figure is the *data* cache
+        (the instruction cache is the same size, as in Table 1).
+    latency_ns:
+        Load-to-use latency for a hit in this level.
+    bandwidth_gbs:
+        Sustained bandwidth when the working set resides in this level.
+    line_bytes:
+        Cache line size.
+    associativity:
+        Way count used by the cache simulator.
+    """
+
+    size_kib: int
+    latency_ns: float
+    bandwidth_gbs: float
+    line_bytes: int = 64
+    associativity: int = 8
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size_kib * 1024
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Off-chip memory and host-link characteristics."""
+
+    #: Sustained main (global) memory bandwidth, GB/s.
+    bandwidth_gbs: float
+    #: Main memory access latency, ns.
+    latency_ns: float
+    #: Global memory capacity, MiB.  All paper problem sizes fit in
+    #: every device's global memory (paper §5.1).
+    size_mib: int
+    #: Host<->device link bandwidth, GB/s (PCIe for discrete devices;
+    #: effectively memory bandwidth for CPUs, where no copy crosses a bus).
+    link_bandwidth_gbs: float
+    #: Host<->device link latency, us.
+    link_latency_us: float
+
+
+@dataclass(frozen=True)
+class ComputeEngine:
+    """Raw execution-resource description used by the roofline model."""
+
+    #: Hardware parallel lanes: CUDA cores / stream processors for GPUs,
+    #: hardware threads x SIMD lanes for CPUs.
+    parallel_lanes: int
+    #: Single-precision peak, GFLOP/s (2 ops/FMA already folded in).
+    fp32_gflops: float
+    #: Integer/bitwise op throughput relative to fp32 throughput.
+    #: CPUs execute scalar integer code well (>1 per lane per cycle);
+    #: GPUs dispatch 32-bit integer ops at a fraction of FP rate.
+    int_ratio: float
+    #: SIMD width in bits actually usable from the OpenCL driver.  The
+    #: paper notes Intel's SDK is limited to 256-bit vectors on KNL,
+    #: halving its theoretical peak.
+    simd_width_bits: int
+    #: Fraction of peak typically sustained by portable OpenCL kernels.
+    efficiency: float
+    #: Minimum work items needed to saturate the device (occupancy knee).
+    saturation_items: int
+    #: Branch-divergence penalty factor for data-dependent branching
+    #: (1.0 = none; SIMT GPUs pay more than CPUs).
+    divergence_penalty: float
+    #: Latency in cycles of one step of a dependent operation chain
+    #: (e.g. the load->xor->index chain of table-driven CRC).  Out-of-
+    #: order CPUs sustain ~1 L1-load chain step per few cycles; GPUs
+    #: pay tens of cycles per dependent step and cannot hide them
+    #: within a single work item.
+    chain_latency_cycles: float = 4.0
+
+
+@dataclass(frozen=True)
+class RuntimeModel:
+    """Driver/runtime behaviour that is visible in kernel timings."""
+
+    #: Fixed cost to launch one kernel, us.  Dominates wavefront-style
+    #: codes (nw) that launch thousands of tiny kernels.
+    kernel_launch_us: float
+    #: Additional per-launch cost that scales with the number of
+    #: work-groups, ns per group (driver dispatch bookkeeping).
+    dispatch_ns_per_group: float
+    #: Baseline coefficient of variation of repeated kernel timings on
+    #: this device at its maximum clock (OS noise, DVFS, scheduling).
+    base_cov: float
+    #: Per-launch cost proportional to the bound-buffer footprint,
+    #: ns per MiB.  The AMD APP runtime revalidates memory objects on
+    #: every enqueue, so its launch cost grows with problem size —
+    #: the mechanism behind the widening AMD gap on ``nw`` (Fig. 3b).
+    launch_ns_per_mib: float = 0.0
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Parameters of the RAPL/NVML-style energy model."""
+
+    #: Thermal design power, W (Table 1).
+    tdp_w: float
+    #: Fraction of TDP drawn when idle but active-clocked.
+    idle_fraction: float
+    #: Fraction of TDP reached at full utilisation (boards rarely
+    #: sustain exactly TDP in compute kernels).
+    max_fraction: float
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Complete description of one benchmarkable device.
+
+    The first block of fields reproduces Table 1 of the paper; the rest
+    parameterise the performance, cache and power models.
+    """
+
+    # --- Table 1 columns -------------------------------------------------
+    name: str
+    vendor: Vendor
+    device_type: DeviceType
+    series: str
+    core_count: int
+    core_count_note: str  # footnote marker text from Table 1
+    clock_min_mhz: int
+    clock_max_mhz: int
+    clock_turbo_mhz: int | None
+    tdp_w: int
+    launch_date: str
+
+    # --- model parameters -------------------------------------------------
+    device_class: DeviceClass
+    caches: tuple[CacheLevel, ...]
+    memory: MemorySystem
+    compute: ComputeEngine
+    runtime: RuntimeModel
+    power: PowerModel
+    opencl_driver: str = "OpenCL 1.2"
+    extra: dict = field(default_factory=dict, compare=False, hash=False)
+
+    # ----------------------------------------------------------------------
+    @property
+    def clock_ghz(self) -> float:
+        """Sustained clock in GHz (max non-turbo, as kernels run long)."""
+        return self.clock_max_mhz / 1000.0
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.device_type == DeviceType.CPU
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.device_type == DeviceType.GPU
+
+    @property
+    def last_level_cache(self) -> CacheLevel:
+        """The largest/outermost cache level."""
+        return self.caches[-1]
+
+    @property
+    def cache_sizes_kib(self) -> tuple[int, ...]:
+        """Cache sizes as displayed in Table 1 (L1/L2/L3; GPU has no L3)."""
+        return tuple(c.size_kib for c in self.caches)
+
+    def cache_level_for(self, working_set_bytes: int) -> int:
+        """Index of the innermost cache level that holds ``working_set_bytes``.
+
+        Returns ``len(self.caches)`` when the working set spills to main
+        memory.  Level indices are 0-based (0 == L1).
+        """
+        for i, level in enumerate(self.caches):
+            if working_set_bytes <= level.size_bytes:
+                return i
+        return len(self.caches)
+
+    #: Fraction of last-level-cache capacity at which the soft knee
+    #: begins: beyond it a growing share of accesses spill to memory
+    #: (conflict misses, shared-cache pollution).  Inner levels keep
+    #: sharp knees — they are private and the problem sizes are chosen
+    #: to sit clearly inside or outside them.
+    LLC_SOFT_KNEE_START = 0.75
+    LLC_SOFT_KNEE_END = 1.10
+
+    def effective_bandwidth_gbs(self, working_set_bytes: int) -> float:
+        """Sustained bandwidth for a streaming access pattern whose
+        working set is ``working_set_bytes``.
+
+        The heart of the cache-aware roofline: a working set resident
+        in L1 streams at L1 bandwidth, one spilling to memory at
+        main-memory bandwidth.  Inner-level transitions are sharp; the
+        *last* level has a soft knee from ~75% of capacity — this is
+        what makes the 6 MiB-L3 i5-3550 suffer on *medium* problems
+        sized for an 8 MiB L3 even when they nominally fit (paper
+        Figures 2b/2d/2e).
+        """
+        level = self.cache_level_for(working_set_bytes)
+        if level >= len(self.caches):
+            return self.memory.bandwidth_gbs
+        bandwidth = self.caches[level].bandwidth_gbs
+        if level == len(self.caches) - 1:
+            capacity = self.caches[level].size_bytes
+            start = self.LLC_SOFT_KNEE_START * capacity
+            end = self.LLC_SOFT_KNEE_END * capacity
+            if working_set_bytes > start:
+                miss_fraction = min((working_set_bytes - start) / (end - start),
+                                    1.0)
+                # time per byte blends harmonically with memory bandwidth
+                per_byte = ((1.0 - miss_fraction) / bandwidth
+                            + miss_fraction / self.memory.bandwidth_gbs)
+                return 1.0 / per_byte
+        return bandwidth
+
+    def effective_latency_ns(self, working_set_bytes: int) -> float:
+        """Access latency for a working set of the given size."""
+        level = self.cache_level_for(working_set_bytes)
+        if level >= len(self.caches):
+            return self.memory.latency_ns
+        return self.caches[level].latency_ns
+
+    def table1_row(self) -> dict:
+        """The device rendered as a row of the paper's Table 1."""
+        turbo = str(self.clock_turbo_mhz) if self.clock_turbo_mhz else "–"
+        sizes = "/".join(str(k) for k in self.cache_sizes_kib)
+        if len(self.caches) == 2:
+            sizes += "/–"
+        kind = {
+            DeviceType.CPU: "CPU",
+            DeviceType.GPU: "GPU",
+            DeviceType.ACCELERATOR: "MIC",
+        }[self.device_type]
+        return {
+            "Name": self.name,
+            "Vendor": self.vendor.value,
+            "Type": kind,
+            "Series": self.series,
+            "CoreCount": f"{self.core_count}{self.core_count_note}",
+            "Clock Frequency (MHz)": f"{self.clock_min_mhz}/{self.clock_max_mhz}/{turbo}",
+            "Cache (KiB)": sizes,
+            "TDP (W)": self.tdp_w,
+            "Launch Date": self.launch_date,
+        }

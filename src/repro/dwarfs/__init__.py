@@ -1,0 +1,61 @@
+"""The Extended OpenDwarfs benchmarks, one per Berkeley dwarf.
+
+=========  ==============================  ==========================
+name       dwarf                           figure
+=========  ==============================  ==========================
+kmeans     MapReduce                       Fig. 2a
+lud        Dense Linear Algebra            Fig. 2b
+csr        Sparse Linear Algebra           Fig. 2c
+dwt        Spectral Methods                Fig. 2d
+fft        Spectral Methods                Fig. 2e
+srad       Structured Grid                 Fig. 3a
+nw         Dynamic Programming             Fig. 3b
+crc        Combinational Logic             Fig. 1
+gem        N-Body Methods                  Fig. 4a
+nqueens    Backtrack & Branch and Bound    Fig. 4b
+hmm        Graphical Models                Fig. 4c
+=========  ==============================  ==========================
+"""
+
+from .base import Benchmark, SIZES, ValidationError, assert_close
+from .crc import CRC
+from .csr import CSR
+from .dwt import DWT
+from .fft import FFT
+from .gem import GEM
+from .hmm import HMM
+from .kmeans import KMeans
+from .lud import LUD
+from .nqueens import NQueens
+from .nw import NW
+from .registry import (
+    BENCHMARKS,
+    create,
+    get_benchmark,
+    program_arguments_table,
+    scale_parameters_table,
+)
+from .srad import SRAD
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "CRC",
+    "CSR",
+    "DWT",
+    "FFT",
+    "GEM",
+    "HMM",
+    "KMeans",
+    "LUD",
+    "NQueens",
+    "NW",
+    "SIZES",
+    "SRAD",
+    "ValidationError",
+    "assert_close",
+    "create",
+    "get_benchmark",
+    "program_arguments_table",
+    "scale_parameters_table",
+]

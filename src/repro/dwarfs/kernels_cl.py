@@ -1,0 +1,486 @@
+"""OpenCL C sources for the dwarf kernels.
+
+The Extended OpenDwarfs suite is, at bottom, a set of ``.cl`` files;
+these are their equivalents for this reproduction.  They are not
+compiled here (the simulator executes the vectorised Python bodies),
+but they are **parsed**: `Program.build` extracts each ``__kernel``
+signature and the queue verifies at enqueue that the bound argument
+count matches — turning host/kernel mismatches into build-time errors
+instead of the silent wrong answers the paper's curation fought.
+
+The sources double as the precise statement of what each Python body
+implements, one work item at a time.
+"""
+
+KMEANS_CL = r"""
+// MapReduce dwarf: nearest-centroid assignment (one work item = one point)
+__kernel void kmeans_assign(__global const float *features,
+                            __global const float *clusters,
+                            __global int *membership)
+{
+    const int point = get_global_id(0);
+    const int n_features = N_FEATURES;   // -D at build time
+    const int n_clusters = N_CLUSTERS;
+    float best = FLT_MAX;
+    int best_cluster = 0;
+    for (int c = 0; c < n_clusters; ++c) {
+        float dist = 0.0f;
+        for (int f = 0; f < n_features; ++f) {
+            const float d = features[point * n_features + f]
+                          - clusters[c * n_features + f];
+            dist += d * d;
+        }
+        if (dist < best) { best = dist; best_cluster = c; }
+    }
+    membership[point] = best_cluster;
+}
+"""
+
+LUD_CL = r"""
+// Dense Linear Algebra dwarf: blocked LU, three kernels per block step
+__kernel void lud_diagonal(__global float *a, int n, int k, int b)
+{
+    // factorise the BxB diagonal block in place (one work group)
+    const int tid = get_local_id(0);
+    for (int j = 0; j < b - 1; ++j) {
+        barrier(CLK_GLOBAL_MEM_FENCE);
+        for (int i = j + 1 + tid; i < b; i += get_local_size(0)) {
+            a[(k + i) * n + (k + j)] /= a[(k + j) * n + (k + j)];
+            for (int col = j + 1; col < b; ++col)
+                a[(k + i) * n + (k + col)] -=
+                    a[(k + i) * n + (k + j)] * a[(k + j) * n + (k + col)];
+        }
+    }
+}
+
+__kernel void lud_perimeter(__global float *a, int n, int k, int b)
+{
+    // triangular-solve the row panel (L^-1 A12) and column panel (A21 U^-1)
+    const int gid = get_global_id(0);
+    const int remaining = n - k - b;
+    if (gid < remaining) {            // one work item = one panel column
+        const int col = k + b + gid;
+        for (int j = 1; j < b; ++j)
+            for (int p = 0; p < j; ++p)
+                a[(k + j) * n + col] -= a[(k + j) * n + (k + p)]
+                                      * a[(k + p) * n + col];
+    } else {                           // one work item = one panel row
+        const int row = k + b + (gid - remaining);
+        for (int j = 0; j < b; ++j) {
+            for (int p = 0; p < j; ++p)
+                a[row * n + (k + j)] -= a[row * n + (k + p)]
+                                      * a[(k + p) * n + (k + j)];
+            a[row * n + (k + j)] /= a[(k + j) * n + (k + j)];
+        }
+    }
+}
+
+__kernel void lud_internal(__global float *a, int n, int k, int b)
+{
+    // rank-B update of the trailing submatrix (one work item = one cell)
+    const int remaining = n - k - b;
+    const int i = k + b + get_global_id(0) / remaining;
+    const int j = k + b + get_global_id(0) % remaining;
+    float acc = 0.0f;
+    for (int p = 0; p < b; ++p)
+        acc += a[i * n + (k + p)] * a[(k + p) * n + j];
+    a[i * n + j] -= acc;
+}
+"""
+
+CSR_CL = r"""
+// Sparse Linear Algebra dwarf: CSR SpMV (one work item = one row)
+__kernel void csr_spmv(__global const int *row_ptr,
+                       __global const int *col_idx,
+                       __global const float *values,
+                       __global const float *x,
+                       __global float *y)
+{
+    const int row = get_global_id(0);
+    float acc = 0.0f;
+    for (int i = row_ptr[row]; i < row_ptr[row + 1]; ++i)
+        acc += values[i] * x[col_idx[i]];   // the gather
+    y[row] = acc;
+}
+"""
+
+FFT_CL = r"""
+// Spectral Methods dwarf: one radix-2 Stockham DIF stage
+// (one work item = one butterfly; ping-pong buffers, no bit reversal)
+__kernel void fft_radix2(__global const float2 *src,
+                         __global float2 *dst,
+                         int n_total, int stage)
+{
+    const int gid = get_global_id(0);           // 0 .. n/2-1
+    const int n = n_total >> stage;
+    const int s = 1 << stage;
+    const int m = n >> 1;
+    const int p = gid / s, q = gid % s;
+    const float2 a = src[q + s * p];
+    const float2 b = src[q + s * (p + m)];
+    const float angle = -2.0f * M_PI_F * (float)p / (float)n;
+    const float2 w = (float2)(cos(angle), sin(angle));
+    dst[q + s * (2 * p)]     = a + b;
+    const float2 d = a - b;
+    dst[q + s * (2 * p + 1)] = (float2)(d.x * w.x - d.y * w.y,
+                                        d.x * w.y + d.y * w.x);
+}
+"""
+
+DWT_CL = r"""
+// Spectral Methods dwarf: CDF 5/3 lifting, row and column passes
+__kernel void dwt_rows(__global float *image, int h, int w)
+{
+    const int row = get_global_id(0) / w;       // pixel-parallel NDRange
+    if (get_global_id(0) % w) return;           // one lane leads each row
+    // predict then update along the row (symmetric extension at edges)
+    for (int i = 0; i < w / 2; ++i) {
+        const int rgt = (2*i + 2 < w) ? 2*i + 2 : w - 2;
+        image[row * w + 2*i + 1] -=
+            0.5f * (image[row * w + 2*i] + image[row * w + rgt]);
+    }
+    for (int i = 0; i < (w + 1) / 2; ++i) {
+        const int lft = (i > 0) ? 2*i - 1 : 1;
+        const int rgt = (2*i + 1 < w) ? 2*i + 1 : w - 1;
+        image[row * w + 2*i] +=
+            0.25f * (image[row * w + lft] + image[row * w + rgt]);
+    }
+}
+
+__kernel void dwt_cols(__global float *image, int h, int w)
+{
+    const int col = get_global_id(0) % w;
+    if (get_global_id(0) / w) return;
+    for (int i = 0; i < h / 2; ++i) {
+        const int bot = (2*i + 2 < h) ? 2*i + 2 : h - 2;
+        image[(2*i + 1) * w + col] -=
+            0.5f * (image[(2*i) * w + col] + image[bot * w + col]);
+    }
+    for (int i = 0; i < (h + 1) / 2; ++i) {
+        const int top = (i > 0) ? 2*i - 1 : 1;
+        const int bot = (2*i + 1 < h) ? 2*i + 1 : h - 1;
+        image[(2*i) * w + col] +=
+            0.25f * (image[top * w + col] + image[bot * w + col]);
+    }
+}
+"""
+
+SRAD_CL = r"""
+// Structured Grid dwarf: SRAD, two kernels per diffusion iteration
+__kernel void srad1(__global const float *j_img, __global float *c,
+                    __global float *dn, __global float *ds,
+                    __global float *dw, __global float *de, float q0sqr)
+{
+    const int idx = get_global_id(0);
+    const int row = idx / COLS, col = idx % COLS;
+    const int n = (row > 0)        ? idx - COLS : idx;
+    const int s = (row < ROWS - 1) ? idx + COLS : idx;
+    const int w = (col > 0)        ? idx - 1    : idx;
+    const int e = (col < COLS - 1) ? idx + 1    : idx;
+    const float jc = j_img[idx];
+    dn[idx] = j_img[n] - jc;  ds[idx] = j_img[s] - jc;
+    dw[idx] = j_img[w] - jc;  de[idx] = j_img[e] - jc;
+    const float g2 = (dn[idx]*dn[idx] + ds[idx]*ds[idx]
+                    + dw[idx]*dw[idx] + de[idx]*de[idx]) / (jc * jc);
+    const float l  = (dn[idx] + ds[idx] + dw[idx] + de[idx]) / jc;
+    const float num = 0.5f * g2 - 0.0625f * l * l;
+    const float den = (1.0f + 0.25f * l) * (1.0f + 0.25f * l);
+    const float qsqr = num / den;
+    c[idx] = clamp(1.0f / (1.0f + (qsqr - q0sqr)
+                               / (q0sqr * (1.0f + q0sqr))), 0.0f, 1.0f);
+}
+
+__kernel void srad2(__global float *j_img, __global const float *c,
+                    __global const float *dn, __global const float *ds,
+                    __global const float *dw, __global const float *de,
+                    float lambda_)
+{
+    const int idx = get_global_id(0);
+    const int row = idx / COLS, col = idx % COLS;
+    const int s = (row < ROWS - 1) ? idx + COLS : idx;
+    const int e = (col < COLS - 1) ? idx + 1    : idx;
+    const float div = c[s] * ds[idx] + c[idx] * dn[idx]
+                    + c[e] * de[idx] + c[idx] * dw[idx];
+    j_img[idx] += 0.25f * lambda_ * div;
+}
+"""
+
+CRC_CL = r"""
+// Combinational Logic dwarf: table-driven CRC-32, one byte-serial chain
+// per work item (per page); results combined on the host
+__kernel void crc_pages(__global const uchar *pages,
+                        __global const int *lengths,
+                        __constant uint *table,
+                        __global uint *crcs)
+{
+    const int page = get_global_id(0);
+    uint crc = 0xFFFFFFFFu;
+    for (int i = 0; i < lengths[page]; ++i)       // the dependent chain
+        crc = table[(crc ^ pages[page * PAGE_BYTES + i]) & 0xFFu]
+            ^ (crc >> 8);
+    crcs[page] = crc ^ 0xFFFFFFFFu;
+}
+"""
+
+NW_CL = r"""
+// Dynamic Programming dwarf: one kernel launch per block anti-diagonal
+__kernel void nw_diagonal(__global int *score,
+                          __global const int *similarity,
+                          int n, int block, int diag, int penalty)
+{
+    const int block_i = max(0, diag - (n / block) + 1) + get_group_id(0);
+    const int block_j = diag - block_i;
+    // the 2B-1 intra-block cell diagonals, lock-stepped by barriers
+    for (int t = 0; t < 2 * block - 1; ++t) {
+        const int li = get_local_id(0);
+        const int lj = t - li;
+        if (lj >= 0 && lj < block) {
+            const int i = 1 + block_i * block + li;
+            const int j = 1 + block_j * block + lj;
+            const int m = score[(i-1) * (n+1) + (j-1)]
+                        + similarity[(i-1) * n + (j-1)];
+            const int del = score[(i-1) * (n+1) + j] - penalty;
+            const int ins = score[i * (n+1) + (j-1)] - penalty;
+            score[i * (n+1) + j] = max(m, max(del, ins));
+        }
+        barrier(CLK_GLOBAL_MEM_FENCE);
+    }
+}
+"""
+
+GEM_CL = r"""
+// N-Body Methods dwarf: Coulomb potential at molecular-surface vertices
+__kernel void gem_potential(__global const float4 *atoms,
+                            __global const float4 *vertices,
+                            __global float *potential)
+{
+    const int v = get_global_id(0);
+    const float4 p = vertices[v];
+    float phi = 0.0f;
+    for (int a = 0; a < N_ATOMS; ++a) {           // tiled via local mem
+        const float4 q = atoms[a];
+        const float dx = p.x - q.x, dy = p.y - q.y, dz = p.z - q.z;
+        phi += q.w * rsqrt(dx*dx + dy*dy + dz*dz + SOFTENING);
+    }
+    potential[v] = phi;
+}
+"""
+
+NQUEENS_CL = r"""
+// Backtrack & Branch-and-Bound dwarf
+__kernel void nqueens_count(int n,
+                            __global const int *prefix_cols,
+                            __global const int *prefix_dl,
+                            __global const int *prefix_dr,
+                            __global long *counts)
+{
+    // one work item = one depth-2 prefix sub-problem; iterative
+    // bitmask DFS over the remaining rows
+    const int gid = get_global_id(0);
+    int stack_free[32];
+    int depth = PREFIX_DEPTH;
+    int cols = prefix_cols[gid], dl = prefix_dl[gid], dr = prefix_dr[gid];
+    long count = 0;
+    const int full = (1 << n) - 1;
+    stack_free[depth] = full & ~(cols | dl | dr);
+    /* ... bitmask backtracking loop elided for brevity ... */
+    counts[gid] = count;
+}
+
+__kernel void nqueens_estimate(int n,
+                               __global const long *seeds,
+                               __global double *estimates)
+{
+    // one work item = WALKS_PER_ITEM Knuth random descents
+    const int gid = get_global_id(0);
+    ulong state = (ulong)seeds[gid];
+    double total = 0.0;
+    /* ... xorshift descent loop elided for brevity ... */
+    estimates[gid] = total / WALKS_PER_ITEM;
+}
+"""
+
+HMM_CL = r"""
+// Graphical Models dwarf: Baum-Welch, Rabiner-scaled
+__kernel void hmm_forward(__global const float *a, __global const float *b,
+                          __global const float *pi, __global const int *obs,
+                          __global float *alpha, __global float *scale, int t)
+{
+    const int j = get_global_id(0);               // one item = one state
+    float acc = (t == 0)
+        ? pi[j] * b[j * N_SYMBOLS + obs[0]]
+        : 0.0f;
+    if (t > 0) {
+        for (int i = 0; i < N_STATES; ++i)
+            acc += alpha[(t-1) * N_STATES + i] * a[i * N_STATES + j];
+        acc *= b[j * N_SYMBOLS + obs[t]];
+    }
+    alpha[t * N_STATES + j] = acc;                // scaled in a follow-up pass
+}
+
+__kernel void hmm_backward(__global const float *a, __global const float *b,
+                           __global const int *obs, __global float *beta,
+                           __global const float *scale, int t)
+{
+    const int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int j = 0; j < N_STATES; ++j)
+        acc += a[i * N_STATES + j] * b[j * N_SYMBOLS + obs[t+1]]
+             * beta[(t+1) * N_STATES + j];
+    beta[t * N_STATES + i] = scale[t] * acc;
+}
+
+__kernel void hmm_estimate_pi(__global const float *alpha,
+                              __global const float *beta,
+                              __global const float *scale,
+                              __global float *pi_out)
+{
+    const int i = get_global_id(0);
+    pi_out[i] = alpha[i] * beta[i] / scale[0];    // normalised afterwards
+}
+
+__kernel void hmm_estimate_a(__global const float *a, __global const float *b,
+                             __global const int *obs,
+                             __global const float *alpha,
+                             __global const float *beta,
+                             __global float *a_out)
+{
+    const int i = get_global_id(0) / N_STATES;
+    const int j = get_global_id(0) % N_STATES;
+    float num = 0.0f, den = 0.0f;
+    for (int t = 0; t < T_OBS - 1; ++t) {
+        num += alpha[t * N_STATES + i] * a[i * N_STATES + j]
+             * b[j * N_SYMBOLS + obs[t+1]] * beta[(t+1) * N_STATES + j];
+        den += alpha[t * N_STATES + i] * beta[t * N_STATES + i];
+    }
+    a_out[i * N_STATES + j] = num / den;
+}
+
+__kernel void hmm_estimate_b(__global const int *obs,
+                             __global const float *alpha,
+                             __global const float *beta,
+                             __global const float *scale,
+                             __global float *b_out)
+{
+    const int j = get_global_id(0) / N_SYMBOLS;
+    const int k = get_global_id(0) % N_SYMBOLS;
+    float num = 0.0f, den = 0.0f;
+    for (int t = 0; t < T_OBS; ++t) {
+        const float gamma = alpha[t * N_STATES + j]
+                          * beta[t * N_STATES + j] / scale[t];
+        if (obs[t] == k) num += gamma;
+        den += gamma;
+    }
+    b_out[j * N_SYMBOLS + k] = num / den;
+}
+"""
+
+CWT_CL = r"""
+// Spectral Methods extension: Morlet CWT, frequency-domain per scale
+__kernel void cwt_fft(__global const float *signal,
+                      __global float2 *signal_hat)
+{
+    /* forward FFT of the input (radix-2 stages as in fft_radix2) */
+}
+
+__kernel void cwt_scale(__global const float2 *signal_hat,
+                        __global float2 *out,
+                        float scale, int n, float dt)
+{
+    const int k = get_global_id(0);               // one item = one bin
+    const float omega = 2.0f * M_PI_F * ((k <= n/2) ? k : k - n) / (n * dt);
+    float psi = 0.0f;
+    if (omega > 0.0f) {
+        const float d = scale * omega - OMEGA0;
+        psi = PI_QUARTER_INV * exp(-0.5f * d * d)
+            * sqrt(2.0f * M_PI_F * scale / dt);
+    }
+    out[k] = signal_hat[k] * psi;                 // inverse FFT follows
+}
+"""
+
+BFS_CL = r"""
+// Graph Traversal extension: one kernel launch per frontier level
+__kernel void bfs_level(__global const int *row_ptr,
+                        __global const int *columns,
+                        __global int *levels,
+                        __global uchar *frontier_flags, int depth)
+{
+    const int v = get_global_id(0);
+    if (!frontier_flags[v]) return;
+    frontier_flags[v] = 0;
+    for (int e = row_ptr[v]; e < row_ptr[v + 1]; ++e) {
+        const int u = columns[e];                 // the gather
+        if (levels[u] < 0) {
+            levels[u] = depth + 1;                // benign write race
+            frontier_flags[u] = 1;
+        }
+    }
+}
+"""
+
+FSM_CL = r"""
+// Finite State Machine extension: per-chunk transition-function
+// composition (each work item runs its chunk from every start state)
+__kernel void fsm_compose(__global const uchar *text,
+                          __global const int *transitions,
+                          __global const long *matches,
+                          __global int *chunk_maps,
+                          __global long *chunk_counts, int chunk_bytes)
+{
+    const int chunk = get_global_id(0);
+    int state[N_STATES];
+    long count[N_STATES];
+    for (int s = 0; s < N_STATES; ++s) { state[s] = s; count[s] = 0; }
+    const int start = chunk * chunk_bytes;
+    for (int i = 0; i < chunk_bytes && start + i < TEXT_BYTES; ++i) {
+        const uchar sym = text[start + i];
+        for (int s = 0; s < N_STATES; ++s) {      // the dependent chain
+            state[s] = transitions[state[s] * ALPHABET + sym];
+            count[s] += matches[state[s]];
+        }
+    }
+    for (int s = 0; s < N_STATES; ++s) {
+        chunk_maps[chunk * N_STATES + s] = state[s];
+        chunk_counts[chunk * N_STATES + s] = count[s];
+    }
+}
+"""
+
+UMESH_CL = r"""
+// Unstructured Grid extension: weighted Jacobi over CSR adjacency
+__kernel void umesh_relax(__global const int *row_ptr,
+                          __global const int *columns,
+                          __global const uchar *interior,
+                          __global const float *values_in,
+                          __global float *values_out, float omega)
+{
+    const int v = get_global_id(0);
+    if (!interior[v]) { values_out[v] = values_in[v]; return; }
+    float acc = 0.0f;
+    const int deg = row_ptr[v + 1] - row_ptr[v];
+    for (int e = row_ptr[v]; e < row_ptr[v + 1]; ++e)
+        acc += values_in[columns[e]];             // the gather
+    values_out[v] = (1.0f - omega) * values_in[v]
+                  + omega * acc / (float)deg;
+}
+"""
+
+#: Every source keyed by benchmark name.
+SOURCES = {
+    "kmeans": KMEANS_CL,
+    "lud": LUD_CL,
+    "csr": CSR_CL,
+    "fft": FFT_CL,
+    "dwt": DWT_CL,
+    "srad": SRAD_CL,
+    "crc": CRC_CL,
+    "nw": NW_CL,
+    "gem": GEM_CL,
+    "nqueens": NQUEENS_CL,
+    "hmm": HMM_CL,
+    "cwt": CWT_CL,
+    "bfs": BFS_CL,
+    "fsm": FSM_CL,
+    "umesh": UMESH_CL,
+}

@@ -1,0 +1,349 @@
+"""Command-line interface (the ``opendwarfs`` entry point).
+
+Follows the paper's invocation convention (§4.4.5): each application
+runs as ``Benchmark Device -- Arguments`` where Device is the
+``-p <platform> -d <device> -t <type>`` triple and Arguments is the
+benchmark's Table 3 string, e.g.::
+
+    opendwarfs run kmeans -p 0 -d 1 -t 0 -- -g -f 26 -p 65600
+    opendwarfs run fft --device "GTX 1080" --size medium
+    opendwarfs table 2
+    opendwarfs figure 3a
+    opendwarfs verify-sizes kmeans
+    opendwarfs list-devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..devices.catalog import CATALOG, get_device
+from ..dwarfs.base import SIZES
+from ..dwarfs.registry import BENCHMARKS, get_benchmark
+from ..ocl.platform import select_device
+from ..scibench.stats import summarize
+from . import figures as figmod
+from .report import render_table, table1_text, table2_text, table3_text
+from .runner import RunConfig, run_benchmark
+
+
+def _split_device_args(argv: list[str]) -> tuple[list[str], list[str]]:
+    """Split ``Device -- Arguments`` at the ``--`` separator."""
+    if "--" in argv:
+        split = argv.index("--")
+        return argv[:split], argv[split + 1 :]
+    return argv, []
+
+
+def cmd_list_devices(_args) -> int:
+    rows = []
+    for spec in CATALOG:
+        rows.append({
+            "Name": spec.name,
+            "Class": spec.device_class.value,
+            "Vendor": spec.vendor.value,
+            "fp32 GFLOP/s": round(spec.compute.fp32_gflops),
+            "Mem GB/s": spec.memory.bandwidth_gbs,
+            "TDP W": spec.tdp_w,
+        })
+    print(render_table(rows, "Simulated devices"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    device_argv, bench_argv = _split_device_args(args.rest)
+    # resolve the device: either -p/-d/-t triple or --device name
+    if args.device:
+        device_name = get_device(args.device).name
+    else:
+        p = d = t = None
+        i = 0
+        while i < len(device_argv):
+            if device_argv[i] == "-p":
+                p = int(device_argv[i + 1]); i += 2
+            elif device_argv[i] == "-d":
+                d = int(device_argv[i + 1]); i += 2
+            elif device_argv[i] == "-t":
+                t = int(device_argv[i + 1]); i += 2
+            else:
+                print(f"unknown device argument {device_argv[i]!r}", file=sys.stderr)
+                return 2
+        if None in (p, d, t):
+            device_name = "i7-6700K"
+        else:
+            device_name = select_device(p, d, t).name
+
+    cls = get_benchmark(args.benchmark)
+    if bench_argv:
+        bench = cls.from_args(bench_argv)
+        # derive a label for reporting; reuse the closest preset if any
+        size = next(
+            (s for s in cls.available_sizes()
+             if cls.presets[s] == getattr(bench, "n", None)),
+            "custom",
+        )
+        if size == "custom":
+            result = _run_custom(bench, device_name, args)
+            _print_result(result)
+            return 0
+    else:
+        size = args.size or cls.available_sizes()[0]
+    config = RunConfig(
+        benchmark=args.benchmark, size=size, device=device_name,
+        samples=args.samples, execute=not args.no_execute,
+        validate=not args.no_execute,
+    )
+    _print_result(run_benchmark(config))
+    return 0
+
+
+def _run_custom(bench, device_name: str, args):
+    """Measure a benchmark instance built from explicit arguments."""
+    import numpy as np
+
+    from ..ocl import CommandQueue, Context, find_device
+    from ..perfmodel import iteration_time, noisy_samples
+    from .runner import RunResult, _energy_samples
+
+    spec = get_device(device_name)
+    rng = np.random.default_rng(4321)
+    validated = False
+    if not args.no_execute:
+        context = Context(find_device(spec.name))
+        queue = CommandQueue(context, rng=rng)
+        try:
+            bench.run_complete(context, queue)
+            validated = True
+        finally:
+            bench.teardown()
+    breakdown = iteration_time(spec, bench.profiles())
+    loop = max(1, int(2.0 / max(breakdown.total_s, 1e-9)))
+    times = noisy_samples(spec, breakdown.total_s, args.samples, rng,
+                          loop_iterations=loop)
+    energies = _energy_samples(spec, times, breakdown.utilization, rng)
+    return RunResult(
+        benchmark=bench.name, size="custom", device=spec.name,
+        device_class=spec.device_class.value, nominal_s=breakdown.total_s,
+        times_s=times, energies_j=energies, loop_iterations=loop,
+        breakdown=breakdown, footprint_bytes=bench.footprint_bytes(),
+        validated=validated,
+    )
+
+
+def _print_result(result) -> None:
+    s = summarize(result.times_s)
+    print(f"benchmark : {result.benchmark} ({result.size})")
+    print(f"device    : {result.device} [{result.device_class}]")
+    print(f"footprint : {result.footprint_bytes / 1024:.1f} KiB")
+    print(f"validated : {result.validated}")
+    print(f"samples   : {s.n} (looped x{result.loop_iterations} per sample)")
+    print(f"kernel    : mean {s.mean * 1e3:.4f} ms  median {s.median * 1e3:.4f} ms"
+          f"  cov {s.cov:.3f}")
+    print(f"bound     : {result.breakdown.bound}"
+          f" (compute {result.breakdown.compute_s * 1e3:.4f} ms,"
+          f" memory {result.breakdown.memory_s * 1e3:.4f} ms,"
+          f" launch {result.breakdown.launch_s * 1e3:.4f} ms)")
+    print(f"energy    : mean {result.energies_j.mean():.4f} J")
+
+
+def cmd_table(args) -> int:
+    text = {1: table1_text, 2: table2_text, 3: table3_text}[args.number]()
+    print(text)
+    return 0
+
+
+def cmd_figure(args) -> int:
+    fid = args.figure_id.lower()
+    samples = args.samples
+    if fid in ("1", "fig1"):
+        fig = figmod.figure1_crc(samples=samples)
+    elif fid in ("2a", "2b", "2c", "2d", "2e"):
+        bench = {"2a": "kmeans", "2b": "lud", "2c": "csr", "2d": "dwt",
+                 "2e": "fft"}[fid]
+        fig = figmod.figure2(bench, samples=samples)
+    elif fid in ("3a", "3b"):
+        fig = figmod.figure3({"3a": "srad", "3b": "nw"}[fid], samples=samples)
+    elif fid in ("4", "fig4"):
+        fig = figmod.figure4(samples=samples)
+    elif fid in ("5", "fig5"):
+        fig = figmod.figure5(samples=samples)
+    else:
+        print(f"unknown figure {args.figure_id!r}", file=sys.stderr)
+        return 2
+    print(fig.render())
+    if args.csv:
+        print(fig.to_csv())
+    if args.html:
+        from .plots import save_figure_html
+        path = save_figure_html(fig, args.html, log_scale=(fid in ("5", "fig5")))
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    """AIWC characterization + diversity analysis (paper §7)."""
+    from ..aiwc import analyze, characterize_suite
+    metrics = characterize_suite(args.size)
+    print(render_table([m.as_row() for m in metrics],
+                       f"AIWC metrics ({args.size})"))
+    report = analyze(metrics)
+    print(render_table(report.distinctiveness_rows(),
+                       "Distinctiveness (distance to nearest neighbour)"))
+    print("MST:", ", ".join(f"{a}-{b}({d})" for a, b, d in report.mst_edges))
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    """Local work-group size tuning (paper §7)."""
+    from ..tuning import autotune_benchmark
+    spec = get_device(args.device)
+    bench = get_benchmark(args.benchmark).from_size(args.size)
+    results = autotune_benchmark(spec, bench)
+    for name, result in results.items():
+        print(render_table(result.rows(),
+                           f"{name} on {spec.name} "
+                           f"(best: {result.best_local_size}, "
+                           f"{result.speedup_vs_worst:.1f}x vs worst)"))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    """Best-device selection under budgets (paper §7)."""
+    from ..scheduling import select_device as select
+    bench = get_benchmark(args.benchmark).from_size(args.size)
+    selection = select(bench, time_budget_s=args.time_budget,
+                       energy_budget_j=args.energy_budget,
+                       objective=args.objective)
+    rows = [{
+        "device": p.device, "class": p.device_class,
+        "time (ms)": round(p.time_s * 1e3, 4),
+        "energy (J)": round(p.energy_j, 4),
+        "pick": "<-" if selection.chosen and p.device == selection.chosen.device
+                else "",
+    } for p in (*selection.feasible, *selection.rejected)]
+    print(render_table(rows, f"{args.benchmark} ({args.size}) by "
+                             f"{args.objective}"))
+    if not selection.satisfiable:
+        print("no device satisfies the given budgets")
+        return 1
+    return 0
+
+
+def cmd_transfers(args) -> int:
+    """Host<->device transfer times (measured in the paper, §4.3)."""
+    from .transfers import measure_transfers
+    m = measure_transfers(args.benchmark, args.size, args.device)
+    print(render_table([m.as_row()], "Memory transfer times"))
+    return 0
+
+
+def cmd_verify_sizes(args) -> int:
+    from ..sizing.verify import verify_benchmark_sizes
+    v = verify_benchmark_sizes(args.benchmark, device=args.device)
+    print(render_table(v.summary_rows(),
+                       f"Cache-counter verification: {args.benchmark} on {v.device}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="opendwarfs",
+        description="Extended OpenDwarfs benchmark suite (simulated OpenCL)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-devices", help="show the device catalog"
+                   ).set_defaults(func=cmd_list_devices)
+
+    run = sub.add_parser("run", help="run one benchmark")
+    run.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    run.add_argument("--size", choices=SIZES, default=None)
+    run.add_argument("--device", default=None, help="device name from Table 1")
+    run.add_argument("--samples", type=int, default=50)
+    run.add_argument("--no-execute", action="store_true",
+                     help="model-only timing (skip functional execution)")
+    run.set_defaults(func=cmd_run, rest=[])
+
+    table = sub.add_parser("table", help="print a paper table")
+    table.add_argument("number", type=int, choices=(1, 2, 3))
+    table.set_defaults(func=cmd_table)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("figure_id",
+                        help="1, 2a-2e, 3a, 3b, 4 or 5")
+    figure.add_argument("--samples", type=int, default=50)
+    figure.add_argument("--csv", action="store_true")
+    figure.add_argument("--html", default=None, metavar="PATH",
+                        help="also render boxplots to an HTML file")
+    figure.set_defaults(func=cmd_figure)
+
+    characterize = sub.add_parser(
+        "characterize", help="AIWC metrics + suite diversity (paper §7)")
+    characterize.add_argument("--size", choices=SIZES, default="large")
+    characterize.set_defaults(func=cmd_characterize)
+
+    autotune = sub.add_parser(
+        "autotune", help="local work-group size tuning (paper §7)")
+    autotune.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    autotune.add_argument("--size", choices=SIZES, default="large")
+    autotune.add_argument("--device", default="GTX 1080")
+    autotune.set_defaults(func=cmd_autotune)
+
+    schedule = sub.add_parser(
+        "schedule", help="best device under time/energy budgets (paper §7)")
+    schedule.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    schedule.add_argument("--size", choices=SIZES, default="large")
+    schedule.add_argument("--objective", choices=("time", "energy", "edp"),
+                          default="time")
+    schedule.add_argument("--time-budget", type=float, default=None,
+                          metavar="SECONDS")
+    schedule.add_argument("--energy-budget", type=float, default=None,
+                          metavar="JOULES")
+    schedule.set_defaults(func=cmd_schedule)
+
+    transfers = sub.add_parser(
+        "transfers", help="host<->device transfer times (paper §4.3)")
+    transfers.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    transfers.add_argument("--size", choices=SIZES, default="small")
+    transfers.add_argument("--device", default="GTX 1080")
+    transfers.set_defaults(func=cmd_transfers)
+
+    verify = sub.add_parser("verify-sizes",
+                            help="cache-counter verification of Table 2 sizes")
+    verify.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    verify.add_argument("--device", default="i7-6700K")
+    verify.set_defaults(func=cmd_verify_sizes)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # For `run`, peel off the paper-style tail — the `-p/-d/-t` device
+    # triple and everything after `--` — before argparse sees it, since
+    # those short flags collide with argparse option handling.
+    rest: list[str] = []
+    if argv and argv[0] == "run":
+        for i, token in enumerate(argv):
+            if token == "--" or (token in ("-p", "-d", "-t") and i > 1):
+                rest = argv[i:]
+                argv = argv[:i]
+                break
+    args = build_parser().parse_args(argv)
+    if hasattr(args, "rest"):
+        args.rest = rest
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (head, less) closed the pipe: not an error
+        import os
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Crossover analysis: where one device overtakes another.
+
+The paper's central argument is that fixed-problem-size suites miss
+"the problem sizes where these limitations occur" (§3) — a CPU beats a
+GPU at tiny sizes (launch overhead, occupancy) and loses at large ones
+(bandwidth, parallelism), so the *crossover size* is the actionable
+quantity for scheduling.  This module sweeps a benchmark's scale
+parameter through the sizing generators and locates the footprint at
+which a challenger device overtakes a baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.catalog import get_device
+from ..devices.specs import DeviceSpec
+from ..dwarfs.registry import get_benchmark
+from ..perfmodel.roofline import iteration_time
+from ..sizing.footprint import SCALE_GENERATORS
+
+#: Sweep stops once footprints exceed this many bytes.
+MAX_FOOTPRINT = 512 << 20
+
+#: Safety cap on swept scales.
+MAX_POINTS = 600
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Modeled times of both devices at one scale."""
+
+    phi: object
+    footprint_bytes: int
+    baseline_s: float
+    challenger_s: float
+
+    @property
+    def ratio(self) -> float:
+        """baseline / challenger: > 1 means the challenger wins."""
+        return self.baseline_s / self.challenger_s
+
+
+@dataclass(frozen=True)
+class CrossoverResult:
+    """Outcome of a crossover sweep between two devices."""
+
+    benchmark: str
+    baseline: str
+    challenger: str
+    points: tuple[SweepPoint, ...]
+    #: First swept point at which the challenger is faster and stays
+    #: faster for the rest of the sweep; None if it never happens (or
+    #: if the challenger already wins at the smallest size).
+    crossover: SweepPoint | None
+
+    @property
+    def challenger_ever_wins(self) -> bool:
+        return any(p.ratio > 1.0 for p in self.points)
+
+    @property
+    def challenger_always_wins(self) -> bool:
+        return all(p.ratio > 1.0 for p in self.points)
+
+    def rows(self) -> list[dict]:
+        out = []
+        for p in self.points:
+            out.append({
+                "phi": str(p.phi),
+                "footprint (KiB)": round(p.footprint_bytes / 1024, 1),
+                f"{self.baseline} (ms)": round(p.baseline_s * 1e3, 4),
+                f"{self.challenger} (ms)": round(p.challenger_s * 1e3, 4),
+                "ratio": round(p.ratio, 3),
+                "x": "<-" if self.crossover is not None
+                     and p.phi == self.crossover.phi else "",
+            })
+        return out
+
+
+def sweep(benchmark: str,
+          baseline: str | DeviceSpec,
+          challenger: str | DeviceSpec,
+          max_footprint: int = MAX_FOOTPRINT,
+          stride: int = 2) -> CrossoverResult:
+    """Sweep a benchmark's scales and find the stable crossover point.
+
+    ``stride`` subsamples the scale generator (every ``stride``-th
+    candidate) to keep sweeps fast; generators are fine-grained.
+    """
+    base = get_device(baseline) if isinstance(baseline, str) else baseline
+    chall = (get_device(challenger) if isinstance(challenger, str)
+             else challenger)
+    try:
+        generator = SCALE_GENERATORS[benchmark]
+    except KeyError:
+        raise ValueError(
+            f"{benchmark!r} has no scale generator; crossover sweeps need "
+            "a scalable benchmark") from None
+    cls = get_benchmark(benchmark)
+
+    points = []
+    for i, phi in enumerate(generator()):
+        if i % stride:
+            continue
+        if len(points) >= MAX_POINTS:
+            break
+        bench = cls.from_scale(phi)
+        footprint = bench.footprint_bytes()
+        profiles = bench.profiles()
+        points.append(SweepPoint(
+            phi=phi,
+            footprint_bytes=footprint,
+            baseline_s=iteration_time(base, profiles).total_s,
+            challenger_s=iteration_time(chall, profiles).total_s,
+        ))
+        if footprint > max_footprint:
+            break
+
+    crossover = None
+    # find the first point from which the challenger never falls behind
+    for idx, p in enumerate(points):
+        if p.ratio > 1.0 and all(q.ratio > 1.0 for q in points[idx:]):
+            crossover = p if idx > 0 else None  # idx 0: never behind
+            break
+    return CrossoverResult(
+        benchmark=benchmark,
+        baseline=base.name,
+        challenger=chall.name,
+        points=tuple(points),
+        crossover=crossover,
+    )
+
+
+def crossover_footprint_kib(benchmark: str, baseline: str, challenger: str,
+                            **kwargs) -> float | None:
+    """Convenience: the crossover footprint in KiB (None if no stable
+    crossover inside the sweep)."""
+    result = sweep(benchmark, baseline, challenger, **kwargs)
+    if result.crossover is None:
+        return None
+    return result.crossover.footprint_bytes / 1024.0

@@ -1,0 +1,290 @@
+"""Regeneration of the paper's figures (data series + shape checks).
+
+Each ``figure*`` function produces a :class:`FigureData`: for every
+panel (problem size or benchmark) the per-device box statistics that
+the paper plots.  ``render`` emits the series as aligned text and CSV
+(no plotting library is assumed); the ``check_*`` functions assert the
+qualitative shapes the paper reports — who wins, where the gaps widen
+— which is the reproduction criterion (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..devices.catalog import CATALOG, device_names
+from ..devices.specs import DeviceClass
+from ..dwarfs.base import SIZES
+from .results import ResultSet
+from .runner import run_matrix
+
+#: Devices in Table 1 order, minus the KNL (dropped after Fig. 1, §5.1).
+DEVICES_NO_KNL = tuple(n for n in device_names() if n != "Xeon Phi 7210")
+
+#: The two devices with energy instrumentation (paper §5.2).
+ENERGY_DEVICES = ("i7-6700K", "GTX 1080")
+
+#: Benchmarks in Fig. 5's x-axis order.
+ENERGY_BENCHMARKS = ("kmeans", "lud", "csr", "fft", "dwt", "gem", "srad", "crc")
+
+
+@dataclass
+class FigureData:
+    """One figure's series: panel -> device -> box statistics."""
+
+    figure_id: str
+    title: str
+    value_label: str
+    panels: dict = field(default_factory=dict)
+    results: ResultSet = field(default_factory=ResultSet, repr=False)
+
+    def panel(self, name: str) -> dict:
+        return self.panels[name]
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write("figure,panel,device,class,mean,median,q1,q3,min,max,cov\n")
+        for panel, devices in self.panels.items():
+            for device, stats in devices.items():
+                out.write(
+                    f"{self.figure_id},{panel},{device},{stats['class']},"
+                    f"{stats['mean']:.6g},{stats['median']:.6g},"
+                    f"{stats['q1']:.6g},{stats['q3']:.6g},"
+                    f"{stats['min']:.6g},{stats['max']:.6g},{stats['cov']:.4g}\n"
+                )
+        return out.getvalue()
+
+    def render(self) -> str:
+        out = io.StringIO()
+        out.write(f"{self.figure_id}: {self.title}  [{self.value_label}]\n")
+        for panel, devices in self.panels.items():
+            out.write(f"\n  -- {panel} --\n")
+            for device, stats in devices.items():
+                bar = "#" * max(1, min(60, int(round(stats["rel"] * 60))))
+                out.write(
+                    f"  {device:16s} {stats['class']:13s} "
+                    f"{stats['mean']:12.4f}  {bar}\n"
+                )
+        return out.getvalue()
+
+
+def _box(values: np.ndarray, device_class: str) -> dict:
+    q1, med, q3 = np.percentile(values, [25, 50, 75])
+    mean = float(values.mean())
+    std = float(values.std(ddof=1)) if len(values) > 1 else 0.0
+    return {
+        "class": device_class,
+        "mean": mean,
+        "median": float(med),
+        "q1": float(q1),
+        "q3": float(q3),
+        "min": float(values.min()),
+        "max": float(values.max()),
+        "cov": std / mean if mean else 0.0,
+    }
+
+
+def _normalise_panel(panel: dict) -> None:
+    peak = max(s["mean"] for s in panel.values()) or 1.0
+    for stats in panel.values():
+        stats["rel"] = stats["mean"] / peak
+
+
+def _time_figure(figure_id: str, title: str, benchmark: str,
+                 sizes: tuple[str, ...], devices: tuple[str, ...],
+                 samples: int, seed: int) -> FigureData:
+    fig = FigureData(figure_id=figure_id, title=title, value_label="time (ms)")
+    results = ResultSet(run_matrix(benchmark, list(sizes), list(devices),
+                                   samples=samples, seed=seed))
+    fig.results = results
+    for size in sizes:
+        panel = {}
+        for device in devices:
+            r = results.get(benchmark, size, device)
+            panel[device] = _box(r.times_s * 1e3, r.device_class)
+        _normalise_panel(panel)
+        fig.panels[size] = panel
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+def figure1_crc(samples: int = 50, seed: int = 12345) -> FigureData:
+    """Fig. 1: crc kernel times on all 15 devices (including KNL)."""
+    return _time_figure("Figure 1", "crc kernel execution times", "crc",
+                        SIZES, tuple(device_names()), samples, seed)
+
+
+_FIG2 = (("2a", "kmeans"), ("2b", "lud"), ("2c", "csr"), ("2d", "dwt"),
+         ("2e", "fft"))
+_FIG3 = (("3a", "srad"), ("3b", "nw"))
+
+
+def figure2(benchmark: str, samples: int = 50, seed: int = 12345) -> FigureData:
+    """Fig. 2a-2e: kmeans/lud/csr/dwt/fft on the 14 non-KNL devices."""
+    sub = dict((b, i) for i, b in _FIG2)
+    if benchmark not in sub:
+        raise ValueError(f"figure 2 covers {sorted(sub)}, not {benchmark!r}")
+    return _time_figure(f"Figure {sub[benchmark]}",
+                        f"{benchmark} kernel execution times",
+                        benchmark, SIZES, DEVICES_NO_KNL, samples, seed)
+
+
+def figure3(benchmark: str, samples: int = 50, seed: int = 12345) -> FigureData:
+    """Fig. 3a/3b: srad and nw on the 14 non-KNL devices."""
+    sub = dict((b, i) for i, b in _FIG3)
+    if benchmark not in sub:
+        raise ValueError(f"figure 3 covers {sorted(sub)}, not {benchmark!r}")
+    return _time_figure(f"Figure {sub[benchmark]}",
+                        f"{benchmark} kernel execution times",
+                        benchmark, SIZES, DEVICES_NO_KNL, samples, seed)
+
+
+def figure4(samples: int = 50, seed: int = 12345) -> FigureData:
+    """Fig. 4: gem / nqueens / hmm at their single evaluated size."""
+    fig = FigureData(figure_id="Figure 4",
+                     title="single-problem-size benchmarks",
+                     value_label="time (ms)")
+    for benchmark in ("gem", "nqueens", "hmm"):
+        results = ResultSet(run_matrix(benchmark, ["tiny"],
+                                       list(DEVICES_NO_KNL),
+                                       samples=samples, seed=seed))
+        fig.results.extend(results.results)
+        panel = {}
+        for device in DEVICES_NO_KNL:
+            r = results.get(benchmark, "tiny", device)
+            panel[device] = _box(r.times_s * 1e3, r.device_class)
+        _normalise_panel(panel)
+        fig.panels[benchmark] = panel
+    return fig
+
+
+def figure5(samples: int = 50, seed: int = 12345) -> FigureData:
+    """Fig. 5: kernel energy at the large size, i7-6700K vs GTX 1080."""
+    fig = FigureData(figure_id="Figure 5",
+                     title="kernel execution energy (large)",
+                     value_label="energy (J)")
+    for benchmark in ENERGY_BENCHMARKS:
+        size = "large"
+        results = ResultSet(run_matrix(benchmark, [size],
+                                       list(ENERGY_DEVICES),
+                                       samples=samples, seed=seed))
+        fig.results.extend(results.results)
+        panel = {}
+        for device in ENERGY_DEVICES:
+            r = results.get(benchmark, size, device)
+            panel[device] = _box(r.energies_j, r.device_class)
+        _normalise_panel(panel)
+        fig.panels[benchmark] = panel
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Shape checks: the paper's qualitative findings
+# ----------------------------------------------------------------------
+def class_means(fig: FigureData, panel: str) -> dict[str, float]:
+    """Mean of device means per accelerator class within a panel."""
+    sums: dict[str, list[float]] = {}
+    for stats in fig.panels[panel].values():
+        sums.setdefault(stats["class"], []).append(stats["mean"])
+    return {cls: float(np.mean(v)) for cls, v in sums.items()}
+
+
+def check_fig1_cpu_wins(fig: FigureData) -> bool:
+    """crc: CPUs are the fastest class at every size; KNL is poor."""
+    for panel in fig.panels:
+        means = class_means(fig, panel)
+        cpu = means[DeviceClass.CPU.value]
+        others = [v for k, v in means.items() if k != DeviceClass.CPU.value]
+        if not all(cpu <= o for o in others):
+            return False
+        if means[DeviceClass.MIC.value] < cpu:
+            return False
+    return True
+
+
+def check_fig3a_gap_widens(fig: FigureData) -> bool:
+    """srad: CPU/GPU mean ratio strictly widens tiny -> large."""
+    ratios = []
+    for size in SIZES:
+        means = class_means(fig, size)
+        gpu = min(means.get(DeviceClass.CONSUMER_GPU.value, np.inf),
+                  means.get(DeviceClass.HPC_GPU.value, np.inf))
+        ratios.append(means[DeviceClass.CPU.value] / gpu)
+    return all(b > a for a, b in zip(ratios, ratios[1:]))
+
+
+def check_fig3b_amd_degrades(fig: FigureData) -> bool:
+    """nw: AMD-vs-NVIDIA ratio widens with size; CPU ~ NVIDIA at large."""
+    from ..devices.catalog import get_device
+    from ..devices.specs import Vendor
+
+    def vendor_mean(panel: dict, vendor: Vendor) -> float:
+        vals = [s["mean"] for d, s in panel.items()
+                if get_device(d).vendor == vendor and get_device(d).is_gpu]
+        return float(np.mean(vals))
+
+    ratios = []
+    for size in SIZES:
+        panel = fig.panels[size]
+        ratios.append(vendor_mean(panel, Vendor.AMD) /
+                      vendor_mean(panel, Vendor.NVIDIA))
+    widens = ratios[-1] > ratios[0] and ratios[-1] > 1.5
+    means = class_means(fig, "large")
+    nvidia_large = vendor_mean(fig.panels["large"], Vendor.NVIDIA)
+    cpu_comparable = (
+        means[DeviceClass.CPU.value] < 3.0 * nvidia_large
+        and nvidia_large < 3.0 * means[DeviceClass.CPU.value]
+    )
+    return widens and cpu_comparable
+
+
+def check_fig5_cpu_energy_higher(fig: FigureData) -> bool:
+    """Energy: CPU > GPU for every benchmark except crc (where CPU wins)."""
+    cpu, gpu = ENERGY_DEVICES
+    for benchmark, panel in fig.panels.items():
+        cpu_e = panel[cpu]["mean"]
+        gpu_e = panel[gpu]["mean"]
+        if benchmark == "crc":
+            if cpu_e >= gpu_e:
+                return False
+        elif cpu_e <= gpu_e:
+            return False
+    return True
+
+
+def check_hpc_vs_consumer(fig: FigureData, size: str = "large") -> bool:
+    """HPC GPUs beat same-generation consumer GPUs but lose to modern.
+
+    Paper §5.1: K20m/K40m/S9150 (HPC) outperform HD 7970 / R9 290X-era
+    consumer boards, yet are "always beaten by more modern GPUs"
+    (Pascal / Fiji / Polaris).
+    """
+    panel = fig.panels[size]
+    hpc = np.mean([panel[d]["mean"] for d in ("K20m", "K40m", "FirePro S9150")])
+    same_gen = np.mean([panel[d]["mean"] for d in ("HD 7970", "R9 290X", "R9 295x2")])
+    modern = np.mean([panel[d]["mean"]
+                      for d in ("Titan X", "GTX 1080", "GTX 1080 Ti",
+                                "R9 Fury X", "RX 480")])
+    return modern <= hpc <= same_gen * 1.15
+
+
+def check_cov_tracks_clock(results: ResultSet) -> bool:
+    """CoV is larger on lower-clocked devices, regardless of type.
+
+    Uses rank correlation: individual CoV estimates are noisy (OS-noise
+    spikes), but the ordering with clock frequency is robust.
+    """
+    from scipy import stats as sps
+
+    from ..devices.catalog import get_device
+    clocks, covs = [], []
+    for r in results:
+        clocks.append(get_device(r.device).clock_ghz)
+        covs.append(r.time_summary.cov)
+    return float(sps.spearmanr(clocks, covs).statistic) < -0.3

@@ -1,0 +1,242 @@
+"""Figure rendering: self-contained HTML/SVG boxplot panels.
+
+LibSciBench's value-add in the paper includes "statistical analysis and
+visualization" (§6, via R).  This module renders a
+:class:`~repro.harness.figures.FigureData` as a static HTML file with
+inline SVG — no plotting library required — following the paper's
+visual grammar: per problem size, one horizontal box per device,
+coloured by accelerator class (CPU / Consumer GPU / HPC GPU / MIC).
+
+Design notes (dataviz method):
+
+* form: distribution comparison across long-named categories →
+  horizontal boxplots;
+* color job: *identity* of the accelerator class → categorical hues in
+  fixed slot order (validated: light worst adjacent CVD ΔE 24.2; two
+  light slots sit below 3:1 contrast, so the **table view ships with
+  every figure** as relief, and each row is direct-labeled with the
+  device name so identity never rides on color alone);
+* one axis (time or energy; optionally log10 like the paper's Fig. 5b);
+* marks: boxes ≤ 24 px thick, hairline recessive grid, text in text
+  tokens (never the series hue);
+* hover: every box carries a native SVG tooltip with the five-number
+  summary;
+* dark mode: selected dark steps of the same hues via
+  ``prefers-color-scheme``, validated against the dark surface.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from pathlib import Path
+
+from .figures import FigureData
+
+#: Accelerator class -> categorical slot, fixed order (never cycled).
+CLASS_SLOTS = ("CPU", "Consumer GPU", "HPC GPU", "MIC")
+
+#: Validated categorical steps (light / dark) for the four classes.
+LIGHT_COLORS = {"CPU": "#2a78d6", "Consumer GPU": "#1baf7a",
+                "HPC GPU": "#eda100", "MIC": "#008300"}
+DARK_COLORS = {"CPU": "#3987e5", "Consumer GPU": "#199e70",
+               "HPC GPU": "#c98500", "MIC": "#008300"}
+
+_CSS = """
+.viz-root {
+  --surface-1: #fcfcfb; --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --grid: #e7e6e2;
+  --series-cpu: #2a78d6; --series-consumer: #1baf7a;
+  --series-hpc: #eda100; --series-mic: #008300;
+  background: var(--surface-1); color: var(--text-primary);
+  font: 13px/1.45 system-ui, sans-serif; padding: 16px; max-width: 880px;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19; --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #383835;
+    --series-cpu: #3987e5; --series-consumer: #199e70;
+    --series-hpc: #c98500; --series-mic: #008300;
+  }
+}
+.viz-root h1 { font-size: 17px; margin: 0 0 2px; }
+.viz-root .subtitle { color: var(--text-secondary); margin: 0 0 12px; }
+.viz-root h2 { font-size: 13px; font-weight: 600; margin: 18px 0 4px; }
+.viz-root .legend { display: flex; gap: 16px; margin: 8px 0 4px;
+  color: var(--text-secondary); }
+.viz-root .legend .key { display: inline-block; width: 12px; height: 12px;
+  border-radius: 3px; margin-right: 5px; vertical-align: -1px; }
+.viz-root svg text { fill: var(--text-primary); font: 11px system-ui, sans-serif; }
+.viz-root svg .tick-label { fill: var(--text-secondary); font-size: 10px; }
+.viz-root svg .grid { stroke: var(--grid); stroke-width: 1; }
+.viz-root svg .whisker { stroke: var(--text-secondary); stroke-width: 1; }
+.viz-root svg .median { stroke: var(--surface-1); stroke-width: 2; }
+.viz-root table { border-collapse: collapse; margin-top: 16px; width: 100%; }
+.viz-root th, .viz-root td { text-align: right; padding: 3px 8px;
+  border-bottom: 1px solid var(--grid); font-size: 12px; }
+.viz-root th:first-child, .viz-root td:first-child { text-align: left; }
+"""
+
+_CLASS_VAR = {"CPU": "var(--series-cpu)", "Consumer GPU": "var(--series-consumer)",
+              "HPC GPU": "var(--series-hpc)", "MIC": "var(--series-mic)"}
+
+#: Geometry.
+ROW_H = 26          # vertical rhythm per device row
+BOX_H = 14          # box thickness (<= 24px mark cap)
+LEFT = 150          # label gutter
+WIDTH = 620         # plot width
+PAD_TOP = 8
+
+
+def _ticks(lo: float, hi: float, log_scale: bool) -> list[float]:
+    """Clean axis ticks covering [lo, hi]."""
+    if log_scale:
+        lo_e = math.floor(math.log10(lo)) if lo > 0 else -3
+        hi_e = math.ceil(math.log10(hi)) if hi > 0 else 0
+        return [10.0 ** e for e in range(lo_e, hi_e + 1)]
+    span = hi - lo if hi > lo else max(hi, 1e-12)
+    step = 10 ** math.floor(math.log10(span))
+    for divisor in (1, 2, 5, 10):
+        if span / (step / divisor) >= 4:
+            step /= divisor
+            break
+    first = math.floor(lo / step) * step
+    ticks, t = [], first
+    while t <= hi + step / 2:
+        ticks.append(round(t, 12))
+        t += step
+    return ticks
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    if abs(v) >= 1:
+        return f"{v:g}"
+    return f"{v:.3g}"
+
+
+def _panel_svg(panel: dict, value_label: str, log_scale: bool) -> str:
+    devices = list(panel)
+    lo = min(s["min"] for s in panel.values())
+    hi = max(s["max"] for s in panel.values())
+    if log_scale:
+        lo = max(lo, 1e-9)
+
+    def x(v: float) -> float:
+        if log_scale:
+            v = max(v, lo)
+            a, b = math.log10(lo), math.log10(max(hi, lo * 10))
+            return LEFT + (math.log10(v) - a) / (b - a) * WIDTH
+        if hi <= lo:
+            return LEFT
+        return LEFT + (v - lo) / (hi - lo) * WIDTH
+
+    height = PAD_TOP + ROW_H * len(devices) + 28
+    parts = [
+        f'<svg role="img" viewBox="0 0 {LEFT + WIDTH + 40} {height}" '
+        f'width="100%" aria-label="boxplot">'
+    ]
+    ticks = _ticks(lo, hi, log_scale)
+    axis_y = PAD_TOP + ROW_H * len(devices)
+    for t in ticks:
+        if not (lo <= t <= hi * 1.001):
+            continue
+        tx = x(t)
+        parts.append(f'<line class="grid" x1="{tx:.1f}" y1="{PAD_TOP}" '
+                     f'x2="{tx:.1f}" y2="{axis_y}"/>')
+        parts.append(f'<text class="tick-label" x="{tx:.1f}" y="{axis_y + 14}" '
+                     f'text-anchor="middle">{_fmt(t)}</text>')
+    parts.append(f'<text class="tick-label" x="{LEFT + WIDTH}" '
+                 f'y="{axis_y + 26}" text-anchor="end">{html.escape(value_label)}'
+                 f'{" (log)" if log_scale else ""}</text>')
+
+    for i, device in enumerate(devices):
+        s = panel[device]
+        cy = PAD_TOP + ROW_H * i + ROW_H / 2
+        color = _CLASS_VAR.get(s["class"], "var(--series-cpu)")
+        tooltip = (f"{device} [{s['class']}]: median {_fmt(s['median'])}, "
+                   f"IQR {_fmt(s['q1'])}-{_fmt(s['q3'])}, "
+                   f"range {_fmt(s['min'])}-{_fmt(s['max'])}")
+        parts.append(f'<text x="{LEFT - 8}" y="{cy + 4:.1f}" '
+                     f'text-anchor="end">{html.escape(device)}</text>')
+        parts.append(f'<g>{_box_marks(x, s, cy, color)}'
+                     f'<title>{html.escape(tooltip)}</title></g>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _box_marks(x, s: dict, cy: float, color: str) -> str:
+    x_min, x_q1 = x(s["min"]), x(s["q1"])
+    x_med, x_q3, x_max = x(s["median"]), x(s["q3"]), x(s["max"])
+    half = BOX_H / 2
+    box_w = max(x_q3 - x_q1, 1.5)
+    return (
+        f'<line class="whisker" x1="{x_min:.1f}" y1="{cy:.1f}" '
+        f'x2="{x_q1:.1f}" y2="{cy:.1f}"/>'
+        f'<line class="whisker" x1="{x_q3:.1f}" y1="{cy:.1f}" '
+        f'x2="{x_max:.1f}" y2="{cy:.1f}"/>'
+        f'<line class="whisker" x1="{x_min:.1f}" y1="{cy - 4:.1f}" '
+        f'x2="{x_min:.1f}" y2="{cy + 4:.1f}"/>'
+        f'<line class="whisker" x1="{x_max:.1f}" y1="{cy - 4:.1f}" '
+        f'x2="{x_max:.1f}" y2="{cy + 4:.1f}"/>'
+        f'<rect x="{x_q1:.1f}" y="{cy - half:.1f}" width="{box_w:.1f}" '
+        f'height="{BOX_H}" rx="3" fill="{color}"/>'
+        f'<line class="median" x1="{x_med:.1f}" y1="{cy - half + 1:.1f}" '
+        f'x2="{x_med:.1f}" y2="{cy + half - 1:.1f}"/>'
+    )
+
+
+def _legend(classes: list[str]) -> str:
+    keys = []
+    for name in CLASS_SLOTS:
+        if name in classes:
+            keys.append(f'<span><span class="key" style="background:'
+                        f'{_CLASS_VAR[name]}"></span>{html.escape(name)}</span>')
+    return f'<div class="legend">{"".join(keys)}</div>'
+
+
+def _table(fig: FigureData) -> str:
+    rows = ['<table><tr><th>panel / device</th><th>class</th><th>median</th>'
+            '<th>q1</th><th>q3</th><th>min</th><th>max</th></tr>']
+    for panel_name, panel in fig.panels.items():
+        for device, s in panel.items():
+            rows.append(
+                f"<tr><td>{html.escape(panel_name)} / {html.escape(device)}</td>"
+                f"<td>{html.escape(s['class'])}</td>"
+                + "".join(f"<td>{_fmt(s[k])}</td>"
+                          for k in ("median", "q1", "q3", "min", "max"))
+                + "</tr>")
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def render_figure_html(fig: FigureData, log_scale: bool = False) -> str:
+    """Render a figure as a standalone HTML document."""
+    classes = sorted({s["class"] for p in fig.panels.values()
+                      for s in p.values()})
+    panels = []
+    for name, panel in fig.panels.items():
+        panels.append(f"<h2>{html.escape(name)}</h2>"
+                      + _panel_svg(panel, fig.value_label, log_scale))
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(fig.figure_id)}</title>"
+        f"<style>{_CSS}</style></head><body><div class='viz-root'>"
+        f"<h1>{html.escape(fig.figure_id)}</h1>"
+        f"<p class='subtitle'>{html.escape(fig.title)} — "
+        f"{html.escape(fig.value_label)}</p>"
+        + _legend(classes)
+        + "".join(panels)
+        + _table(fig)
+        + "</div></body></html>"
+    )
+
+
+def save_figure_html(fig: FigureData, path, log_scale: bool = False) -> Path:
+    """Write the rendered figure; returns the path."""
+    path = Path(path)
+    path.write_text(render_figure_html(fig, log_scale=log_scale))
+    return path

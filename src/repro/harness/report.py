@@ -1,0 +1,71 @@
+"""Text rendering of the paper's tables.
+
+Regenerates Table 1 (hardware), Table 2 (workload scale parameters)
+and Table 3 (program arguments) from the live catalog and benchmark
+registry, so any drift between code and publication is visible.
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..devices.catalog import CATALOG
+from ..dwarfs.base import SIZES
+from ..dwarfs.registry import program_arguments_table, scale_parameters_table
+
+
+def render_table(rows: list[dict], title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)\n"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    out.write(header + "\n")
+    out.write("-+-".join("-" * widths[c] for c in columns) + "\n")
+    for r in rows:
+        out.write(" | ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns) + "\n")
+    return out.getvalue()
+
+
+def table1_rows() -> list[dict]:
+    """Table 1: hardware characteristics of the 15 platforms."""
+    return [spec.table1_row() for spec in CATALOG]
+
+
+def table1_text() -> str:
+    return render_table(table1_rows(), "Table 1: Hardware")
+
+
+def table2_rows() -> list[dict]:
+    """Table 2: workload scale parameters Φ."""
+    table = scale_parameters_table()
+    rows = []
+    for name, sizes in table.items():
+        row = {"Benchmark": name}
+        for size in SIZES:
+            row[size] = sizes.get(size, "–")
+        rows.append(row)
+    return rows
+
+
+def table2_text() -> str:
+    return render_table(table2_rows(), "Table 2: OpenDwarfs workload scale parameters Φ")
+
+
+def table3_rows() -> list[dict]:
+    """Table 3: program arguments."""
+    return [
+        {"Benchmark": name, "Arguments": template}
+        for name, template in program_arguments_table().items()
+    ]
+
+
+def table3_text() -> str:
+    return render_table(table3_rows(), "Table 3: Program Arguments")

@@ -1,0 +1,110 @@
+"""Result collection, grouping and export."""
+
+from __future__ import annotations
+
+import io
+from collections import defaultdict
+
+import numpy as np
+
+from .runner import RunResult
+
+
+class ResultSet:
+    """A collection of :class:`RunResult` with grouping helpers."""
+
+    def __init__(self, results: list[RunResult] | None = None):
+        self.results: list[RunResult] = list(results or [])
+
+    def add(self, result: RunResult) -> None:
+        self.results.append(result)
+
+    def extend(self, results: list[RunResult]) -> None:
+        self.results.extend(results)
+
+    # ------------------------------------------------------------------
+    def filter(self, benchmark: str | None = None, size: str | None = None,
+               device: str | None = None, device_class: str | None = None
+               ) -> "ResultSet":
+        out = [
+            r for r in self.results
+            if (benchmark is None or r.benchmark == benchmark)
+            and (size is None or r.size == size)
+            and (device is None or r.device == device)
+            and (device_class is None or r.device_class == device_class)
+        ]
+        return ResultSet(out)
+
+    def get(self, benchmark: str, size: str, device: str) -> RunResult:
+        for r in self.results:
+            if (r.benchmark, r.size, r.device) == (benchmark, size, device):
+                return r
+        raise KeyError(f"no result for ({benchmark}, {size}, {device})")
+
+    def devices(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.results:
+            seen.setdefault(r.device, None)
+        return list(seen)
+
+    def sizes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.results:
+            seen.setdefault(r.size, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    def best_device(self, benchmark: str, size: str,
+                    device_class: str | None = None) -> RunResult:
+        """The fastest device for a group (by mean kernel time)."""
+        candidates = self.filter(benchmark=benchmark, size=size,
+                                 device_class=device_class).results
+        if not candidates:
+            raise KeyError(f"no results for ({benchmark}, {size}, {device_class})")
+        return min(candidates, key=lambda r: r.mean_ms)
+
+    def class_mean_ms(self, benchmark: str, size: str, device_class: str) -> float:
+        """Mean of per-device means within an accelerator class."""
+        rs = self.filter(benchmark=benchmark, size=size,
+                         device_class=device_class).results
+        if not rs:
+            raise KeyError(f"no results for ({benchmark}, {size}, {device_class})")
+        return float(np.mean([r.mean_ms for r in rs]))
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Long-form CSV: one row per sample."""
+        out = io.StringIO()
+        out.write("benchmark,size,device,device_class,sample,time_s,energy_j\n")
+        for r in self.results:
+            for i, (t, e) in enumerate(zip(r.times_s, r.energies_j)):
+                out.write(
+                    f"{r.benchmark},{r.size},{r.device},{r.device_class},"
+                    f"{i},{t:.9g},{e:.9g}\n"
+                )
+        return out.getvalue()
+
+    def summary_rows(self) -> list[dict]:
+        """One summary dict per group (for table rendering)."""
+        rows = []
+        for r in self.results:
+            s = r.time_summary
+            rows.append({
+                "benchmark": r.benchmark,
+                "size": r.size,
+                "device": r.device,
+                "class": r.device_class,
+                "mean_ms": round(s.mean * 1e3, 4),
+                "median_ms": round(s.median * 1e3, 4),
+                "cov": round(s.cov, 4),
+                "mean_energy_j": round(float(r.energies_j.mean()), 4),
+                "loop_iters": r.loop_iterations,
+                "bound": r.breakdown.bound,
+            })
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)

@@ -1,0 +1,196 @@
+"""Benchmark runner: the paper's measurement protocol.
+
+For each (benchmark, size, device) group the runner applies §4.3:
+
+* the benchmark executes in a loop for **at least 2 seconds** per
+  sample so OS noise does not dominate short kernels;
+* **50 samples** are collected (``repro.scibench.required_sample_size``
+  reproduces that number from the power calculation);
+* the mean kernel time per iteration is recorded per sample, along
+  with kernel energy via the RAPL (Intel) or NVML (NVIDIA) sensor
+  models.
+
+Functional execution (running the kernels' numpy bodies and validating
+against the serial references) is decoupled from timing sampling: one
+functional pass establishes correctness, then timing samples are drawn
+from the analytic model + noise model — re-running a numpy kernel 10^5
+times would only measure the simulator, not the modeled device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..counters.nvml import NvmlSensor
+from ..counters.rapl import RaplSensor
+from ..devices.catalog import get_device
+from ..devices.specs import DeviceSpec, Vendor
+from ..dwarfs.base import Benchmark
+from ..dwarfs.registry import get_benchmark
+from ..ocl import CommandQueue, Context, Device, find_device
+from ..perfmodel import iteration_time, noisy_samples
+from ..perfmodel.roofline import TimeBreakdown
+from ..perfmodel.energy import mean_power_w
+from ..scibench.recorder import REGION_KERNEL, REGION_SETUP, REGION_TRANSFER, Recorder
+from ..scibench.stats import SampleSummary, summarize
+
+#: Samples per measurement group (paper §4.3).
+DEFAULT_SAMPLES = 50
+
+#: Minimum looped duration per sample, seconds (paper §2).
+MIN_LOOP_SECONDS = 2.0
+
+
+@dataclass
+class RunConfig:
+    """One measurement group: benchmark x size x device."""
+
+    benchmark: str
+    size: str
+    device: str
+    samples: int = DEFAULT_SAMPLES
+    min_loop_seconds: float = MIN_LOOP_SECONDS
+    #: Execute the kernels functionally and validate results.  Model-
+    #: only runs skip this (used for full-matrix sweeps after each
+    #: benchmark has been validated once).
+    execute: bool = True
+    validate: bool = True
+    seed: int = 12345
+
+
+@dataclass
+class RunResult:
+    """Measurements for one group."""
+
+    benchmark: str
+    size: str
+    device: str
+    device_class: str
+    nominal_s: float
+    times_s: np.ndarray
+    energies_j: np.ndarray
+    loop_iterations: int
+    breakdown: TimeBreakdown
+    footprint_bytes: int
+    validated: bool
+    recorder: Recorder = field(repr=False, default=None)
+
+    @property
+    def time_summary(self) -> SampleSummary:
+        return summarize(self.times_s)
+
+    @property
+    def energy_summary(self) -> SampleSummary:
+        return summarize(self.energies_j)
+
+    @property
+    def mean_ms(self) -> float:
+        return float(self.times_s.mean() * 1e3)
+
+    @property
+    def mean_energy_j(self) -> float:
+        return float(self.energies_j.mean())
+
+
+def _energy_samples(
+    spec: DeviceSpec,
+    times_s: np.ndarray,
+    utilization: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-sample kernel energy through the appropriate sensor model."""
+    if spec.vendor == Vendor.NVIDIA:
+        sensor = NvmlSensor(spec, rng=rng)
+        return np.array([sensor.measure(t, utilization) for t in times_s])
+    if spec.vendor == Vendor.INTEL:
+        sensor = RaplSensor(spec, rng=rng)
+        return np.array([sensor.measure(t, utilization) for t in times_s])
+    # AMD boards had no supported PAPI energy module in the paper;
+    # model the same power law directly.
+    return mean_power_w(spec, utilization) * times_s
+
+
+def run_benchmark(config: RunConfig) -> RunResult:
+    """Measure one (benchmark, size, device) group."""
+    spec = get_device(config.device)
+    cls = get_benchmark(config.benchmark)
+    bench = cls.from_size(config.size)
+    rng = np.random.default_rng(
+        config.seed + hash((config.benchmark, config.size, spec.name)) % (2**31)
+    )
+    recorder = Recorder(f"{config.benchmark}/{config.size}/{spec.name}")
+
+    validated = False
+    if config.execute:
+        device = find_device(spec.name)
+        context = Context(device)
+        queue = CommandQueue(context, rng=rng)
+        try:
+            bench.host_setup(context)
+            for event in bench.transfer_inputs(queue):
+                recorder.record_event(REGION_TRANSFER, event)
+            for event in bench.run_iteration(queue):
+                recorder.record_event(REGION_KERNEL, event)
+            for event in bench.collect_results(queue):
+                recorder.record_event(REGION_TRANSFER, event)
+            if config.validate:
+                bench.validate()
+                validated = True
+        finally:
+            bench.teardown()
+    else:
+        # profiles() needs per-instance parameters only; host data is
+        # not generated
+        pass
+
+    breakdown = iteration_time(spec, bench.profiles())
+    nominal = breakdown.total_s
+    loop_iterations = max(1, math.ceil(config.min_loop_seconds / max(nominal, 1e-9)))
+    times = noisy_samples(spec, nominal, config.samples, rng,
+                          loop_iterations=loop_iterations)
+    energies = _energy_samples(spec, times, breakdown.utilization, rng)
+    for t, e in zip(times, energies):
+        recorder.record(REGION_KERNEL, float(t), energy_j=float(e), sampled=True)
+
+    return RunResult(
+        benchmark=config.benchmark,
+        size=config.size,
+        device=spec.name,
+        device_class=spec.device_class.value,
+        nominal_s=nominal,
+        times_s=times,
+        energies_j=energies,
+        loop_iterations=loop_iterations,
+        breakdown=breakdown,
+        footprint_bytes=bench.footprint_bytes(),
+        validated=validated,
+        recorder=recorder,
+    )
+
+
+def run_matrix(
+    benchmark: str,
+    sizes: list[str] | None = None,
+    devices: list[str] | None = None,
+    execute: bool = False,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = 12345,
+) -> list[RunResult]:
+    """Measure a benchmark across sizes x devices (model-only default)."""
+    cls = get_benchmark(benchmark)
+    sizes = list(sizes) if sizes else list(cls.available_sizes())
+    if devices is None:
+        from ..devices.catalog import device_names
+        devices = list(device_names())
+    results = []
+    for size in sizes:
+        for device in devices:
+            results.append(run_benchmark(RunConfig(
+                benchmark=benchmark, size=size, device=device,
+                samples=samples, execute=execute, validate=execute,
+                seed=seed,
+            )))
+    return results

@@ -1,0 +1,85 @@
+"""Host <-> device memory-transfer measurement.
+
+"For each benchmark we also measured memory transfer times between
+host and device, however, only the kernel execution times and energies
+are presented here" (paper §4.3).  This module presents them: it
+executes each benchmark's real input/output transfers on the simulated
+queue and reports the per-direction times, making visible the PCIe
+penalty discrete GPUs pay that CPU devices do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.catalog import get_device
+from ..dwarfs.registry import get_benchmark
+from ..ocl import CommandQueue, Context, find_device
+
+
+@dataclass(frozen=True)
+class TransferMeasurement:
+    """Transfer times for one (benchmark, size, device) group."""
+
+    benchmark: str
+    size: str
+    device: str
+    device_class: str
+    bytes_to_device: int
+    bytes_from_device: int
+    to_device_s: float
+    from_device_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.to_device_s + self.from_device_s
+
+    def as_row(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "size": self.size,
+            "device": self.device,
+            "to device": f"{self.bytes_to_device / 1024:.0f} KiB / "
+                         f"{self.to_device_s * 1e3:.4f} ms",
+            "from device": f"{self.bytes_from_device / 1024:.0f} KiB / "
+                           f"{self.from_device_s * 1e3:.4f} ms",
+        }
+
+
+def measure_transfers(benchmark: str, size: str, device: str
+                      ) -> TransferMeasurement:
+    """Execute one benchmark's transfers and read the event timings."""
+    spec = get_device(device)
+    bench = get_benchmark(benchmark).from_size(size)
+    context = Context(find_device(spec.name))
+    queue = CommandQueue(context)
+    try:
+        bench.host_setup(context)
+        inputs = bench.transfer_inputs(queue)
+        bench.run_iteration(queue)
+        outputs = bench.collect_results(queue)
+        return TransferMeasurement(
+            benchmark=benchmark,
+            size=size,
+            device=spec.name,
+            device_class=spec.device_class.value,
+            bytes_to_device=sum(e.info.get("bytes", 0) for e in inputs),
+            bytes_from_device=sum(e.info.get("bytes", 0) for e in outputs),
+            to_device_s=sum(e.duration_s for e in inputs),
+            from_device_s=sum(e.duration_s for e in outputs),
+        )
+    finally:
+        bench.teardown()
+
+
+def transfer_table(benchmarks: list[str], size: str = "small",
+                   devices: tuple[str, ...] = ("i7-6700K", "GTX 1080", "K20m")
+                   ) -> list[TransferMeasurement]:
+    """Transfer measurements for a set of benchmarks across devices."""
+    out = []
+    for name in benchmarks:
+        cls = get_benchmark(name)
+        use = size if size in cls.presets else cls.available_sizes()[0]
+        for device in devices:
+            out.append(measure_transfers(name, use, device))
+    return out

@@ -1,0 +1,5 @@
+"""Data generation and file IO: PNM images, molecules, CSR matrices."""
+
+from . import csrfile, images, molecules, ppm
+
+__all__ = ["csrfile", "images", "molecules", "ppm"]

@@ -1,0 +1,107 @@
+"""Synthetic test images and resampling.
+
+The paper's dwt input is a 3648x2736 photograph of a gum leaf,
+down-sampled with ImageMagick to the smaller problem sizes (§4.4.3).
+We have no photograph, so :func:`gum_leaf` synthesises a leaf-like
+image — an elliptical blade with veins and background texture — whose
+statistics (smooth regions + oriented edges) exercise a wavelet
+transform the same way, and :func:`resize_box` stands in for
+ImageMagick's resize.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+#: Native resolution of the paper's gum-leaf photograph.
+NATIVE_SIZE = (3648, 2736)  # (width, height)
+
+
+def gum_leaf(width: int, height: int, seed: int = 20180510) -> np.ndarray:
+    """Generate a leaf-like grayscale image of the given size.
+
+    Deterministic for a given (size, seed): an elliptical leaf blade on
+    a textured background, a midrib and lateral veins, plus mild sensor
+    noise.  Values are uint8.  Results are memoised (generation of the
+    native-size master costs ~2 s); callers receive a fresh copy.
+    """
+    return _gum_leaf_cached(width, height, seed).copy()
+
+
+@functools.lru_cache(maxsize=8)
+def _gum_leaf_cached(width: int, height: int, seed: int) -> np.ndarray:
+    if width <= 0 or height <= 0:
+        raise ValueError(f"image size must be positive, got {width}x{height}")
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:height, 0:width]
+    # normalised coordinates centred on the leaf, slightly rotated
+    u = (x - width * 0.5) / (width * 0.42)
+    v = (y - height * 0.5) / (height * 0.36)
+    theta = 0.35
+    ur = u * np.cos(theta) - v * np.sin(theta)
+    vr = u * np.sin(theta) + v * np.cos(theta)
+    # leaf blade: ellipse tapered toward the tip
+    blade = (ur**2 + (vr * (1.3 + 0.45 * ur)) ** 2) < 1.0
+    image = np.full((height, width), 190.0)
+    # background texture (paper/table surface)
+    image += 12.0 * np.sin(x * 0.11) * np.cos(y * 0.07)
+    # blade body darker, with chlorophyll gradient
+    image[blade] = 95.0 + 28.0 * ur[blade]
+    # midrib along the leaf axis
+    midrib = blade & (np.abs(vr) < 0.035)
+    image[midrib] = 150.0
+    # lateral veins branching from the midrib
+    veins = blade & (np.abs(np.sin(ur * 18.0) * 0.5 - vr) < 0.03)
+    image[veins] = 135.0
+    image += rng.normal(0.0, 2.0, size=image.shape)
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+def resize_box(image: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Box-filter resample to (height, width) — ImageMagick-style resize.
+
+    Works for both down- and up-sampling by averaging the source pixels
+    each destination pixel covers (nearest source pixel when
+    upsampling).
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError(f"target size must be positive, got {width}x{height}")
+    src_h, src_w = image.shape[:2]
+    # Box boundaries per output pixel; degenerate boxes (upsampling)
+    # are widened to one source pixel.
+    y_edges = np.linspace(0, src_h, height + 1).astype(np.int64)
+    x_edges = np.linspace(0, src_w, width + 1).astype(np.int64)
+    y0, y1 = y_edges[:-1], np.maximum(y_edges[1:], y_edges[:-1] + 1)
+    x0, x1 = x_edges[:-1], np.maximum(x_edges[1:], x_edges[:-1] + 1)
+    # Summed-area table: box sums become four lookups, fully vectorised.
+    img = image.astype(np.float64)
+    sat = np.zeros((src_h + 1, src_w + 1) + img.shape[2:], dtype=np.float64)
+    sat[1:, 1:] = img.cumsum(axis=0).cumsum(axis=1)
+    totals = (
+        sat[np.ix_(y1, x1)] - sat[np.ix_(y0, x1)]
+        - sat[np.ix_(y1, x0)] + sat[np.ix_(y0, x0)]
+    )
+    areas = ((y1 - y0)[:, None] * (x1 - x0)[None, :]).astype(np.float64)
+    if totals.ndim == 3:
+        areas = areas[..., None]
+    out = totals / areas
+    return np.clip(np.round(out), 0, 255).astype(image.dtype)
+
+
+def gum_leaf_at_scale(width: int, height: int, seed: int = 20180510) -> np.ndarray:
+    """The leaf image at a target problem size.
+
+    For the native (large) size the image is generated directly; for
+    smaller sizes a moderate-resolution master is generated and
+    box-resampled, mirroring the paper's ImageMagick pipeline while
+    keeping generation cheap.
+    """
+    if (width, height) == NATIVE_SIZE:
+        return gum_leaf(width, height, seed)
+    # master at 4x the target (capped) mimics downsampling a photograph
+    master_w = min(width * 4, NATIVE_SIZE[0])
+    master_h = min(height * 4, NATIVE_SIZE[1])
+    master = gum_leaf(master_w, master_h, seed)
+    return resize_box(master, width, height)

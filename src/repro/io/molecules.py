@@ -1,0 +1,155 @@
+"""Synthetic biomolecular structures for the gem benchmark.
+
+The paper feeds gem with molecules from the NCBI MMDB, converted to
+pqr (atom position/charge/radius) format with ``pdb2pqr`` and
+triangulated into solvent-excluded surfaces with ``msms`` (§4.4.4).
+Neither the database nor those tools exist here, so this module
+generates synthetic molecules whose *device-side memory footprints
+match the paper's reported values* for each dataset:
+
+=========  =========================  ==============  ==========
+size       paper dataset              footprint       molecules
+=========  =========================  ==============  ==========
+tiny       Prion Peptide 4TUT         31.3 KiB        1 protein
+small      Leukocyte Receptor 2D3V    252 KiB         1 protein
+medium     nucleosome (OpenDwarfs)    7 498 KiB       —
+large      Nucleosome Core 1KX5       10 970.2 KiB    28
+=========  =========================  ==============  ==========
+
+gem's kernel consumes exactly two arrays — atoms (x, y, z, charge) and
+surface vertices (x, y, z, potential-out) — so matching counts and
+footprints preserves the performance-relevant structure.  Atoms are
+placed in globular clusters (residue blobs); vertices are distributed
+on a molecular-surface-like sphere around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bytes per atom record on the device: x, y, z, charge (fp32).
+ATOM_BYTES = 16
+#: Bytes per surface vertex: x, y, z (fp32) + output potential (fp32).
+VERTEX_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MoleculeSpec:
+    """Named dataset with target atom/vertex counts."""
+
+    name: str
+    description: str
+    n_atoms: int
+    n_vertices: int
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.n_atoms * ATOM_BYTES + self.n_vertices * VERTEX_BYTES
+
+    @property
+    def footprint_kib(self) -> float:
+        return self.footprint_bytes / 1024.0
+
+
+def _counts_for_footprint(total_kib: float, vertex_ratio: float = 4.0) -> tuple[int, int]:
+    """Atom/vertex counts whose footprint is ``total_kib``.
+
+    msms produces several surface vertices per atom; ``vertex_ratio``
+    fixes vertices = ratio x atoms.
+    """
+    total = total_kib * 1024.0
+    atoms = int(round(total / (ATOM_BYTES + vertex_ratio * VERTEX_BYTES)))
+    vertices = int(round((total - atoms * ATOM_BYTES) / VERTEX_BYTES))
+    return max(atoms, 1), max(vertices, 1)
+
+
+def _make_spec(name: str, description: str, footprint_kib: float) -> MoleculeSpec:
+    atoms, vertices = _counts_for_footprint(footprint_kib)
+    return MoleculeSpec(name=name, description=description,
+                        n_atoms=atoms, n_vertices=vertices)
+
+
+#: The four gem datasets keyed by the Table 2 scale parameter.
+MOLECULES: dict[str, MoleculeSpec] = {
+    "4TUT": _make_spec(
+        "4TUT", "Prion peptide, 1 protein molecule (tiny)", 31.3),
+    "2D3V": _make_spec(
+        "2D3V", "Leukocyte receptor LILRA5, 1 protein molecule (small)", 252.0),
+    "nucleosome": _make_spec(
+        "nucleosome", "OpenDwarfs nucleosome dataset (medium)", 7498.0),
+    "1KX5": _make_spec(
+        "1KX5", "Nucleosome core particle: 8 protein, 2 nucleotide, "
+        "18 chemical molecules (large)", 10970.2),
+}
+
+
+@dataclass
+class Molecule:
+    """Generated structure: atom records plus surface vertices."""
+
+    spec: MoleculeSpec
+    atoms: np.ndarray      # (n_atoms, 4) float32: x, y, z, charge
+    vertices: np.ndarray   # (n_vertices, 3) float32: x, y, z
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.atoms.nbytes + self.vertices.nbytes + self.spec.n_vertices * 4
+
+
+def generate(spec_or_name: MoleculeSpec | str, seed: int = 4242) -> Molecule:
+    """Generate a synthetic molecule for a dataset spec.
+
+    Atoms are sampled from a mixture of gaussian "residue" blobs with
+    partial charges in [-1, 1] summing to ~0 (as pdb2pqr assigns);
+    vertices sit on a noisy ellipsoidal shell around the atom cloud
+    (the solvent-excluded surface msms would produce).
+    """
+    spec = MOLECULES[spec_or_name] if isinstance(spec_or_name, str) else spec_or_name
+    rng = np.random.default_rng(seed + hash(spec.name) % 100_000)
+
+    n_blobs = max(1, spec.n_atoms // 120)
+    centers = rng.normal(0.0, 12.0, size=(n_blobs, 3))
+    which = rng.integers(0, n_blobs, size=spec.n_atoms)
+    positions = centers[which] + rng.normal(0.0, 3.0, size=(spec.n_atoms, 3))
+    charges = rng.uniform(-1.0, 1.0, size=spec.n_atoms)
+    charges -= charges.mean()  # near-neutral molecule
+    atoms = np.concatenate([positions, charges[:, None]], axis=1).astype(np.float32)
+
+    # Surface shell: unit directions scaled past the atom radius.
+    directions = rng.normal(size=(spec.n_vertices, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    extent = np.abs(positions).max() + 4.0
+    radii = extent * rng.uniform(1.0, 1.15, size=(spec.n_vertices, 1))
+    vertices = (directions * radii).astype(np.float32)
+
+    return Molecule(spec=spec, atoms=atoms, vertices=vertices)
+
+
+def to_pqr(molecule: Molecule) -> str:
+    """Render the atoms in pqr text format (as pdb2pqr emits).
+
+    Radius is a constant van-der-Waals stand-in; gem does not read it.
+    """
+    lines = []
+    for i, (x, y, z, q) in enumerate(molecule.atoms, start=1):
+        lines.append(
+            f"ATOM  {i:5d}  C   RES A{(i - 1) // 8 + 1:4d}    "
+            f"{x:8.3f}{y:8.3f}{z:8.3f} {q:7.4f} {1.7:6.4f}"
+        )
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def from_pqr(text: str, spec: MoleculeSpec | None = None) -> np.ndarray:
+    """Parse pqr text back to an (n, 4) atom array."""
+    rows = []
+    for line in text.splitlines():
+        if line.startswith(("ATOM", "HETATM")):
+            x = float(line[30:38])
+            y = float(line[38:46])
+            z = float(line[46:54])
+            q = float(line[54:62])
+            rows.append((x, y, z, q))
+    return np.asarray(rows, dtype=np.float32)

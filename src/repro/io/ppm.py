@@ -1,0 +1,112 @@
+"""Portable PixMap / GrayMap codec.
+
+The dwt benchmark was "extended to support loading of Portable PixMap
+(.ppm) and Portable GrayMap (.pgm) image formats, and storing Portable
+GrayMap images of the resulting DWT coefficients in a visual tiled
+fashion" (paper §4.4.3).  This module implements the binary (P5/P6)
+and ASCII (P2/P3) variants over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+
+import numpy as np
+
+_MAGIC_TO_KIND = {b"P2": ("pgm", False), b"P3": ("ppm", False),
+                  b"P5": ("pgm", True), b"P6": ("ppm", True)}
+
+
+class PNMError(ValueError):
+    """Malformed PNM data."""
+
+
+def _read_tokens(data: bytes, count: int, pos: int) -> tuple[list[int], int]:
+    """Read ``count`` whitespace-separated integers, skipping comments."""
+    tokens: list[int] = []
+    while len(tokens) < count:
+        # skip whitespace and comment lines
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if pos < len(data) and data[pos : pos + 1] == b"#":
+            eol = data.find(b"\n", pos)
+            pos = len(data) if eol == -1 else eol + 1
+            continue
+        match = re.match(rb"\d+", data[pos:])
+        if not match:
+            raise PNMError(f"expected integer at byte {pos}")
+        tokens.append(int(match.group()))
+        pos += match.end()
+    return tokens, pos
+
+
+def loads(data: bytes) -> np.ndarray:
+    """Decode PNM bytes to an array: (h, w) for PGM, (h, w, 3) for PPM."""
+    magic = data[:2]
+    if magic not in _MAGIC_TO_KIND:
+        raise PNMError(f"not a supported PNM format: magic {magic!r}")
+    kind, binary = _MAGIC_TO_KIND[magic]
+    (width, height, maxval), pos = _read_tokens(data, 3, 2)
+    if maxval <= 0 or maxval > 65535:
+        raise PNMError(f"invalid maxval {maxval}")
+    channels = 3 if kind == "ppm" else 1
+    n_values = width * height * channels
+    dtype = np.dtype(np.uint8) if maxval < 256 else np.dtype(">u2")
+    if binary:
+        pos += 1  # single whitespace after maxval
+        raw = data[pos : pos + n_values * dtype.itemsize]
+        if len(raw) != n_values * dtype.itemsize:
+            raise PNMError(
+                f"truncated raster: expected {n_values * dtype.itemsize} bytes, "
+                f"got {len(raw)}"
+            )
+        values = np.frombuffer(raw, dtype=dtype).astype(np.uint16 if maxval >= 256 else np.uint8)
+    else:
+        ints, _ = _read_tokens(data, n_values, pos)
+        values = np.asarray(ints, dtype=np.uint16 if maxval >= 256 else np.uint8)
+    shape = (height, width) if channels == 1 else (height, width, 3)
+    return values.reshape(shape)
+
+
+def dumps(image: np.ndarray, binary: bool = True, maxval: int = 255) -> bytes:
+    """Encode an image array as PGM (2-D) or PPM (3-D, 3 channels)."""
+    image = np.asarray(image)
+    if image.ndim == 2:
+        magic = b"P5" if binary else b"P2"
+        h, w = image.shape
+    elif image.ndim == 3 and image.shape[2] == 3:
+        magic = b"P6" if binary else b"P3"
+        h, w = image.shape[:2]
+    else:
+        raise PNMError(f"cannot encode array of shape {image.shape}")
+    if image.min() < 0 or image.max() > maxval:
+        raise PNMError(f"pixel values outside [0, {maxval}]")
+    header = b"%s\n%d %d\n%d\n" % (magic, w, h, maxval)
+    flat = image.astype(np.uint8 if maxval < 256 else np.dtype(">u2")).reshape(-1)
+    if binary:
+        return header + flat.tobytes()
+    body = io.StringIO()
+    for i, v in enumerate(flat.tolist()):
+        body.write(f"{v}")
+        body.write("\n" if (i + 1) % 16 == 0 else " ")
+    return header + body.getvalue().rstrip().encode() + b"\n"
+
+
+def load(path) -> np.ndarray:
+    """Read a .ppm/.pgm file."""
+    return loads(Path(path).read_bytes())
+
+
+def save(path, image: np.ndarray, binary: bool = True, maxval: int = 255) -> None:
+    """Write an image array to a .ppm/.pgm file."""
+    Path(path).write_bytes(dumps(image, binary=binary, maxval=maxval))
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Luma conversion (Rec. 601) for RGB images; pass-through for gray."""
+    if image.ndim == 2:
+        return image
+    weights = np.array([0.299, 0.587, 0.114])
+    return (image[..., :3].astype(np.float64) @ weights).round().astype(image.dtype)

@@ -1,0 +1,118 @@
+"""OpenCL C source handling.
+
+The real Extended OpenDwarfs ships ``.cl`` kernel sources; this module
+keeps that artefact meaningful in the simulation: benchmarks attach
+their OpenCL C source to :class:`KernelSource`, and a small parser
+extracts ``__kernel`` signatures so the runtime can cross-check that
+
+* every Python kernel body has a same-named ``__kernel`` in the source,
+* the argument count bound at enqueue matches the C signature.
+
+That is the class of host/kernel mismatch (wrong arg index, renamed
+kernel) that produces the silent wrong answers the paper's curation
+fought — here it fails the build instead.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: OpenCL C type qualifiers stripped while parsing parameters.
+_QUALIFIERS = {
+    "__global", "global", "__local", "local", "__constant", "constant",
+    "__private", "private", "const", "restrict", "volatile",
+    "__read_only", "__write_only", "read_only", "write_only",
+}
+
+_KERNEL_RE = re.compile(
+    r"__kernel\s+void\s+(?P<name>[A-Za-z_]\w*)\s*\((?P<params>[^)]*)\)",
+    re.S,
+)
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//[^\n]*", re.S)
+
+
+class CLSourceError(ValueError):
+    """Malformed OpenCL C source or host/kernel mismatch."""
+
+
+@dataclass(frozen=True)
+class CLParam:
+    """One parsed kernel parameter."""
+
+    type_name: str
+    name: str
+    is_pointer: bool
+    address_space: str  # global / local / constant / private
+
+    @property
+    def is_buffer(self) -> bool:
+        return self.is_pointer and self.address_space in ("global", "constant")
+
+
+@dataclass(frozen=True)
+class CLKernelSignature:
+    """A parsed ``__kernel void name(...)`` signature."""
+
+    name: str
+    params: tuple[CLParam, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    @property
+    def buffer_params(self) -> tuple[CLParam, ...]:
+        return tuple(p for p in self.params if p.is_buffer)
+
+
+def _parse_param(text: str) -> CLParam:
+    text = text.strip()
+    if not text:
+        raise CLSourceError("empty kernel parameter")
+    is_pointer = "*" in text
+    tokens = text.replace("*", " ").split()
+    address_space = "private"
+    for token in tokens:
+        cleaned = token.lstrip("_")
+        if token in _QUALIFIERS and cleaned in ("global", "local",
+                                                "constant", "private"):
+            address_space = cleaned
+    meaningful = [t for t in tokens if t not in _QUALIFIERS]
+    if len(meaningful) < 2:
+        raise CLSourceError(f"cannot parse kernel parameter {text!r}")
+    return CLParam(
+        type_name=" ".join(meaningful[:-1]),
+        name=meaningful[-1],
+        is_pointer=is_pointer,
+        address_space=address_space if is_pointer else "private",
+    )
+
+
+def parse_kernels(source: str) -> dict[str, CLKernelSignature]:
+    """Extract every ``__kernel`` signature from OpenCL C source."""
+    stripped = _COMMENT_RE.sub(" ", source)
+    kernels: dict[str, CLKernelSignature] = {}
+    for match in _KERNEL_RE.finditer(stripped):
+        name = match.group("name")
+        params_text = match.group("params").strip()
+        if params_text in ("", "void"):
+            params: tuple[CLParam, ...] = ()
+        else:
+            params = tuple(_parse_param(p) for p in params_text.split(","))
+        if name in kernels:
+            raise CLSourceError(f"duplicate __kernel {name!r} in source")
+        kernels[name] = CLKernelSignature(name=name, params=params)
+    if not kernels:
+        raise CLSourceError("source contains no __kernel functions")
+    return kernels
+
+
+def check_arguments(signature: CLKernelSignature, n_args: int) -> None:
+    """Raise if the bound argument count disagrees with the C signature."""
+    if n_args != signature.arity:
+        raise CLSourceError(
+            f"kernel {signature.name!r} takes {signature.arity} arguments "
+            f"per its OpenCL C signature, but {n_args} were bound"
+        )

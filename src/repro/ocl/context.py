@@ -1,0 +1,91 @@
+"""Contexts: ownership scope for buffers, programs and queues."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import Device
+from .errors import MemObjectAllocationFailure, OutOfResources
+from .memory import Buffer
+from .types import MemFlags
+
+
+class Context:
+    """Execution context bound to a single device.
+
+    (OpenCL contexts may span devices; the OpenDwarfs benchmarks always
+    create single-device contexts, so that is what we model.)
+    """
+
+    def __init__(self, device: Device):
+        self.device = device
+        self._allocations: dict[int, Buffer] = {}
+        self._allocated_bytes = 0
+        self._peak_allocated_bytes = 0
+
+    # ------------------------------------------------------------------
+    def create_buffer(
+        self,
+        flags: MemFlags = MemFlags.READ_WRITE,
+        size: int | None = None,
+        hostbuf: np.ndarray | None = None,
+    ) -> Buffer:
+        """Allocate a device buffer (``clCreateBuffer``)."""
+        return Buffer(self, flags=flags, size=size, hostbuf=hostbuf)
+
+    def buffer_like(self, array: np.ndarray, flags: MemFlags = MemFlags.READ_WRITE) -> Buffer:
+        """Allocate a buffer initialised from (a copy of) ``array``."""
+        return Buffer(self, flags=flags | MemFlags.COPY_HOST_PTR, hostbuf=array)
+
+    # ------------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        """Sum of all live device allocations.
+
+        This is the quantity the paper prints to verify each
+        benchmark's memory footprint against the targeted cache level.
+        """
+        return self._allocated_bytes
+
+    @property
+    def peak_allocated_bytes(self) -> int:
+        """High-water mark of device allocations over the context's life."""
+        return self._peak_allocated_bytes
+
+    @property
+    def live_buffers(self) -> int:
+        return len(self._allocations)
+
+    # ------------------------------------------------------------------
+    def _register_allocation(self, buf: Buffer) -> None:
+        limit = self.device.global_mem_size
+        if buf.size > limit:
+            raise MemObjectAllocationFailure(
+                f"single allocation of {buf.size} bytes exceeds the "
+                f"{limit}-byte global memory of {self.device.name}"
+            )
+        if self._allocated_bytes + buf.size > limit:
+            raise OutOfResources(
+                f"allocating {buf.size} bytes would exceed the "
+                f"{limit}-byte global memory of {self.device.name} "
+                f"({self._allocated_bytes} bytes already allocated)"
+            )
+        self._allocations[id(buf)] = buf
+        self._allocated_bytes += buf.size
+        self._peak_allocated_bytes = max(self._peak_allocated_bytes, self._allocated_bytes)
+
+    def _unregister_allocation(self, buf: Buffer) -> None:
+        if id(buf) in self._allocations:
+            del self._allocations[id(buf)]
+            self._allocated_bytes -= buf.size
+
+    def release_all(self) -> None:
+        """Release every live buffer (context teardown)."""
+        for buf in list(self._allocations.values()):
+            buf.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Context on {self.device.name}: {self.live_buffers} buffers, "
+            f"{self._allocated_bytes} bytes>"
+        )

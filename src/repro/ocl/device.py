@@ -1,0 +1,73 @@
+"""Runtime device objects.
+
+A :class:`Device` is the runtime-facing wrapper around a static
+:class:`~repro.devices.DeviceSpec`: it answers ``clGetDeviceInfo``-style
+queries and is what contexts and queues are created against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..devices.specs import DeviceSpec
+from .errors import InvalidValue
+from .ndrange import MAX_WORK_GROUP_SIZE
+from .types import DeviceType, MEM_BASE_ADDR_ALIGN_BITS, PROFILING_TIMER_RESOLUTION_NS
+
+
+@dataclass(frozen=True)
+class Device:
+    """A compute device visible through a platform."""
+
+    spec: DeviceSpec
+    #: Index of this device within its platform (the ``-d`` argument).
+    index: int = 0
+    platform_name: str = ""
+    extra_info: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def device_type(self) -> DeviceType:
+        return self.spec.device_type
+
+    @property
+    def global_mem_size(self) -> int:
+        """Global memory capacity in bytes."""
+        return self.spec.memory.size_mib * 1024 * 1024
+
+    @property
+    def max_compute_units(self) -> int:
+        return self.spec.core_count
+
+    @property
+    def max_clock_frequency_mhz(self) -> int:
+        return self.spec.clock_max_mhz
+
+    def get_info(self, param: str):
+        """Answer a ``clGetDeviceInfo`` query by parameter name.
+
+        Supports the parameter subset the benchmarks interrogate.
+        Unknown parameters raise :class:`InvalidValue`, as the C API
+        returns ``CL_INVALID_VALUE``.
+        """
+        table = {
+            "CL_DEVICE_NAME": self.name,
+            "CL_DEVICE_VENDOR": self.spec.vendor.value,
+            "CL_DEVICE_TYPE": self.device_type,
+            "CL_DEVICE_MAX_COMPUTE_UNITS": self.max_compute_units,
+            "CL_DEVICE_MAX_CLOCK_FREQUENCY": self.max_clock_frequency_mhz,
+            "CL_DEVICE_GLOBAL_MEM_SIZE": self.global_mem_size,
+            "CL_DEVICE_MAX_WORK_GROUP_SIZE": MAX_WORK_GROUP_SIZE,
+            "CL_DEVICE_MEM_BASE_ADDR_ALIGN": MEM_BASE_ADDR_ALIGN_BITS,
+            "CL_DEVICE_PROFILING_TIMER_RESOLUTION": PROFILING_TIMER_RESOLUTION_NS,
+            "CL_DEVICE_VERSION": self.spec.opencl_driver,
+            "CL_DEVICE_GLOBAL_MEM_CACHE_SIZE": self.spec.last_level_cache.size_bytes,
+            "CL_DEVICE_GLOBAL_MEM_CACHELINE_SIZE": self.spec.caches[0].line_bytes,
+        }
+        try:
+            return table[param]
+        except KeyError:
+            raise InvalidValue(f"unknown device info parameter {param!r}") from None

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the simulated OpenCL runtime.
+
+Each exception corresponds to a family of OpenCL error codes.  Host code
+in the benchmarks catches these the way C host code checks ``cl_int``
+return values.
+"""
+
+from __future__ import annotations
+
+
+class CLError(Exception):
+    """Base class for all simulated OpenCL errors.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    code:
+        The OpenCL-style negative error code, when one applies.
+    """
+
+    default_code = -9999
+
+    def __init__(self, message: str, code: int | None = None):
+        super().__init__(message)
+        self.code = self.default_code if code is None else code
+
+
+class DeviceNotFound(CLError):
+    """No device matched the requested type (``CL_DEVICE_NOT_FOUND``)."""
+
+    default_code = -1
+
+
+class InvalidValue(CLError):
+    """A host API argument was malformed (``CL_INVALID_VALUE``)."""
+
+    default_code = -30
+
+
+class InvalidDevice(CLError):
+    """Device is not associated with the context (``CL_INVALID_DEVICE``)."""
+
+    default_code = -33
+
+
+class InvalidContext(CLError):
+    """Objects from different contexts were mixed (``CL_INVALID_CONTEXT``)."""
+
+    default_code = -34
+
+
+class InvalidMemObject(CLError):
+    """Buffer misuse, e.g. released or foreign (``CL_INVALID_MEM_OBJECT``)."""
+
+    default_code = -38
+
+
+class InvalidKernelArgs(CLError):
+    """Kernel launched with unset/ill-typed args (``CL_INVALID_KERNEL_ARGS``)."""
+
+    default_code = -52
+
+
+class InvalidWorkGroupSize(CLError):
+    """Local size does not divide global size or exceeds device limits
+    (``CL_INVALID_WORK_GROUP_SIZE``)."""
+
+    default_code = -54
+
+
+class OutOfResources(CLError):
+    """Allocation exceeded the device global memory (``CL_OUT_OF_RESOURCES``)."""
+
+    default_code = -5
+
+
+class MemObjectAllocationFailure(CLError):
+    """Buffer allocation failure (``CL_MEM_OBJECT_ALLOCATION_FAILURE``)."""
+
+    default_code = -4
+
+
+class BuildProgramFailure(CLError):
+    """Kernel "compilation" failed (``CL_BUILD_PROGRAM_FAILURE``)."""
+
+    default_code = -11
+
+
+class ProfilingInfoNotAvailable(CLError):
+    """Profiling queried on a queue without profiling enabled
+    (``CL_PROFILING_INFO_NOT_AVAILABLE``)."""
+
+    default_code = -7

@@ -1,0 +1,84 @@
+"""Events with OpenCL-style profiling timestamps.
+
+Every enqueued command yields an :class:`Event` carrying four
+nanosecond timestamps on the simulated device clock — QUEUED, SUBMIT,
+START, END — exactly the quadruple LibSciBench harvests via
+``clGetEventProfilingInfo``.  The paper's per-region analysis (kernel
+construction and buffer enqueue overheads, §6) falls out of the deltas
+between these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ProfilingInfoNotAvailable
+from .types import CommandExecutionStatus, CommandType, ProfilingInfo
+
+
+@dataclass
+class Event:
+    """Completion/profiling handle for one enqueued command."""
+
+    command_type: CommandType
+    #: Timestamps in ns on the device clock; None until reached.
+    queued_ns: int | None = None
+    submit_ns: int | None = None
+    start_ns: int | None = None
+    end_ns: int | None = None
+    status: CommandExecutionStatus = CommandExecutionStatus.QUEUED
+    #: Whether the owning queue had PROFILING_ENABLE set.
+    profiling_enabled: bool = True
+    #: Free-form details the runtime attaches (kernel name, bytes moved).
+    info: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def wait(self) -> None:
+        """Block until the command completes.
+
+        The simulated queue executes commands synchronously, so a
+        created event is always complete; ``wait`` just validates that.
+        """
+        if self.status != CommandExecutionStatus.COMPLETE:
+            raise RuntimeError(
+                f"event for {self.command_type.value} never completed "
+                f"(status={self.status.name})"
+            )
+
+    def get_profiling_info(self, param: ProfilingInfo) -> int:
+        """Return the requested timestamp in ns (``clGetEventProfilingInfo``)."""
+        if not self.profiling_enabled:
+            raise ProfilingInfoNotAvailable(
+                "queue was created without QueueProperties.PROFILING_ENABLE"
+            )
+        value = {
+            ProfilingInfo.QUEUED: self.queued_ns,
+            ProfilingInfo.SUBMIT: self.submit_ns,
+            ProfilingInfo.START: self.start_ns,
+            ProfilingInfo.END: self.end_ns,
+        }[param]
+        if value is None:
+            raise ProfilingInfoNotAvailable(
+                f"{param.value} timestamp not yet available "
+                f"(status={self.status.name})"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_ns(self) -> int:
+        """START->END device time, the paper's "kernel execution time"."""
+        return self.get_profiling_info(ProfilingInfo.END) - self.get_profiling_info(
+            ProfilingInfo.START
+        )
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns * 1e-9
+
+    @property
+    def queue_delay_ns(self) -> int:
+        """QUEUED->START: runtime overhead before execution begins."""
+        return self.get_profiling_info(ProfilingInfo.START) - self.get_profiling_info(
+            ProfilingInfo.QUEUED
+        )

@@ -1,0 +1,116 @@
+"""NDRange work decomposition.
+
+Models OpenCL's execution geometry: a 1-3 dimensional global range of
+work items, optionally blocked into work groups by a local range.  The
+benchmarks use this both for dispatch bookkeeping (work-group counts
+feed the launch-overhead model) and, via the per-work-item kernel
+adapter in :mod:`repro.ocl.program`, for semantically faithful
+execution in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from .errors import InvalidValue, InvalidWorkGroupSize
+
+#: Work-group size limit enforced by every simulated device (typical
+#: OpenCL CL_DEVICE_MAX_WORK_GROUP_SIZE for the platforms in Table 1).
+MAX_WORK_GROUP_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A validated (global, local) execution range.
+
+    Parameters
+    ----------
+    global_size:
+        Work items per dimension; 1 to 3 dimensions.
+    local_size:
+        Work-group shape.  ``None`` lets the runtime pick (modelled as
+        groups of up to 64 items along the innermost dimension, which
+        is what the OpenDwarfs kernels default to).
+    """
+
+    global_size: tuple[int, ...]
+    local_size: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        gs = tuple(int(g) for g in self.global_size)
+        if not 1 <= len(gs) <= 3:
+            raise InvalidValue(f"NDRange must be 1-3 dimensional, got {len(gs)}D")
+        if any(g <= 0 for g in gs):
+            raise InvalidValue(f"global size must be positive, got {gs}")
+        object.__setattr__(self, "global_size", gs)
+        if self.local_size is not None:
+            ls = tuple(int(x) for x in self.local_size)
+            if len(ls) != len(gs):
+                raise InvalidWorkGroupSize(
+                    f"local size {ls} has different dimensionality than global {gs}"
+                )
+            if any(l <= 0 for l in ls):
+                raise InvalidWorkGroupSize(f"local size must be positive, got {ls}")
+            if math.prod(ls) > MAX_WORK_GROUP_SIZE:
+                raise InvalidWorkGroupSize(
+                    f"work group of {math.prod(ls)} items exceeds the "
+                    f"device maximum of {MAX_WORK_GROUP_SIZE}"
+                )
+            if any(g % l != 0 for g, l in zip(gs, ls)):
+                raise InvalidWorkGroupSize(
+                    f"local size {ls} does not evenly divide global size {gs}"
+                )
+            object.__setattr__(self, "local_size", ls)
+
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> int:
+        return len(self.global_size)
+
+    @property
+    def work_items(self) -> int:
+        """Total number of work items."""
+        return math.prod(self.global_size)
+
+    @property
+    def effective_local_size(self) -> tuple[int, ...]:
+        """The local size, with the runtime default applied if unset."""
+        if self.local_size is not None:
+            return self.local_size
+        inner = min(64, self.global_size[-1])
+        # shrink until it divides the innermost dimension
+        while self.global_size[-1] % inner != 0:
+            inner -= 1
+        return (1,) * (self.dimensions - 1) + (max(inner, 1),)
+
+    @property
+    def work_groups(self) -> int:
+        """Number of work groups dispatched."""
+        ls = self.effective_local_size
+        return math.prod(g // l for g, l in zip(self.global_size, ls))
+
+    @property
+    def group_shape(self) -> tuple[int, ...]:
+        """Work groups per dimension."""
+        ls = self.effective_local_size
+        return tuple(g // l for g, l in zip(self.global_size, ls))
+
+    # ------------------------------------------------------------------
+    def global_ids(self):
+        """Iterate all global ids in row-major order.
+
+        Only used by the per-work-item execution adapter (tests and
+        reference kernels); the production kernels are vectorised.
+        """
+        return itertools.product(*(range(g) for g in self.global_size))
+
+    def group_ids(self):
+        """Iterate all work-group ids in row-major order."""
+        return itertools.product(*(range(n) for n in self.group_shape))
+
+
+def ndrange(*global_size: int, local_size: tuple[int, ...] | None = None) -> NDRange:
+    """Convenience constructor: ``ndrange(1024)`` or ``ndrange(64, 64)``."""
+    return NDRange(tuple(global_size), local_size)

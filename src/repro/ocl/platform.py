@@ -1,0 +1,115 @@
+"""Platforms: vendor driver stacks exposing devices.
+
+Mirrors ``clGetPlatformIDs``: one platform per installed vendor driver
+(Intel OpenCL, NVIDIA CUDA, AMD APP SDK), each exposing its devices in
+catalog order.  The Extended OpenDwarfs harness selects devices with
+``-p <platform> -d <device> -t <type>`` (paper §4.4.5); the
+:func:`select_device` helper implements exactly that triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.specs import DeviceSpec, Vendor
+from .device import Device
+from .errors import DeviceNotFound, InvalidValue
+from .types import DeviceType
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One vendor OpenCL implementation."""
+
+    name: str
+    vendor: Vendor
+    version: str
+    devices: tuple[Device, ...]
+
+    def get_devices(self, device_type: DeviceType = DeviceType.ALL) -> tuple[Device, ...]:
+        """Devices of the requested type (``clGetDeviceIDs``)."""
+        matched = tuple(d for d in self.devices if d.device_type & device_type)
+        if not matched:
+            raise DeviceNotFound(
+                f"platform {self.name!r} has no device of type {device_type}"
+            )
+        return matched
+
+
+_PLATFORM_DEFS = (
+    ("Intel(R) OpenCL", Vendor.INTEL, "OpenCL 1.2 (Intel SDK 2016-R3)"),
+    ("NVIDIA CUDA", Vendor.NVIDIA, "OpenCL 1.2 CUDA 8.0.61"),
+    ("AMD Accelerated Parallel Processing", Vendor.AMD, "OpenCL 1.2 AMD-APP (3.0)"),
+)
+
+
+def get_platforms(specs: tuple[DeviceSpec, ...] | None = None) -> tuple[Platform, ...]:
+    """Enumerate platforms (``clGetPlatformIDs``).
+
+    Builds one platform per vendor present in ``specs`` (default: the
+    full Table 1 catalog).  A real machine exposes only the devices
+    physically installed; passing a subset of specs models that.
+    """
+    if specs is None:
+        # deferred import: devices.catalog itself imports ocl.types,
+        # so a module-level import here would be circular
+        from ..devices.catalog import CATALOG as specs
+    platforms = []
+    for name, vendor, version in _PLATFORM_DEFS:
+        vendor_specs = [s for s in specs if s.vendor == vendor]
+        if not vendor_specs:
+            continue
+        devices = tuple(
+            Device(spec=s, index=i, platform_name=name)
+            for i, s in enumerate(vendor_specs)
+        )
+        platforms.append(Platform(name=name, vendor=vendor, version=version, devices=devices))
+    return tuple(platforms)
+
+
+#: Mapping of the harness ``-t`` argument to an OpenCL device type,
+#: as used by the OpenDwarfs launcher scripts.
+TYPE_FLAG = {
+    0: DeviceType.CPU,
+    1: DeviceType.GPU,
+    2: DeviceType.ACCELERATOR,
+}
+
+
+def select_device(
+    platform_index: int,
+    device_index: int,
+    type_flag: int,
+    specs: tuple[DeviceSpec, ...] | None = None,
+) -> Device:
+    """Resolve the OpenDwarfs ``-p P -d D -t T`` device triple.
+
+    ``-t`` filters the platform's devices by type before ``-d`` indexes
+    into them, so e.g. ``-p 0 -d 0 -t 0`` is the first CPU of the first
+    platform.
+    """
+    platforms = get_platforms(specs)
+    if not 0 <= platform_index < len(platforms):
+        raise InvalidValue(
+            f"-p {platform_index} out of range: {len(platforms)} platform(s) available"
+        )
+    try:
+        device_type = TYPE_FLAG[type_flag]
+    except KeyError:
+        raise InvalidValue(f"-t {type_flag} is not a known device type flag") from None
+    devices = platforms[platform_index].get_devices(device_type)
+    if not 0 <= device_index < len(devices):
+        raise DeviceNotFound(
+            f"-d {device_index} out of range: platform {platform_index} has "
+            f"{len(devices)} device(s) of type {device_type}"
+        )
+    return devices[device_index]
+
+
+def find_device(name: str, specs: tuple[DeviceSpec, ...] | None = None) -> Device:
+    """Locate a device on any platform by its Table 1 name."""
+    for platform in get_platforms(specs):
+        for device in platform.devices:
+            if device.name.lower() == name.lower():
+                return device
+    raise DeviceNotFound(f"no platform exposes a device named {name!r}")

@@ -1,0 +1,222 @@
+"""Programs and kernels.
+
+In real OpenCL a program is built from C source; here a program is
+built from :class:`KernelSource` records, each pairing a Python
+function (the kernel body, operating on the buffers' backing arrays)
+with a workload characterization used by the timing model.
+
+Kernel bodies receive ``(ndrange, *args)`` where buffer arguments have
+been resolved to their numpy arrays.  The production dwarf kernels are
+vectorised whole-range functions; :func:`work_item_kernel` adapts a
+scalar per-work-item function to the same calling convention for
+semantically faithful (if slow) execution in tests and references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..perfmodel.characterization import KernelProfile
+from .context import Context
+from .errors import BuildProgramFailure, InvalidKernelArgs, InvalidValue
+from .memory import Buffer
+from .ndrange import NDRange
+
+#: Type of a kernel body: fn(nd, *resolved_args) -> None
+KernelBody = Callable[..., None]
+
+#: A profile may be static or computed from (nd, *resolved_args).
+ProfileSource = KernelProfile | Callable[..., KernelProfile] | None
+
+
+@dataclass(frozen=True)
+class KernelSource:
+    """One kernel within a program: body + workload characterization.
+
+    ``cl_source`` optionally carries the kernel's OpenCL C source; the
+    build step parses it and the queue checks bound-argument counts
+    against the ``__kernel`` signature (see :mod:`repro.ocl.clsource`).
+    """
+
+    name: str
+    body: KernelBody
+    profile: ProfileSource = None
+    cl_source: str | None = None
+
+
+class Program:
+    """A collection of kernels built for one context."""
+
+    def __init__(self, context: Context, kernels: list[KernelSource]):
+        self.context = context
+        self._sources = list(kernels)
+        self._built = False
+        self.build_log = ""
+
+    def build(self, options: str = "") -> "Program":
+        """Validate the program (``clBuildProgram``).
+
+        Kernels carrying OpenCL C source have it parsed here: a Python
+        body whose name has no matching ``__kernel`` fails the build.
+        """
+        from .clsource import CLSourceError, parse_kernels
+
+        names = [k.name for k in self._sources]
+        if not names:
+            raise BuildProgramFailure("program contains no kernels")
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise BuildProgramFailure(f"duplicate kernel names: {sorted(dupes)}")
+        self._signatures = {}
+        for src in self._sources:
+            if not callable(src.body):
+                raise BuildProgramFailure(f"kernel {src.name!r} body is not callable")
+            if src.cl_source is not None:
+                try:
+                    parsed = parse_kernels(src.cl_source)
+                except CLSourceError as exc:
+                    raise BuildProgramFailure(
+                        f"kernel {src.name!r}: bad OpenCL C source: {exc}"
+                    ) from exc
+                if src.name not in parsed:
+                    raise BuildProgramFailure(
+                        f"kernel {src.name!r} has no matching __kernel in its "
+                        f"OpenCL C source (found: {sorted(parsed)})"
+                    )
+                self._signatures[src.name] = parsed[src.name]
+        self._built = True
+        self.build_log = (
+            f"Build succeeded for {len(names)} kernel(s) on "
+            f"{self.context.device.name} (options: {options or 'none'})"
+        )
+        return self
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        return tuple(k.name for k in self._sources)
+
+    def create_kernel(self, name: str) -> "Kernel":
+        """Instantiate a kernel by name (``clCreateKernel``)."""
+        if not self._built:
+            raise BuildProgramFailure("program must be built before creating kernels")
+        for src in self._sources:
+            if src.name == name:
+                return Kernel(self, src)
+        raise InvalidValue(
+            f"no kernel named {name!r}; program has {self.kernel_names}"
+        )
+
+    def all_kernels(self) -> dict[str, "Kernel"]:
+        """Instantiate every kernel in the program."""
+        return {name: self.create_kernel(name) for name in self.kernel_names}
+
+
+class Kernel:
+    """An invocable kernel with positional argument slots."""
+
+    def __init__(self, program: Program, source: KernelSource):
+        self.program = program
+        self.source = source
+        self.signature = getattr(program, "_signatures", {}).get(source.name)
+        self._args: list | None = None
+
+    @property
+    def name(self) -> str:
+        return self.source.name
+
+    @property
+    def context(self) -> Context:
+        return self.program.context
+
+    # ------------------------------------------------------------------
+    def set_args(self, *args) -> "Kernel":
+        """Bind all kernel arguments at once."""
+        self._args = list(args)
+        return self
+
+    def set_arg(self, index: int, value) -> "Kernel":
+        """Bind a single argument slot (``clSetKernelArg``)."""
+        if self._args is None:
+            self._args = []
+        while len(self._args) <= index:
+            self._args.append(_UNSET)
+        self._args[index] = value
+        return self
+
+    # ------------------------------------------------------------------
+    def resolved_args(self) -> list:
+        """Arguments with buffers replaced by their backing arrays.
+
+        When the kernel carries a parsed OpenCL C signature, the bound
+        argument count is checked against it (the class of host/kernel
+        mismatch behind the silent wrong answers the paper curated out).
+        """
+        if self._args is None:
+            raise InvalidKernelArgs(f"kernel {self.name!r} launched with no arguments set")
+        if self.signature is not None and len(self._args) != self.signature.arity:
+            raise InvalidKernelArgs(
+                f"kernel {self.name!r} takes {self.signature.arity} arguments "
+                f"per its OpenCL C signature, but {len(self._args)} were bound"
+            )
+        resolved = []
+        for i, a in enumerate(self._args):
+            if a is _UNSET:
+                raise InvalidKernelArgs(f"kernel {self.name!r} argument {i} was never set")
+            if isinstance(a, Buffer):
+                if a.context is not self.context:
+                    raise InvalidKernelArgs(
+                        f"kernel {self.name!r} argument {i} is a buffer from a "
+                        "different context"
+                    )
+                resolved.append(a.array)
+            else:
+                resolved.append(a)
+        return resolved
+
+    def resolve_profile(self, nd: NDRange, resolved_args: list) -> KernelProfile:
+        """The workload characterization for this launch."""
+        src = self.source.profile
+        if src is None:
+            # Unknown workload: model only the launch overhead.
+            return KernelProfile(
+                name=self.name,
+                flops=0.0,
+                int_ops=0.0,
+                bytes_read=0.0,
+                bytes_written=0.0,
+                working_set_bytes=0.0,
+                work_items=nd.work_items,
+                work_groups=nd.work_groups,
+            )
+        if isinstance(src, KernelProfile):
+            return src
+        return src(nd, *resolved_args)
+
+    def __repr__(self) -> str:
+        nargs = "unset" if self._args is None else str(len(self._args))
+        return f"<Kernel {self.name!r} args={nargs}>"
+
+
+class _Unset:
+    def __repr__(self):
+        return "<unset kernel arg>"
+
+
+_UNSET = _Unset()
+
+
+def work_item_kernel(scalar_fn: Callable) -> KernelBody:
+    """Adapt a per-work-item function to the kernel calling convention.
+
+    ``scalar_fn(gid, *args)`` is invoked once per global id, mimicking
+    OpenCL's execution model exactly.  Intended for reference kernels
+    and semantics tests — production kernels are vectorised.
+    """
+
+    def body(nd: NDRange, *args) -> None:
+        for gid in nd.global_ids():
+            scalar_fn(gid if nd.dimensions > 1 else gid[0], *args)
+
+    body.__name__ = getattr(scalar_fn, "__name__", "work_item_kernel")
+    return body

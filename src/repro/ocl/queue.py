@@ -1,0 +1,276 @@
+"""Command queues: execution, ordering and modeled timing.
+
+The queue is where the functional simulation (kernels really execute,
+buffers really move bytes) meets the performance model (every command
+is assigned a duration from :mod:`repro.perfmodel` and stamped onto a
+monotonically advancing simulated device clock).
+
+Commands execute synchronously in enqueue order (in-order queue, which
+is all OpenDwarfs uses), but event dependencies are still honoured for
+start-time computation so profiling timelines are consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perfmodel import kernel_energy, kernel_time, noisy_samples, transfer_time_s
+from .context import Context
+from .errors import InvalidContext, InvalidValue
+from .event import Event
+from .memory import Buffer
+from .ndrange import NDRange
+from .program import Kernel
+from .types import CommandExecutionStatus, CommandType, QueueProperties
+
+#: Host-side cost of enqueueing a command before it is submitted to the
+#: device, ns (argument marshalling, command buffer append).
+ENQUEUE_OVERHEAD_NS = 1_500
+
+
+class CommandQueue:
+    """An in-order command queue with profiling.
+
+    Parameters
+    ----------
+    context:
+        The owning context; the queue targets its device.
+    properties:
+        ``PROFILING_ENABLE`` populates event timestamps (the harness
+        always enables it, as LibSciBench requires).
+    rng:
+        Optional random generator; when given, each command's modeled
+        duration is perturbed by the device's timing-noise model so
+        repeated launches scatter like real measurements.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        properties: QueueProperties = QueueProperties.PROFILING_ENABLE,
+        rng: np.random.Generator | None = None,
+    ):
+        self.context = context
+        self.device = context.device
+        self.properties = properties
+        self.rng = rng
+        #: Simulated device clock, ns.  Starts nonzero so that a zero
+        #: timestamp always means "not recorded".
+        self.device_time_ns = 1_000
+        #: Host-side enqueue clock: when each command was queued.
+        self._host_time_ns = 1_000
+        #: End of the most recently executed command (in-order chaining).
+        self._last_end_ns = 1_000
+        self.events: list[Event] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def profiling_enabled(self) -> bool:
+        return QueueProperties.PROFILING_ENABLE in self.properties
+
+    def _duration_with_noise_ns(self, nominal_s: float) -> int:
+        if self.rng is not None:
+            nominal_s = float(
+                noisy_samples(self.device.spec, nominal_s, 1, self.rng)[0]
+            )
+        return max(int(round(nominal_s * 1e9)), 1)
+
+    @property
+    def out_of_order(self) -> bool:
+        return QueueProperties.OUT_OF_ORDER_EXEC_MODE_ENABLE in self.properties
+
+    def _record(
+        self,
+        command_type: CommandType,
+        duration_ns: int,
+        wait_for: list[Event] | None,
+        info: dict,
+    ) -> Event:
+        queued = self._host_time_ns
+        self._host_time_ns += ENQUEUE_OVERHEAD_NS
+        submit = queued + ENQUEUE_OVERHEAD_NS
+        start = submit
+        if not self.out_of_order:
+            # in-order queues serialise behind the previous command
+            start = max(start, self._last_end_ns)
+        if wait_for:
+            for dep in wait_for:
+                dep.wait()
+                start = max(start, dep.end_ns)
+        end = start + duration_ns
+        self._last_end_ns = end
+        # the device clock reads as the completion time of the latest-
+        # finishing command (out-of-order commands may overlap)
+        self.device_time_ns = max(self.device_time_ns, end)
+        event = Event(
+            command_type=command_type,
+            queued_ns=queued,
+            submit_ns=submit,
+            start_ns=start,
+            end_ns=end,
+            status=CommandExecutionStatus.COMPLETE,
+            profiling_enabled=self.profiling_enabled,
+            info=info,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def enqueue_nd_range_kernel(
+        self,
+        kernel: Kernel,
+        global_size: tuple[int, ...] | int | NDRange,
+        local_size: tuple[int, ...] | None = None,
+        wait_for: list[Event] | None = None,
+    ) -> Event:
+        """Execute a kernel over an NDRange (``clEnqueueNDRangeKernel``)."""
+        if kernel.context is not self.context:
+            raise InvalidContext("kernel belongs to a different context")
+        if isinstance(global_size, NDRange):
+            nd = global_size
+        else:
+            if isinstance(global_size, int):
+                global_size = (global_size,)
+            nd = NDRange(tuple(global_size), local_size)
+
+        resolved = kernel.resolved_args()
+        profile = kernel.resolve_profile(nd, resolved)
+        breakdown = kernel_time(self.device.spec, profile)
+        energy = kernel_energy(self.device.spec, breakdown)
+
+        # Functional execution: the kernel body mutates buffer storage.
+        kernel.source.body(nd, *resolved)
+
+        duration_ns = self._duration_with_noise_ns(breakdown.total_s)
+        return self._record(
+            CommandType.ND_RANGE_KERNEL,
+            duration_ns,
+            wait_for,
+            info={
+                "kernel": kernel.name,
+                "n_args": len(resolved),
+                "work_items": nd.work_items,
+                "work_groups": nd.work_groups,
+                "profile": profile,
+                "breakdown": breakdown,
+                "energy_j": energy.energy_j,
+                "mean_power_w": energy.mean_power_w,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _check_buffer(self, buf: Buffer) -> None:
+        if not isinstance(buf, Buffer):
+            raise InvalidValue(f"expected a Buffer, got {type(buf)!r}")
+        if buf.context is not self.context:
+            raise InvalidContext("buffer belongs to a different context")
+
+    def enqueue_write_buffer(
+        self, buf: Buffer, src: np.ndarray, wait_for: list[Event] | None = None
+    ) -> Event:
+        """Copy host data into a device buffer (``clEnqueueWriteBuffer``)."""
+        self._check_buffer(buf)
+        # READ_ONLY restricts *kernel* writes; host writes are how
+        # read-only inputs get their data, so only aliveness is checked.
+        buf._check_alive()
+        if src.nbytes != buf.size:
+            raise InvalidValue(
+                f"host array of {src.nbytes} bytes does not match buffer of {buf.size}"
+            )
+        dst = buf.array
+        np.copyto(dst.view(np.uint8).reshape(-1), src.view(np.uint8).reshape(-1))
+        duration = transfer_time_s(self.device.spec, buf.size)
+        return self._record(
+            CommandType.WRITE_BUFFER,
+            self._duration_with_noise_ns(duration),
+            wait_for,
+            info={"bytes": buf.size},
+        )
+
+    def enqueue_read_buffer(
+        self, buf: Buffer, dest: np.ndarray, wait_for: list[Event] | None = None
+    ) -> Event:
+        """Copy device data back to the host (``clEnqueueReadBuffer``)."""
+        self._check_buffer(buf)
+        buf._check_readable()
+        if dest.nbytes != buf.size:
+            raise InvalidValue(
+                f"host array of {dest.nbytes} bytes does not match buffer of {buf.size}"
+            )
+        np.copyto(dest.view(np.uint8).reshape(-1), buf.array.view(np.uint8).reshape(-1))
+        duration = transfer_time_s(self.device.spec, buf.size)
+        return self._record(
+            CommandType.READ_BUFFER,
+            self._duration_with_noise_ns(duration),
+            wait_for,
+            info={"bytes": buf.size},
+        )
+
+    def enqueue_copy_buffer(
+        self, src: Buffer, dst: Buffer, wait_for: list[Event] | None = None
+    ) -> Event:
+        """Device-to-device copy (``clEnqueueCopyBuffer``)."""
+        self._check_buffer(src)
+        self._check_buffer(dst)
+        if src.size != dst.size:
+            raise InvalidValue(f"buffer sizes differ: {src.size} vs {dst.size}")
+        np.copyto(
+            dst.array.view(np.uint8).reshape(-1), src.array.view(np.uint8).reshape(-1)
+        )
+        # On-device copies run at memory bandwidth (read + write).
+        bw = self.device.spec.memory.bandwidth_gbs * 1e9
+        duration = 2 * src.size / bw
+        return self._record(
+            CommandType.COPY_BUFFER,
+            self._duration_with_noise_ns(duration),
+            wait_for,
+            info={"bytes": src.size},
+        )
+
+    def enqueue_fill_buffer(
+        self, buf: Buffer, value: int, wait_for: list[Event] | None = None
+    ) -> Event:
+        """Pattern-fill a buffer (``clEnqueueFillBuffer``, byte pattern)."""
+        self._check_buffer(buf)
+        buf.array.view(np.uint8)[...] = np.uint8(value)
+        bw = self.device.spec.memory.bandwidth_gbs * 1e9
+        return self._record(
+            CommandType.FILL_BUFFER,
+            self._duration_with_noise_ns(buf.size / bw),
+            wait_for,
+            info={"bytes": buf.size, "value": value},
+        )
+
+    # ------------------------------------------------------------------
+    def enqueue_marker(self, wait_for: list[Event] | None = None) -> Event:
+        """A zero-duration marker event."""
+        return self._record(CommandType.MARKER, 1, wait_for, info={})
+
+    def enqueue_barrier(self) -> Event:
+        """A barrier; trivially complete on an in-order queue."""
+        return self._record(CommandType.BARRIER, 1, None, info={})
+
+    def flush(self) -> None:
+        """No-op: commands are submitted eagerly."""
+
+    def finish(self) -> None:
+        """Block until all commands complete (they already have)."""
+        for event in self.events:
+            event.wait()
+
+    # ------------------------------------------------------------------
+    def kernel_events(self) -> list[Event]:
+        """All kernel-execution events, in order."""
+        return [e for e in self.events if e.command_type == CommandType.ND_RANGE_KERNEL]
+
+    def total_kernel_time_s(self) -> float:
+        """Sum of device time across all kernel events (paper §5.1)."""
+        return sum(e.duration_s for e in self.kernel_events())
+
+    def total_kernel_energy_j(self) -> float:
+        """Sum of modeled energy across all kernel events."""
+        return sum(e.info.get("energy_j", 0.0) for e in self.kernel_events())
+
+    def reset_events(self) -> None:
+        """Forget recorded events (between harness iterations)."""
+        self.events.clear()

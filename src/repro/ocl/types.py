@@ -1,0 +1,86 @@
+"""Core enumerations and flag types for the simulated OpenCL runtime.
+
+The names and semantics mirror the OpenCL 1.2 C API closely enough that
+host code written against this module reads like host code written
+against ``pyopencl``.  Only the subset exercised by the Extended
+OpenDwarfs benchmarks is implemented.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DeviceType(enum.Flag):
+    """Bitfield identifying the class of a compute device.
+
+    Mirrors ``cl_device_type``.  ``ACCELERATOR`` covers MIC-style devices
+    such as the Xeon Phi (Knights Landing).
+    """
+
+    DEFAULT = enum.auto()
+    CPU = enum.auto()
+    GPU = enum.auto()
+    ACCELERATOR = enum.auto()
+    CUSTOM = enum.auto()
+    ALL = CPU | GPU | ACCELERATOR | CUSTOM
+
+
+class MemFlags(enum.Flag):
+    """Buffer allocation / usage flags (``cl_mem_flags``)."""
+
+    READ_WRITE = enum.auto()
+    WRITE_ONLY = enum.auto()
+    READ_ONLY = enum.auto()
+    USE_HOST_PTR = enum.auto()
+    ALLOC_HOST_PTR = enum.auto()
+    COPY_HOST_PTR = enum.auto()
+
+
+class CommandType(enum.Enum):
+    """The kind of command enqueued onto a :class:`CommandQueue`."""
+
+    ND_RANGE_KERNEL = "ndrange_kernel"
+    TASK = "task"
+    READ_BUFFER = "read_buffer"
+    WRITE_BUFFER = "write_buffer"
+    COPY_BUFFER = "copy_buffer"
+    FILL_BUFFER = "fill_buffer"
+    MARKER = "marker"
+    BARRIER = "barrier"
+
+
+class CommandExecutionStatus(enum.IntEnum):
+    """Event status values, ordered as in OpenCL (``CL_COMPLETE`` == 0)."""
+
+    COMPLETE = 0
+    RUNNING = 1
+    SUBMITTED = 2
+    QUEUED = 3
+
+
+class ProfilingInfo(enum.Enum):
+    """Keys for :meth:`Event.get_profiling_info` (``cl_profiling_info``)."""
+
+    QUEUED = "queued"
+    SUBMIT = "submit"
+    START = "start"
+    END = "end"
+
+
+class QueueProperties(enum.Flag):
+    """Command-queue creation properties."""
+
+    NONE = 0
+    OUT_OF_ORDER_EXEC_MODE_ENABLE = enum.auto()
+    PROFILING_ENABLE = enum.auto()
+
+
+# Resolution of the simulated device timer, in nanoseconds.  LibSciBench
+# advertises one-cycle resolution with ~6 ns overhead; we model the
+# profiling clock with 1 ns granularity.
+PROFILING_TIMER_RESOLUTION_NS = 1
+
+# Memory base address alignment, in bits, reported by all simulated
+# devices (matches common OpenCL implementations).
+MEM_BASE_ADDR_ALIGN_BITS = 1024

@@ -1,0 +1,67 @@
+"""Analytic device performance model.
+
+Predicts kernel execution time, energy and host-device transfer cost
+for any :class:`~repro.devices.DeviceSpec` from an architecture-
+independent :class:`KernelProfile`.  See DESIGN.md §2 for why an
+analytic model substitutes for the paper's physical testbed.
+"""
+
+from .characterization import KernelProfile, merge_working_set
+from .energy import EnergySample, energy_joules, kernel_energy, mean_power_w
+from .launch import launch_overhead_s, total_launch_overhead_s
+from .memory import (
+    memory_level_parallelism,
+    memory_time_s,
+    random_bandwidth_gbs,
+    sequential_bandwidth_gbs,
+    strided_bandwidth_gbs,
+)
+from .noise import expected_cov, noisy_samples
+from .occupancy import bandwidth_utilization, compute_utilization, divergence_factor
+from .roofline import TimeBreakdown, iteration_time, kernel_time, sum_breakdowns
+from .rooflineplot import (
+    Ceiling,
+    KernelPoint,
+    device_ceilings,
+    kernel_point,
+    render_roofline_html,
+    ridge_point,
+    save_roofline_html,
+    suite_points,
+)
+from .transfer import round_trip_time_s, transfer_time_s
+
+__all__ = [
+    "Ceiling",
+    "KernelPoint",
+    "device_ceilings",
+    "kernel_point",
+    "render_roofline_html",
+    "ridge_point",
+    "save_roofline_html",
+    "suite_points",
+    "EnergySample",
+    "KernelProfile",
+    "TimeBreakdown",
+    "bandwidth_utilization",
+    "compute_utilization",
+    "divergence_factor",
+    "energy_joules",
+    "expected_cov",
+    "iteration_time",
+    "kernel_energy",
+    "kernel_time",
+    "launch_overhead_s",
+    "mean_power_w",
+    "memory_level_parallelism",
+    "memory_time_s",
+    "merge_working_set",
+    "noisy_samples",
+    "random_bandwidth_gbs",
+    "round_trip_time_s",
+    "sequential_bandwidth_gbs",
+    "strided_bandwidth_gbs",
+    "sum_breakdowns",
+    "total_launch_overhead_s",
+    "transfer_time_s",
+]

@@ -1,0 +1,53 @@
+"""Energy model: RAPL- and NVML-style kernel energy estimation.
+
+The paper measures kernel energy on the Skylake i7-6700K via the RAPL
+PAPI module (``rapl:::PP0_ENERGY:PACKAGE0``, cores only, nJ resolution)
+and on the GTX 1080 via NVML power readings (whole board, mW, ±5 W).
+
+Model: the device draws an idle floor plus a dynamic share of TDP
+proportional to execution-unit utilisation::
+
+    P = TDP * (idle_fraction + utilisation * (max_fraction - idle_fraction))
+    E = P * t
+
+The CPU-vs-GPU ordering of Fig. 5 (CPU uses more energy for every
+benchmark except ``crc``) follows directly: GPUs finish the
+floating-point-heavy kernels so much faster that their higher board
+power is more than amortised, while ``crc``'s integer kernel runs
+faster — and therefore cheaper — on the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.specs import DeviceSpec
+from .roofline import TimeBreakdown
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One kernel-execution energy measurement."""
+
+    energy_j: float
+    mean_power_w: float
+    duration_s: float
+
+
+def mean_power_w(spec: DeviceSpec, utilization: float) -> float:
+    """Average power draw at the given execution-unit utilisation."""
+    util = min(max(utilization, 0.0), 1.0)
+    p = spec.power
+    return spec.power.tdp_w * (p.idle_fraction + util * (p.max_fraction - p.idle_fraction))
+
+
+def kernel_energy(spec: DeviceSpec, breakdown: TimeBreakdown) -> EnergySample:
+    """Energy of a kernel execution described by ``breakdown``."""
+    power = mean_power_w(spec, breakdown.utilization)
+    t = breakdown.total_s
+    return EnergySample(energy_j=power * t, mean_power_w=power, duration_s=t)
+
+
+def energy_joules(spec: DeviceSpec, duration_s: float, utilization: float) -> float:
+    """Energy for an arbitrary duration at a fixed utilisation."""
+    return mean_power_w(spec, utilization) * duration_s

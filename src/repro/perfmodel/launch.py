@@ -1,0 +1,34 @@
+"""Kernel launch / dispatch overhead model.
+
+Every ``clEnqueueNDRangeKernel`` pays a fixed runtime cost (argument
+marshalling, command-buffer submission, doorbell) plus a small per-
+work-group dispatch cost.  These costs are invisible for long kernels
+but *dominate* wavefront codes such as Needleman-Wunsch, which enqueue
+one kernel per anti-diagonal: thousands of launches of microsecond
+kernels.  The per-vendor gap in this overhead (AMD's runtime being the
+slowest of the three) is what reproduces Fig. 3b's AMD divergence.
+"""
+
+from __future__ import annotations
+
+from ..devices.specs import DeviceSpec
+
+
+def launch_overhead_s(spec: DeviceSpec, work_groups: int,
+                      buffer_bytes: float = 0.0) -> float:
+    """Overhead of one kernel enqueue, in seconds.
+
+    ``buffer_bytes`` is the footprint of the buffers bound to the
+    kernel; runtimes that revalidate memory objects per enqueue (AMD
+    APP) charge :attr:`RuntimeModel.launch_ns_per_mib` for it.
+    """
+    fixed = spec.runtime.kernel_launch_us * 1e-6
+    dispatch = spec.runtime.dispatch_ns_per_group * 1e-9 * max(work_groups, 1)
+    validate = spec.runtime.launch_ns_per_mib * 1e-9 * (buffer_bytes / (1 << 20))
+    return fixed + dispatch + validate
+
+
+def total_launch_overhead_s(spec: DeviceSpec, work_groups: int, launches: int,
+                            buffer_bytes: float = 0.0) -> float:
+    """Overhead of ``launches`` consecutive enqueues of the same kernel."""
+    return launch_overhead_s(spec, work_groups, buffer_bytes) * max(launches, 1)

@@ -1,0 +1,110 @@
+"""Memory-system model: effective bandwidth by access pattern.
+
+The paper's problem-size methodology rests on the observation that the
+*same* kernel is served at very different rates depending on which
+level of the memory hierarchy its working set resides in (tiny -> L1,
+small -> L2, medium -> L3, large -> DRAM).  This module models that:
+given a device and a working-set size, it produces the sustained
+bandwidth for sequential, strided and random access patterns.
+
+Model
+-----
+* **Sequential** traffic streams at the bandwidth of the cache level
+  holding the working set (:meth:`DeviceSpec.effective_bandwidth_gbs`).
+* **Strided** traffic: CPU hardware prefetchers hide small strides and
+  retain ~70% of streaming bandwidth; on GPUs a strided pattern breaks
+  coalescing, so each 32-wide access splits into multiple transactions
+  (~4x amplification).
+* **Random** traffic is bounded both by line-fill amplification (a full
+  cache line is moved for every element) and by latency x MLP: at most
+  ``mlp`` misses are in flight, each taking ``latency`` to return, so
+  useful bandwidth cannot exceed ``mlp * line_bytes / latency``.
+  GPUs hide latency with thousands of resident threads (huge MLP);
+  CPUs sustain ~10 outstanding misses per core.
+"""
+
+from __future__ import annotations
+
+from ..devices.specs import DeviceSpec
+from ..ocl.types import DeviceType
+
+#: Typical element size for amplification accounting (fp32 / int32).
+ELEMENT_BYTES = 4.0
+
+#: CPU prefetchers retain this fraction of streaming bandwidth on
+#: small-stride patterns.
+CPU_STRIDE_RETENTION = 0.70
+
+#: Uncoalesced GPU access splits one transaction into roughly this many.
+GPU_UNCOALESCED_FACTOR = 4.0
+
+#: Outstanding misses sustained per CPU hardware thread (line-fill buffers).
+CPU_MLP_PER_THREAD = 10
+
+
+def memory_level_parallelism(spec: DeviceSpec) -> float:
+    """Number of memory requests the device keeps in flight."""
+    if spec.device_type == DeviceType.GPU:
+        # Thousands of resident work items each with an outstanding load.
+        return max(64.0, spec.compute.saturation_items / 2.0)
+    # CPUs/MIC: hardware threads x line-fill buffers.
+    lanes_per_thread = max(1, spec.compute.simd_width_bits // 32)
+    threads = max(1, spec.compute.parallel_lanes // lanes_per_thread)
+    return threads * CPU_MLP_PER_THREAD
+
+
+def sequential_bandwidth_gbs(spec: DeviceSpec, working_set_bytes: float) -> float:
+    """Streaming bandwidth for the cache level holding the working set."""
+    return spec.effective_bandwidth_gbs(int(working_set_bytes))
+
+
+def strided_bandwidth_gbs(spec: DeviceSpec, working_set_bytes: float) -> float:
+    """Bandwidth for small-constant-stride access."""
+    seq = sequential_bandwidth_gbs(spec, working_set_bytes)
+    if spec.device_type == DeviceType.GPU:
+        return seq / GPU_UNCOALESCED_FACTOR
+    return seq * CPU_STRIDE_RETENTION
+
+
+def random_bandwidth_gbs(spec: DeviceSpec, working_set_bytes: float) -> float:
+    """Useful bandwidth for data-dependent (indexed) access.
+
+    Bounded by latency x MLP and degraded by cache-line amplification:
+    every ~4-byte element costs a full line fill once the working set
+    exceeds the level providing locality.
+    """
+    seq = sequential_bandwidth_gbs(spec, working_set_bytes)
+    latency_ns = spec.effective_latency_ns(int(working_set_bytes))
+    line = spec.caches[0].line_bytes
+    mlp = memory_level_parallelism(spec)
+    latency_bound = mlp * line / latency_ns  # bytes/ns == GB/s
+    amplification = min(line / ELEMENT_BYTES, 8.0)
+    return min(seq, latency_bound) / amplification
+
+
+def memory_time_s(
+    spec: DeviceSpec,
+    bytes_total: float,
+    working_set_bytes: float,
+    seq_fraction: float,
+    strided_fraction: float,
+    random_fraction: float,
+    bandwidth_utilization: float = 1.0,
+) -> float:
+    """Time to move ``bytes_total`` with the given pattern mix.
+
+    ``bandwidth_utilization`` in (0, 1] derates bandwidth when too few
+    work items are in flight to saturate the memory system (small
+    problems on wide devices).
+    """
+    if bytes_total <= 0:
+        return 0.0
+    util = max(bandwidth_utilization, 1e-3)
+    t = 0.0
+    if seq_fraction:
+        t += bytes_total * seq_fraction / (sequential_bandwidth_gbs(spec, working_set_bytes) * 1e9)
+    if strided_fraction:
+        t += bytes_total * strided_fraction / (strided_bandwidth_gbs(spec, working_set_bytes) * 1e9)
+    if random_fraction:
+        t += bytes_total * random_fraction / (random_bandwidth_gbs(spec, working_set_bytes) * 1e9)
+    return t / util

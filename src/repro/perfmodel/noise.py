@@ -1,0 +1,63 @@
+"""Timing-noise model.
+
+Real measurements scatter: DVFS, OS scheduling, cache/TLB pollution and
+SMI events perturb kernel timings.  The paper handles this with the
+2-second loop rule and 50 samples per group, and observes that the
+coefficient of variation is larger on lower-clocked devices regardless
+of accelerator type (§5.1) — a fixed amount of OS jitter is a larger
+*fraction* of a cycle-count on a slow clock.
+
+Model: multiplicative lognormal noise with per-device sigma
+(:attr:`RuntimeModel.base_cov`, already scaled inversely with clock in
+the catalog), plus a rare additive "noise spike" tail representing OS
+preemption.  Looping a measurement for ``loop_iterations`` averages the
+lognormal part down by ``sqrt(n)``, which is exactly why the 2-second
+loop rule tightens the distributions (ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..devices.specs import DeviceSpec
+
+#: Probability that a sample is hit by an OS preemption spike.
+SPIKE_PROBABILITY = 0.02
+
+#: Spike magnitude range as a multiple of the nominal time.
+SPIKE_RANGE = (1.2, 2.5)
+
+
+def noisy_samples(
+    spec: DeviceSpec,
+    nominal_s: float,
+    n_samples: int,
+    rng: np.random.Generator,
+    loop_iterations: int = 1,
+) -> np.ndarray:
+    """Draw ``n_samples`` noisy measurements of a ``nominal_s`` kernel.
+
+    ``loop_iterations`` is how many back-to-back executions each sample
+    averages over (the 2-second loop rule); averaging narrows the
+    lognormal scatter by ``sqrt(loop_iterations)`` while leaving the
+    mean unchanged.
+    """
+    if nominal_s < 0:
+        raise ValueError("nominal time must be non-negative")
+    if n_samples <= 0:
+        return np.empty(0)
+    cov = spec.runtime.base_cov / np.sqrt(max(loop_iterations, 1))
+    # lognormal with unit mean: mu = -sigma^2/2
+    sigma = np.sqrt(np.log1p(cov**2))
+    factors = rng.lognormal(mean=-sigma**2 / 2.0, sigma=sigma, size=n_samples)
+    samples = nominal_s * factors
+    spikes = rng.random(n_samples) < SPIKE_PROBABILITY / max(loop_iterations, 1)
+    if spikes.any():
+        magnitude = rng.uniform(*SPIKE_RANGE, size=int(spikes.sum()))
+        samples[spikes] *= magnitude
+    return samples
+
+
+def expected_cov(spec: DeviceSpec, loop_iterations: int = 1) -> float:
+    """The model's coefficient of variation for looped measurements."""
+    return spec.runtime.base_cov / np.sqrt(max(loop_iterations, 1))

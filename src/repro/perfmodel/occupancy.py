@@ -1,0 +1,57 @@
+"""Occupancy model: how much of a device a kernel can actually use.
+
+Wide devices (a Titan X has 3584 lanes and wants ~4x that many work
+items in flight) are starved by small NDRanges; this is why *tiny*
+problems run comparatively better on CPUs and why the CPU-GPU gap
+widens with problem size for bandwidth-bound dwarfs (paper Fig. 3a).
+"""
+
+from __future__ import annotations
+
+from ..devices.specs import DeviceSpec
+
+#: Utilisation never drops below this: even one work item keeps one
+#: lane busy and the runtime schedules something.
+_MIN_UTILISATION = 1e-4
+
+
+def compute_utilization(spec: DeviceSpec, work_items: int) -> float:
+    """Fraction of peak compute throughput reachable with ``work_items``.
+
+    Ramps sub-linearly (exponent 0.9) up to the device's saturation
+    point: doubling occupancy does not quite double throughput because
+    scheduling slack also grows.
+    """
+    if work_items <= 0:
+        return _MIN_UTILISATION
+    ratio = work_items / spec.compute.saturation_items
+    if ratio >= 1.0:
+        return 1.0
+    return max(ratio**0.9, _MIN_UTILISATION)
+
+
+def bandwidth_utilization(spec: DeviceSpec, work_items: int) -> float:
+    """Fraction of peak memory bandwidth reachable with ``work_items``.
+
+    The memory system saturates with far fewer threads than the compute
+    units (a handful of streaming work groups can fill the bus), so the
+    knee sits at ``saturation_items / 8`` and the ramp is gentler
+    (square root).
+    """
+    if work_items <= 0:
+        return _MIN_UTILISATION
+    knee = max(1.0, spec.compute.saturation_items / 8.0)
+    ratio = work_items / knee
+    if ratio >= 1.0:
+        return 1.0
+    return max(ratio**0.5, _MIN_UTILISATION)
+
+
+def divergence_factor(spec: DeviceSpec, branch_fraction: float) -> float:
+    """Compute-time multiplier due to divergent branching.
+
+    ``branch_fraction`` of the work pays the device's divergence
+    penalty (SIMT GPUs serialise both branch paths; CPUs mispredict).
+    """
+    bf = min(max(branch_fraction, 0.0), 1.0)
+    return 1.0 + bf * (spec.compute.divergence_penalty - 1.0)

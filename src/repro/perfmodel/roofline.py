@@ -1,0 +1,178 @@
+"""Cache-aware roofline timing model.
+
+Combines a :class:`~repro.perfmodel.characterization.KernelProfile`
+with a :class:`~repro.devices.DeviceSpec` to predict the execution time
+of one kernel launch:
+
+``t = launch + max(t_compute, t_memory) + t_serial``
+
+* ``t_compute`` — fp and int operations at occupancy- and
+  divergence-derated throughput;
+* ``t_memory`` — pattern-weighted traffic over the bandwidth of the
+  cache level holding the working set (compute and memory overlap, so
+  the body takes the max of the two);
+* ``t_serial`` — Amdahl term executed at single-lane scalar rate (low
+  GPU clocks make this term relatively more painful there);
+* ``launch`` — fixed + per-work-group dispatch overhead.
+
+This is intentionally an *analytic* model: the goal is to reproduce the
+relative shapes the paper reports (which device class wins where, and
+how that changes with problem size), not cycle-accurate simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..devices.specs import DeviceSpec
+from .characterization import KernelProfile
+from .launch import launch_overhead_s
+from .memory import memory_time_s
+from .occupancy import bandwidth_utilization, compute_utilization, divergence_factor
+
+#: Scalar operations a single lane retires per cycle for the serial term.
+_SCALAR_OPS_PER_CYCLE = 2.0
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Predicted composition of a kernel's execution time (seconds).
+
+    ``total`` covers all launches of the kernel within one benchmark
+    iteration; the component fields are per the same total.
+
+    ``body_override_s`` is set when this record aggregates several
+    kernels: the body of a sequence is the *sum of per-kernel bodies*,
+    not the max of the summed components (a compute-bound kernel
+    followed by a memory-bound one does not overlap across the launch
+    boundary).
+    """
+
+    compute_s: float
+    memory_s: float
+    serial_s: float
+    launch_s: float
+    launches: int
+    body_override_s: float | None = None
+
+    @property
+    def body_s(self) -> float:
+        """Kernel body time (compute/memory overlap + serial tail)."""
+        if self.body_override_s is not None:
+            return self.body_override_s
+        return max(self.compute_s, self.memory_s) + self.serial_s
+
+    @property
+    def total_s(self) -> float:
+        return self.body_s + self.launch_s
+
+    @property
+    def bound(self) -> str:
+        """Which term dominates the kernel body: 'compute' or 'memory'."""
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of time the execution units are busy (for energy)."""
+        if self.total_s <= 0:
+            return 0.0
+        busy = max(self.compute_s, self.memory_s * 0.35) + self.serial_s
+        return min(1.0, busy / self.total_s)
+
+
+def compute_time_s(spec: DeviceSpec, profile: KernelProfile) -> float:
+    """Time for the arithmetic of one launch (no memory, no overhead)."""
+    util = compute_utilization(spec, profile.work_items)
+    eff_flops = spec.compute.fp32_gflops * 1e9 * spec.compute.efficiency * util
+    eff_intops = eff_flops * spec.compute.int_ratio
+    t = 0.0
+    if profile.flops:
+        t += profile.flops / eff_flops
+    if profile.int_ops:
+        t += profile.int_ops / eff_intops
+    return t * divergence_factor(spec, profile.branch_fraction)
+
+
+def serial_time_s(spec: DeviceSpec, profile: KernelProfile) -> float:
+    """Time for the non-parallelisable critical path of one launch."""
+    if profile.serial_ops <= 0:
+        return 0.0
+    rate = spec.clock_ghz * 1e9 * _SCALAR_OPS_PER_CYCLE
+    return profile.serial_ops / rate
+
+
+def chain_capacity(spec: DeviceSpec) -> int:
+    """Dependent chains the device advances concurrently.
+
+    GPUs run one chain per resident lane; CPUs/MIC run one per hardware
+    thread (SIMD lanes do not help a dependent scalar chain).
+    """
+    from ..ocl.types import DeviceType
+
+    if spec.device_type == DeviceType.GPU:
+        return max(spec.compute.parallel_lanes, 1)
+    lanes_per_thread = max(1, spec.compute.simd_width_bits // 32)
+    return max(1, spec.compute.parallel_lanes // lanes_per_thread)
+
+
+def chain_time_s(spec: DeviceSpec, profile: KernelProfile) -> float:
+    """Time for per-work-item dependent chains of one launch.
+
+    Each work item must step through ``chain_ops`` dependent operations
+    at the device's chain-step latency; the device overlaps at most
+    :func:`chain_capacity` chains, so the chains execute in
+    ``ceil(work_items / capacity)`` rounds.
+    """
+    if profile.chain_ops <= 0:
+        return 0.0
+    step_s = spec.compute.chain_latency_cycles / (spec.clock_ghz * 1e9)
+    rounds = math.ceil(profile.work_items / chain_capacity(spec))
+    return profile.chain_ops * step_s * rounds
+
+
+def kernel_time(spec: DeviceSpec, profile: KernelProfile) -> TimeBreakdown:
+    """Predict the time of all launches of ``profile`` on ``spec``."""
+    n = profile.launches
+    t_compute = compute_time_s(spec, profile) * n
+    t_mem = memory_time_s(
+        spec,
+        profile.bytes_total,
+        profile.working_set_bytes,
+        profile.seq_fraction,
+        profile.strided_fraction,
+        profile.random_fraction,
+        bandwidth_utilization(spec, profile.work_items),
+    ) * n
+    t_serial = (serial_time_s(spec, profile) + chain_time_s(spec, profile)) * n
+    t_launch = launch_overhead_s(spec, profile.work_groups,
+                                 profile.working_set_bytes) * n
+    return TimeBreakdown(
+        compute_s=t_compute,
+        memory_s=t_mem,
+        serial_s=t_serial,
+        launch_s=t_launch,
+        launches=n,
+    )
+
+
+def iteration_time(spec: DeviceSpec, profiles: list[KernelProfile]) -> TimeBreakdown:
+    """Aggregate prediction for one benchmark iteration.
+
+    A benchmark iteration may enqueue several distinct kernels (the
+    paper sums all device compute time per iteration, §5.1); we model
+    them as executing back to back.
+    """
+    return sum_breakdowns([kernel_time(spec, p) for p in profiles])
+
+
+def sum_breakdowns(parts: list[TimeBreakdown]) -> TimeBreakdown:
+    """Sum several breakdowns, preserving per-part body times."""
+    return TimeBreakdown(
+        compute_s=sum(p.compute_s for p in parts),
+        memory_s=sum(p.memory_s for p in parts),
+        serial_s=sum(p.serial_s for p in parts),
+        launch_s=sum(p.launch_s for p in parts),
+        launches=sum(p.launches for p in parts),
+        body_override_s=sum(p.body_s for p in parts),
+    )

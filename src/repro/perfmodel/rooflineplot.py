@@ -1,0 +1,260 @@
+"""Roofline analysis: device ceilings and achieved kernel positions.
+
+The paper's future work wants "some notion of 'ideal' performance for
+each combination of benchmark and device, which would guide efforts to
+improve performance portability" (§7).  The roofline model *is* that
+notion: a kernel's arithmetic intensity places it under either the
+compute ceiling or a bandwidth diagonal, and the gap between achieved
+and ceiling performance is the portability headroom.
+
+This module computes roofline data from the device specs and kernel
+profiles, and renders it as a standalone HTML/SVG log-log chart
+(single accent hue, direct-labeled points, table view — the dataviz
+"emphasis" form: the ceilings are context, the kernels are the story).
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..devices.specs import DeviceSpec
+from .characterization import KernelProfile
+from .roofline import iteration_time
+
+
+@dataclass(frozen=True)
+class Ceiling:
+    """One roofline ceiling: a bandwidth diagonal or the compute roof."""
+
+    name: str
+    #: GB/s for bandwidth ceilings; None for the compute roof.
+    bandwidth_gbs: float | None
+    #: GFLOP/s of the flat roof (compute) or of the diagonal at the
+    #: ridge point.
+    gflops: float
+
+    def value_at(self, intensity: float) -> float:
+        """Attainable GFLOP/s at an arithmetic intensity (flops/byte)."""
+        if self.bandwidth_gbs is None:
+            return self.gflops
+        return min(self.bandwidth_gbs * intensity, self.gflops)
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """A kernel's position on the roofline."""
+
+    label: str
+    arithmetic_intensity: float
+    achieved_gflops: float
+    attainable_gflops: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable: the performance-portability headroom."""
+        if self.attainable_gflops <= 0:
+            return 0.0
+        return self.achieved_gflops / self.attainable_gflops
+
+
+def device_ceilings(spec: DeviceSpec) -> list[Ceiling]:
+    """The compute roof plus one diagonal per memory level."""
+    roof = spec.compute.fp32_gflops * spec.compute.efficiency
+    ceilings = [Ceiling("compute", None, roof)]
+    names = ["L1", "L2", "L3"]
+    for i, level in enumerate(spec.caches):
+        name = names[i] if i < len(names) else f"L{i + 1}"
+        ceilings.append(Ceiling(name, level.bandwidth_gbs, roof))
+    ceilings.append(Ceiling("DRAM", spec.memory.bandwidth_gbs, roof))
+    return ceilings
+
+
+def ridge_point(spec: DeviceSpec) -> float:
+    """DRAM ridge: the intensity where memory stops being the bound."""
+    roof = spec.compute.fp32_gflops * spec.compute.efficiency
+    return roof / spec.memory.bandwidth_gbs
+
+
+def kernel_point(spec: DeviceSpec, label: str,
+                 profiles: list[KernelProfile]) -> KernelPoint:
+    """Place one benchmark's kernels on a device's roofline."""
+    flops = sum(p.flops * p.launches for p in profiles)
+    bytes_total = sum(p.bytes_total * p.launches for p in profiles)
+    time_s = iteration_time(spec, profiles).total_s
+    intensity = flops / bytes_total if bytes_total else math.inf
+    achieved = flops / time_s / 1e9 if time_s > 0 else 0.0
+    working_set = max(p.working_set_bytes for p in profiles)
+    bandwidth = spec.effective_bandwidth_gbs(int(working_set))
+    roof = spec.compute.fp32_gflops * spec.compute.efficiency
+    attainable = (roof if not math.isfinite(intensity)
+                  else min(bandwidth * intensity, roof))
+    return KernelPoint(
+        label=label,
+        arithmetic_intensity=intensity,
+        achieved_gflops=achieved,
+        attainable_gflops=attainable,
+    )
+
+
+def suite_points(spec: DeviceSpec, size: str = "large") -> list[KernelPoint]:
+    """Roofline points for every *floating-point* paper benchmark.
+
+    Integer-only kernels (crc, nw, nqueens) have no meaningful FLOP
+    position and are omitted, as in conventional roofline practice.
+    """
+    from ..dwarfs.registry import BENCHMARKS
+
+    points = []
+    for name, cls in BENCHMARKS.items():
+        use = size if size in cls.presets else cls.available_sizes()[-1]
+        bench = cls.from_size(use)
+        profiles = bench.profiles()
+        if sum(p.flops for p in profiles) <= 0:
+            continue
+        points.append(kernel_point(spec, name, profiles))
+    return points
+
+
+# ----------------------------------------------------------------------
+# HTML/SVG rendering (log-log; emphasis form)
+# ----------------------------------------------------------------------
+_CSS = """
+.viz-root { --surface-1:#fcfcfb; --text-primary:#0b0b0b;
+  --text-secondary:#52514e; --grid:#e7e6e2; --accent:#2a78d6;
+  background:var(--surface-1); color:var(--text-primary);
+  font:13px/1.45 system-ui,sans-serif; padding:16px; max-width:860px; }
+@media (prefers-color-scheme: dark) {
+  .viz-root { --surface-1:#1a1a19; --text-primary:#ffffff;
+    --text-secondary:#c3c2b7; --grid:#383835; --accent:#3987e5; } }
+.viz-root h1 { font-size:17px; margin:0 0 2px; }
+.viz-root .subtitle { color:var(--text-secondary); margin:0 0 12px; }
+.viz-root svg text { fill:var(--text-primary); font:11px system-ui,sans-serif; }
+.viz-root svg .tick-label, .viz-root svg .ceiling-label
+  { fill:var(--text-secondary); font-size:10px; }
+.viz-root svg .grid { stroke:var(--grid); stroke-width:1; }
+.viz-root svg .ceiling { stroke:var(--text-secondary); stroke-width:2;
+  fill:none; stroke-linejoin:round; }
+.viz-root svg .point { fill:var(--accent); stroke:var(--surface-1);
+  stroke-width:2; }
+.viz-root table { border-collapse:collapse; margin-top:16px; width:100%; }
+.viz-root th,.viz-root td { text-align:right; padding:3px 8px;
+  border-bottom:1px solid var(--grid); font-size:12px; }
+.viz-root th:first-child,.viz-root td:first-child { text-align:left; }
+"""
+
+_W, _H, _L, _B = 640, 360, 70, 40
+
+
+def _log_scale(lo: float, hi: float, size: float, offset: float):
+    a, b = math.log10(lo), math.log10(hi)
+
+    def scale(v: float) -> float:
+        v = min(max(v, lo), hi)
+        return offset + (math.log10(v) - a) / (b - a) * size
+    return scale
+
+
+def render_roofline_html(spec: DeviceSpec,
+                         points: list[KernelPoint]) -> str:
+    """Standalone HTML/SVG roofline chart for one device."""
+    ceilings = [c for c in device_ceilings(spec) if c.bandwidth_gbs]
+    roof = spec.compute.fp32_gflops * spec.compute.efficiency
+    xs = [p.arithmetic_intensity for p in points
+          if math.isfinite(p.arithmetic_intensity)]
+    x_lo = min([0.01] + [x / 2 for x in xs])
+    x_hi = max([100.0] + [x * 2 for x in xs] + [2 * ridge_point(spec)])
+    y_lo = max(min([roof / 1e4] + [p.achieved_gflops / 2 for p in points
+                                   if p.achieved_gflops > 0]), 1e-3)
+    y_hi = roof * 2
+    sx = _log_scale(x_lo, x_hi, _W, _L)
+    sy_raw = _log_scale(y_lo, y_hi, _H - _B - 10, 0)
+
+    def sy(v: float) -> float:
+        return (_H - _B) - sy_raw(v)
+
+    parts = [f'<svg role="img" viewBox="0 0 {_L + _W + 30} {_H}" width="100%" '
+             f'aria-label="roofline">']
+    # decade gridlines + ticks
+    for e in range(math.floor(math.log10(x_lo)), math.ceil(math.log10(x_hi)) + 1):
+        v = 10.0 ** e
+        if not x_lo <= v <= x_hi:
+            continue
+        parts.append(f'<line class="grid" x1="{sx(v):.1f}" y1="10" '
+                     f'x2="{sx(v):.1f}" y2="{_H - _B}"/>')
+        parts.append(f'<text class="tick-label" x="{sx(v):.1f}" '
+                     f'y="{_H - _B + 14}" text-anchor="middle">{v:g}</text>')
+    for e in range(math.ceil(math.log10(y_lo)), math.ceil(math.log10(y_hi)) + 1):
+        v = 10.0 ** e
+        if not y_lo <= v <= y_hi:
+            continue
+        parts.append(f'<line class="grid" x1="{_L}" y1="{sy(v):.1f}" '
+                     f'x2="{_L + _W}" y2="{sy(v):.1f}"/>')
+        parts.append(f'<text class="tick-label" x="{_L - 6}" y="{sy(v) + 3:.1f}" '
+                     f'text-anchor="end">{v:g}</text>')
+    parts.append(f'<text class="tick-label" x="{_L + _W}" y="{_H - 6}" '
+                 'text-anchor="end">arithmetic intensity (flop/byte), log</text>')
+    parts.append(f'<text class="tick-label" x="{_L}" y="8">GFLOP/s, log</text>')
+
+    # ceilings: one polyline per memory level + the shared roof
+    for c in ceilings:
+        ridge = roof / c.bandwidth_gbs
+        pts = [(x_lo, c.bandwidth_gbs * x_lo)]
+        if x_lo < ridge < x_hi:
+            pts.append((ridge, roof))
+            pts.append((x_hi, roof))
+        else:
+            pts.append((x_hi, min(c.bandwidth_gbs * x_hi, roof)))
+        path = " ".join(f"{sx(x):.1f},{sy(max(y, y_lo)):.1f}" for x, y in pts)
+        parts.append(f'<polyline class="ceiling" points="{path}">'
+                     f'<title>{html.escape(c.name)}: '
+                     f'{c.bandwidth_gbs:g} GB/s</title></polyline>')
+        label_x, label_y = pts[0]
+        parts.append(f'<text class="ceiling-label" x="{sx(label_x) + 4:.1f}" '
+                     f'y="{sy(max(label_y, y_lo)) - 4:.1f}">'
+                     f'{html.escape(c.name)}</text>')
+
+    # kernel points, direct-labeled (identity never rides on color)
+    for p in points:
+        if not math.isfinite(p.arithmetic_intensity):
+            continue
+        cx, cy = sx(p.arithmetic_intensity), sy(max(p.achieved_gflops, y_lo))
+        tooltip = (f"{p.label}: AI {p.arithmetic_intensity:.2f}, achieved "
+                   f"{p.achieved_gflops:.2f} GFLOP/s, attainable "
+                   f"{p.attainable_gflops:.2f} ({p.efficiency:.0%})")
+        parts.append(f'<g><circle class="point" cx="{cx:.1f}" cy="{cy:.1f}" '
+                     f'r="5"/><text x="{cx + 8:.1f}" y="{cy + 4:.1f}">'
+                     f'{html.escape(p.label)}</text>'
+                     f'<title>{html.escape(tooltip)}</title></g>')
+    parts.append("</svg>")
+
+    table = ['<table><tr><th>kernel</th><th>AI (flop/B)</th>'
+             '<th>achieved GF/s</th><th>attainable GF/s</th>'
+             '<th>efficiency</th></tr>']
+    for p in points:
+        table.append(
+            f"<tr><td>{html.escape(p.label)}</td>"
+            f"<td>{p.arithmetic_intensity:.3g}</td>"
+            f"<td>{p.achieved_gflops:.3g}</td>"
+            f"<td>{p.attainable_gflops:.3g}</td>"
+            f"<td>{p.efficiency:.0%}</td></tr>")
+    table.append("</table>")
+
+    return ("<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>Roofline — {html.escape(spec.name)}</title>"
+            f"<style>{_CSS}</style></head><body><div class='viz-root'>"
+            f"<h1>Roofline — {html.escape(spec.name)}</h1>"
+            f"<p class='subtitle'>compute roof "
+            f"{roof:.0f} GFLOP/s (sustained); DRAM ridge at "
+            f"{ridge_point(spec):.1f} flop/byte</p>"
+            + "".join(parts) + "".join(table)
+            + "</div></body></html>")
+
+
+def save_roofline_html(spec: DeviceSpec, points: list[KernelPoint],
+                       path) -> Path:
+    path = Path(path)
+    path.write_text(render_roofline_html(spec, points))
+    return path

@@ -1,0 +1,25 @@
+"""Host <-> device transfer model.
+
+The paper measures memory-transfer segments for every benchmark (though
+only kernel times are presented).  Discrete GPUs move buffers over
+PCIe; for CPU devices (and the KNL, which is self-hosted here) a
+"transfer" is a memcpy within host memory, so the link bandwidth equals
+memory bandwidth and latency is sub-microsecond.
+"""
+
+from __future__ import annotations
+
+from ..devices.specs import DeviceSpec
+
+
+def transfer_time_s(spec: DeviceSpec, nbytes: int) -> float:
+    """Time to move ``nbytes`` between host and device, one direction."""
+    if nbytes <= 0:
+        return spec.memory.link_latency_us * 1e-6
+    bw = spec.memory.link_bandwidth_gbs * 1e9
+    return spec.memory.link_latency_us * 1e-6 + nbytes / bw
+
+
+def round_trip_time_s(spec: DeviceSpec, bytes_to_device: int, bytes_from_device: int) -> float:
+    """Write inputs then read results (no overlap, as in the benchmarks)."""
+    return transfer_time_s(spec, bytes_to_device) + transfer_time_s(spec, bytes_from_device)

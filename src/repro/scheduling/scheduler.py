@@ -1,0 +1,95 @@
+"""Multi-task scheduling over heterogeneous devices (paper §7).
+
+Given a batch of benchmark tasks and a pool of devices, assign tasks to
+devices.  Two classic policies are provided for the paper's promised
+'evaluation of scheduling approaches':
+
+* :func:`schedule_lpt` — heterogeneous longest-processing-time-first:
+  tasks sorted by their best-case modeled time, each placed on the
+  device whose *completion time* (current load + that device's modeled
+  task time) is smallest.  A strong makespan heuristic.
+* :func:`schedule_round_robin` — the baseline: tasks dealt to devices
+  cyclically, ignoring affinity.
+
+Comparing the two shows why device-aware scheduling matters on
+heterogeneous pools: round-robin happily puts crc on a KNL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..devices.catalog import get_device
+from ..dwarfs.base import Benchmark
+from ..perfmodel.roofline import iteration_time
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: a benchmark instance plus a label."""
+
+    label: str
+    bench: Benchmark
+
+    def time_on(self, device: str) -> float:
+        return iteration_time(get_device(device), self.bench.profiles()).total_s
+
+
+@dataclass
+class Assignment:
+    """A complete schedule: device -> ordered task list with times."""
+
+    placements: dict = field(default_factory=dict)  # device -> [(label, s)]
+
+    def add(self, device: str, label: str, time_s: float) -> None:
+        self.placements.setdefault(device, []).append((label, time_s))
+
+    def load(self, device: str) -> float:
+        return sum(t for _, t in self.placements.get(device, []))
+
+    @property
+    def makespan(self) -> float:
+        if not self.placements:
+            return 0.0
+        return max(self.load(d) for d in self.placements)
+
+    @property
+    def total_device_seconds(self) -> float:
+        return sum(self.load(d) for d in self.placements)
+
+    def rows(self) -> list[dict]:
+        return [
+            {"device": device,
+             "tasks": ", ".join(label for label, _ in tasks),
+             "busy (ms)": round(self.load(device) * 1e3, 3)}
+            for device, tasks in self.placements.items()
+        ]
+
+
+def schedule_lpt(tasks: list[Task], devices: list[str]) -> Assignment:
+    """Heterogeneous LPT: biggest tasks first, earliest-finish device."""
+    if not devices:
+        raise ValueError("no devices to schedule onto")
+    # Precompute the per-device time matrix once.
+    matrix = {t.label: {d: t.time_on(d) for d in devices} for t in tasks}
+    order = sorted(tasks, key=lambda t: min(matrix[t.label].values()),
+                   reverse=True)
+    assignment = Assignment()
+    for task in order:
+        best = min(
+            devices,
+            key=lambda d: assignment.load(d) + matrix[task.label][d],
+        )
+        assignment.add(best, task.label, matrix[task.label][best])
+    return assignment
+
+
+def schedule_round_robin(tasks: list[Task], devices: list[str]) -> Assignment:
+    """Affinity-blind baseline: deal tasks to devices cyclically."""
+    if not devices:
+        raise ValueError("no devices to schedule onto")
+    assignment = Assignment()
+    for i, task in enumerate(tasks):
+        device = devices[i % len(devices)]
+        assignment.add(device, task.label, task.time_on(device))
+    return assignment

@@ -1,0 +1,119 @@
+"""Device selection under time/energy constraints (paper §7).
+
+"The original goal of this research was to discover methods for
+choosing the best device for a particular computational task, for
+example to support scheduling decisions under time and/or energy
+constraints. ... we plan to use these benchmarks to evaluate
+scheduling approaches."
+
+This module implements that use case over the analytic model: predict
+each candidate device's kernel time and energy for a benchmark, filter
+by budgets, and rank by an objective (time, energy, or energy-delay
+product).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..devices.catalog import device_names, get_device
+from ..devices.specs import DeviceSpec
+from ..dwarfs.base import Benchmark
+from ..perfmodel.energy import kernel_energy
+from ..perfmodel.roofline import iteration_time
+
+
+class Objective(enum.Enum):
+    """Ranking criterion for device selection."""
+
+    TIME = "time"
+    ENERGY = "energy"
+    EDP = "edp"  # energy-delay product
+
+
+@dataclass(frozen=True)
+class DevicePrediction:
+    """Modeled cost of one benchmark iteration on one device."""
+
+    device: str
+    device_class: str
+    time_s: float
+    energy_j: float
+
+    @property
+    def edp(self) -> float:
+        return self.time_s * self.energy_j
+
+    def objective_value(self, objective: Objective) -> float:
+        return {
+            Objective.TIME: self.time_s,
+            Objective.ENERGY: self.energy_j,
+            Objective.EDP: self.edp,
+        }[objective]
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Outcome of a constrained device-selection query."""
+
+    chosen: DevicePrediction | None
+    feasible: tuple[DevicePrediction, ...]
+    rejected: tuple[DevicePrediction, ...]
+    objective: Objective
+
+    @property
+    def satisfiable(self) -> bool:
+        return self.chosen is not None
+
+
+def predict(bench: Benchmark, device: str | DeviceSpec) -> DevicePrediction:
+    """Model one device's time/energy for a benchmark iteration."""
+    spec = get_device(device) if isinstance(device, str) else device
+    breakdown = iteration_time(spec, bench.profiles())
+    energy = kernel_energy(spec, breakdown)
+    return DevicePrediction(
+        device=spec.name,
+        device_class=spec.device_class.value,
+        time_s=breakdown.total_s,
+        energy_j=energy.energy_j,
+    )
+
+
+def predict_all(bench: Benchmark,
+                devices: list[str] | None = None) -> list[DevicePrediction]:
+    """Predictions across a device set (default: the whole catalog)."""
+    return [predict(bench, d) for d in (devices or device_names())]
+
+
+def select_device(
+    bench: Benchmark,
+    devices: list[str] | None = None,
+    time_budget_s: float | None = None,
+    energy_budget_j: float | None = None,
+    objective: Objective | str = Objective.TIME,
+) -> Selection:
+    """Pick the best device for a task under optional budgets.
+
+    Devices violating a budget are excluded; among the feasible set the
+    objective minimiser wins.  An unsatisfiable query returns a
+    Selection with ``chosen=None`` and the full rejected list, so a
+    scheduler can relax constraints deliberately.
+    """
+    if isinstance(objective, str):
+        objective = Objective(objective)
+    predictions = predict_all(bench, devices)
+    feasible, rejected = [], []
+    for p in predictions:
+        ok = ((time_budget_s is None or p.time_s <= time_budget_s)
+              and (energy_budget_j is None or p.energy_j <= energy_budget_j))
+        (feasible if ok else rejected).append(p)
+    chosen = (min(feasible, key=lambda p: p.objective_value(objective))
+              if feasible else None)
+    return Selection(
+        chosen=chosen,
+        feasible=tuple(sorted(feasible,
+                              key=lambda p: p.objective_value(objective))),
+        rejected=tuple(rejected),
+        objective=objective,
+    )

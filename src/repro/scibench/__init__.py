@@ -1,0 +1,37 @@
+"""LibSciBench-style measurement library: timers, stats, recorder."""
+
+from .recorder import (
+    Measurement,
+    Recorder,
+    REGION_KERNEL,
+    REGION_SETUP,
+    REGION_TRANSFER,
+)
+from . import lsb
+from .stats import (
+    SampleSummary,
+    achieved_power,
+    coefficient_of_variation,
+    required_sample_size,
+    summarize,
+    welch_t_test,
+)
+from .timer import DeviceClock, TIMER_OVERHEAD_NS, WallClock
+
+__all__ = [
+    "lsb",
+    "DeviceClock",
+    "Measurement",
+    "REGION_KERNEL",
+    "REGION_SETUP",
+    "REGION_TRANSFER",
+    "Recorder",
+    "SampleSummary",
+    "TIMER_OVERHEAD_NS",
+    "WallClock",
+    "achieved_power",
+    "coefficient_of_variation",
+    "required_sample_size",
+    "summarize",
+    "welch_t_test",
+]

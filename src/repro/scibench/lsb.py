@@ -1,0 +1,78 @@
+"""LibSciBench-format output files.
+
+LibSciBench writes per-process measurement files (``lsb.<name>.r<rank>``)
+consumed by its R analysis scripts: a commented header describing the
+system, then whitespace-aligned columns of per-record values with the
+measured time in microseconds and the timer overhead.  The paper's
+statistical analysis and visualisation pipeline reads these files
+(§2, §6); this module writes and parses the same layout so our
+recorders interoperate with that tooling.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from .recorder import Recorder
+from .timer import TIMER_OVERHEAD_NS
+
+#: File-format version string written into the header.
+FORMAT_VERSION = "0.2.2"  # the LibSciBench release the paper used
+
+
+def dumps(recorder: Recorder, system: str = "", rank: int = 0) -> str:
+    """Serialise a recorder in LibSciBench ``.r`` layout."""
+    out = io.StringIO()
+    out.write(f"# LibSciBench (repro) version {FORMAT_VERSION}\n")
+    out.write(f"# Rank: {rank}\n")
+    if system:
+        out.write(f"# System: {system}\n")
+    if recorder.name:
+        out.write(f"# Benchmark: {recorder.name}\n")
+    out.write(f"# Timer overhead: {TIMER_OVERHEAD_NS} ns\n")
+    out.write(f"{'id':>8} {'region':>16} {'time_us':>18} {'overhead_ns':>12}\n")
+    for i, m in enumerate(recorder._measurements):
+        out.write(
+            f"{i:>8} {m.region:>16} {m.time_s * 1e6:>18.6f} "
+            f"{TIMER_OVERHEAD_NS:>12}\n"
+        )
+    return out.getvalue()
+
+
+def loads(text: str) -> Recorder:
+    """Parse a LibSciBench-layout file back into a recorder."""
+    recorder = Recorder()
+    header_seen = False
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# Benchmark:"):
+                recorder.name = line.split(":", 1)[1].strip()
+            continue
+        parts = line.split()
+        if not header_seen:
+            if parts[0] == "id":
+                header_seen = True
+                continue
+            raise ValueError(f"malformed LSB file: expected header, got {line!r}")
+        if len(parts) != 4:
+            raise ValueError(f"malformed LSB record: {line!r}")
+        _, region, time_us, _ = parts
+        recorder.record(region, float(time_us) * 1e-6)
+    return recorder
+
+
+def save(path, recorder: Recorder, system: str = "", rank: int = 0) -> None:
+    """Write ``lsb.<name>.r<rank>``-style output to ``path``."""
+    Path(path).write_text(dumps(recorder, system=system, rank=rank))
+
+
+def load(path) -> Recorder:
+    return loads(Path(path).read_text())
+
+
+def default_filename(benchmark: str, rank: int = 0) -> str:
+    """LibSciBench's conventional output file name."""
+    return f"lsb.{benchmark}.r{rank}"

@@ -1,0 +1,124 @@
+"""Statistical kit for benchmark measurements.
+
+Implements the statistical discipline of the paper's methodology
+(§4.3): summary statistics with confidence intervals, coefficient of
+variation, and the t-test power computation that fixes the sample size
+at 50 runs per (benchmark, problem size) group — chosen "to ensure that
+sufficient statistical power (beta = 0.8) would be available to detect
+a significant difference in means on the scale of half a standard
+deviation of separation".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of one measurement group."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    q1: float
+    q3: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def summarize(samples, confidence: float = 0.95) -> SampleSummary:
+    """Summary statistics with a t-based CI on the mean."""
+    x = np.asarray(samples, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    n = int(x.size)
+    mean = float(x.mean())
+    std = float(x.std(ddof=1)) if n > 1 else 0.0
+    if n > 1 and std > 0:
+        half = sps.t.ppf(0.5 + confidence / 2.0, df=n - 1) * std / math.sqrt(n)
+    else:
+        half = 0.0
+    q1, med, q3 = (float(v) for v in np.percentile(x, [25, 50, 75]))
+    return SampleSummary(
+        n=n,
+        mean=mean,
+        std=std,
+        minimum=float(x.min()),
+        maximum=float(x.max()),
+        median=med,
+        q1=q1,
+        q3=q3,
+        ci_low=mean - half,
+        ci_high=mean + half,
+    )
+
+
+def required_sample_size(
+    effect_size: float = 0.5,
+    power: float = 0.8,
+    alpha: float = 0.05,
+    two_sided: bool = False,
+) -> int:
+    """Per-group sample size for a two-sample t-test (normal approximation).
+
+    With the paper's parameters — detecting a difference of half a
+    standard deviation (``effect_size=0.5``) with power 0.8 at
+    ``alpha=0.05`` — this returns **50**, the sample size used for every
+    (benchmark, problem size) group.
+    """
+    if not 0 < alpha < 1:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0 < power < 1:
+        raise ValueError(f"power must be in (0, 1), got {power}")
+    if effect_size <= 0:
+        raise ValueError(f"effect size must be positive, got {effect_size}")
+    z_alpha = sps.norm.ppf(1 - alpha / (2 if two_sided else 1))
+    z_beta = sps.norm.ppf(power)
+    n = 2.0 * ((z_alpha + z_beta) / effect_size) ** 2
+    return math.ceil(n)
+
+
+def achieved_power(
+    n: int,
+    effect_size: float = 0.5,
+    alpha: float = 0.05,
+    two_sided: bool = False,
+) -> float:
+    """Power achieved by a two-sample t-test with ``n`` per group."""
+    if n < 2:
+        return 0.0
+    z_alpha = sps.norm.ppf(1 - alpha / (2 if two_sided else 1))
+    shift = effect_size * math.sqrt(n / 2.0)
+    return float(sps.norm.cdf(shift - z_alpha))
+
+
+def welch_t_test(a, b) -> tuple[float, float]:
+    """Welch's t-test between two groups; returns (t statistic, p value)."""
+    result = sps.ttest_ind(np.asarray(a, float), np.asarray(b, float), equal_var=False)
+    return float(result.statistic), float(result.pvalue)
+
+
+def coefficient_of_variation(samples) -> float:
+    """std/mean of a sample (the dispersion measure of paper §5.1)."""
+    x = np.asarray(samples, dtype=float)
+    if x.size < 2:
+        return 0.0
+    m = x.mean()
+    return float(x.std(ddof=1) / m) if m else 0.0

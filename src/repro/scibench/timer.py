@@ -1,0 +1,92 @@
+"""High-resolution timers.
+
+LibSciBench's selling point is a cycle-resolution timer with ~6 ns
+overhead (paper §2).  Two clocks are provided:
+
+* :class:`WallClock` — real ``perf_counter_ns`` wall time, for timing
+  the simulator itself (used by the pytest-benchmark harness);
+* :class:`DeviceClock` — reads the simulated device clock of a
+  :class:`~repro.ocl.queue.CommandQueue`, for timing *modeled* regions
+  the way LibSciBench brackets OpenCL calls.
+
+Both expose the same ``start``/``stop``/``elapsed_ns`` interface so the
+recorder does not care which one it is fed.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Documented overhead of one LibSciBench timer read, ns.
+TIMER_OVERHEAD_NS = 6
+
+
+class WallClock:
+    """Monotonic wall-clock timer with nanosecond reads."""
+
+    def __init__(self):
+        self._start_ns: int | None = None
+        self._elapsed_ns = 0
+
+    def start(self) -> None:
+        self._start_ns = time.perf_counter_ns()
+
+    def stop(self) -> int:
+        """Stop and return the elapsed nanoseconds of this interval."""
+        if self._start_ns is None:
+            raise RuntimeError("timer stopped without being started")
+        delta = time.perf_counter_ns() - self._start_ns
+        self._start_ns = None
+        self._elapsed_ns += delta
+        return delta
+
+    @property
+    def elapsed_ns(self) -> int:
+        """Total nanoseconds accumulated across intervals."""
+        return self._elapsed_ns
+
+    def reset(self) -> None:
+        self._start_ns = None
+        self._elapsed_ns = 0
+
+    def __enter__(self) -> "WallClock":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class DeviceClock:
+    """Timer over a simulated command queue's device clock."""
+
+    def __init__(self, queue):
+        self.queue = queue
+        self._start_ns: int | None = None
+        self._elapsed_ns = 0
+
+    def start(self) -> None:
+        self._start_ns = self.queue.device_time_ns
+
+    def stop(self) -> int:
+        if self._start_ns is None:
+            raise RuntimeError("timer stopped without being started")
+        delta = self.queue.device_time_ns - self._start_ns
+        self._start_ns = None
+        self._elapsed_ns += delta
+        return delta
+
+    @property
+    def elapsed_ns(self) -> int:
+        return self._elapsed_ns
+
+    def reset(self) -> None:
+        self._start_ns = None
+        self._elapsed_ns = 0
+
+    def __enter__(self) -> "DeviceClock":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

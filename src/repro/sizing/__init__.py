@@ -1,0 +1,34 @@
+"""Problem-size methodology: footprints, solver, presets, verification."""
+
+from .footprint import (
+    FIXED_SIZE_BENCHMARKS,
+    SCALE_GENERATORS,
+    footprint_for,
+    footprint_kib,
+)
+from .presets import PAPER_TABLE2, REFERENCE_DEVICE, preset_fit_report
+from .solver import LARGE_FACTOR, SizeSelection, classify_footprint, solve_sizes
+from .verify import (
+    SizeVerification,
+    TRACE_LEN,
+    transition_detected,
+    verify_benchmark_sizes,
+)
+
+__all__ = [
+    "FIXED_SIZE_BENCHMARKS",
+    "LARGE_FACTOR",
+    "PAPER_TABLE2",
+    "REFERENCE_DEVICE",
+    "SCALE_GENERATORS",
+    "SizeSelection",
+    "SizeVerification",
+    "TRACE_LEN",
+    "classify_footprint",
+    "footprint_for",
+    "footprint_kib",
+    "preset_fit_report",
+    "solve_sizes",
+    "transition_detected",
+    "verify_benchmark_sizes",
+]

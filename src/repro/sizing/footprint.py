@@ -1,0 +1,111 @@
+"""Working-set footprint computation per benchmark.
+
+The paper's §4.4 methodology: each benchmark has a closed-form device
+memory footprint in its scale parameter Φ (e.g. Eq. 1 for kmeans);
+problem sizes are chosen so the footprint lands in the targeted level
+of the reference CPU's cache hierarchy.
+
+``footprint_for`` evaluates the footprint by instantiating the
+benchmark (cheap — no host setup) so it is always consistent with what
+the runtime will actually allocate.
+"""
+
+from __future__ import annotations
+
+from ..dwarfs.registry import get_benchmark
+
+
+def footprint_for(benchmark: str, phi) -> int:
+    """Device footprint (bytes) of ``benchmark`` at scale ``phi``."""
+    cls = get_benchmark(benchmark)
+    return cls.from_scale(phi).footprint_bytes()
+
+
+def footprint_kib(benchmark: str, phi) -> float:
+    return footprint_for(benchmark, phi) / 1024.0
+
+
+# ----------------------------------------------------------------------
+# Scale-parameter generators: the discrete values each benchmark's Φ
+# may take (monotonically increasing in footprint).
+# ----------------------------------------------------------------------
+def _kmeans_scales():
+    p = 16
+    while True:
+        yield p
+        p += 16
+
+
+def _lud_scales():
+    n = 16
+    while True:
+        yield n
+        n += 16
+
+
+def _csr_scales():
+    n = 16
+    while True:
+        yield n
+        n += 16
+
+
+def _fft_scales():
+    n = 64
+    while True:
+        yield n
+        n *= 2
+
+
+def _dwt_scales():
+    # 4:3 aspect images, multiples of 4 in width
+    w = 16
+    while True:
+        yield (w, max(w * 3 // 4, 8))
+        w += 8
+
+
+def _srad_scales():
+    # grids roughly 2:1, row-dominant like the paper's choices
+    r = 16
+    while True:
+        yield (r, max(r // 2, 8))
+        r += 16
+
+
+def _crc_scales():
+    n = 1024
+    while True:
+        yield n
+        n += 1024
+
+
+def _nw_scales():
+    n = 16
+    while True:
+        yield n
+        n += 16
+
+
+def _hmm_scales():
+    n = 2
+    while True:
+        yield (n, 1)
+        n += 2
+
+
+SCALE_GENERATORS = {
+    "kmeans": _kmeans_scales,
+    "lud": _lud_scales,
+    "csr": _csr_scales,
+    "fft": _fft_scales,
+    "dwt": _dwt_scales,
+    "srad": _srad_scales,
+    "crc": _crc_scales,
+    "nw": _nw_scales,
+    "hmm": _hmm_scales,
+}
+
+#: Benchmarks whose problem size could not be freely scaled in the
+#: paper (gem uses fixed molecules; nqueens' footprint barely moves).
+FIXED_SIZE_BENCHMARKS = ("gem", "nqueens")

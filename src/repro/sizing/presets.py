@@ -1,0 +1,53 @@
+"""The paper's published problem sizes (Table 2) and their provenance.
+
+``PAPER_TABLE2`` mirrors the publication exactly.  The benchmark
+classes carry the same values in their ``presets`` attribute; the
+consistency test guards against drift between the two.
+"""
+
+from __future__ import annotations
+
+from ..devices.catalog import get_device
+from ..dwarfs.registry import BENCHMARKS
+from .solver import classify_footprint
+
+#: Table 2: OpenDwarfs workload scale parameters Φ.
+PAPER_TABLE2 = {
+    "kmeans": {"tiny": 256, "small": 2048, "medium": 65600, "large": 131072},
+    "lud": {"tiny": 80, "small": 240, "medium": 1440, "large": 4096},
+    "csr": {"tiny": 736, "small": 2416, "medium": 14336, "large": 16384},
+    "fft": {"tiny": 2048, "small": 16384, "medium": 524288, "large": 2097152},
+    "dwt": {"tiny": (72, 54), "small": (200, 150), "medium": (1152, 864),
+            "large": (3648, 2736)},
+    "srad": {"tiny": (80, 16), "small": (128, 80), "medium": (1024, 336),
+             "large": (2048, 1024)},
+    "crc": {"tiny": 2000, "small": 16000, "medium": 524000, "large": 4194304},
+    "nw": {"tiny": 48, "small": 176, "medium": 1008, "large": 4096},
+    "gem": {"tiny": "4TUT", "small": "2D3V", "medium": "nucleosome",
+            "large": "1KX5"},
+    "nqueens": {"tiny": 18},
+    "hmm": {"tiny": (8, 1), "small": (900, 1), "medium": (1012, 1024),
+            "large": (2048, 2048)},
+}
+
+#: The reference platform the sizes were fitted to (paper §4.4).
+REFERENCE_DEVICE = "i7-6700K"
+
+
+def preset_fit_report(device_name: str = REFERENCE_DEVICE) -> dict:
+    """Classify every Table 2 preset against a device's cache levels.
+
+    Returns ``{benchmark: {size: (footprint_kib, fits_class)}}`` —
+    the data behind the paper's claim that tiny/small/medium/large
+    land in L1/L2/L3/memory on the Skylake.
+    """
+    device = get_device(device_name)
+    report = {}
+    for name, sizes in PAPER_TABLE2.items():
+        cls = BENCHMARKS[name]
+        per_size = {}
+        for size, phi in sizes.items():
+            fp = cls.from_scale(phi).footprint_bytes()
+            per_size[size] = (fp / 1024.0, classify_footprint(device, fp))
+        report[name] = per_size
+    return report

@@ -1,0 +1,98 @@
+"""Problem-size solver: fit scale parameters to a cache hierarchy.
+
+Implements the paper's §4.4 procedure generically: given a reference
+device (the Skylake i7-6700K in the paper), find for each benchmark
+
+* ``tiny``   — the largest Φ whose footprint fits L1;
+* ``small``  — the largest Φ fitting L2;
+* ``medium`` — the largest Φ fitting L3 (the last-level cache);
+* ``large``  — the smallest Φ at least ``LARGE_FACTOR`` x L3, "to
+  ensure that data are transferred between main memory and cache".
+
+"These can now be easily adjusted for next generation accelerator
+systems using the methodology outlined in Section 4.4" (paper §6) —
+pass any other device spec to retarget the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.specs import DeviceSpec
+from .footprint import SCALE_GENERATORS, footprint_for
+
+#: ``large`` must exceed the last-level cache by at least this factor.
+LARGE_FACTOR = 4
+
+#: Safety cap on the number of candidate scales explored per level.
+_MAX_CANDIDATES = 1_000_000
+
+
+@dataclass(frozen=True)
+class SizeSelection:
+    """Solved scale parameters and their footprints for one benchmark."""
+
+    benchmark: str
+    device: str
+    sizes: dict  # size name -> (phi, footprint_bytes)
+
+    def phi(self, size: str):
+        return self.sizes[size][0]
+
+    def footprint(self, size: str) -> int:
+        return self.sizes[size][1]
+
+
+def solve_sizes(benchmark: str, device: DeviceSpec) -> SizeSelection:
+    """Run the §4.4 methodology for one benchmark on one device."""
+    try:
+        generator = SCALE_GENERATORS[benchmark]
+    except KeyError:
+        raise ValueError(
+            f"{benchmark!r} has no scale generator (fixed-size benchmark?)"
+        ) from None
+
+    thresholds = [level.size_bytes for level in device.caches]
+    llc = thresholds[-1]
+    large_minimum = LARGE_FACTOR * llc
+    names = ["tiny", "small", "medium"][: len(thresholds)]
+
+    best: dict[str, tuple] = {}
+    large: tuple | None = None
+    previous_fp = -1
+    for i, phi in enumerate(generator()):
+        if i >= _MAX_CANDIDATES:
+            raise RuntimeError(
+                f"{benchmark}: no scale reached {large_minimum} bytes after "
+                f"{_MAX_CANDIDATES} candidates"
+            )
+        fp = footprint_for(benchmark, phi)
+        if fp < previous_fp:
+            raise RuntimeError(f"{benchmark}: footprint not monotone at {phi!r}")
+        previous_fp = fp
+        for name, limit in zip(names, thresholds):
+            if fp <= limit:
+                best[name] = (phi, fp)
+        if fp >= large_minimum:
+            large = (phi, fp)
+            break
+    missing = [n for n in names if n not in best]
+    if missing:
+        raise RuntimeError(
+            f"{benchmark}: no scale fits cache level(s) {missing} on {device.name}"
+        )
+    best["large"] = large
+    return SizeSelection(benchmark=benchmark, device=device.name, sizes=best)
+
+
+def classify_footprint(device: DeviceSpec, footprint_bytes: int) -> str:
+    """Which size class a footprint belongs to on a device.
+
+    Returns 'tiny'/'small'/'medium' for the innermost cache level that
+    holds it, or 'large' if it exceeds the last-level cache.
+    """
+    names = ["tiny", "small", "medium"]
+    for name, level in zip(names, device.caches):
+        if footprint_bytes <= level.size_bytes:
+            return name
+    return "large"

@@ -1,0 +1,21 @@
+"""Work-group size auto-tuning over the analytic model (paper §7)."""
+
+from .autotune import (
+    CANDIDATE_LOCAL_SIZES,
+    TuningResult,
+    alignment_efficiency,
+    autotune,
+    autotune_benchmark,
+    scheduling_width,
+    tuned_kernel_time,
+)
+
+__all__ = [
+    "CANDIDATE_LOCAL_SIZES",
+    "TuningResult",
+    "alignment_efficiency",
+    "autotune",
+    "autotune_benchmark",
+    "scheduling_width",
+    "tuned_kernel_time",
+]

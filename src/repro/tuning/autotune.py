@@ -1,0 +1,137 @@
+"""Local work-group size auto-tuning (paper §7).
+
+"Certain configuration parameters for the benchmarks, e.g. local
+workgroup size, are amenable to auto-tuning.  We plan to integrate
+auto-tuning into the benchmarking framework to provide confidence that
+the optimal parameters are used for each combination of code and
+accelerator."
+
+The paper also notes that baked-in local work-group sizes were among
+the platform-specific optimisations that hurt or broke the original
+OpenDwarfs on newer devices (§6).  This module provides that
+auto-tuner over the analytic model: the local size affects
+
+* **lane alignment** — a group that is not a multiple of the device's
+  scheduling width (warp 32 on NVIDIA, wavefront 64 on AMD, the SIMD
+  width on CPUs) wastes the remainder lanes of its last sub-group;
+* **dispatch overhead** — smaller groups mean more groups, each paying
+  the per-group dispatch cost;
+* **tail imbalance** — groups that do not divide the NDRange leave a
+  partially-filled last group.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..devices.specs import DeviceSpec, Vendor
+from ..ocl.ndrange import MAX_WORK_GROUP_SIZE
+from ..ocl.types import DeviceType
+from ..perfmodel.characterization import KernelProfile
+from ..perfmodel.roofline import TimeBreakdown, kernel_time
+
+#: Candidate local sizes swept by the tuner.
+CANDIDATE_LOCAL_SIZES = tuple(2**k for k in range(0, 11))  # 1 .. 1024
+
+
+def scheduling_width(spec: DeviceSpec) -> int:
+    """The device's native sub-group width."""
+    if spec.device_type == DeviceType.GPU:
+        return 64 if spec.vendor == Vendor.AMD else 32
+    return max(1, spec.compute.simd_width_bits // 32)
+
+
+def alignment_efficiency(spec: DeviceSpec, local_size: int) -> float:
+    """Fraction of scheduled lanes doing useful work for a local size.
+
+    A local size below the scheduling width leaves the rest of the
+    sub-group idle; a size that is not a multiple wastes the remainder
+    of its last sub-group.
+    """
+    width = scheduling_width(spec)
+    if local_size <= 0:
+        raise ValueError(f"local size must be positive, got {local_size}")
+    scheduled = math.ceil(local_size / width) * width
+    return local_size / scheduled
+
+
+def tuned_kernel_time(spec: DeviceSpec, profile: KernelProfile,
+                      local_size: int) -> TimeBreakdown:
+    """Model a kernel launched with an explicit local work-group size."""
+    if local_size > MAX_WORK_GROUP_SIZE:
+        raise ValueError(
+            f"local size {local_size} exceeds the device maximum "
+            f"{MAX_WORK_GROUP_SIZE}")
+    groups = math.ceil(profile.work_items / local_size)
+    efficiency = alignment_efficiency(spec, min(local_size, profile.work_items))
+    # lost lanes stretch the computed work; memory traffic is unchanged
+    adjusted = replace(
+        profile,
+        flops=profile.flops / efficiency,
+        int_ops=profile.int_ops / efficiency,
+        work_groups=groups,
+    )
+    return kernel_time(spec, adjusted)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a local-size sweep for one kernel on one device."""
+
+    device: str
+    kernel: str
+    best_local_size: int
+    best_time_s: float
+    sweep: dict  # local size -> modeled seconds
+
+    @property
+    def worst_time_s(self) -> float:
+        return max(self.sweep.values())
+
+    @property
+    def speedup_vs_worst(self) -> float:
+        return self.worst_time_s / self.best_time_s if self.best_time_s else 1.0
+
+    def rows(self) -> list[dict]:
+        return [
+            {"local size": ls, "modeled ms": round(t * 1e3, 5),
+             "best": "<-" if ls == self.best_local_size else ""}
+            for ls, t in self.sweep.items()
+        ]
+
+
+def autotune(spec: DeviceSpec, profile: KernelProfile,
+             candidates: tuple[int, ...] = CANDIDATE_LOCAL_SIZES
+             ) -> TuningResult:
+    """Sweep local sizes and pick the modeled minimum.
+
+    Ties break toward the larger local size (fewer groups, matching
+    what hand-tuned OpenCL codes pick).
+    """
+    sweep = {}
+    for local in candidates:
+        if local > MAX_WORK_GROUP_SIZE:
+            continue
+        if local > profile.work_items:
+            continue
+        sweep[local] = tuned_kernel_time(spec, profile, local).total_s
+    if not sweep:
+        # degenerate NDRange (single work item): only local=1 is valid
+        sweep[1] = tuned_kernel_time(spec, profile, 1).total_s
+    best = min(sorted(sweep, reverse=True), key=lambda ls: sweep[ls])
+    return TuningResult(
+        device=spec.name,
+        kernel=profile.name,
+        best_local_size=best,
+        best_time_s=sweep[best],
+        sweep=dict(sorted(sweep.items())),
+    )
+
+
+def autotune_benchmark(spec: DeviceSpec, bench) -> dict[str, TuningResult]:
+    """Tune every kernel of a benchmark; returns results by kernel name."""
+    out = {}
+    for profile in bench.profiles():
+        out[profile.name] = autotune(spec, profile)
+    return out

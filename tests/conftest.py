@@ -1,0 +1,57 @@
+"""Shared fixtures for the Extended OpenDwarfs test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.devices import get_device
+
+
+@pytest.fixture
+def skylake():
+    """The paper's reference CPU spec (i7-6700K)."""
+    return get_device("i7-6700K")
+
+
+@pytest.fixture
+def gtx1080():
+    """The paper's reference GPU spec."""
+    return get_device("GTX 1080")
+
+
+@pytest.fixture
+def knl():
+    return get_device("Xeon Phi 7210")
+
+
+@pytest.fixture
+def cpu_context(skylake):
+    device = ocl.find_device(skylake.name)
+    ctx = ocl.Context(device)
+    yield ctx
+    ctx.release_all()
+
+
+@pytest.fixture
+def gpu_context(gtx1080):
+    device = ocl.find_device(gtx1080.name)
+    ctx = ocl.Context(device)
+    yield ctx
+    ctx.release_all()
+
+
+@pytest.fixture
+def cpu_queue(cpu_context):
+    return ocl.CommandQueue(cpu_context)
+
+
+@pytest.fixture
+def gpu_queue(gpu_context):
+    return ocl.CommandQueue(gpu_context)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1337)

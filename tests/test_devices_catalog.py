@@ -1,0 +1,159 @@
+"""Device catalog: Table 1 fidelity and model-parameter sanity."""
+
+import pytest
+
+from repro.devices import (
+    CATALOG,
+    DeviceClass,
+    Vendor,
+    device_names,
+    devices_by_class,
+    get_device,
+)
+from repro.ocl.types import DeviceType
+
+#: Table 1 of the paper, row for row (the columns we encode directly).
+TABLE1 = [
+    # name, vendor, type, series, cores, clocks(min,max,turbo), caches, tdp, date
+    ("Xeon E5-2697 v2", Vendor.INTEL, DeviceType.CPU, "Ivy Bridge", 24,
+     (1200, 2700, 3500), (32, 256, 30720), 130, "Q3 2013"),
+    ("i7-6700K", Vendor.INTEL, DeviceType.CPU, "Skylake", 8,
+     (800, 4000, 4300), (32, 256, 8192), 91, "Q3 2015"),
+    ("i5-3550", Vendor.INTEL, DeviceType.CPU, "Ivy Bridge", 4,
+     (1600, 3380, 3700), (32, 256, 6144), 77, "Q2 2012"),
+    ("Titan X", Vendor.NVIDIA, DeviceType.GPU, "Pascal", 3584,
+     (1417, 1531, None), (48, 2048), 250, "Q3 2016"),
+    ("GTX 1080", Vendor.NVIDIA, DeviceType.GPU, "Pascal", 2560,
+     (1607, 1733, None), (48, 2048), 180, "Q2 2016"),
+    ("GTX 1080 Ti", Vendor.NVIDIA, DeviceType.GPU, "Pascal", 3584,
+     (1480, 1582, None), (48, 2048), 250, "Q1 2017"),
+    ("K20m", Vendor.NVIDIA, DeviceType.GPU, "Kepler", 2496,
+     (706, 706, None), (64, 1536), 225, "Q4 2012"),
+    ("K40m", Vendor.NVIDIA, DeviceType.GPU, "Kepler", 2880,
+     (745, 875, None), (64, 1536), 235, "Q4 2013"),
+    ("FirePro S9150", Vendor.AMD, DeviceType.GPU, "Hawaii", 2816,
+     (900, 900, None), (16, 1024), 235, "Q3 2014"),
+    ("HD 7970", Vendor.AMD, DeviceType.GPU, "Tahiti", 2048,
+     (925, 1010, None), (16, 768), 250, "Q4 2011"),
+    ("R9 290X", Vendor.AMD, DeviceType.GPU, "Hawaii", 2816,
+     (1000, 1000, None), (16, 1024), 250, "Q3 2014"),
+    ("R9 295x2", Vendor.AMD, DeviceType.GPU, "Hawaii", 5632,
+     (1018, 1018, None), (16, 1024), 500, "Q2 2014"),
+    ("R9 Fury X", Vendor.AMD, DeviceType.GPU, "Fuji", 4096,
+     (1050, 1050, None), (16, 2048), 273, "Q2 2015"),
+    ("RX 480", Vendor.AMD, DeviceType.GPU, "Polaris", 4096,
+     (1120, 1266, None), (16, 2048), 150, "Q2 2016"),
+    ("Xeon Phi 7210", Vendor.INTEL, DeviceType.ACCELERATOR, "KNL", 256,
+     (1300, 1500, None), (32, 1024), 215, "Q2 2016"),
+]
+
+
+class TestTable1Fidelity:
+    def test_fifteen_devices(self):
+        assert len(CATALOG) == 15
+
+    def test_row_order_matches_table1(self):
+        assert device_names() == tuple(r[0] for r in TABLE1)
+
+    @pytest.mark.parametrize("row", TABLE1, ids=[r[0] for r in TABLE1])
+    def test_row_columns(self, row):
+        name, vendor, dtype, series, cores, clocks, caches, tdp, date = row
+        spec = get_device(name)
+        assert spec.vendor == vendor
+        assert spec.device_type == dtype
+        assert spec.series == series
+        assert spec.core_count == cores
+        assert spec.clock_min_mhz == clocks[0]
+        assert spec.clock_max_mhz == clocks[1]
+        assert spec.clock_turbo_mhz == clocks[2]
+        assert spec.cache_sizes_kib == caches
+        assert spec.tdp_w == tdp
+        assert spec.launch_date == date
+
+    def test_class_composition(self):
+        """3 CPUs, 5+6 GPUs (consumer/HPC mix per §4.1), 1 MIC."""
+        assert len(devices_by_class(DeviceClass.CPU)) == 3
+        assert len(devices_by_class(DeviceClass.MIC)) == 1
+        gpus = (len(devices_by_class(DeviceClass.CONSUMER_GPU))
+                + len(devices_by_class(DeviceClass.HPC_GPU)))
+        assert gpus == 11
+        nvidia = [s for s in CATALOG if s.vendor == Vendor.NVIDIA]
+        amd = [s for s in CATALOG if s.vendor == Vendor.AMD]
+        assert len(nvidia) == 5 and len(amd) == 6
+
+    def test_table1_row_render(self):
+        row = get_device("i7-6700K").table1_row()
+        assert row["Clock Frequency (MHz)"] == "800/4000/4300"
+        assert row["Cache (KiB)"] == "32/256/8192"
+        assert row["CoreCount"] == "8*"
+
+    def test_gpu_rows_have_no_l3(self):
+        row = get_device("GTX 1080").table1_row()
+        assert row["Cache (KiB)"] == "48/2048/–"
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_device("gtx 1080").name == "GTX 1080"
+
+    def test_unknown_raises_with_listing(self):
+        with pytest.raises(KeyError, match="known devices"):
+            get_device("GTX 9090")
+
+
+class TestModelParameterSanity:
+    @pytest.mark.parametrize("spec", CATALOG, ids=[s.name for s in CATALOG])
+    def test_positive_parameters(self, spec):
+        assert spec.compute.fp32_gflops > 0
+        assert spec.memory.bandwidth_gbs > 0
+        assert 0 < spec.compute.efficiency <= 1
+        assert spec.runtime.kernel_launch_us > 0
+        assert 0 < spec.power.idle_fraction < spec.power.max_fraction <= 1
+
+    @pytest.mark.parametrize("spec", CATALOG, ids=[s.name for s in CATALOG])
+    def test_cache_levels_grow_outward(self, spec):
+        sizes = [c.size_kib for c in spec.caches]
+        assert sizes == sorted(sizes)
+        bandwidths = [c.bandwidth_gbs for c in spec.caches]
+        assert bandwidths == sorted(bandwidths, reverse=True)
+        assert all(c.bandwidth_gbs >= spec.memory.bandwidth_gbs for c in spec.caches)
+
+    def test_cov_decreases_with_clock(self):
+        """The catalog encodes the paper's CoV-vs-clock observation."""
+        specs = sorted(CATALOG, key=lambda s: s.clock_ghz)
+        covs = [s.runtime.base_cov for s in specs]
+        assert covs == sorted(covs, reverse=True)
+
+    def test_knl_vector_width_halved(self):
+        """Intel's SDK limits KNL to 256-bit vectors (paper §4.2)."""
+        knl = get_device("Xeon Phi 7210")
+        assert knl.compute.simd_width_bits == 256
+        # 64 cores x 1.3 GHz x 16 fp32 AVX-512 lanes x 2 (FMA) per VPU,
+        # halved because only 256-bit vectors are emitted
+        avx512_vpu_peak = 64 * 1.3 * 16 * 2
+        assert knl.compute.fp32_gflops == pytest.approx(avx512_vpu_peak / 2)
+
+    def test_amd_launch_cost_highest(self):
+        amd = [s for s in CATALOG if s.vendor == Vendor.AMD]
+        nvidia = [s for s in CATALOG if s.vendor == Vendor.NVIDIA]
+        assert min(s.runtime.kernel_launch_us for s in amd) > max(
+            s.runtime.kernel_launch_us for s in nvidia)
+        assert all(s.runtime.launch_ns_per_mib > 0 for s in amd)
+        assert all(s.runtime.launch_ns_per_mib == 0 for s in nvidia)
+
+    def test_effective_bandwidth_knees(self):
+        """Bandwidth drops at each cache-capacity boundary."""
+        skylake = get_device("i7-6700K")
+        l1 = skylake.effective_bandwidth_gbs(16 * 1024)
+        l2 = skylake.effective_bandwidth_gbs(128 * 1024)
+        l3 = skylake.effective_bandwidth_gbs(4 * 1024 * 1024)
+        mem = skylake.effective_bandwidth_gbs(64 * 1024 * 1024)
+        assert l1 > l2 > l3 > mem
+        assert mem == skylake.memory.bandwidth_gbs
+
+    def test_cache_level_for(self):
+        skylake = get_device("i7-6700K")
+        assert skylake.cache_level_for(1024) == 0
+        assert skylake.cache_level_for(100 * 1024) == 1
+        assert skylake.cache_level_for(1024 * 1024) == 2
+        assert skylake.cache_level_for(100 * 1024 * 1024) == 3

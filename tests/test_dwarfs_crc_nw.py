@@ -1,0 +1,153 @@
+"""crc (CRC-32 + combine) and nw (Needleman-Wunsch) correctness."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.dwarfs.crc import CRC, crc32_bytes, crc32_combine, make_table
+from repro.dwarfs.nw import BLOSUM62, NW
+
+
+class TestCRC32Primitives:
+    def test_table_spot_values(self):
+        table = make_table()
+        assert table[0] == 0
+        assert table[1] == 0x77073096  # canonical first entry
+        assert table[255] == 0x2D02EF8D
+
+    @pytest.mark.parametrize("payload", [b"", b"a", b"123456789",
+                                         b"hello world" * 7])
+    def test_reference_matches_zlib(self, payload):
+        assert crc32_bytes(payload) == zlib.crc32(payload) & 0xFFFFFFFF
+
+    def test_check_value(self):
+        """The CRC-32 'check' value for '123456789' is 0xCBF43926."""
+        assert crc32_bytes(b"123456789") == 0xCBF43926
+
+    @pytest.mark.parametrize("split", [0, 1, 5, 9])
+    def test_combine(self, split):
+        data = b"123456789"
+        a, b = data[:split], data[split:]
+        combined = crc32_combine(
+            zlib.crc32(a) & 0xFFFFFFFF, zlib.crc32(b) & 0xFFFFFFFF, len(b))
+        assert combined == zlib.crc32(data) & 0xFFFFFFFF
+
+    def test_combine_matches_zlib_on_random_data(self, rng):
+        data = rng.integers(0, 256, 5000, dtype=np.uint8).tobytes()
+        for split in (1, 1024, 2500, 4999):
+            a, b = data[:split], data[split:]
+            combined = crc32_combine(
+                zlib.crc32(a) & 0xFFFFFFFF, zlib.crc32(b) & 0xFFFFFFFF, len(b))
+            assert combined == zlib.crc32(data) & 0xFFFFFFFF
+
+    def test_combine_zero_length(self):
+        assert crc32_combine(0x1234, 0x9999, 0) == 0x1234
+
+
+class TestCRCBenchmark:
+    def test_presets_match_table2(self):
+        assert CRC.presets == {
+            "tiny": 2000, "small": 16000, "medium": 524000, "large": 4194304}
+
+    def test_from_args(self):
+        bench = CRC.from_args(["-i", "1000", "2000.txt"])
+        assert bench.n_bytes == 2000
+        assert bench.inner_iterations == 1000
+
+    def test_page_crcs_match_zlib(self, cpu_context, cpu_queue):
+        CRC(n_bytes=3000).run_complete(cpu_context, cpu_queue)
+
+    def test_non_page_multiple_length(self, cpu_context, cpu_queue):
+        """Last page is short; its CRC must still be correct."""
+        bench = CRC(n_bytes=2500, page_bytes=1024)
+        bench.run_complete(cpu_context, cpu_queue)
+        assert bench.lengths[-1] == 2500 - 2 * 1024
+
+    def test_combined_crc_equals_whole_message(self, cpu_context, cpu_queue):
+        bench = CRC(n_bytes=5000)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        assert bench.combined_crc() == zlib.crc32(bench.message.tobytes())
+
+    def test_profile_is_chain_dominated(self):
+        """The model sees crc as a dependent chain with one work item —
+        the structure that makes CPUs fastest (Fig. 1)."""
+        p = CRC.from_size("large").profiles()[0]
+        assert p.chain_ops > 0
+        assert p.work_items == 1
+        assert p.flops == 0
+
+
+class TestNW:
+    def test_presets_match_table2(self):
+        assert NW.presets == {
+            "tiny": 48, "small": 176, "medium": 1008, "large": 4096}
+
+    def test_blosum62_properties(self):
+        assert BLOSUM62.shape == (24, 24)
+        assert (BLOSUM62 == BLOSUM62.T).all()       # symmetric
+        assert (np.diag(BLOSUM62)[:20] > 0).all()   # self-match positive
+
+    def test_from_args(self):
+        bench = NW.from_args(["176", "10"])
+        assert bench.n == 176
+        assert bench.penalty == 10
+
+    def test_size_must_be_block_multiple(self):
+        with pytest.raises(ValueError):
+            NW(n=100)
+
+    def test_matches_antidiagonal_reference(self, cpu_context, cpu_queue):
+        NW(n=64).run_complete(cpu_context, cpu_queue)
+
+    def test_matches_pure_python_reference(self, cpu_context, cpu_queue):
+        bench = NW(n=48)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        np.testing.assert_array_equal(
+            bench.score_out.astype(np.int64), bench.reference_serial())
+
+    def test_identical_sequences_score_high(self, cpu_context, cpu_queue):
+        bench = NW(n=32, seed=4)
+        bench.host_setup(cpu_context)
+        bench.seq2 = bench.seq1.copy()
+        bench.similarity = BLOSUM62[
+            bench.seq1[:, None], bench.seq2[None, :]].astype(np.int32)
+        bench.buf_similarity.array[...] = bench.similarity
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        diag_score = int(BLOSUM62[bench.seq1, bench.seq1].sum())
+        assert bench.alignment_score() == diag_score
+
+    def test_launch_count_is_block_diagonals(self, cpu_context, cpu_queue):
+        bench = NW(n=64)  # 4x4 blocks -> 7 diagonals
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        events = bench.run_iteration(cpu_queue)
+        assert len(events) == 7
+        assert bench.n_diagonals == 7
+
+    def test_gap_penalty_affects_boundary(self, cpu_context, cpu_queue):
+        bench = NW(n=32, penalty=25)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        assert bench.buf_score.array[0, 5] == -125
+
+    def test_profile_launch_heavy(self):
+        """nw at large is the launch-overhead stress test (Fig. 3b)."""
+        p = NW.from_size("large").profiles()[0]
+        assert p.launches == 2 * (4096 // 16) - 1
+
+    def test_amd_slower_than_nvidia_at_large(self):
+        from repro.devices import get_device
+        from repro.perfmodel import iteration_time
+        bench = NW.from_size("large")
+        amd = iteration_time(get_device("R9 290X"), bench.profiles())
+        nvidia = iteration_time(get_device("GTX 1080"), bench.profiles())
+        assert amd.total_s > 1.5 * nvidia.total_s

@@ -1,0 +1,131 @@
+"""csr (SpMV) and fft (Stockham) correctness."""
+
+import numpy as np
+import pytest
+
+from repro.dwarfs.csr import CSR
+from repro.dwarfs.fft import FFT, stockham_stage
+
+
+class TestCSR:
+    def test_presets_match_table2(self):
+        assert CSR.presets == {
+            "tiny": 736, "small": 2416, "medium": 14336, "large": 16384}
+
+    def test_from_args(self):
+        bench = CSR.from_args(["-n", "736", "-d", "5000"])
+        assert bench.n == 736
+        assert bench.density_param == 5000
+
+    def test_from_args_requires_n(self):
+        with pytest.raises(ValueError):
+            CSR.from_args(["-d", "5000"])
+
+    def test_spmv_matches_dense(self, cpu_context, cpu_queue):
+        bench = CSR(n=128, density_param=50000)  # 5% for a dense-enough test
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        dense = bench.matrix.to_dense()
+        expected = dense @ bench.x.astype(np.float64)
+        np.testing.assert_allclose(bench.y_out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_validates_end_to_end(self, cpu_context, cpu_queue):
+        CSR(n=200).run_complete(cpu_context, cpu_queue)
+
+    def test_spmv_against_scipy(self, cpu_context, cpu_queue):
+        import scipy.sparse as sp
+        bench = CSR(n=96, density_param=30000)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        m = sp.csr_matrix(
+            (bench.matrix.values, bench.matrix.col_idx, bench.matrix.row_ptr),
+            shape=(96, 96))
+        np.testing.assert_allclose(bench.y_out, m @ bench.x, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_profile_random_fraction_for_gather(self):
+        p = CSR(n=1000).profiles()[0]
+        assert p.random_fraction >= 0.3  # the x-gather signature
+
+    def test_footprint_scales_quadratically(self):
+        """nnz ~ density * n^2 dominates the footprint."""
+        small = CSR(n=1000).footprint_bytes()
+        large = CSR(n=2000).footprint_bytes()
+        assert large / small == pytest.approx(4.0, rel=0.2)
+
+
+class TestStockhamStage:
+    def test_two_point_dft(self):
+        src = np.array([3 + 0j, 1 + 0j], dtype=np.complex64)
+        dst = np.empty_like(src)
+        stockham_stage(src, dst, 2, 0)
+        np.testing.assert_allclose(dst, [4, 2], atol=1e-6)
+
+    def test_full_pipeline_matches_numpy(self, rng):
+        n = 64
+        x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(np.complex64)
+        a, b = x.copy(), np.empty_like(x)
+        for stage in range(6):
+            stockham_stage(a, b, n, stage)
+            a, b = b, a
+        np.testing.assert_allclose(a, np.fft.fft(x), rtol=1e-4, atol=1e-4)
+
+
+class TestFFT:
+    def test_presets_match_table2(self):
+        assert FFT.presets == {
+            "tiny": 2048, "small": 16384, "medium": 524288, "large": 2097152}
+
+    def test_tiny_footprint_exactly_32kib(self):
+        """2048 complex64 points x 2 buffers = 32 KiB = Skylake L1."""
+        assert FFT(n=2048).footprint_bytes() == 32 * 1024
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ValueError):
+            FFT(n=1000)
+
+    def test_from_args(self):
+        assert FFT.from_args(["16384"]).n == 16384
+
+    def test_from_args_arity(self):
+        with pytest.raises(ValueError):
+            FFT.from_args(["1", "2"])
+
+    def test_spectrum_matches_numpy(self, cpu_context, cpu_queue):
+        bench = FFT(n=256)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        expected = np.fft.fft(bench.signal.astype(np.complex128))
+        err = np.linalg.norm(bench.spectrum_out - expected) / np.linalg.norm(expected)
+        assert err < 1e-4
+
+    def test_stage_launch_count_is_log2(self, cpu_context, cpu_queue):
+        bench = FFT(n=1024)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        events = bench.run_iteration(cpu_queue)
+        assert len(events) == 10
+
+    def test_parseval(self, cpu_context, cpu_queue):
+        """Energy conservation: ||X||^2 = N ||x||^2."""
+        bench = FFT(n=512)
+        bench.run_complete(cpu_context, cpu_queue)
+        x_energy = float(np.abs(bench.signal.astype(np.complex128))**2 @ np.ones(512))
+        s_energy = float((np.abs(bench.spectrum_out.astype(np.complex128))**2).sum())
+        assert s_energy == pytest.approx(512 * x_energy, rel=1e-3)
+
+    def test_impulse_gives_flat_spectrum(self, cpu_context, cpu_queue):
+        bench = FFT(n=128)
+        bench.host_setup(cpu_context)
+        bench.signal = np.zeros(128, dtype=np.complex64)
+        bench.signal[0] = 1.0
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        np.testing.assert_allclose(bench.spectrum_out, np.ones(128), atol=1e-5)

@@ -1,0 +1,90 @@
+"""cwt — the continuous wavelet transform extension benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.dwarfs import get_benchmark
+from repro.dwarfs.cwt import (
+    CWT,
+    OMEGA0,
+    default_scales,
+    morlet_spectrum,
+    morlet_time,
+)
+from repro.dwarfs.registry import BENCHMARKS, EXTENSIONS
+
+
+class TestRegistration:
+    def test_cwt_is_extension_not_paper_set(self):
+        assert "cwt" in EXTENSIONS
+        assert "cwt" not in BENCHMARKS
+        assert get_benchmark("cwt") is CWT
+
+    def test_table2_unaffected(self):
+        from repro.dwarfs import scale_parameters_table
+        assert "cwt" not in scale_parameters_table()
+
+
+class TestMorlet:
+    def test_spectrum_is_analytic(self):
+        psi = morlet_spectrum(256, 8.0)
+        omega = 2 * np.pi * np.fft.fftfreq(256)
+        assert (psi[omega <= 0] == 0).all()   # no negative frequencies
+        assert psi.max() > 0
+
+    def test_spectrum_peaks_at_centre_frequency(self):
+        n, scale = 4096, 16.0
+        psi = morlet_spectrum(n, scale)
+        omega = 2 * np.pi * np.fft.fftfreq(n)
+        peak = omega[np.argmax(psi)]
+        assert peak == pytest.approx(OMEGA0 / scale, rel=0.02)
+
+    def test_time_wavelet_is_localised(self):
+        wave = morlet_time(8.0, 512)
+        centre_energy = np.abs(wave[192:320]) ** 2
+        tail_energy = np.abs(wave[:64]) ** 2
+        assert centre_energy.sum() > 100 * tail_energy.sum()
+
+    def test_scale_bank_geometric(self):
+        scales = default_scales(9)
+        ratios = scales[1:] / scales[:-1]
+        assert np.allclose(ratios, 2 ** 0.25)
+
+
+class TestCWTBenchmark:
+    def test_pow2_required(self):
+        with pytest.raises(ValueError):
+            CWT(n=1000)
+
+    def test_from_args(self):
+        bench = CWT.from_args(["8192", "16"])
+        assert bench.n == 8192 and bench.n_scales == 16
+
+    def test_end_to_end(self, cpu_context, cpu_queue):
+        CWT(n=1024, n_scales=12).run_complete(cpu_context, cpu_queue)
+
+    def test_launch_structure(self, cpu_context, cpu_queue):
+        bench = CWT(n=512, n_scales=8)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        events = bench.run_iteration(cpu_queue)
+        assert len(events) == 1 + 8  # FFT + one per scale
+
+    def test_chirp_ridge_moves_with_time(self, cpu_context, cpu_queue):
+        """For a rising chirp, the dominant scale decreases with time."""
+        bench = CWT(n=2048, n_scales=20)
+        bench.run_complete(cpu_context, cpu_queue)
+        power = bench.power_spectrum()
+        early = power[:, 256].argmax()
+        late = power[:, 1792].argmax()
+        assert late < early  # higher frequency -> smaller scale
+
+    def test_footprint_scales_with_plane(self):
+        assert CWT(n=2048, n_scales=8).footprint_bytes() < \
+            CWT(n=2048, n_scales=32).footprint_bytes()
+
+    def test_runs_under_harness(self):
+        from repro.harness import RunConfig, run_benchmark
+        r = run_benchmark(RunConfig("cwt", "tiny", "GTX 1080", samples=5))
+        assert r.validated
+        assert r.nominal_s > 0

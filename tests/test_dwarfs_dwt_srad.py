@@ -1,0 +1,162 @@
+"""dwt (CDF 5/3 lifting) and srad (diffusion stencil) correctness."""
+
+import numpy as np
+import pytest
+
+from repro.dwarfs.dwt import DWT, lift53_forward, lift53_inverse
+from repro.dwarfs.srad import SRAD
+
+
+class TestLifting:
+    @pytest.mark.parametrize("n", [2, 3, 8, 9, 54, 55])
+    def test_perfect_reconstruction_1d(self, n, rng):
+        x = rng.uniform(0, 255, n).astype(np.float32)
+        fwd = lift53_forward(x, axis=0)
+        back = lift53_inverse(fwd, axis=0)
+        np.testing.assert_allclose(back, x, atol=1e-3)
+
+    def test_constant_signal_has_zero_detail(self):
+        x = np.full(16, 42.0, dtype=np.float32)
+        fwd = lift53_forward(x, axis=0)
+        assert np.allclose(fwd[8:], 0.0)       # high-pass vanishes
+        assert np.allclose(fwd[:8], 42.0)      # low-pass preserves DC
+
+    def test_linear_ramp_has_zero_detail(self):
+        """CDF 5/3 has two vanishing moments' worth of prediction for
+        linear signals (away from the boundary)."""
+        x = np.arange(32, dtype=np.float32)
+        fwd = lift53_forward(x, axis=0)
+        assert np.allclose(fwd[16:-1], 0.0, atol=1e-4)
+
+    def test_axis_1_on_2d(self, rng):
+        img = rng.uniform(0, 255, (6, 10)).astype(np.float32)
+        fwd = lift53_forward(img, axis=1)
+        back = lift53_inverse(fwd, axis=1)
+        np.testing.assert_allclose(back, img, atol=1e-3)
+
+    def test_subband_lengths_odd(self):
+        x = np.arange(9, dtype=np.float32)
+        fwd = lift53_forward(x, axis=0)
+        assert len(fwd) == 9  # 5 low + 4 high
+
+
+class TestDWT:
+    def test_presets_match_table2(self):
+        assert DWT.presets == {
+            "tiny": (72, 54), "small": (200, 150), "medium": (1152, 864),
+            "large": (3648, 2736)}
+
+    def test_from_args(self):
+        bench = DWT.from_args(["-l", "3", "200x150-gum.ppm"])
+        assert (bench.width, bench.height) == (200, 150)
+        assert bench.levels == 3
+
+    def test_from_args_requires_size(self):
+        with pytest.raises(ValueError):
+            DWT.from_args(["-l", "3"])
+
+    def test_too_small_for_levels(self):
+        with pytest.raises(ValueError):
+            DWT(width=4, height=4, levels=3)
+
+    def test_two_kernels_per_level(self, cpu_context, cpu_queue):
+        bench = DWT(width=72, height=54, levels=3)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        events = bench.run_iteration(cpu_queue)
+        assert len(events) == 6
+        assert [e.info["kernel"] for e in events[:2]] == ["dwt_rows", "dwt_cols"]
+
+    def test_multilevel_reconstruction(self, cpu_context, cpu_queue):
+        DWT(width=72, height=54).run_complete(cpu_context, cpu_queue)
+
+    def test_odd_dimensions_handled(self, cpu_context, cpu_queue):
+        """72x54 halves to 36x27 (odd) then 18x(ceil 14): the paper's
+        tiny size requires odd-length lifting."""
+        bench = DWT(width=72, height=54, levels=3)
+        bench.run_complete(cpu_context, cpu_queue)
+        shapes = bench._level_shapes()
+        assert shapes == [(54, 72), (27, 36), (14, 18)]
+
+    def test_energy_compaction(self, cpu_context, cpu_queue):
+        """Most signal energy concentrates into the LL subband."""
+        bench = DWT(width=128, height=128, levels=3)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        c = bench.coefficients_out.astype(np.float64)
+        ll = c[:16, :16]
+        total = (c**2).sum()
+        assert (ll**2).sum() > 0.75 * total
+
+    def test_coefficients_pgm_output(self, cpu_context, cpu_queue):
+        from repro.io import ppm
+        bench = DWT(width=72, height=54)
+        bench.run_complete(cpu_context, cpu_queue)
+        img = ppm.loads(bench.coefficients_pgm())
+        assert img.shape == (54, 72)
+
+
+class TestSRAD:
+    def test_presets_match_table2(self):
+        assert SRAD.presets == {
+            "tiny": (80, 16), "small": (128, 80), "medium": (1024, 336),
+            "large": (2048, 1024)}
+
+    def test_from_args_full_form(self):
+        bench = SRAD.from_args(["128", "80", "0", "127", "0", "127",
+                                "0.5", "2"])
+        assert (bench.rows, bench.cols) == (128, 80)
+        assert bench.lam == 0.5
+        assert bench.iterations == 2
+
+    def test_from_args_arity(self):
+        with pytest.raises(ValueError):
+            SRAD.from_args(["128", "80"])
+
+    def test_roi_clamped_to_grid(self):
+        bench = SRAD(rows=80, cols=16)
+        y1, y2, x1, x2 = bench.roi
+        assert y2 <= 79 and x2 <= 15
+
+    def test_matches_reference(self, cpu_context, cpu_queue):
+        SRAD(rows=40, cols=24).run_complete(cpu_context, cpu_queue)
+
+    def test_multiple_iterations_match_reference(self, cpu_context, cpu_queue):
+        SRAD(rows=32, cols=16, iterations=4).run_complete(cpu_context, cpu_queue)
+
+    def test_diffusion_smooths(self, cpu_context, cpu_queue):
+        """Anisotropic diffusion reduces total variation."""
+        bench = SRAD(rows=64, cols=64, iterations=10)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        def tv(a):
+            return float(np.abs(np.diff(a, axis=0)).sum()
+                         + np.abs(np.diff(a, axis=1)).sum())
+        assert tv(bench.result) < tv(bench.image)
+
+    def test_positive_image_stays_positive(self, cpu_context, cpu_queue):
+        bench = SRAD(rows=48, cols=32, iterations=5)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        assert (bench.result > 0).all()
+
+    def test_two_kernels_per_iteration(self, cpu_context, cpu_queue):
+        bench = SRAD(rows=32, cols=16, iterations=3)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        events = bench.run_iteration(cpu_queue)
+        assert len(events) == 6
+        assert {e.info["kernel"] for e in events} == {"srad1", "srad2"}
+
+    def test_profile_memory_bound_on_gpu(self, gtx1080):
+        """srad is the paper's memory-bandwidth-limited dwarf."""
+        from repro.perfmodel import iteration_time
+        bench = SRAD.from_size("large")
+        tb = iteration_time(gtx1080, bench.profiles())
+        assert tb.bound == "memory"

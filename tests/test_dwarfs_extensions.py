@@ -1,0 +1,251 @@
+"""The missing-dwarf extension benchmarks: bfs, fsm, umesh."""
+
+import numpy as np
+import pytest
+
+from repro.dwarfs.bfs import BFS, generate_graph
+from repro.dwarfs.fsm import (
+    ALPHABET,
+    DEFAULT_PATTERNS,
+    FSM,
+    build_aho_corasick,
+)
+from repro.dwarfs.registry import BENCHMARKS, EXTENSIONS
+from repro.dwarfs.umesh import UMesh, build_mesh
+
+
+class TestDwarfCoverage:
+    def test_extensions_complete_the_berkeley_set(self):
+        """Paper + extensions cover 13 of the 13 dwarfs the suite can
+        express (the paper's §2 goal)."""
+        dwarfs = ({cls.dwarf for cls in BENCHMARKS.values()}
+                  | {cls.dwarf for cls in EXTENSIONS.values()})
+        assert {"Graph Traversal", "Finite State Machine",
+                "Unstructured Grid"} <= dwarfs
+        assert len(dwarfs) == 13
+
+    def test_extensions_not_in_paper_tables(self):
+        from repro.dwarfs import scale_parameters_table
+        table = scale_parameters_table()
+        for name in ("bfs", "fsm", "umesh", "cwt"):
+            assert name not in table
+
+
+class TestGraphGeneration:
+    def test_csr_well_formed(self):
+        row_ptr, columns = generate_graph(100, 8, seed=1)
+        assert row_ptr[0] == 0
+        assert row_ptr[-1] == len(columns)
+        assert (np.diff(row_ptr) >= 0).all()
+        assert columns.min() >= 0 and columns.max() < 100
+
+    def test_backbone_guarantees_connectivity(self):
+        import networkx as nx
+        row_ptr, columns = generate_graph(200, 4, seed=2)
+        g = nx.Graph()
+        g.add_nodes_from(range(200))
+        for v in range(200):
+            for u in columns[row_ptr[v]:row_ptr[v + 1]]:
+                g.add_edge(v, int(u))
+        assert nx.is_connected(g)
+
+    def test_undirected_symmetry(self):
+        row_ptr, columns = generate_graph(64, 6, seed=3)
+        edges = set()
+        for v in range(64):
+            for u in columns[row_ptr[v]:row_ptr[v + 1]]:
+                edges.add((v, int(u)))
+        assert all((u, v) in edges for v, u in edges)
+
+
+class TestBFS:
+    def test_matches_serial_and_networkx(self, cpu_context, cpu_queue):
+        bench = BFS(n=300)
+        bench.run_complete(cpu_context, cpu_queue)
+        bench.validate_against_networkx()
+
+    def test_source_level_zero(self, cpu_context, cpu_queue):
+        bench = BFS(n=128, source=17)
+        bench.run_complete(cpu_context, cpu_queue)
+        assert bench.levels_out[17] == 0
+
+    def test_all_reached(self, cpu_context, cpu_queue):
+        bench = BFS(n=256)
+        bench.run_complete(cpu_context, cpu_queue)
+        assert (bench.levels_out >= 0).all()
+
+    def test_launch_per_level(self, cpu_context, cpu_queue):
+        bench = BFS(n=200)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        events = bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        assert len(events) == bench.levels_out.max() + 1
+
+    def test_profile_gather_dominated(self):
+        p = BFS(n=10000).profiles()[0]
+        assert p.random_fraction >= 0.5
+        assert p.flops == 0
+
+    def test_from_args(self):
+        bench = BFS.from_args(["5248", "6"])
+        assert bench.n == 5248 and bench.avg_degree == 6
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            BFS(n=1)
+
+
+class TestAhoCorasick:
+    def test_single_pattern_counting(self):
+        transitions, matches = build_aho_corasick([(1, 2)], alphabet=4)
+        text = [1, 2, 1, 2, 2, 1, 2]
+        state, total = 0, 0
+        for s in text:
+            state = int(transitions[state, s])
+            total += int(matches[state])
+        assert total == 3
+
+    def test_overlapping_patterns(self):
+        # "aa" in "aaaa" occurs 3 times (overlapping)
+        transitions, matches = build_aho_corasick([(0, 0)], alphabet=2)
+        state, total = 0, 0
+        for s in [0, 0, 0, 0]:
+            state = int(transitions[state, s])
+            total += int(matches[state])
+        assert total == 3
+
+    def test_suffix_pattern_counted(self):
+        # "abc" and "bc": scanning "abc" must count both
+        transitions, matches = build_aho_corasick([(0, 1, 2), (1, 2)],
+                                                  alphabet=4)
+        state, total = 0, 0
+        for s in [0, 1, 2]:
+            state = int(transitions[state, s])
+            total += int(matches[state])
+        assert total == 2
+
+    def test_rejects_bad_patterns(self):
+        with pytest.raises(ValueError):
+            build_aho_corasick([()])
+        with pytest.raises(ValueError):
+            build_aho_corasick([(99,)], alphabet=4)
+
+    def test_dense_table_shape(self):
+        transitions, matches = build_aho_corasick(DEFAULT_PATTERNS, ALPHABET)
+        assert transitions.shape[1] == ALPHABET
+        assert transitions.shape[0] == len(matches)
+        assert transitions.min() >= 0
+        assert transitions.max() < transitions.shape[0]
+
+
+class TestFSM:
+    def test_matches_serial_scan(self, cpu_context, cpu_queue):
+        FSM(n_bytes=8000, chunk_bytes=512).run_complete(cpu_context, cpu_queue)
+
+    def test_chunk_boundaries_handled(self, cpu_context, cpu_queue):
+        """Matches spanning chunk boundaries must still be counted:
+        plant a pattern straddling the cut."""
+        bench = FSM(n_bytes=2048, chunk_bytes=1024, patterns=[(1, 2, 3, 4)])
+        bench.host_setup(cpu_context)
+        bench.text[:] = 0
+        bench.text[1022:1026] = [1, 2, 3, 4]  # straddles the boundary
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        assert bench.total_matches == 1
+        bench.validate()
+
+    def test_text_not_multiple_of_chunk(self, cpu_context, cpu_queue):
+        FSM(n_bytes=2500, chunk_bytes=1024).run_complete(cpu_context, cpu_queue)
+
+    def test_known_count_on_crafted_text(self, cpu_context, cpu_queue):
+        bench = FSM(n_bytes=1024, chunk_bytes=256, patterns=[(5, 6)])
+        bench.host_setup(cpu_context)
+        bench.text[:] = 0
+        for pos in (10, 300, 600, 1022):
+            bench.text[pos:pos + 2] = [5, 6]
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        assert bench.total_matches == 4
+
+    def test_single_launch(self, cpu_context, cpu_queue):
+        bench = FSM(n_bytes=4096)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        assert len(bench.run_iteration(cpu_queue)) == 1
+
+    def test_profile_has_chain(self):
+        p = FSM(n_bytes=1 << 20).profiles()[0]
+        assert p.chain_ops > 0
+        assert p.random_fraction > 0.3
+
+    def test_from_args(self):
+        bench = FSM.from_args(["196608", "2048"])
+        assert bench.n_bytes == 196608 and bench.chunk_bytes == 2048
+
+
+class TestMeshGeneration:
+    def test_adjacency_symmetric(self):
+        _, row_ptr, columns, _ = build_mesh(64, seed=1)
+        edges = set()
+        for v in range(64):
+            for u in columns[row_ptr[v]:row_ptr[v + 1]]:
+                edges.add((v, int(u)))
+        assert all((u, v) in edges for v, u in edges)
+
+    def test_no_self_loops(self):
+        _, row_ptr, columns, _ = build_mesh(64, seed=2)
+        for v in range(64):
+            assert v not in columns[row_ptr[v]:row_ptr[v + 1]]
+
+    def test_boundary_nonempty_interior_majority(self):
+        _, _, _, boundary = build_mesh(500, seed=3)
+        assert 3 <= boundary.sum() < 250
+
+    def test_planar_edge_bound(self):
+        """A planar triangulation has at most 3n - 6 edges."""
+        _, row_ptr, _, _ = build_mesh(200, seed=4)
+        assert row_ptr[-1] / 2 <= 3 * 200 - 6
+
+
+class TestUMesh:
+    def test_matches_reference(self, cpu_context, cpu_queue):
+        UMesh(n_points=400).run_complete(cpu_context, cpu_queue)
+
+    def test_large_path_uses_vectorised_reference(self, cpu_context, cpu_queue):
+        UMesh(n_points=4096, sweeps=2).run_complete(cpu_context, cpu_queue)
+
+    def test_boundary_values_fixed(self, cpu_context, cpu_queue):
+        bench = UMesh(n_points=300)
+        bench.run_complete(cpu_context, cpu_queue)
+        boundary = ~bench.interior
+        np.testing.assert_array_equal(
+            bench.values_out[boundary], bench.initial_values[boundary])
+
+    def test_relaxation_reduces_residual(self, cpu_context, cpu_queue):
+        few = UMesh(n_points=300, sweeps=1)
+        many = UMesh(n_points=300, sweeps=16)
+        few.run_complete(cpu_context, cpu_queue)
+        ctx2_queue = cpu_queue  # same device; fresh buffers per bench
+        many.run_complete(cpu_context, ctx2_queue)
+        assert many.residual() < few.residual()
+
+    def test_sweeps_are_launches(self, cpu_context, cpu_queue):
+        bench = UMesh(n_points=256, sweeps=5)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        assert len(bench.run_iteration(cpu_queue)) == 5
+
+    def test_profile_gather_dominated(self):
+        p = UMesh(n_points=10000).profiles()[0]
+        assert p.random_fraction >= 0.5
+
+    def test_from_args(self):
+        bench = UMesh.from_args(["4352", "8"])
+        assert bench.n == 4352 and bench.sweeps == 8
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            UMesh(n_points=4)

@@ -1,0 +1,116 @@
+"""kmeans: Eq. 1 footprint, clustering correctness, convergence."""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.dwarfs.kmeans import KMeans, N_CLUSTERS, footprint_formula
+
+
+class TestFootprintFormula:
+    def test_paper_worked_example(self):
+        """§4.4.1: 256 points x 30 features -> 31.5 KiB, just inside L1."""
+        size = footprint_formula(256, 30, 5)
+        assert size / 1024 == pytest.approx(31.5, abs=0.2)
+        assert size <= 32 * 1024
+
+    def test_equation_terms(self):
+        p, f, c = 100, 10, 5
+        assert footprint_formula(p, f, c) == p * f * 4 + p * 4 + c * f * 4
+
+    def test_instance_uses_formula(self):
+        bench = KMeans(n_points=1000, n_features=20)
+        assert bench.footprint_bytes() == footprint_formula(1000, 20, N_CLUSTERS)
+
+
+class TestConstruction:
+    def test_presets_match_table2(self):
+        assert KMeans.presets == {
+            "tiny": 256, "small": 2048, "medium": 65600, "large": 131072}
+
+    def test_clusters_fixed_at_5(self):
+        assert KMeans.from_size("tiny").n_clusters == 5
+
+    def test_from_args(self):
+        bench = KMeans.from_args(["-g", "-f", "26", "-p", "65600"])
+        assert bench.n_points == 65600
+        assert bench.n_features == 26
+
+    def test_from_args_requires_points(self):
+        with pytest.raises(ValueError):
+            KMeans.from_args(["-g", "-f", "26"])
+
+    def test_from_args_unknown_flag(self):
+        with pytest.raises(ValueError):
+            KMeans.from_args(["-q", "1"])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            KMeans(n_points=3)
+
+
+class TestClustering:
+    def test_assignment_is_nearest(self, cpu_context, cpu_queue):
+        bench = KMeans(n_points=500, n_features=8, seed=1)
+        bench.run_complete(cpu_context, cpu_queue)  # validates internally
+
+    def test_separable_clusters_found(self, cpu_context, cpu_queue):
+        """Points drawn around 5 well-separated centers must be grouped
+        accordingly after convergence."""
+        bench = KMeans(n_points=250, n_features=2, seed=3)
+        bench.host_setup(cpu_context)
+        rng = np.random.default_rng(0)
+        centers = np.array([[0, 0], [10, 0], [0, 10], [10, 10], [5, 5]],
+                           dtype=np.float32)
+        labels = np.repeat(np.arange(5), 50)
+        bench.features = (centers[labels]
+                          + rng.normal(0, 0.3, (250, 2))).astype(np.float32)
+        bench.buf_features.array[...] = bench.features
+        bench.initial_clusters = centers + 0.5
+        bench.buf_clusters.array[...] = bench.initial_clusters
+        bench.run_to_convergence(cpu_queue)
+        membership = bench.buf_membership.array
+        # each true cluster maps to exactly one predicted cluster
+        for true_label in range(5):
+            predicted = membership[labels == true_label]
+            assert len(np.unique(predicted)) == 1
+
+    def test_inertia_decreases_over_sweeps(self, cpu_context, cpu_queue):
+        bench = KMeans(n_points=400, n_features=4, seed=9)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        inertias = [bench.inertia()]
+        for _ in range(5):
+            bench.run_iteration(cpu_queue)
+            inertias.append(bench.inertia())
+        assert inertias[-1] <= inertias[0]
+
+    def test_convergence_terminates(self, cpu_context, cpu_queue):
+        bench = KMeans(n_points=100, n_features=3, seed=5)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        sweeps = bench.run_to_convergence(cpu_queue, max_sweeps=200)
+        assert sweeps < 200
+
+    def test_generated_inputs_differ_by_seed(self, cpu_context):
+        a = KMeans(n_points=64, seed=1)
+        b = KMeans(n_points=64, seed=2)
+        a.host_setup(cpu_context)
+        ctx2 = ocl.Context(cpu_context.device)
+        b.host_setup(ctx2)
+        assert (a.features != b.features).any()
+
+
+class TestProfile:
+    def test_low_arithmetic_intensity(self):
+        """The paper attributes kmeans' CPU-competitiveness to its low
+        ratio of floating-point to memory operations."""
+        bench = KMeans.from_size("large")
+        profile = bench.profiles()[0]
+        assert profile.arithmetic_intensity < 20
+
+    def test_work_scales_with_points(self):
+        small = KMeans(n_points=1000).profiles()[0]
+        large = KMeans(n_points=4000).profiles()[0]
+        assert large.flops == pytest.approx(4 * small.flops)

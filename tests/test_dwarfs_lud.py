@@ -1,0 +1,98 @@
+"""lud: blocked LU factorisation correctness and kernel structure."""
+
+import numpy as np
+import pytest
+
+from repro.dwarfs.lud import BLOCK, LUD
+
+
+class TestConstruction:
+    def test_presets_match_table2(self):
+        assert LUD.presets == {
+            "tiny": 80, "small": 240, "medium": 1440, "large": 4096}
+
+    def test_from_args(self):
+        assert LUD.from_args(["-s", "240"]).n == 240
+
+    def test_from_args_malformed(self):
+        with pytest.raises(ValueError):
+            LUD.from_args(["240"])
+
+    def test_size_must_be_block_multiple(self):
+        with pytest.raises(ValueError):
+            LUD(n=100)
+
+    def test_footprint_is_matrix(self):
+        assert LUD(n=80).footprint_bytes() == 80 * 80 * 4
+
+
+class TestFactorisation:
+    def test_reconstruction(self, cpu_context, cpu_queue):
+        bench = LUD(n=64)
+        bench.run_complete(cpu_context, cpu_queue)
+
+    def test_lu_against_scipy(self, cpu_context, cpu_queue):
+        """Blocked no-pivot LU on a diagonally dominant matrix equals
+        scipy's unpivoted factorisation."""
+        from scipy.linalg import lu_factor
+        bench = LUD(n=32, seed=2)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        ours = bench.result.astype(np.float64)
+        # scipy pivots, but a strictly diagonally dominant matrix keeps
+        # the identity permutation
+        lu, piv = lu_factor(bench.matrix.astype(np.float64))
+        assert (piv == np.arange(32)).all()
+        np.testing.assert_allclose(ours, lu, rtol=5e-4, atol=5e-4)
+
+    def test_unit_lower_diagonal_convention(self, cpu_context, cpu_queue):
+        bench = LUD(n=32)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        # U's diagonal is stored; L's implicit unit diagonal is not
+        lu = bench.result
+        upper = np.triu(lu)
+        assert (np.abs(np.diag(upper)) > 0.5).all()  # dominant pivots
+
+    def test_diagonal_dominance_generated(self, cpu_context):
+        bench = LUD(n=48)
+        bench.host_setup(cpu_context)
+        a = bench.matrix
+        off_diag = np.abs(a).sum(axis=1) - np.abs(np.diag(a))
+        assert (np.abs(np.diag(a)) > off_diag).all()
+
+
+class TestKernelStructure:
+    def test_three_kernels_per_step(self, cpu_context, cpu_queue):
+        n, b = 64, BLOCK
+        bench = LUD(n=n)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        events = bench.run_iteration(cpu_queue)
+        steps = n // b
+        # last step has no perimeter/internal
+        assert len(events) == 3 * (steps - 1) + 1
+
+    def test_kernel_names(self, cpu_context, cpu_queue):
+        bench = LUD(n=32)
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        events = bench.run_iteration(cpu_queue)
+        names = {e.info["kernel"] for e in events}
+        assert names == {"lud_diagonal", "lud_perimeter", "lud_internal"}
+
+    def test_flop_total_near_two_thirds_n_cubed(self):
+        bench = LUD(n=512)
+        total = sum(p.flops * p.launches for p in bench.profiles())
+        assert total == pytest.approx((2 / 3) * 512**3, rel=0.15)
+
+    def test_internal_kernel_dominates(self):
+        profiles = {p.name: p for p in LUD(n=512).profiles()}
+        internal = profiles["lud_internal"]
+        diagonal = profiles["lud_diagonal"]
+        assert (internal.flops * internal.launches
+                > 10 * diagonal.flops * diagonal.launches)

@@ -1,0 +1,154 @@
+"""Failure injection: every benchmark's validation must catch a
+corrupted result.
+
+The paper's headline enhancement is "an increased emphasis on
+correctness of results" (§1) — the original suite returned wrong
+answers silently on some platforms.  A validation path that cannot
+detect corruption is worthless, so these tests corrupt each
+benchmark's device output after execution and assert the serial
+reference comparison fires.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.dwarfs import create
+from repro.dwarfs.base import ValidationError
+
+
+def run_then(name, size, corrupt, cpu_context, cpu_queue):
+    """Execute a benchmark, corrupt state via ``corrupt(bench)``,
+    collect and validate — expecting the validator to object."""
+    bench = create(name, size)
+    bench.host_setup(cpu_context)
+    bench.transfer_inputs(cpu_queue)
+    bench.run_iteration(cpu_queue)
+    bench.collect_results(cpu_queue)
+    corrupt(bench)
+    with pytest.raises(ValidationError):
+        bench.validate()
+
+
+class TestCorruptionDetected:
+    def test_kmeans_wrong_assignment(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            # move some points to a definitely-wrong cluster
+            m = bench.membership_out
+            m[: len(m) // 4] = (m[: len(m) // 4] + 1) % bench.n_clusters
+            # ensure the corrupted points are not equidistant ties
+            bench._assignment_clusters[:, 0] += 10.0
+        run_then("kmeans", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_lud_corrupted_factor(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.result[3, 7] += 5.0
+        run_then("lud", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_csr_wrong_product(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.y_out[0] += 1.0
+        run_then("csr", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_fft_wrong_spectrum(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.spectrum_out[5] *= -1.0
+        run_then("fft", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_dwt_broken_coefficients(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.coefficients_out[0, :8] += 100.0
+        run_then("dwt", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_srad_wrong_diffusion(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.result *= 1.01
+        run_then("srad", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_crc_flipped_bit(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.crcs_out[0] ^= 1
+        run_then("crc", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_nw_wrong_score(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.score_out[-1, -1] += 1
+        run_then("nw", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_gem_wrong_potential(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.potential_out += 0.5
+        run_then("gem", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_hmm_broken_transition_matrix(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.a_out[0] = bench.a_out[0][::-1].copy()
+        run_then("hmm", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_bfs_wrong_level(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.levels_out[bench.levels_out > 0] += 1
+        run_then("bfs", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_fsm_miscounted(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.total_matches += 1
+        run_then("fsm", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_umesh_escaped_range(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.values_out[bench.interior] += 0.05
+        run_then("umesh", "tiny", corrupt, cpu_context, cpu_queue)
+
+    def test_cwt_scaled_coefficients(self, cpu_context, cpu_queue):
+        def corrupt(bench):
+            bench.coefficients *= 1.5
+        run_then("cwt", "tiny", corrupt, cpu_context, cpu_queue)
+
+
+class TestKernelBugsDetected:
+    """Corrupt the computation itself (not just the output arrays)."""
+
+    def test_fft_missing_stage(self, cpu_context, cpu_queue):
+        """Dropping the last butterfly stage must not validate."""
+        bench = create("fft", "tiny")
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        events = bench.run_iteration(cpu_queue)
+        # roll back the last stage by re-running all but one stage
+        from repro.dwarfs.fft import stockham_stage
+        import numpy as np
+        a = bench.signal.copy()
+        b = np.empty_like(a)
+        for stage in range(bench.stages - 1):
+            stockham_stage(a, b, bench.n, stage)
+            a, b = b, a
+        bench._result_buffer.array[...] = a
+        bench.collect_results(cpu_queue)
+        with pytest.raises(ValidationError):
+            bench.validate()
+
+    def test_srad_wrong_lambda(self, cpu_context, cpu_queue):
+        """Executing with a different lambda than validated against."""
+        bench = create("srad", "tiny")
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        true_lam = bench.lam
+        bench.lam = 0.9           # kernel runs with the wrong parameter
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        bench.lam = true_lam      # reference uses the intended one
+        with pytest.raises(ValidationError):
+            bench.validate()
+
+    def test_nw_wrong_penalty(self, cpu_context, cpu_queue):
+        bench = create("nw", "tiny")
+        bench.host_setup(cpu_context)
+        bench.transfer_inputs(cpu_queue)
+        true_penalty = bench.penalty
+        bench.penalty = 3
+        bench.run_iteration(cpu_queue)
+        bench.collect_results(cpu_queue)
+        bench.penalty = true_penalty
+        with pytest.raises(ValidationError):
+            bench.validate()

@@ -1,0 +1,58 @@
+"""Crossover sweeps: where the GPU overtakes the CPU."""
+
+import pytest
+
+from repro.harness import CrossoverResult, crossover_footprint_kib, sweep
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def srad_sweep(self):
+        return sweep("srad", "i7-6700K", "GTX 1080", stride=4)
+
+    def test_points_monotone_footprint(self, srad_sweep):
+        fps = [p.footprint_bytes for p in srad_sweep.points]
+        assert fps == sorted(fps)
+
+    def test_crossover_found_for_bandwidth_bound(self, srad_sweep):
+        """srad: CPU wins cache-resident sizes, GPU wins beyond — the
+        crossover falls near the CPU's cache capacity."""
+        assert srad_sweep.crossover is not None
+        kib = srad_sweep.crossover.footprint_bytes / 1024
+        assert 16 <= kib <= 16 * 1024  # between L1 and 2x L3
+
+    def test_challenger_wins_at_large(self, srad_sweep):
+        assert srad_sweep.points[-1].ratio > 2.0
+
+    def test_baseline_wins_at_tiny(self, srad_sweep):
+        assert srad_sweep.points[0].ratio < 1.0
+
+    def test_rows_mark_crossover(self, srad_sweep):
+        rows = srad_sweep.rows()
+        marked = [r for r in rows if r["x"]]
+        assert len(marked) == 1
+
+    def test_crc_gpu_never_wins(self):
+        """crc's serial chain: no problem size favours the GPU."""
+        result = sweep("crc", "i7-6700K", "GTX 1080", stride=8)
+        assert not result.challenger_ever_wins
+        assert result.crossover is None
+
+    def test_device_order_matters(self):
+        forward = sweep("fft", "i7-6700K", "GTX 1080", stride=4)
+        backward = sweep("fft", "GTX 1080", "i7-6700K", stride=4)
+        assert forward.challenger_ever_wins
+        assert not backward.challenger_always_wins
+
+    def test_convenience_footprint(self):
+        kib = crossover_footprint_kib("fft", "i7-6700K", "GTX 1080", stride=4)
+        assert kib is not None and kib > 0
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            sweep("gem", "i7-6700K", "GTX 1080")  # fixed-size: no generator
+
+    def test_result_types(self, srad_sweep):
+        assert isinstance(srad_sweep, CrossoverResult)
+        assert srad_sweep.baseline == "i7-6700K"
+        assert srad_sweep.challenger == "GTX 1080"

@@ -1,0 +1,125 @@
+"""HTML/SVG figure rendering: structure, geometry and accessibility."""
+
+import re
+
+import pytest
+
+from repro.harness import figure3, figure5, render_figure_html, save_figure_html
+from repro.harness.plots import (
+    CLASS_SLOTS,
+    DARK_COLORS,
+    LIGHT_COLORS,
+    _fmt,
+    _ticks,
+)
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure3("srad", samples=10)
+
+
+@pytest.fixture(scope="module")
+def html_text(fig):
+    return render_figure_html(fig)
+
+
+class TestTicks:
+    def test_linear_ticks_cover_range(self):
+        ticks = _ticks(0.3, 8.7, log_scale=False)
+        assert ticks[0] <= 0.3
+        assert ticks[-1] >= 8.7
+        assert len(ticks) >= 4
+
+    def test_linear_ticks_clean_steps(self):
+        steps = {round(b - a, 10) for a, b in zip(*[iter_ for iter_ in
+                 (_ticks(0, 100, False)[:-1], _ticks(0, 100, False)[1:])])}
+        assert len(steps) == 1  # uniform step
+
+    def test_log_ticks_are_decades(self):
+        ticks = _ticks(0.02, 150.0, log_scale=True)
+        assert all(abs(t - 10 ** round(__import__("math").log10(t))) < 1e-9
+                   for t in ticks)
+
+    def test_degenerate_range(self):
+        assert len(_ticks(5.0, 5.0, False)) >= 1
+
+    def test_fmt(self):
+        assert _fmt(0) == "0"
+        assert _fmt(1500) == "1,500"
+        assert _fmt(0.00123) == "0.00123"
+
+
+class TestDocument:
+    def test_standalone_html(self, html_text):
+        assert html_text.startswith("<!doctype html>")
+        assert "<svg" in html_text
+        assert "</html>" in html_text
+
+    def test_one_panel_per_size(self, html_text):
+        assert html_text.count("<svg") == 4  # tiny/small/medium/large
+
+    def test_legend_present_with_all_classes(self, html_text, fig):
+        classes = {s["class"] for p in fig.panels.values() for s in p.values()}
+        for name in classes:
+            assert f"</span>{name}</span>" in html_text
+
+    def test_table_view_ships(self, html_text):
+        """Relief rule: two light categorical steps are sub-3:1, so the
+        table view is mandatory, not optional."""
+        assert "<table>" in html_text
+        assert html_text.count("<tr>") >= 1 + 4 * 14  # header + rows
+
+    def test_device_rows_direct_labeled(self, html_text):
+        for device in ("i7-6700K", "GTX 1080", "R9 Fury X"):
+            assert device in html_text
+
+    def test_native_tooltips(self, html_text):
+        assert html_text.count("<title>") >= 4 * 14
+        assert "median" in html_text
+
+    def test_dark_mode_selected_not_flipped(self, html_text):
+        assert "prefers-color-scheme: dark" in html_text
+        for hex_code in DARK_COLORS.values():
+            assert hex_code in html_text
+
+    def test_text_uses_text_tokens_not_series_color(self, html_text):
+        # axis/tick text styled via CSS vars, never a series hex directly
+        assert 'class="tick-label"' in html_text
+        for hex_code in LIGHT_COLORS.values():
+            assert f'<text fill="{hex_code}"' not in html_text
+
+
+class TestGeometry:
+    def test_no_negative_box_widths(self, html_text):
+        widths = [float(w) for w in
+                  re.findall(r'<rect[^>]*width="([-0-9.]+)"', html_text)]
+        assert widths and all(w > 0 for w in widths)
+
+    def test_box_thickness_capped(self, html_text):
+        heights = {float(h) for h in
+                   re.findall(r'<rect[^>]*height="([0-9.]+)"', html_text)}
+        assert all(h <= 24 for h in heights)
+
+    def test_marks_within_viewbox(self, html_text):
+        view = re.search(r'viewBox="0 0 ([0-9.]+) ([0-9.]+)"', html_text)
+        vw = float(view.group(1))
+        xs = [float(x) for x in re.findall(r'x1="([-0-9.]+)"', html_text)]
+        xs += [float(x) for x in re.findall(r'x2="([-0-9.]+)"', html_text)]
+        assert all(0 <= x <= vw for x in xs)
+
+    def test_class_slot_order_fixed(self):
+        assert CLASS_SLOTS == ("CPU", "Consumer GPU", "HPC GPU", "MIC")
+
+
+class TestLogScale:
+    def test_fig5_log_rendering(self):
+        f5 = figure5(samples=8)
+        text = render_figure_html(f5, log_scale=True)
+        assert "(log)" in text
+        assert "<svg" in text
+
+    def test_save(self, tmp_path, fig):
+        path = save_figure_html(fig, tmp_path / "f.html")
+        assert path.exists()
+        assert path.read_text().startswith("<!doctype html>")

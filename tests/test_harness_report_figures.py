@@ -1,0 +1,115 @@
+"""Tables 1-3 regeneration and figure data structure."""
+
+import pytest
+
+from repro.harness import (
+    figure2,
+    figure4,
+    render_table,
+    table1_rows,
+    table1_text,
+    table2_rows,
+    table2_text,
+    table3_rows,
+    table3_text,
+)
+from repro.harness.figures import DEVICES_NO_KNL, FigureData
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table([{"a": 1, "bb": "xy"}, {"a": 22, "bb": "z"}], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+
+    def test_empty(self):
+        assert "(empty)" in render_table([], "T")
+
+
+class TestTable1:
+    def test_fifteen_rows(self):
+        assert len(table1_rows()) == 15
+
+    def test_contains_key_cells(self):
+        text = table1_text()
+        for cell in ("Xeon E5-2697 v2", "800/4000/4300", "32/256/8192",
+                     "2816∥", "3584†", "256‡", "Q2 2016"):
+            assert cell in text, cell
+
+
+class TestTable2:
+    def test_all_benchmarks_in_order(self):
+        rows = table2_rows()
+        assert [r["Benchmark"] for r in rows] == [
+            "kmeans", "lud", "csr", "fft", "dwt", "srad", "crc", "nw",
+            "gem", "nqueens", "hmm"]
+
+    def test_paper_values_rendered(self):
+        text = table2_text()
+        for cell in ("65600", "2097152", "72x54", "3648x2736", "80,16",
+                     "4194304", "4TUT", "1KX5", "2048,2048"):
+            assert cell in text, cell
+
+    def test_nqueens_dashes(self):
+        row = [r for r in table2_rows() if r["Benchmark"] == "nqueens"][0]
+        assert row["tiny"] == "18"
+        assert row["small"] == row["medium"] == row["large"] == "–"
+
+
+class TestTable3:
+    def test_argument_templates(self):
+        text = table3_text()
+        for cell in ("-g -f 26 -p {phi}", "-s {phi}", "-l 3",
+                     "-i 1000 {phi}.txt", "{phi} 10", "-n {phi1} -s {phi2}"):
+            assert cell in text, cell
+
+    def test_row_per_benchmark(self):
+        assert len(table3_rows()) == 11
+
+
+class TestFigureData:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure2("csr", samples=5)
+
+    def test_panels_are_sizes(self, fig):
+        assert list(fig.panels) == ["tiny", "small", "medium", "large"]
+
+    def test_devices_exclude_knl(self, fig):
+        for panel in fig.panels.values():
+            assert "Xeon Phi 7210" not in panel
+            assert len(panel) == 14
+
+    def test_box_statistics_ordered(self, fig):
+        for panel in fig.panels.values():
+            for stats in panel.values():
+                assert (stats["min"] <= stats["q1"] <= stats["median"]
+                        <= stats["q3"] <= stats["max"])
+
+    def test_normalised_rel(self, fig):
+        for panel in fig.panels.values():
+            rels = [s["rel"] for s in panel.values()]
+            assert max(rels) == pytest.approx(1.0)
+            assert min(rels) > 0
+
+    def test_csv_export(self, fig):
+        csv = fig.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("figure,panel,device")
+        assert len(lines) == 1 + 4 * 14
+
+    def test_render_text(self, fig):
+        text = fig.render()
+        assert "Figure 2c" in text
+        assert "GTX 1080" in text
+
+    def test_unknown_benchmark_for_figure(self):
+        with pytest.raises(ValueError):
+            figure2("srad", samples=2)
+
+    def test_figure4_three_panels(self):
+        fig = figure4(samples=3)
+        assert list(fig.panels) == ["gem", "nqueens", "hmm"]
+        assert all(len(p) == len(DEVICES_NO_KNL) for p in fig.panels.values())

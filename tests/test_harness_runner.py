@@ -1,0 +1,126 @@
+"""Runner: the 2-second loop rule, 50 samples, energy sensors."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    DEFAULT_SAMPLES,
+    MIN_LOOP_SECONDS,
+    ResultSet,
+    RunConfig,
+    run_benchmark,
+    run_matrix,
+)
+from repro.scibench import required_sample_size
+
+
+class TestRunBenchmark:
+    def test_defaults_follow_paper_protocol(self):
+        """50 samples per group, derived from the power computation."""
+        assert DEFAULT_SAMPLES == required_sample_size() == 50
+        assert MIN_LOOP_SECONDS == 2.0
+
+    def test_basic_run(self):
+        r = run_benchmark(RunConfig("fft", "tiny", "i7-6700K", samples=10))
+        assert r.benchmark == "fft"
+        assert r.device == "i7-6700K"
+        assert r.device_class == "CPU"
+        assert len(r.times_s) == 10
+        assert len(r.energies_j) == 10
+        assert r.validated
+
+    def test_loop_rule(self):
+        """Samples loop until >= 2 s: loop count x nominal >= 2 s."""
+        r = run_benchmark(RunConfig("fft", "tiny", "GTX 1080", samples=5))
+        assert r.loop_iterations * r.nominal_s >= MIN_LOOP_SECONDS
+
+    def test_model_only_run_skips_validation(self):
+        r = run_benchmark(RunConfig("srad", "large", "R9 290X", samples=5,
+                                    execute=False, validate=False))
+        assert not r.validated
+        assert r.nominal_s > 0
+
+    def test_deterministic_given_seed(self):
+        a = run_benchmark(RunConfig("csr", "tiny", "K40m", samples=8, seed=7))
+        b = run_benchmark(RunConfig("csr", "tiny", "K40m", samples=8, seed=7))
+        np.testing.assert_array_equal(a.times_s, b.times_s)
+
+    def test_seed_changes_samples(self):
+        a = run_benchmark(RunConfig("csr", "tiny", "K40m", samples=8, seed=1))
+        b = run_benchmark(RunConfig("csr", "tiny", "K40m", samples=8, seed=2))
+        assert (a.times_s != b.times_s).any()
+
+    def test_energy_positive_all_vendors(self):
+        for device in ("i7-6700K", "GTX 1080", "R9 290X"):
+            r = run_benchmark(RunConfig("fft", "tiny", device, samples=5,
+                                        execute=False, validate=False))
+            assert (r.energies_j > 0).all(), device
+
+    def test_recorder_populated(self):
+        r = run_benchmark(RunConfig("fft", "tiny", "i7-6700K", samples=5))
+        assert r.recorder.count("kernel") >= 5
+        assert r.recorder.count("transfer") >= 1
+
+    def test_summaries(self):
+        r = run_benchmark(RunConfig("fft", "tiny", "i7-6700K", samples=20))
+        assert r.time_summary.n == 20
+        assert r.mean_ms == pytest.approx(r.time_summary.mean * 1e3)
+        assert r.energy_summary.mean == pytest.approx(r.mean_energy_j)
+
+
+class TestRunMatrix:
+    def test_matrix_shape(self):
+        results = run_matrix("fft", ["tiny", "small"],
+                             ["i7-6700K", "GTX 1080"], samples=4)
+        assert len(results) == 4
+        keys = {(r.size, r.device) for r in results}
+        assert keys == {("tiny", "i7-6700K"), ("tiny", "GTX 1080"),
+                        ("small", "i7-6700K"), ("small", "GTX 1080")}
+
+    def test_default_devices_full_catalog(self):
+        results = run_matrix("crc", ["tiny"], samples=3)
+        assert len(results) == 15
+
+
+class TestResultSet:
+    @pytest.fixture
+    def results(self):
+        return ResultSet(run_matrix("fft", ["tiny", "small"],
+                                    ["i7-6700K", "GTX 1080", "K20m"],
+                                    samples=5))
+
+    def test_filter(self, results):
+        assert len(results.filter(size="tiny")) == 3
+        assert len(results.filter(device="K20m")) == 2
+        assert len(results.filter(device_class="CPU")) == 2
+
+    def test_get(self, results):
+        r = results.get("fft", "tiny", "K20m")
+        assert r.device == "K20m"
+        with pytest.raises(KeyError):
+            results.get("fft", "tiny", "RX 480")
+
+    def test_best_device(self, results):
+        best = results.best_device("fft", "tiny")
+        assert best.mean_ms == min(r.mean_ms
+                                   for r in results.filter(size="tiny"))
+
+    def test_class_mean(self, results):
+        cpu = results.class_mean_ms("fft", "tiny", "CPU")
+        assert cpu > 0
+
+    def test_csv_long_form(self, results):
+        csv = results.to_csv()
+        assert csv.startswith("benchmark,size,device,")
+        # 6 groups x 5 samples + header
+        assert len(csv.strip().splitlines()) == 31
+
+    def test_summary_rows(self, results):
+        rows = results.summary_rows()
+        assert len(rows) == 6
+        assert {"benchmark", "size", "device", "mean_ms", "cov",
+                "bound"} <= set(rows[0])
+
+    def test_devices_and_sizes(self, results):
+        assert results.devices() == ["i7-6700K", "GTX 1080", "K20m"]
+        assert results.sizes() == ["tiny", "small"]

@@ -1,0 +1,85 @@
+"""Functional validation matrix: benchmarks x problem sizes.
+
+The tiny size of every benchmark is validated in
+``test_dwarfs_common``; this matrix pushes functional execution +
+serial-reference validation through the *small and medium* problem
+sizes too (the paper's correctness methodology applies at every size),
+and through a GPU-class device to cover the second platform path.
+Combinations whose functional execution is genuinely expensive in
+numpy are marked ``slow``.
+"""
+
+import pytest
+
+from repro import ocl
+from repro.dwarfs import create
+
+#: (benchmark, size) pairs cheap enough for the default suite.
+FAST_MATRIX = [
+    ("kmeans", "small"), ("kmeans", "medium"),
+    ("lud", "small"), ("lud", "medium"),
+    ("csr", "small"), ("csr", "medium"),
+    ("fft", "small"), ("fft", "medium"),
+    ("dwt", "small"),
+    ("srad", "small"), ("srad", "medium"),
+    ("crc", "small"),
+    ("nw", "small"), ("nw", "medium"),
+    ("gem", "small"),
+    ("hmm", "small"),
+    ("cwt", "small"),
+    ("bfs", "small"), ("bfs", "medium"),
+    ("fsm", "small"),
+    ("umesh", "small"), ("umesh", "medium"),
+]
+
+#: Expensive functional executions, still covered under -m slow.
+SLOW_MATRIX = [
+    ("kmeans", "large"),
+    ("lud", "large"),
+    ("csr", "large"),
+    ("fft", "large"),
+    ("dwt", "medium"),
+    ("srad", "large"),
+    ("crc", "medium"),
+    ("nw", "large"),
+    ("hmm", "medium"),
+    ("cwt", "medium"),
+    ("fsm", "medium"),
+    ("bfs", "large"),
+    ("umesh", "large"),
+]
+
+
+def _run(name, size, device_name):
+    device = ocl.find_device(device_name)
+    context = ocl.Context(device)
+    queue = ocl.CommandQueue(context)
+    bench = create(name, size)
+    try:
+        bench.run_complete(context, queue)
+        assert queue.total_kernel_time_s() > 0
+        assert context.peak_allocated_bytes == pytest.approx(
+            bench.footprint_bytes(), rel=0.02)
+    finally:
+        bench.teardown()
+
+
+@pytest.mark.parametrize("name,size", FAST_MATRIX,
+                         ids=[f"{n}-{s}" for n, s in FAST_MATRIX])
+def test_validates_on_cpu(name, size):
+    _run(name, size, "i7-6700K")
+
+
+@pytest.mark.parametrize("name,size", FAST_MATRIX[::3],
+                         ids=[f"{n}-{s}" for n, s in FAST_MATRIX[::3]])
+def test_validates_on_gpu(name, size):
+    """Spot-check the GPU device path (results are device-independent
+    in the functional simulation; this guards the queue/buffer path)."""
+    _run(name, size, "R9 Fury X")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name,size", SLOW_MATRIX,
+                         ids=[f"{n}-{s}" for n, s in SLOW_MATRIX])
+def test_validates_slow_sizes(name, size):
+    _run(name, size, "GTX 1080")

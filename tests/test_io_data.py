@@ -1,0 +1,171 @@
+"""Synthetic data generators: images, molecules, CSR matrices."""
+
+import numpy as np
+import pytest
+
+from repro.io import csrfile, images, molecules
+
+
+class TestGumLeaf:
+    def test_deterministic(self):
+        a = images.gum_leaf(64, 48)
+        b = images.gum_leaf(64, 48)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_image(self):
+        a = images.gum_leaf(64, 48, seed=1)
+        b = images.gum_leaf(64, 48, seed=2)
+        assert (a != b).any()
+
+    def test_shape_and_dtype(self):
+        img = images.gum_leaf(72, 54)
+        assert img.shape == (54, 72)
+        assert img.dtype == np.uint8
+
+    def test_has_structure(self):
+        """Leaf + background: substantial dynamic range and edges."""
+        img = images.gum_leaf(200, 150)
+        assert img.std() > 20
+        assert int(img.max()) - int(img.min()) > 80
+
+    def test_memoised_copies_are_independent(self):
+        a = images.gum_leaf(32, 32)
+        a[:] = 0
+        b = images.gum_leaf(32, 32)
+        assert b.any()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            images.gum_leaf(0, 10)
+
+
+class TestResize:
+    def test_downsample_shape(self):
+        img = images.gum_leaf(64, 64)
+        out = images.resize_box(img, 16, 16)
+        assert out.shape == (16, 16)
+
+    def test_preserves_mean_roughly(self):
+        img = images.gum_leaf(128, 128)
+        out = images.resize_box(img, 32, 32)
+        assert abs(float(out.mean()) - float(img.mean())) < 3.0
+
+    def test_constant_image_exact(self):
+        img = np.full((40, 40), 77, dtype=np.uint8)
+        out = images.resize_box(img, 13, 7)
+        assert (out == 77).all()
+
+    def test_upsample(self):
+        img = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        out = images.resize_box(img, 8, 8)
+        assert out.shape == (8, 8)
+
+    def test_non_integer_ratio(self):
+        img = images.gum_leaf(100, 60)
+        out = images.resize_box(img, 33, 17)
+        assert out.shape == (17, 33)
+
+    def test_at_scale_matches_paper_sizes(self):
+        img = images.gum_leaf_at_scale(72, 54)
+        assert img.shape == (54, 72)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            images.resize_box(np.zeros((4, 4), np.uint8), 0, 4)
+
+
+class TestMolecules:
+    @pytest.mark.parametrize("name,kib", [
+        ("4TUT", 31.3), ("2D3V", 252.0), ("nucleosome", 7498.0),
+        ("1KX5", 10970.2),
+    ])
+    def test_footprints_match_paper(self, name, kib):
+        """§4.4.4 reports these device-side footprints exactly."""
+        spec = molecules.MOLECULES[name]
+        assert spec.footprint_kib == pytest.approx(kib, rel=0.01)
+
+    def test_generate_counts(self):
+        mol = molecules.generate("4TUT")
+        assert mol.atoms.shape == (mol.spec.n_atoms, 4)
+        assert mol.vertices.shape == (mol.spec.n_vertices, 3)
+        assert mol.atoms.dtype == np.float32
+
+    def test_near_neutral_charge(self):
+        mol = molecules.generate("2D3V")
+        assert abs(mol.atoms[:, 3].sum()) < 1.0
+
+    def test_vertices_outside_atoms(self):
+        """The surface shell encloses the atom cloud."""
+        mol = molecules.generate("4TUT")
+        atom_extent = np.abs(mol.atoms[:, :3]).max()
+        vertex_radii = np.linalg.norm(mol.vertices, axis=1)
+        assert vertex_radii.min() > atom_extent * 0.9
+
+    def test_pqr_round_trip(self):
+        mol = molecules.generate("4TUT")
+        text = molecules.to_pqr(mol)
+        atoms = molecules.from_pqr(text)
+        np.testing.assert_allclose(atoms[:, :3], mol.atoms[:, :3], atol=5e-4)
+        np.testing.assert_allclose(atoms[:, 3], mol.atoms[:, 3], atol=5e-5)
+
+    def test_deterministic(self):
+        a = molecules.generate("4TUT")
+        b = molecules.generate("4TUT")
+        np.testing.assert_array_equal(a.atoms, b.atoms)
+
+
+class TestCreateCSR:
+    def test_density_honours_table3(self):
+        """-d 5000 means 0.5% dense."""
+        m = csrfile.createcsr(1000, 5000)
+        assert m.density == pytest.approx(0.005, rel=0.15)
+
+    def test_structure_valid(self):
+        m = csrfile.createcsr(200, 5000)
+        m.validate_structure()  # no raise
+        assert m.row_ptr[0] == 0
+        assert m.nnz == len(m.values)
+
+    def test_no_empty_rows(self):
+        m = csrfile.createcsr(500, 100)  # very sparse
+        assert (np.diff(m.row_ptr) >= 1).all()
+
+    def test_columns_sorted_within_rows(self):
+        m = csrfile.createcsr(100, 20000)
+        for row in range(m.n):
+            cols = m.col_idx[m.row_ptr[row]:m.row_ptr[row + 1]]
+            assert (np.diff(cols) > 0).all()
+
+    def test_matvec_reference_matches_dense(self):
+        m = csrfile.createcsr(64, 50000)
+        x = np.random.default_rng(0).uniform(-1, 1, 64)
+        np.testing.assert_allclose(
+            m.matvec_reference(x), m.to_dense() @ x, rtol=1e-10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            csrfile.createcsr(0)
+        with pytest.raises(ValueError):
+            csrfile.createcsr(10, 0)
+        with pytest.raises(ValueError):
+            csrfile.createcsr(10, 2_000_000)
+
+    def test_serialisation_round_trip(self, tmp_path):
+        m = csrfile.createcsr(128, 10000)
+        path = tmp_path / "m.csr"
+        csrfile.save(path, m)
+        loaded = csrfile.load(path)
+        assert loaded.n == m.n
+        np.testing.assert_array_equal(loaded.row_ptr, m.row_ptr)
+        np.testing.assert_array_equal(loaded.col_idx, m.col_idx)
+        np.testing.assert_array_equal(loaded.values, m.values)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            csrfile.loads(b"NOPE" + b"\0" * 32)
+
+    def test_corrupt_structure_detected(self):
+        m = csrfile.createcsr(16, 50000)
+        m.row_ptr[0] = 5
+        with pytest.raises(ValueError):
+            m.validate_structure()

@@ -1,0 +1,94 @@
+"""PNM codec: round trips, headers, error handling."""
+
+import numpy as np
+import pytest
+
+from repro.io import ppm
+
+
+class TestRoundTrip:
+    def test_binary_pgm(self, rng):
+        img = rng.integers(0, 256, size=(13, 17), dtype=np.uint8)
+        out = ppm.loads(ppm.dumps(img, binary=True))
+        np.testing.assert_array_equal(out, img)
+
+    def test_ascii_pgm(self, rng):
+        img = rng.integers(0, 256, size=(5, 7), dtype=np.uint8)
+        out = ppm.loads(ppm.dumps(img, binary=False))
+        np.testing.assert_array_equal(out, img)
+
+    def test_binary_ppm_rgb(self, rng):
+        img = rng.integers(0, 256, size=(6, 4, 3), dtype=np.uint8)
+        out = ppm.loads(ppm.dumps(img, binary=True))
+        np.testing.assert_array_equal(out, img)
+
+    def test_ascii_ppm_rgb(self, rng):
+        img = rng.integers(0, 256, size=(3, 3, 3), dtype=np.uint8)
+        out = ppm.loads(ppm.dumps(img, binary=False))
+        np.testing.assert_array_equal(out, img)
+
+    def test_16bit_pgm(self, rng):
+        img = rng.integers(0, 65536, size=(4, 4)).astype(np.uint16)
+        out = ppm.loads(ppm.dumps(img, maxval=65535))
+        np.testing.assert_array_equal(out, img)
+
+    def test_file_io(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(8, 8), dtype=np.uint8)
+        path = tmp_path / "x.pgm"
+        ppm.save(path, img)
+        np.testing.assert_array_equal(ppm.load(path), img)
+
+
+class TestHeaders:
+    def test_magic_numbers(self):
+        img = np.zeros((2, 2), dtype=np.uint8)
+        assert ppm.dumps(img, binary=True).startswith(b"P5")
+        assert ppm.dumps(img, binary=False).startswith(b"P2")
+        rgb = np.zeros((2, 2, 3), dtype=np.uint8)
+        assert ppm.dumps(rgb, binary=True).startswith(b"P6")
+        assert ppm.dumps(rgb, binary=False).startswith(b"P3")
+
+    def test_comments_skipped(self):
+        data = b"P2\n# a comment\n2 2\n# another\n255\n1 2 3 4\n"
+        out = ppm.loads(data)
+        np.testing.assert_array_equal(out, [[1, 2], [3, 4]])
+
+    def test_dimensions_parsed(self):
+        img = np.zeros((3, 5), dtype=np.uint8)
+        assert ppm.loads(ppm.dumps(img)).shape == (3, 5)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ppm.PNMError):
+            ppm.loads(b"JUNK")
+
+    def test_truncated_raster(self):
+        data = ppm.dumps(np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(ppm.PNMError):
+            ppm.loads(data[:-3])
+
+    def test_bad_shape(self):
+        with pytest.raises(ppm.PNMError):
+            ppm.dumps(np.zeros((2, 2, 4), dtype=np.uint8))
+
+    def test_out_of_range_values(self):
+        with pytest.raises(ppm.PNMError):
+            ppm.dumps(np.full((2, 2), 300, dtype=np.uint16), maxval=255)
+
+    def test_invalid_maxval(self):
+        with pytest.raises(ppm.PNMError):
+            ppm.loads(b"P5\n2 2\n0\n    ")
+
+
+class TestGrayscale:
+    def test_rgb_to_gray(self):
+        rgb = np.zeros((2, 2, 3), dtype=np.uint8)
+        rgb[..., 1] = 255  # pure green
+        gray = ppm.to_grayscale(rgb)
+        assert gray.shape == (2, 2)
+        assert abs(int(gray[0, 0]) - 150) <= 1  # 0.587 * 255
+
+    def test_gray_passthrough(self):
+        img = np.arange(4, dtype=np.uint8).reshape(2, 2)
+        np.testing.assert_array_equal(ppm.to_grayscale(img), img)

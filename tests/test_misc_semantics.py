@@ -1,0 +1,125 @@
+"""Miscellaneous semantics: flags, enums, events, edge behaviours."""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.ocl.types import (
+    CommandExecutionStatus,
+    CommandType,
+    DeviceType,
+    MemFlags,
+    QueueProperties,
+)
+from repro.scheduling import Assignment
+from repro.scibench.recorder import Recorder
+
+
+class TestTypeSemantics:
+    def test_device_type_all_covers_everything(self):
+        for member in (DeviceType.CPU, DeviceType.GPU, DeviceType.ACCELERATOR,
+                       DeviceType.CUSTOM):
+            assert member & DeviceType.ALL
+
+    def test_device_type_default_not_in_all(self):
+        assert not (DeviceType.DEFAULT & DeviceType.ALL)
+
+    def test_mem_flags_combine(self):
+        flags = MemFlags.READ_ONLY | MemFlags.COPY_HOST_PTR
+        assert MemFlags.READ_ONLY in flags
+        assert MemFlags.WRITE_ONLY not in flags
+
+    def test_queue_properties_none_is_falsy(self):
+        assert not QueueProperties.NONE
+        assert QueueProperties.PROFILING_ENABLE
+
+    def test_complete_status_is_zero(self):
+        """OpenCL defines CL_COMPLETE == 0; code relies on ordering."""
+        assert CommandExecutionStatus.COMPLETE == 0
+        assert (CommandExecutionStatus.QUEUED
+                > CommandExecutionStatus.SUBMITTED
+                > CommandExecutionStatus.RUNNING
+                > CommandExecutionStatus.COMPLETE)
+
+
+class TestEventEdgeCases:
+    def test_incomplete_event_wait_raises(self):
+        event = ocl.Event(command_type=CommandType.MARKER,
+                          status=CommandExecutionStatus.QUEUED)
+        with pytest.raises(RuntimeError, match="never completed"):
+            event.wait()
+
+    def test_missing_timestamp_raises(self):
+        event = ocl.Event(command_type=CommandType.MARKER,
+                          status=CommandExecutionStatus.COMPLETE)
+        from repro.ocl import ProfilingInfo, ProfilingInfoNotAvailable
+        with pytest.raises(ProfilingInfoNotAvailable):
+            event.get_profiling_info(ProfilingInfo.START)
+
+    def test_command_types_recorded(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=64)
+        cpu_queue.enqueue_fill_buffer(buf, 0)
+        src = cpu_context.create_buffer(size=64)
+        cpu_queue.enqueue_copy_buffer(src, buf)
+        cpu_queue.enqueue_barrier()
+        kinds = [e.command_type for e in cpu_queue.events]
+        assert kinds == [CommandType.FILL_BUFFER, CommandType.COPY_BUFFER,
+                         CommandType.BARRIER]
+
+
+class TestSchedulerEdgeCases:
+    def test_empty_assignment(self):
+        a = Assignment()
+        assert a.makespan == 0.0
+        assert a.total_device_seconds == 0.0
+        assert a.rows() == []
+
+    def test_load_accumulates(self):
+        a = Assignment()
+        a.add("dev", "t1", 0.5)
+        a.add("dev", "t2", 0.25)
+        assert a.load("dev") == pytest.approx(0.75)
+        assert a.load("other") == 0.0
+
+    def test_empty_task_list_schedules_nothing(self):
+        from repro.scheduling import schedule_lpt
+        a = schedule_lpt([], ["i7-6700K"])
+        assert a.makespan == 0.0
+
+
+class TestRecorderRepr:
+    def test_repr_counts_regions(self):
+        rec = Recorder("x")
+        rec.record("kernel", 1.0)
+        rec.record("kernel", 2.0)
+        rec.record("transfer", 0.1)
+        text = repr(rec)
+        assert "kernel: 2" in text and "transfer: 1" in text
+
+    def test_empty_repr(self):
+        assert "empty" in repr(Recorder())
+
+
+class TestBufferReprAndViews:
+    def test_buffer_repr_states(self, cpu_context):
+        buf = cpu_context.create_buffer(size=64)
+        assert "64 bytes" in repr(buf)
+        buf.release()
+        assert "released" in repr(buf)
+
+    def test_subbuffer_repr(self, cpu_context):
+        parent = cpu_context.create_buffer(size=2048)
+        sub = parent.create_sub_buffer(1024, 512)
+        assert "[1024, 1536)" in repr(sub)
+
+    def test_view_roundtrip_dtype(self, cpu_context):
+        buf = cpu_context.buffer_like(np.arange(6, dtype=np.int64))
+        v = buf.view(np.int64, shape=(2, 3))
+        assert v[1, 2] == 5
+
+
+class TestContextRepr:
+    def test_context_repr(self, cpu_context):
+        cpu_context.create_buffer(size=100)
+        text = repr(cpu_context)
+        assert "1 buffers" in text and "100 bytes" in text

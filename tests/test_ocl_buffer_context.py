@@ -1,0 +1,129 @@
+"""Buffer and context semantics: allocation accounting, flags, release."""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.ocl import (
+    InvalidMemObject,
+    InvalidValue,
+    MemFlags,
+    MemObjectAllocationFailure,
+    OutOfResources,
+)
+
+
+class TestBufferCreation:
+    def test_size_only(self, cpu_context):
+        buf = cpu_context.create_buffer(size=256)
+        assert buf.size == 256
+        assert buf.array.nbytes == 256
+
+    def test_from_hostbuf_copies(self, cpu_context):
+        host = np.arange(16, dtype=np.float32)
+        buf = cpu_context.create_buffer(
+            flags=MemFlags.COPY_HOST_PTR, hostbuf=host)
+        host[0] = 99.0
+        assert buf.array[0] == 0.0  # snapshot, not alias
+
+    def test_use_host_ptr_aliases(self, cpu_context):
+        host = np.zeros(16, dtype=np.float32)
+        buf = cpu_context.create_buffer(
+            flags=MemFlags.USE_HOST_PTR, hostbuf=host)
+        buf.array[3] = 7.0
+        assert host[3] == 7.0
+
+    def test_needs_size_or_hostbuf(self, cpu_context):
+        with pytest.raises(InvalidValue):
+            cpu_context.create_buffer()
+
+    def test_size_hostbuf_mismatch(self, cpu_context):
+        with pytest.raises(InvalidValue):
+            cpu_context.create_buffer(size=8, hostbuf=np.zeros(16, np.uint8))
+
+    def test_copy_host_ptr_requires_hostbuf(self, cpu_context):
+        with pytest.raises(InvalidValue):
+            cpu_context.create_buffer(flags=MemFlags.COPY_HOST_PTR, size=64)
+
+    def test_read_only_and_write_only_exclusive(self, cpu_context):
+        with pytest.raises(InvalidValue):
+            cpu_context.create_buffer(
+                flags=MemFlags.READ_ONLY | MemFlags.WRITE_ONLY, size=64)
+
+    def test_hostbuf_must_be_ndarray(self, cpu_context):
+        with pytest.raises(InvalidValue):
+            cpu_context.create_buffer(hostbuf=[1, 2, 3])
+
+    def test_buffer_like_preserves_shape_and_dtype(self, cpu_context):
+        host = np.ones((4, 5), dtype=np.int32)
+        buf = cpu_context.buffer_like(host)
+        assert buf.array.shape == (4, 5)
+        assert buf.array.dtype == np.int32
+
+    def test_typed_view(self, cpu_context):
+        buf = cpu_context.create_buffer(size=64)
+        view = buf.view(np.float32, shape=(4, 4))
+        assert view.shape == (4, 4)
+
+
+class TestRelease:
+    def test_release_frees_accounting(self, cpu_context):
+        buf = cpu_context.create_buffer(size=1024)
+        assert cpu_context.allocated_bytes == 1024
+        buf.release()
+        assert cpu_context.allocated_bytes == 0
+        assert buf.released
+
+    def test_release_idempotent(self, cpu_context):
+        buf = cpu_context.create_buffer(size=64)
+        buf.release()
+        buf.release()
+        assert cpu_context.allocated_bytes == 0
+
+    def test_access_after_release_raises(self, cpu_context):
+        buf = cpu_context.create_buffer(size=64)
+        buf.release()
+        with pytest.raises(InvalidMemObject):
+            _ = buf.array
+
+    def test_context_manager(self, cpu_context):
+        with cpu_context.create_buffer(size=64) as buf:
+            assert not buf.released
+        assert buf.released
+
+    def test_release_all(self, cpu_context):
+        bufs = [cpu_context.create_buffer(size=64) for _ in range(5)]
+        cpu_context.release_all()
+        assert cpu_context.allocated_bytes == 0
+        assert all(b.released for b in bufs)
+
+
+class TestAllocationLimits:
+    def test_single_allocation_over_global_mem(self, gpu_context):
+        limit = gpu_context.device.global_mem_size
+        with pytest.raises(MemObjectAllocationFailure):
+            gpu_context.create_buffer(size=limit + 1)
+
+    def test_cumulative_out_of_resources(self, gpu_context):
+        limit = gpu_context.device.global_mem_size
+        chunk = limit // 2 + 16
+        gpu_context.create_buffer(size=chunk)
+        with pytest.raises(OutOfResources):
+            gpu_context.create_buffer(size=chunk)
+
+    def test_peak_tracking(self, cpu_context):
+        a = cpu_context.create_buffer(size=1000)
+        b = cpu_context.create_buffer(size=500)
+        a.release()
+        cpu_context.create_buffer(size=100)
+        assert cpu_context.peak_allocated_bytes == 1500
+        assert cpu_context.allocated_bytes == 600
+
+    def test_footprint_matches_paper_verification(self, cpu_context):
+        """allocated_bytes is the 'sum of all memory allocated on the
+        device' the paper prints to verify footprints."""
+        sizes = [128, 256, 512]
+        for s in sizes:
+            cpu_context.create_buffer(size=s)
+        assert cpu_context.allocated_bytes == sum(sizes)
+        assert cpu_context.live_buffers == 3

@@ -1,0 +1,100 @@
+"""NDRange decomposition semantics."""
+
+import math
+
+import pytest
+
+from repro.ocl import InvalidValue, InvalidWorkGroupSize, NDRange, ndrange
+from repro.ocl.ndrange import MAX_WORK_GROUP_SIZE
+
+
+class TestConstruction:
+    def test_1d(self):
+        nd = ndrange(1024)
+        assert nd.dimensions == 1
+        assert nd.work_items == 1024
+
+    def test_2d(self):
+        nd = ndrange(64, 32)
+        assert nd.dimensions == 2
+        assert nd.work_items == 64 * 32
+
+    def test_3d(self):
+        nd = ndrange(8, 8, 8)
+        assert nd.work_items == 512
+
+    def test_zero_dimensional_rejected(self):
+        with pytest.raises(InvalidValue):
+            NDRange(())
+
+    def test_4d_rejected(self):
+        with pytest.raises(InvalidValue):
+            NDRange((2, 2, 2, 2))
+
+    def test_nonpositive_global_rejected(self):
+        with pytest.raises(InvalidValue):
+            ndrange(0)
+        with pytest.raises(InvalidValue):
+            ndrange(-5)
+
+    def test_local_dimensionality_must_match(self):
+        with pytest.raises(InvalidWorkGroupSize):
+            NDRange((64, 64), local_size=(8,))
+
+    def test_local_must_divide_global(self):
+        with pytest.raises(InvalidWorkGroupSize):
+            NDRange((100,), local_size=(64,))
+
+    def test_local_size_limit(self):
+        with pytest.raises(InvalidWorkGroupSize):
+            NDRange((4096,), local_size=(MAX_WORK_GROUP_SIZE * 2,))
+
+    def test_local_nonpositive_rejected(self):
+        with pytest.raises(InvalidWorkGroupSize):
+            NDRange((64,), local_size=(0,))
+
+
+class TestWorkGroups:
+    def test_explicit_local(self):
+        nd = NDRange((1024,), local_size=(64,))
+        assert nd.work_groups == 16
+        assert nd.group_shape == (16,)
+
+    def test_default_local_is_64(self):
+        nd = ndrange(1024)
+        assert nd.effective_local_size == (64,)
+        assert nd.work_groups == 16
+
+    def test_default_local_shrinks_to_divide(self):
+        nd = ndrange(100)  # 64 does not divide 100; falls back to 50
+        ls = nd.effective_local_size[0]
+        assert 100 % ls == 0
+        assert ls <= 64
+
+    def test_default_local_2d_inner_dimension(self):
+        nd = ndrange(32, 128)
+        ls = nd.effective_local_size
+        assert ls[0] == 1
+        assert 128 % ls[1] == 0
+
+    def test_group_count_times_size_covers_range(self):
+        nd = NDRange((256, 64), local_size=(16, 8))
+        assert nd.work_groups * 16 * 8 == nd.work_items
+
+
+class TestIteration:
+    def test_global_ids_cover_range_exactly_once(self):
+        nd = ndrange(4, 3)
+        ids = list(nd.global_ids())
+        assert len(ids) == 12
+        assert len(set(ids)) == 12
+        assert (0, 0) in ids and (3, 2) in ids
+
+    def test_group_ids(self):
+        nd = NDRange((8, 8), local_size=(4, 4))
+        groups = list(nd.group_ids())
+        assert len(groups) == 4
+
+    def test_row_major_order(self):
+        nd = ndrange(2, 2)
+        assert list(nd.global_ids()) == [(0, 0), (0, 1), (1, 0), (1, 1)]

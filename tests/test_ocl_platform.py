@@ -1,0 +1,97 @@
+"""Platform enumeration and the -p/-d/-t device selection triple."""
+
+import pytest
+
+from repro.devices import CATALOG, Vendor
+from repro.ocl import (
+    DeviceNotFound,
+    DeviceType,
+    InvalidValue,
+    find_device,
+    get_platforms,
+    select_device,
+)
+
+
+class TestPlatforms:
+    def test_three_vendor_platforms(self):
+        platforms = get_platforms()
+        assert [p.vendor for p in platforms] == [
+            Vendor.INTEL, Vendor.NVIDIA, Vendor.AMD,
+        ]
+
+    def test_all_catalog_devices_exposed(self):
+        total = sum(len(p.devices) for p in get_platforms())
+        assert total == len(CATALOG)
+
+    def test_subset_machine(self):
+        specs = tuple(s for s in CATALOG if s.vendor == Vendor.NVIDIA)
+        platforms = get_platforms(specs)
+        assert len(platforms) == 1
+        assert platforms[0].vendor == Vendor.NVIDIA
+
+    def test_get_devices_by_type(self):
+        intel = get_platforms()[0]
+        cpus = intel.get_devices(DeviceType.CPU)
+        assert all(d.device_type == DeviceType.CPU for d in cpus)
+        assert len(cpus) == 3
+
+    def test_get_devices_no_match(self):
+        nvidia = get_platforms()[1]
+        with pytest.raises(DeviceNotFound):
+            nvidia.get_devices(DeviceType.CPU)
+
+
+class TestSelectDevice:
+    def test_paper_example_cpu(self):
+        # paper §4.4.5: "-p 1 -d 0 -t 0" selects an Intel CPU on the
+        # paper's system; on our canonical platform order Intel is 0
+        device = select_device(0, 0, 0)
+        assert device.device_type == DeviceType.CPU
+        assert device.name == "Xeon E5-2697 v2"
+
+    def test_select_gpu(self):
+        device = select_device(1, 1, 1)
+        assert device.name == "GTX 1080"
+
+    def test_select_mic(self):
+        device = select_device(0, 0, 2)
+        assert device.name == "Xeon Phi 7210"
+
+    def test_platform_out_of_range(self):
+        with pytest.raises(InvalidValue):
+            select_device(9, 0, 0)
+
+    def test_device_out_of_range(self):
+        with pytest.raises(DeviceNotFound):
+            select_device(0, 99, 0)
+
+    def test_bad_type_flag(self):
+        with pytest.raises(InvalidValue):
+            select_device(0, 0, 7)
+
+
+class TestFindDevice:
+    def test_find_by_name(self):
+        assert find_device("GTX 1080").name == "GTX 1080"
+
+    def test_case_insensitive(self):
+        assert find_device("gtx 1080").name == "GTX 1080"
+
+    def test_unknown_name(self):
+        with pytest.raises(DeviceNotFound):
+            find_device("Voodoo 2")
+
+
+class TestDeviceInfo:
+    def test_get_info_table(self):
+        device = find_device("i7-6700K")
+        assert device.get_info("CL_DEVICE_NAME") == "i7-6700K"
+        assert device.get_info("CL_DEVICE_VENDOR") == "Intel"
+        assert device.get_info("CL_DEVICE_MAX_COMPUTE_UNITS") == 8
+        assert device.get_info("CL_DEVICE_GLOBAL_MEM_SIZE") > 0
+
+    def test_get_info_unknown_param(self):
+        device = find_device("i7-6700K")
+        with pytest.raises(InvalidValue):
+            device.get_info("CL_DEVICE_FLUX_CAPACITANCE")

@@ -1,0 +1,149 @@
+"""Program/kernel build, argument binding and the work-item adapter."""
+
+import numpy as np
+import pytest
+
+from repro.ocl import (
+    BuildProgramFailure,
+    InvalidKernelArgs,
+    InvalidValue,
+    KernelSource,
+    Program,
+    ndrange,
+    work_item_kernel,
+)
+from repro.perfmodel import KernelProfile
+
+
+def _noop(nd, *args):
+    pass
+
+
+class TestBuild:
+    def test_build_and_create(self, cpu_context):
+        prog = Program(cpu_context, [KernelSource("k", _noop)]).build()
+        assert prog.kernel_names == ("k",)
+        assert "succeeded" in prog.build_log
+        assert prog.create_kernel("k").name == "k"
+
+    def test_create_before_build_fails(self, cpu_context):
+        prog = Program(cpu_context, [KernelSource("k", _noop)])
+        with pytest.raises(BuildProgramFailure):
+            prog.create_kernel("k")
+
+    def test_empty_program_fails(self, cpu_context):
+        with pytest.raises(BuildProgramFailure):
+            Program(cpu_context, []).build()
+
+    def test_duplicate_names_fail(self, cpu_context):
+        with pytest.raises(BuildProgramFailure):
+            Program(cpu_context, [
+                KernelSource("k", _noop), KernelSource("k", _noop),
+            ]).build()
+
+    def test_non_callable_body_fails(self, cpu_context):
+        with pytest.raises(BuildProgramFailure):
+            Program(cpu_context, [KernelSource("k", "not callable")]).build()
+
+    def test_unknown_kernel_name(self, cpu_context):
+        prog = Program(cpu_context, [KernelSource("k", _noop)]).build()
+        with pytest.raises(InvalidValue):
+            prog.create_kernel("missing")
+
+    def test_all_kernels(self, cpu_context):
+        prog = Program(cpu_context, [
+            KernelSource("a", _noop), KernelSource("b", _noop),
+        ]).build()
+        assert set(prog.all_kernels()) == {"a", "b"}
+
+
+class TestArguments:
+    def test_unset_args_rejected_at_enqueue(self, cpu_context, cpu_queue):
+        k = Program(cpu_context, [KernelSource("k", _noop)]).build().create_kernel("k")
+        with pytest.raises(InvalidKernelArgs):
+            cpu_queue.enqueue_nd_range_kernel(k, (4,))
+
+    def test_set_arg_individual_slots(self, cpu_context):
+        k = Program(cpu_context, [KernelSource("k", _noop)]).build().create_kernel("k")
+        k.set_arg(1, 42)
+        k.set_arg(0, 7)
+        assert k.resolved_args() == [7, 42]
+
+    def test_partial_args_rejected(self, cpu_context):
+        k = Program(cpu_context, [KernelSource("k", _noop)]).build().create_kernel("k")
+        k.set_arg(1, 42)  # slot 0 left unset
+        with pytest.raises(InvalidKernelArgs):
+            k.resolved_args()
+
+    def test_buffer_resolved_to_array(self, cpu_context):
+        buf = cpu_context.buffer_like(np.arange(4, dtype=np.int32))
+        k = Program(cpu_context, [KernelSource("k", _noop)]).build().create_kernel("k")
+        k.set_args(buf, 3.5)
+        resolved = k.resolved_args()
+        np.testing.assert_array_equal(resolved[0], np.arange(4))
+        assert resolved[1] == 3.5
+
+    def test_foreign_buffer_arg_rejected(self, cpu_context, gpu_context):
+        foreign = gpu_context.create_buffer(size=16)
+        k = Program(cpu_context, [KernelSource("k", _noop)]).build().create_kernel("k")
+        k.set_args(foreign)
+        with pytest.raises(InvalidKernelArgs):
+            k.resolved_args()
+
+
+class TestProfiles:
+    def test_default_profile_launch_only(self, cpu_context):
+        k = Program(cpu_context, [KernelSource("k", _noop)]).build().create_kernel("k")
+        profile = k.resolve_profile(ndrange(128), [])
+        assert profile.work_items == 128
+        assert profile.flops == 0
+
+    def test_static_profile(self, cpu_context):
+        static = KernelProfile("k", flops=10, int_ops=0, bytes_read=4,
+                               bytes_written=4, working_set_bytes=8, work_items=1)
+        k = Program(cpu_context, [
+            KernelSource("k", _noop, static)
+        ]).build().create_kernel("k")
+        assert k.resolve_profile(ndrange(1), []) is static
+
+    def test_callable_profile_receives_args(self, cpu_context):
+        def prof(nd, x):
+            return KernelProfile("k", flops=float(x), int_ops=0, bytes_read=0,
+                                 bytes_written=0, working_set_bytes=0,
+                                 work_items=nd.work_items)
+        k = Program(cpu_context, [
+            KernelSource("k", _noop, prof)
+        ]).build().create_kernel("k")
+        profile = k.resolve_profile(ndrange(32), [21])
+        assert profile.flops == 21
+        assert profile.work_items == 32
+
+
+class TestWorkItemAdapter:
+    def test_scalar_kernel_1d(self, cpu_context, cpu_queue):
+        out = cpu_context.buffer_like(np.zeros(8, dtype=np.int64))
+
+        def body(gid, arr):
+            arr[gid] = gid * gid
+
+        k = Program(cpu_context, [
+            KernelSource("sq", work_item_kernel(body))
+        ]).build().create_kernel("sq")
+        k.set_args(out)
+        cpu_queue.enqueue_nd_range_kernel(k, (8,))
+        np.testing.assert_array_equal(out.array, np.arange(8) ** 2)
+
+    def test_scalar_kernel_2d_gets_tuple_gid(self, cpu_context, cpu_queue):
+        out = cpu_context.buffer_like(np.zeros((3, 4), dtype=np.int64))
+
+        def body(gid, arr):
+            i, j = gid
+            arr[i, j] = 10 * i + j
+
+        k = Program(cpu_context, [
+            KernelSource("idx", work_item_kernel(body))
+        ]).build().create_kernel("idx")
+        k.set_args(out)
+        cpu_queue.enqueue_nd_range_kernel(k, (3, 4))
+        expected = 10 * np.arange(3)[:, None] + np.arange(4)[None, :]
+        np.testing.assert_array_equal(out.array, expected)

@@ -1,0 +1,168 @@
+"""Command queue execution, ordering and profiling-event semantics."""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.ocl import (
+    CommandType,
+    InvalidContext,
+    InvalidValue,
+    KernelSource,
+    ProfilingInfo,
+    ProfilingInfoNotAvailable,
+    Program,
+    QueueProperties,
+)
+
+
+def _scale_program(ctx):
+    def body(nd, arr, factor):
+        arr *= factor
+    return Program(ctx, [KernelSource("scale", body)]).build()
+
+
+class TestTransfers:
+    def test_write_read_roundtrip(self, cpu_context, cpu_queue):
+        data = np.arange(64, dtype=np.float32)
+        buf = cpu_context.create_buffer(size=data.nbytes)
+        cpu_queue.enqueue_write_buffer(buf, data)
+        out = np.empty_like(data)
+        cpu_queue.enqueue_read_buffer(buf, out)
+        np.testing.assert_array_equal(out, data)
+
+    def test_write_size_mismatch(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=64)
+        with pytest.raises(InvalidValue):
+            cpu_queue.enqueue_write_buffer(buf, np.zeros(100, np.uint8))
+
+    def test_copy_buffer(self, cpu_context, cpu_queue):
+        src = cpu_context.buffer_like(np.arange(10, dtype=np.int32))
+        dst = cpu_context.buffer_like(np.zeros(10, dtype=np.int32))
+        cpu_queue.enqueue_copy_buffer(src, dst)
+        np.testing.assert_array_equal(dst.array, np.arange(10))
+
+    def test_copy_size_mismatch(self, cpu_context, cpu_queue):
+        src = cpu_context.create_buffer(size=16)
+        dst = cpu_context.create_buffer(size=32)
+        with pytest.raises(InvalidValue):
+            cpu_queue.enqueue_copy_buffer(src, dst)
+
+    def test_fill_buffer(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=32)
+        cpu_queue.enqueue_fill_buffer(buf, 0xAB)
+        assert (buf.array.view(np.uint8) == 0xAB).all()
+
+    def test_foreign_buffer_rejected(self, cpu_context, gpu_context, cpu_queue):
+        foreign = gpu_context.create_buffer(size=16)
+        with pytest.raises(InvalidContext):
+            cpu_queue.enqueue_read_buffer(foreign, np.zeros(16, np.uint8))
+
+    def test_gpu_transfer_slower_than_cpu(self, cpu_context, gpu_context):
+        """PCIe transfers cost more than host-local memcpy."""
+        data = np.zeros(1 << 20, dtype=np.uint8)
+        cq = ocl.CommandQueue(cpu_context)
+        gq = ocl.CommandQueue(gpu_context)
+        cbuf = cpu_context.create_buffer(size=data.nbytes)
+        gbuf = gpu_context.create_buffer(size=data.nbytes)
+        ce = cq.enqueue_write_buffer(cbuf, data)
+        ge = gq.enqueue_write_buffer(gbuf, data)
+        assert ge.duration_ns > ce.duration_ns
+
+
+class TestKernelExecution:
+    def test_kernel_mutates_buffer(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.arange(8, dtype=np.float32))
+        k = _scale_program(cpu_context).create_kernel("scale")
+        k.set_args(buf, np.float32(3.0))
+        cpu_queue.enqueue_nd_range_kernel(k, (8,))
+        np.testing.assert_allclose(buf.array, np.arange(8) * 3.0)
+
+    def test_int_global_size_accepted(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.ones(4, dtype=np.float32))
+        k = _scale_program(cpu_context).create_kernel("scale")
+        k.set_args(buf, np.float32(2.0))
+        event = cpu_queue.enqueue_nd_range_kernel(k, 4)
+        assert event.info["work_items"] == 4
+
+    def test_foreign_kernel_rejected(self, cpu_context, gpu_context):
+        k = _scale_program(gpu_context).create_kernel("scale")
+        k.set_args(gpu_context.create_buffer(size=16), np.float32(1.0))
+        q = ocl.CommandQueue(cpu_context)
+        with pytest.raises(InvalidContext):
+            q.enqueue_nd_range_kernel(k, (4,))
+
+    def test_kernel_event_info(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.ones(64, dtype=np.float32))
+        k = _scale_program(cpu_context).create_kernel("scale")
+        k.set_args(buf, np.float32(1.0))
+        event = cpu_queue.enqueue_nd_range_kernel(k, (64,))
+        assert event.info["kernel"] == "scale"
+        assert event.info["work_items"] == 64
+        assert event.info["energy_j"] > 0
+
+
+class TestProfiling:
+    def test_timestamps_ordered(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=1024)
+        event = cpu_queue.enqueue_fill_buffer(buf, 0)
+        q = event.get_profiling_info(ProfilingInfo.QUEUED)
+        s = event.get_profiling_info(ProfilingInfo.SUBMIT)
+        st = event.get_profiling_info(ProfilingInfo.START)
+        e = event.get_profiling_info(ProfilingInfo.END)
+        assert q <= s <= st < e
+
+    def test_device_clock_monotone(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=1024)
+        e1 = cpu_queue.enqueue_fill_buffer(buf, 1)
+        e2 = cpu_queue.enqueue_fill_buffer(buf, 2)
+        assert e2.start_ns >= e1.end_ns  # in-order queue
+
+    def test_profiling_disabled_raises(self, cpu_context):
+        q = ocl.CommandQueue(cpu_context, properties=QueueProperties.NONE)
+        buf = cpu_context.create_buffer(size=64)
+        event = q.enqueue_fill_buffer(buf, 0)
+        with pytest.raises(ProfilingInfoNotAvailable):
+            event.get_profiling_info(ProfilingInfo.START)
+
+    def test_wait_for_dependency_ordering(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=64)
+        dep = cpu_queue.enqueue_fill_buffer(buf, 0)
+        marker = cpu_queue.enqueue_marker(wait_for=[dep])
+        assert marker.start_ns >= dep.end_ns
+
+    def test_duration_properties(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=1 << 16)
+        event = cpu_queue.enqueue_fill_buffer(buf, 0)
+        assert event.duration_ns == event.end_ns - event.start_ns
+        assert event.duration_s == pytest.approx(event.duration_ns * 1e-9)
+        assert event.queue_delay_ns >= 0
+
+    def test_finish_and_kernel_accounting(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.ones(16, dtype=np.float32))
+        k = _scale_program(cpu_context).create_kernel("scale")
+        k.set_args(buf, np.float32(2.0))
+        cpu_queue.enqueue_nd_range_kernel(k, (16,))
+        cpu_queue.enqueue_fill_buffer(buf, 0)
+        cpu_queue.finish()
+        assert len(cpu_queue.kernel_events()) == 1
+        assert cpu_queue.total_kernel_time_s() > 0
+        assert cpu_queue.total_kernel_energy_j() > 0
+
+    def test_reset_events(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=64)
+        cpu_queue.enqueue_fill_buffer(buf, 0)
+        cpu_queue.reset_events()
+        assert cpu_queue.events == []
+
+    def test_noise_scatters_durations(self, cpu_context, rng):
+        q = ocl.CommandQueue(cpu_context, rng=rng)
+        buf = cpu_context.create_buffer(size=1 << 20)
+        durations = {q.enqueue_fill_buffer(buf, 0).duration_ns for _ in range(10)}
+        assert len(durations) > 1  # noisy queue produces scatter
+
+    def test_no_noise_is_deterministic(self, cpu_context):
+        q = ocl.CommandQueue(cpu_context)
+        buf = cpu_context.create_buffer(size=1 << 20)
+        durations = {q.enqueue_fill_buffer(buf, 0).duration_ns for _ in range(10)}
+        assert len(durations) == 1

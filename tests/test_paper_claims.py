@@ -1,0 +1,203 @@
+"""End-to-end reproduction of the paper's qualitative findings.
+
+Each test asserts one claim from §5 of the paper against the full
+simulated harness (small sample counts keep the suite fast; the
+benchmark harness in benchmarks/ runs the full 50-sample protocol).
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import DeviceClass, get_device
+from repro.harness import (
+    ResultSet,
+    check_cov_tracks_clock,
+    check_fig1_cpu_wins,
+    check_fig3a_gap_widens,
+    check_fig3b_amd_degrades,
+    check_fig5_cpu_energy_higher,
+    check_hpc_vs_consumer,
+    class_means,
+    figure1_crc,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    run_matrix,
+)
+
+SAMPLES = 12  # enough for stable means; the benches use the full 50
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_crc(samples=SAMPLES)
+
+
+@pytest.fixture(scope="module")
+def fig3a():
+    return figure3("srad", samples=SAMPLES)
+
+
+@pytest.fixture(scope="module")
+def fig3b():
+    return figure3("nw", samples=SAMPLES)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figure5(samples=SAMPLES)
+
+
+class TestFigure1:
+    def test_cpu_class_fastest_for_crc(self, fig1):
+        """§5.1: 'Execution times for crc are lowest on CPU-type
+        architectures' — at every problem size, KNL worst."""
+        assert check_fig1_cpu_wins(fig1)
+
+    def test_knl_poor_everywhere(self, fig1):
+        for size in fig1.panels:
+            means = class_means(fig1, size)
+            assert means["MIC"] > means["CPU"]
+
+    def test_all_fifteen_devices_present(self, fig1):
+        assert all(len(panel) == 15 for panel in fig1.panels.values())
+
+    def test_cov_larger_on_lower_clocks(self, fig1):
+        """§5.1: CoV 'much greater for devices with a lower clock
+        frequency, regardless of accelerator type'."""
+        assert check_cov_tracks_clock(fig1.results)
+
+
+class TestFigure2:
+    def test_kmeans_cpu_competitive(self):
+        """§5.1: kmeans CPU times comparable to GPU (low FP:mem ratio)."""
+        fig = figure2("kmeans", samples=SAMPLES)
+        means = class_means(fig, "large")
+        best_gpu = min(means["Consumer GPU"], means["HPC GPU"])
+        assert means["CPU"] < 8 * best_gpu  # same order of magnitude
+
+    def test_i5_penalty_at_medium(self):
+        """§5.1: the i5-3550's smaller L3 hurts when moving from small
+        to medium (sized for an 8 MiB L3; the i5 has 6 MiB)."""
+        fig = figure2("fft", samples=SAMPLES)
+        def jump(device):
+            return (fig.panels["medium"][device]["mean"]
+                    / fig.panels["small"][device]["mean"])
+        assert jump("i5-3550") > 1.5 * jump("i7-6700K")
+        assert jump("i5-3550") > 1.5 * jump("Xeon E5-2697 v2")
+
+    def test_hpc_gpus_between_same_gen_and_modern(self):
+        """§5.1: HPC GPUs beat same-generation consumer GPUs but are
+        'always beaten by more modern GPUs'."""
+        fig = figure2("lud", samples=SAMPLES)
+        assert check_hpc_vs_consumer(fig)
+
+    def test_spectral_methods_cpu_penalty_grows(self):
+        """§5.1: for dwt/fft the CPU's memory-latency disadvantage
+        grows from medium to large."""
+        for bench in ("dwt", "fft"):
+            fig = figure2(bench, samples=SAMPLES)
+            ratios = []
+            for size in ("medium", "large"):
+                means = class_means(fig, size)
+                gpu = min(means["Consumer GPU"], means["HPC GPU"])
+                ratios.append(means["CPU"] / gpu)
+            assert ratios[1] >= ratios[0] * 0.9, bench
+            assert ratios[1] > 1.5, bench  # GPUs clearly ahead at large
+
+
+class TestFigure3:
+    def test_srad_gap_widens(self, fig3a):
+        """§5.1: 'the performance gap between CPU and GPU architectures
+        widening for srad' — structured grid suits GPUs."""
+        assert check_fig3a_gap_widens(fig3a)
+
+    def test_srad_gpu_wins_at_large(self, fig3a):
+        means = class_means(fig3a, "large")
+        assert means["CPU"] > 3 * min(means["Consumer GPU"], means["HPC GPU"])
+
+    def test_nw_amd_degrades_with_size(self, fig3b):
+        """§5.1: 'a widening performance gap over each increase in
+        problem size between AMD GPUs and the other devices'."""
+        assert check_fig3b_amd_degrades(fig3b)
+
+    def test_nw_cpu_nvidia_comparable(self, fig3b):
+        """§5.1: 'Intel CPUs and NVIDIA GPUs perform comparably over
+        all problem sizes' for nw."""
+        for size in fig3b.panels:
+            means = class_means(fig3b, size)
+            nvidia = np.mean([fig3b.panels[size][d]["mean"]
+                              for d in ("Titan X", "GTX 1080", "GTX 1080 Ti",
+                                        "K20m", "K40m")])
+            ratio = means["CPU"] / nvidia
+            assert 1 / 4 < ratio < 4, size
+
+
+class TestFigure4:
+    def test_single_size_benchmarks_run(self):
+        fig = figure4(samples=SAMPLES)
+        assert set(fig.panels) == {"gem", "nqueens", "hmm"}
+
+    def test_gem_gpu_advantage(self):
+        """gem is the flop-dense N-body kernel: GPUs win."""
+        fig = figure4(samples=SAMPLES)
+        means = class_means(fig, "gem")
+        assert min(means["Consumer GPU"], means["HPC GPU"]) < means["CPU"]
+
+
+class TestFigure5:
+    def test_cpu_energy_higher_except_crc(self, fig5):
+        """§5.2: 'All the benchmarks use more energy on the CPU, with
+        the exception of crc'."""
+        assert check_fig5_cpu_energy_higher(fig5)
+
+    def test_energy_devices_are_the_instrumented_pair(self, fig5):
+        for panel in fig5.panels.values():
+            assert set(panel) == {"i7-6700K", "GTX 1080"}
+
+    def test_cpu_energy_variance_larger(self, fig5):
+        """§5.2: 'Variance with respect to energy usage is larger on
+        the CPU' (consistent with the timing results)."""
+        cpu_covs, gpu_covs = [], []
+        for r in fig5.results:
+            (cpu_covs if r.device == "i7-6700K" else gpu_covs).append(
+                r.energy_summary.cov)
+        assert np.median(cpu_covs) > np.median(gpu_covs)
+
+
+class TestCrossCutting:
+    def test_modern_gpus_relatively_better_at_large(self):
+        """§5.1: modern GPUs (bigger L2) gain ground at large sizes."""
+        fig = figure2("fft", samples=SAMPLES)
+        modern = ("Titan X", "GTX 1080", "GTX 1080 Ti", "R9 Fury X", "RX 480")
+        old = ("K20m", "K40m", "HD 7970", "R9 290X")
+        def ratio(size):
+            p = fig.panels[size]
+            return (np.mean([p[d]["mean"] for d in old])
+                    / np.mean([p[d]["mean"] for d in modern]))
+        assert ratio("large") > ratio("tiny")
+
+    def test_execution_time_increases_with_size_everywhere(self):
+        """§5.1: 'execution time increases with problem size for all
+        benchmarks and platforms'."""
+        for bench in ("kmeans", "srad", "crc"):
+            results = ResultSet(run_matrix(
+                bench, devices=["i7-6700K", "GTX 1080", "R9 290X"],
+                samples=6))
+            for device in results.devices():
+                means = [results.get(bench, s, device).mean_ms
+                         for s in ("tiny", "small", "medium", "large")]
+                assert means == sorted(means), (bench, device)
+
+    def test_all_problem_sizes_fit_every_gpu_global_memory(self):
+        """§5.1: 'all selected problem sizes fit within the global
+        memory of all devices'."""
+        from repro.dwarfs import BENCHMARKS
+        min_mem = min(s.memory.size_mib for s in
+                      (get_device(n) for n in
+                       ("HD 7970", "R9 290X", "K20m"))) * 1024 * 1024
+        for name, cls in BENCHMARKS.items():
+            for size in cls.available_sizes():
+                assert cls.from_size(size).footprint_bytes() < min_mem, (
+                    name, size)

@@ -1,0 +1,73 @@
+"""KernelProfile validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.perfmodel import KernelProfile, merge_working_set
+
+
+def make(**overrides):
+    base = dict(name="k", flops=100.0, int_ops=50.0, bytes_read=400.0,
+                bytes_written=100.0, working_set_bytes=1000.0, work_items=64)
+    base.update(overrides)
+    return KernelProfile(**base)
+
+
+class TestValidation:
+    def test_pattern_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            make(seq_fraction=0.5, strided_fraction=0.1, random_fraction=0.1)
+
+    def test_pattern_fractions_valid_mix(self):
+        p = make(seq_fraction=0.5, strided_fraction=0.3, random_fraction=0.2)
+        assert p.seq_fraction == 0.5
+
+    def test_work_items_positive(self):
+        with pytest.raises(ValueError, match="work_items"):
+            make(work_items=0)
+
+    def test_negative_quantities_rejected(self):
+        for attr in ("flops", "int_ops", "bytes_read", "bytes_written",
+                     "working_set_bytes", "serial_ops", "chain_ops"):
+            with pytest.raises(ValueError, match=attr):
+                make(**{attr: -1.0})
+
+    def test_launches_at_least_one(self):
+        with pytest.raises(ValueError, match="launches"):
+            make(launches=0)
+
+
+class TestDerived:
+    def test_default_work_groups_of_64(self):
+        assert make(work_items=640).work_groups == 10
+
+    def test_explicit_work_groups_kept(self):
+        assert make(work_groups=5).work_groups == 5
+
+    def test_bytes_total(self):
+        assert make().bytes_total == 500.0
+
+    def test_arithmetic_intensity(self):
+        assert make().arithmetic_intensity == pytest.approx(100 / 500)
+
+    def test_arithmetic_intensity_no_traffic(self):
+        p = make(bytes_read=0.0, bytes_written=0.0)
+        assert math.isinf(p.arithmetic_intensity)
+
+    def test_total_ops(self):
+        assert make().total_ops == 150.0
+
+    def test_scaled_sets_launches(self):
+        p = make().scaled(7)
+        assert p.launches == 7
+        assert p.flops == 100.0  # per-launch quantities unchanged
+
+
+class TestMergeWorkingSet:
+    def test_empty(self):
+        assert merge_working_set([]) == 0.0
+
+    def test_max_of_shared_buffers(self):
+        profiles = [make(working_set_bytes=100.0), make(working_set_bytes=900.0)]
+        assert merge_working_set(profiles) == 900.0

@@ -1,0 +1,102 @@
+"""Energy model, transfer model and timing-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import get_device
+from repro.perfmodel import (
+    KernelProfile,
+    energy_joules,
+    expected_cov,
+    kernel_energy,
+    kernel_time,
+    mean_power_w,
+    noisy_samples,
+    round_trip_time_s,
+    transfer_time_s,
+)
+
+
+class TestPower:
+    def test_idle_floor(self, skylake):
+        p = skylake.power
+        assert mean_power_w(skylake, 0.0) == pytest.approx(
+            skylake.tdp_w * p.idle_fraction)
+
+    def test_full_utilization_below_tdp(self, gtx1080):
+        assert mean_power_w(gtx1080, 1.0) <= gtx1080.tdp_w
+
+    def test_monotone_in_utilization(self, skylake):
+        powers = [mean_power_w(skylake, u) for u in (0.0, 0.25, 0.5, 1.0)]
+        assert powers == sorted(powers)
+
+    def test_utilization_clamped(self, skylake):
+        assert mean_power_w(skylake, 2.0) == mean_power_w(skylake, 1.0)
+        assert mean_power_w(skylake, -1.0) == mean_power_w(skylake, 0.0)
+
+
+class TestKernelEnergy:
+    def test_energy_is_power_times_time(self, gtx1080):
+        p = KernelProfile("k", flops=1e9, int_ops=0, bytes_read=1e6,
+                          bytes_written=0, working_set_bytes=1e6,
+                          work_items=1 << 20)
+        tb = kernel_time(gtx1080, p)
+        sample = kernel_energy(gtx1080, tb)
+        assert sample.energy_j == pytest.approx(
+            sample.mean_power_w * sample.duration_s)
+
+    def test_energy_joules_scales_linearly(self, skylake):
+        assert energy_joules(skylake, 2.0, 0.5) == pytest.approx(
+            2 * energy_joules(skylake, 1.0, 0.5))
+
+
+class TestTransfers:
+    def test_latency_floor(self, gtx1080):
+        assert transfer_time_s(gtx1080, 0) == pytest.approx(
+            gtx1080.memory.link_latency_us * 1e-6)
+
+    def test_bandwidth_term(self, gtx1080):
+        one_gb = transfer_time_s(gtx1080, 10**9)
+        assert one_gb == pytest.approx(
+            gtx1080.memory.link_latency_us * 1e-6
+            + 1.0 / gtx1080.memory.link_bandwidth_gbs)
+
+    def test_round_trip_is_sum(self, gtx1080):
+        assert round_trip_time_s(gtx1080, 1000, 500) == pytest.approx(
+            transfer_time_s(gtx1080, 1000) + transfer_time_s(gtx1080, 500))
+
+    def test_cpu_link_is_memory_bandwidth(self, skylake):
+        assert (skylake.memory.link_bandwidth_gbs
+                == skylake.memory.bandwidth_gbs)
+
+
+class TestNoise:
+    def test_mean_preserved(self, skylake, rng):
+        samples = noisy_samples(skylake, 1e-3, 4000, rng)
+        assert samples.mean() == pytest.approx(1e-3, rel=0.05)
+
+    def test_loop_rule_narrows_scatter(self, skylake, rng):
+        single = noisy_samples(skylake, 1e-3, 2000, rng, loop_iterations=1)
+        looped = noisy_samples(skylake, 1e-3, 2000, rng, loop_iterations=100)
+        assert looped.std() < single.std() / 3
+
+    def test_expected_cov_scaling(self, skylake):
+        assert expected_cov(skylake, 100) == pytest.approx(
+            skylake.runtime.base_cov / 10)
+
+    def test_low_clock_scatters_more(self, rng):
+        slow = get_device("K20m")
+        fast = get_device("GTX 1080")
+        s = noisy_samples(slow, 1e-3, 2000, rng)
+        f = noisy_samples(fast, 1e-3, 2000, rng)
+        assert s.std() > f.std()
+
+    def test_negative_nominal_rejected(self, skylake, rng):
+        with pytest.raises(ValueError):
+            noisy_samples(skylake, -1.0, 10, rng)
+
+    def test_zero_samples(self, skylake, rng):
+        assert len(noisy_samples(skylake, 1e-3, 0, rng)) == 0
+
+    def test_all_samples_positive(self, skylake, rng):
+        assert (noisy_samples(skylake, 1e-6, 5000, rng) > 0).all()

@@ -1,0 +1,81 @@
+"""Memory-system model: pattern-dependent effective bandwidths."""
+
+import pytest
+
+from repro.perfmodel import (
+    memory_level_parallelism,
+    memory_time_s,
+    random_bandwidth_gbs,
+    sequential_bandwidth_gbs,
+    strided_bandwidth_gbs,
+)
+
+
+class TestSequential:
+    def test_l1_resident_fastest(self, skylake):
+        assert (sequential_bandwidth_gbs(skylake, 16 * 1024)
+                > sequential_bandwidth_gbs(skylake, 64 * 1024 * 1024))
+
+    def test_monotone_nonincreasing_with_working_set(self, skylake):
+        sizes = [2**k for k in range(10, 28)]
+        bws = [sequential_bandwidth_gbs(skylake, s) for s in sizes]
+        assert all(a >= b for a, b in zip(bws, bws[1:]))
+
+
+class TestStrided:
+    def test_cpu_prefetchers_mostly_hide_stride(self, skylake):
+        seq = sequential_bandwidth_gbs(skylake, 1 << 20)
+        strided = strided_bandwidth_gbs(skylake, 1 << 20)
+        assert 0.5 * seq < strided < seq
+
+    def test_gpu_loses_coalescing(self, gtx1080):
+        seq = sequential_bandwidth_gbs(gtx1080, 1 << 26)
+        strided = strided_bandwidth_gbs(gtx1080, 1 << 26)
+        assert strided == pytest.approx(seq / 4.0)
+
+    def test_gpu_stride_penalty_worse_than_cpu(self, skylake, gtx1080):
+        cpu_ratio = (strided_bandwidth_gbs(skylake, 1 << 26)
+                     / sequential_bandwidth_gbs(skylake, 1 << 26))
+        gpu_ratio = (strided_bandwidth_gbs(gtx1080, 1 << 26)
+                     / sequential_bandwidth_gbs(gtx1080, 1 << 26))
+        assert gpu_ratio < cpu_ratio
+
+
+class TestRandom:
+    def test_random_slowest_pattern(self, skylake):
+        ws = 1 << 26
+        assert (random_bandwidth_gbs(skylake, ws)
+                < strided_bandwidth_gbs(skylake, ws)
+                < sequential_bandwidth_gbs(skylake, ws))
+
+    def test_gpu_mlp_exceeds_cpu(self, skylake, gtx1080):
+        assert (memory_level_parallelism(gtx1080)
+                > memory_level_parallelism(skylake))
+
+    def test_gpu_random_absolute_bandwidth_higher(self, skylake, gtx1080):
+        """GPUs hide random-access latency with massive MLP — the reason
+        spectral-methods codes favour GPUs at large sizes (paper §5.1)."""
+        ws = 64 << 20
+        assert random_bandwidth_gbs(gtx1080, ws) > random_bandwidth_gbs(skylake, ws)
+
+
+class TestMemoryTime:
+    def test_zero_bytes_zero_time(self, skylake):
+        assert memory_time_s(skylake, 0, 1024, 1.0, 0.0, 0.0) == 0.0
+
+    def test_pure_sequential_matches_bandwidth(self, skylake):
+        ws = 64 << 20
+        t = memory_time_s(skylake, 1e9, ws, 1.0, 0.0, 0.0)
+        assert t == pytest.approx(1e9 / (skylake.memory.bandwidth_gbs * 1e9))
+
+    def test_mixed_pattern_slower_than_sequential(self, skylake):
+        ws = 64 << 20
+        t_seq = memory_time_s(skylake, 1e8, ws, 1.0, 0.0, 0.0)
+        t_mixed = memory_time_s(skylake, 1e8, ws, 0.5, 0.0, 0.5)
+        assert t_mixed > t_seq
+
+    def test_low_utilization_derates(self, gtx1080):
+        ws = 1 << 26
+        full = memory_time_s(gtx1080, 1e8, ws, 1.0, 0.0, 0.0, 1.0)
+        starved = memory_time_s(gtx1080, 1e8, ws, 1.0, 0.0, 0.0, 0.25)
+        assert starved == pytest.approx(4 * full)

@@ -1,0 +1,155 @@
+"""Roofline timing model: bounds, occupancy, launch overhead, chains."""
+
+import math
+
+import pytest
+
+from repro.devices import get_device
+from repro.perfmodel import (
+    KernelProfile,
+    bandwidth_utilization,
+    compute_utilization,
+    divergence_factor,
+    iteration_time,
+    kernel_time,
+    launch_overhead_s,
+    sum_breakdowns,
+)
+from repro.perfmodel.roofline import chain_capacity, chain_time_s
+
+
+def profile(**overrides):
+    base = dict(name="k", flops=0.0, int_ops=0.0, bytes_read=0.0,
+                bytes_written=0.0, working_set_bytes=1024.0, work_items=1 << 16)
+    base.update(overrides)
+    return KernelProfile(**base)
+
+
+class TestOccupancy:
+    def test_saturated_is_full(self, gtx1080):
+        assert compute_utilization(gtx1080, 10**7) == 1.0
+
+    def test_starved_gpu_low_utilization(self, gtx1080):
+        assert compute_utilization(gtx1080, 32) < 0.05
+
+    def test_cpu_saturates_earlier_than_gpu(self, skylake, gtx1080):
+        items = 512
+        assert (compute_utilization(skylake, items)
+                > compute_utilization(gtx1080, items))
+
+    def test_bandwidth_saturates_before_compute(self, gtx1080):
+        items = gtx1080.compute.saturation_items // 4
+        assert bandwidth_utilization(gtx1080, items) == 1.0
+        assert compute_utilization(gtx1080, items) < 1.0
+
+    def test_zero_items_floor(self, gtx1080):
+        assert compute_utilization(gtx1080, 0) > 0
+
+    def test_divergence_factor_bounds(self, skylake, gtx1080):
+        assert divergence_factor(skylake, 0.0) == 1.0
+        assert divergence_factor(skylake, 1.0) == skylake.compute.divergence_penalty
+        assert divergence_factor(gtx1080, 0.5) > divergence_factor(skylake, 0.5)
+
+
+class TestKernelTime:
+    def test_compute_bound_detection(self, gtx1080):
+        p = profile(flops=1e10, bytes_read=1e3)
+        assert kernel_time(gtx1080, p).bound == "compute"
+
+    def test_memory_bound_detection(self, gtx1080):
+        p = profile(flops=1e3, bytes_read=1e9, working_set_bytes=1e9)
+        assert kernel_time(gtx1080, p).bound == "memory"
+
+    def test_overlap_takes_max(self, gtx1080):
+        p = profile(flops=1e9, bytes_read=1e8, working_set_bytes=1e8)
+        tb = kernel_time(gtx1080, p)
+        assert tb.body_s == pytest.approx(max(tb.compute_s, tb.memory_s))
+
+    def test_launch_overhead_floor(self, gtx1080):
+        """Even an empty kernel costs the launch overhead."""
+        p = profile()
+        tb = kernel_time(gtx1080, p)
+        assert tb.total_s >= gtx1080.runtime.kernel_launch_us * 1e-6
+
+    def test_launches_scale_total(self, gtx1080):
+        p = profile(flops=1e8)
+        one = kernel_time(gtx1080, p)
+        ten = kernel_time(gtx1080, p.scaled(10))
+        assert ten.total_s == pytest.approx(10 * one.total_s)
+
+    def test_gpu_beats_cpu_on_wide_fp(self, skylake, gtx1080):
+        p = profile(flops=1e10, bytes_read=1e6, work_items=1 << 22)
+        assert kernel_time(gtx1080, p).total_s < kernel_time(skylake, p).total_s
+
+    def test_cpu_beats_gpu_on_serial_chain(self, skylake, gtx1080):
+        """The crc shape: dependent chains favour high-clock OoO CPUs."""
+        p = profile(chain_ops=1e6, work_items=1)
+        assert kernel_time(skylake, p).total_s < kernel_time(gtx1080, p).total_s
+
+    def test_utilization_in_unit_range(self, gtx1080):
+        p = profile(flops=1e9, bytes_read=1e7)
+        assert 0.0 < kernel_time(gtx1080, p).utilization <= 1.0
+
+    def test_cache_resident_faster_than_spilled(self, skylake):
+        resident = profile(bytes_read=1e6, working_set_bytes=16 * 1024)
+        spilled = profile(bytes_read=1e6, working_set_bytes=64 << 20)
+        assert (kernel_time(skylake, resident).memory_s
+                < kernel_time(skylake, spilled).memory_s)
+
+
+class TestChains:
+    def test_capacity_cpu_is_thread_count(self, skylake):
+        assert chain_capacity(skylake) == 8  # hyperthreads
+
+    def test_capacity_gpu_is_lanes(self, gtx1080):
+        assert chain_capacity(gtx1080) == 2560
+
+    def test_chain_rounds(self, skylake):
+        p1 = profile(chain_ops=1000, work_items=8)
+        p2 = profile(chain_ops=1000, work_items=9)  # 9 chains on 8 threads
+        assert chain_time_s(skylake, p2) == pytest.approx(
+            2 * chain_time_s(skylake, p1))
+
+    def test_zero_chain_ops(self, skylake):
+        assert chain_time_s(skylake, profile()) == 0.0
+
+    def test_knl_chain_slowest(self, skylake, gtx1080, knl):
+        p = profile(chain_ops=1e6, work_items=1)
+        times = {s.name: chain_time_s(s, p) for s in (skylake, gtx1080, knl)}
+        assert times["Xeon Phi 7210"] > times["GTX 1080"] > times["i7-6700K"]
+
+
+class TestLaunchOverhead:
+    def test_dispatch_scales_with_groups(self, skylake):
+        assert (launch_overhead_s(skylake, 1000)
+                > launch_overhead_s(skylake, 1))
+
+    def test_amd_buffer_validation_term(self):
+        amd = get_device("R9 290X")
+        small = launch_overhead_s(amd, 1, buffer_bytes=1 << 10)
+        big = launch_overhead_s(amd, 1, buffer_bytes=128 << 20)
+        assert big > small * 1.2
+
+    def test_nvidia_no_buffer_term(self, gtx1080):
+        small = launch_overhead_s(gtx1080, 1, buffer_bytes=1 << 10)
+        big = launch_overhead_s(gtx1080, 1, buffer_bytes=128 << 20)
+        assert big == pytest.approx(small)
+
+
+class TestAggregation:
+    def test_iteration_time_sums_bodies(self, gtx1080):
+        compute = profile(flops=1e9)
+        memory = profile(bytes_read=1e8, working_set_bytes=1e8)
+        combined = iteration_time(gtx1080, [compute, memory])
+        separate = (kernel_time(gtx1080, compute).total_s
+                    + kernel_time(gtx1080, memory).total_s)
+        assert combined.total_s == pytest.approx(separate)
+
+    def test_sum_breakdowns_body_not_remaxed(self, gtx1080):
+        """Aggregating a compute-bound and a memory-bound kernel must not
+        hide the smaller term under a max of sums."""
+        a = kernel_time(gtx1080, profile(flops=1e9))
+        b = kernel_time(gtx1080, profile(bytes_read=1e8, working_set_bytes=1e8))
+        agg = sum_breakdowns([a, b])
+        assert agg.body_s == pytest.approx(a.body_s + b.body_s)
+        assert agg.body_s > max(agg.compute_s, agg.memory_s)

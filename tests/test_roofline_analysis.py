@@ -1,0 +1,115 @@
+"""Roofline analysis: ceilings, kernel points, HTML rendering."""
+
+import math
+import re
+
+import pytest
+
+from repro.devices import get_device
+from repro.dwarfs import create
+from repro.perfmodel import (
+    KernelProfile,
+    device_ceilings,
+    kernel_point,
+    render_roofline_html,
+    ridge_point,
+    save_roofline_html,
+    suite_points,
+)
+
+
+class TestCeilings:
+    def test_roof_and_diagonals(self, skylake):
+        ceilings = device_ceilings(skylake)
+        names = [c.name for c in ceilings]
+        assert names == ["compute", "L1", "L2", "L3", "DRAM"]
+        roof = ceilings[0]
+        assert roof.bandwidth_gbs is None
+        assert roof.gflops == pytest.approx(
+            skylake.compute.fp32_gflops * skylake.compute.efficiency)
+
+    def test_diagonal_value(self, skylake):
+        dram = device_ceilings(skylake)[-1]
+        assert dram.value_at(0.1) == pytest.approx(
+            skylake.memory.bandwidth_gbs * 0.1)
+        # clipped by the roof at high intensity
+        assert dram.value_at(1e6) == dram.gflops
+
+    def test_ridge_point(self, skylake, gtx1080):
+        """GPUs need higher intensity to leave the bandwidth regime."""
+        assert ridge_point(gtx1080) > ridge_point(skylake) * 0.5
+        assert ridge_point(skylake) == pytest.approx(
+            skylake.compute.fp32_gflops * skylake.compute.efficiency
+            / skylake.memory.bandwidth_gbs)
+
+
+class TestKernelPoints:
+    def test_achieved_below_attainable(self, skylake):
+        for p in suite_points(skylake, "large"):
+            assert p.achieved_gflops <= p.attainable_gflops * 1.05, p.label
+            assert 0 <= p.efficiency <= 1.05
+
+    def test_gem_is_compute_bound(self, gtx1080):
+        points = {p.label: p for p in suite_points(gtx1080, "large")}
+        assert points["gem"].arithmetic_intensity > ridge_point(gtx1080)
+
+    def test_csr_is_memory_bound(self, gtx1080):
+        points = {p.label: p for p in suite_points(gtx1080, "large")}
+        assert points["csr"].arithmetic_intensity < ridge_point(gtx1080)
+
+    def test_integer_kernels_excluded(self, skylake):
+        labels = {p.label for p in suite_points(skylake, "large")}
+        assert "crc" not in labels
+        assert "nw" not in labels
+        assert "nqueens" not in labels
+
+    def test_kernel_point_direct(self, skylake):
+        bench = create("srad", "medium")
+        p = kernel_point(skylake, "srad", bench.profiles())
+        flops = sum(pr.flops * pr.launches for pr in bench.profiles())
+        total_bytes = sum(pr.bytes_total * pr.launches for pr in bench.profiles())
+        assert p.arithmetic_intensity == pytest.approx(flops / total_bytes)
+
+    def test_zero_byte_profile_infinite_intensity(self, skylake):
+        p = kernel_point(skylake, "pure", [KernelProfile(
+            "pure", flops=1e9, int_ops=0, bytes_read=0, bytes_written=0,
+            working_set_bytes=64, work_items=1 << 16)])
+        assert math.isinf(p.arithmetic_intensity)
+        assert p.attainable_gflops == pytest.approx(
+            skylake.compute.fp32_gflops * skylake.compute.efficiency)
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def html_text(self):
+        spec = get_device("GTX 1080")
+        return render_roofline_html(spec, suite_points(spec, "large"))
+
+    def test_document_structure(self, html_text):
+        assert html_text.startswith("<!doctype html>")
+        assert "Roofline — GTX 1080" in html_text
+        assert "<table>" in html_text               # relief/table view
+        assert "prefers-color-scheme: dark" in html_text
+
+    def test_ceiling_polylines_labeled(self, html_text):
+        assert html_text.count('class="ceiling"') >= 3
+        for name in ("L1", "L2", "DRAM"):
+            assert f">{name}</text>" in html_text
+
+    def test_points_direct_labeled_with_tooltips(self, html_text):
+        assert html_text.count('class="point"') >= 6
+        assert "attainable" in html_text
+        for label in ("gem", "srad", "fft"):
+            assert f">{label}</text>" in html_text
+
+    def test_geometry_in_viewbox(self, html_text):
+        view = re.search(r'viewBox="0 0 ([0-9.]+) ([0-9.]+)"', html_text)
+        vw, vh = float(view.group(1)), float(view.group(2))
+        for cx, cy in re.findall(r'cx="([-0-9.]+)" cy="([-0-9.]+)"', html_text):
+            assert 0 <= float(cx) <= vw
+            assert 0 <= float(cy) <= vh
+
+    def test_save(self, tmp_path, skylake):
+        path = save_roofline_html(skylake, suite_points(skylake, "medium"),
+                                  tmp_path / "roof.html")
+        assert path.exists()

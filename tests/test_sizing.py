@@ -1,0 +1,142 @@
+"""Problem-size methodology: footprints, solver, presets, verification."""
+
+import pytest
+
+from repro.devices import get_device
+from repro.sizing import (
+    FIXED_SIZE_BENCHMARKS,
+    LARGE_FACTOR,
+    PAPER_TABLE2,
+    SCALE_GENERATORS,
+    classify_footprint,
+    footprint_for,
+    footprint_kib,
+    preset_fit_report,
+    solve_sizes,
+    transition_detected,
+    verify_benchmark_sizes,
+)
+from repro.dwarfs import BENCHMARKS
+
+
+class TestFootprints:
+    def test_footprint_for_matches_instance(self):
+        from repro.dwarfs.kmeans import KMeans
+        assert footprint_for("kmeans", 256) == KMeans(256).footprint_bytes()
+
+    def test_kib_conversion(self):
+        assert footprint_kib("fft", 2048) == 32.0
+
+    def test_generators_monotone(self):
+        for name, gen in SCALE_GENERATORS.items():
+            it = gen()
+            phis = [next(it) for _ in range(8)]
+            fps = [footprint_for(name, phi) for phi in phis]
+            assert fps == sorted(fps), name
+
+    def test_fixed_size_benchmarks_have_no_generator(self):
+        for name in FIXED_SIZE_BENCHMARKS:
+            assert name not in SCALE_GENERATORS
+
+
+class TestClassify:
+    def test_levels(self, skylake):
+        assert classify_footprint(skylake, 16 * 1024) == "tiny"
+        assert classify_footprint(skylake, 200 * 1024) == "small"
+        assert classify_footprint(skylake, 4 << 20) == "medium"
+        assert classify_footprint(skylake, 64 << 20) == "large"
+
+    def test_gpu_has_no_medium(self, gtx1080):
+        # two cache levels: tiny / small / large
+        assert classify_footprint(gtx1080, 8 << 20) == "large"
+
+
+class TestSolver:
+    def test_kmeans_on_skylake(self, skylake):
+        sel = solve_sizes("kmeans", skylake)
+        l1, l2, l3 = (c.size_bytes for c in skylake.caches)
+        assert sel.footprint("tiny") <= l1
+        assert sel.footprint("small") <= l2
+        assert sel.footprint("medium") <= l3
+        assert sel.footprint("large") >= LARGE_FACTOR * l3
+
+    def test_solved_sizes_near_paper_values(self, skylake):
+        """Our solver lands near Table 2 for the cache-fitted benchmarks
+        (the paper rounds to convenient values)."""
+        sel = solve_sizes("kmeans", skylake)
+        assert sel.phi("tiny") == pytest.approx(256, rel=0.25)
+        assert sel.phi("medium") == pytest.approx(65600, rel=0.25)
+
+    def test_retargetable_to_other_devices(self):
+        """Paper §6: sizes 'can now be easily adjusted for next
+        generation accelerator systems'."""
+        e5 = get_device("Xeon E5-2697 v2")  # 30 MiB L3
+        sky = solve_sizes("fft", get_device("i7-6700K"))
+        big = solve_sizes("fft", e5)
+        assert big.phi("medium") > sky.phi("medium")
+
+    def test_fft_sizes_are_pow2(self, skylake):
+        sel = solve_sizes("fft", skylake)
+        for size in ("tiny", "small", "medium", "large"):
+            phi = sel.phi(size)
+            assert phi & (phi - 1) == 0
+
+    def test_unknown_benchmark(self, skylake):
+        with pytest.raises(ValueError):
+            solve_sizes("gem", skylake)
+
+
+class TestPresets:
+    def test_presets_agree_with_benchmark_classes(self):
+        for name, sizes in PAPER_TABLE2.items():
+            assert BENCHMARKS[name].presets == sizes, name
+
+    def test_fit_report_cache_fitted_benchmarks(self):
+        """tiny/small/medium/large land in L1/L2/L3/memory on the
+        Skylake for the benchmarks the paper sized to its caches."""
+        report = preset_fit_report()
+        for name in ("kmeans", "lud", "fft", "dwt", "srad", "nw", "gem"):
+            per_size = report[name]
+            assert per_size["tiny"][1] == "tiny", name
+            assert per_size["small"][1] == "small", name
+            assert per_size["medium"][1] == "medium", name
+            assert per_size["large"][1] == "large", name
+
+    def test_fft_tiny_is_exactly_l1(self):
+        report = preset_fit_report()
+        assert report["fft"]["tiny"][0] == 32.0
+
+    def test_known_non_fitted_presets(self):
+        """crc and hmm Table 2 values do not track the cache hierarchy
+        (crc is compute-bound; hmm only validates at tiny) — recorded
+        here so a regression in *our* formulas is distinguishable from
+        the paper's own choices."""
+        report = preset_fit_report()
+        assert report["crc"]["small"][1] == "tiny"       # 17 KiB
+        assert report["crc"]["large"][1] == "medium"     # 4 MiB < L3
+        assert report["hmm"]["small"][1] == "medium"     # 6.6 MiB
+
+
+class TestVerification:
+    def test_kmeans_transitions(self):
+        v = verify_benchmark_sizes("kmeans", trace_len=60_000)
+        assert transition_detected(v, "PAPI_L1_DCM", "tiny", "small")
+        # with a 2-pass trace, half the medium-size L3 events are already
+        # cold misses, so the spill to memory shows as ~1.9x, not 2x
+        assert transition_detected(v, "PAPI_L3_TCM", "medium", "large",
+                                   factor=1.5)
+
+    def test_fft_l1_transition(self):
+        v = verify_benchmark_sizes("fft", sizes=("tiny", "small"),
+                                   trace_len=50_000)
+        assert transition_detected(v, "PAPI_L1_DCM", "tiny", "small")
+
+    def test_summary_rows_structure(self):
+        v = verify_benchmark_sizes("nw", sizes=("tiny",), trace_len=20_000)
+        rows = v.summary_rows()
+        assert rows[0]["size"] == "tiny"
+        assert "L1 miss %" in rows[0]
+
+    def test_miss_percent_accessor(self):
+        v = verify_benchmark_sizes("crc", sizes=("tiny",), trace_len=20_000)
+        assert v.miss_percent("tiny", "PAPI_L1_DCM") >= 0

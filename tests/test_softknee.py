@@ -1,0 +1,65 @@
+"""Last-level-cache soft knee: the mechanism behind the i5-3550 shape."""
+
+import pytest
+
+from repro.devices import get_device
+from repro.devices.specs import DeviceSpec
+
+
+class TestSoftKnee:
+    def test_sharp_below_start(self, skylake):
+        """Working sets under 75% of L3 get full L3 bandwidth."""
+        capacity = skylake.caches[-1].size_bytes
+        ws = int(0.70 * capacity)
+        assert (skylake.effective_bandwidth_gbs(ws)
+                == skylake.caches[-1].bandwidth_gbs)
+
+    def test_blends_toward_memory_in_band(self, skylake):
+        capacity = skylake.caches[-1].size_bytes
+        l3 = skylake.caches[-1].bandwidth_gbs
+        mem = skylake.memory.bandwidth_gbs
+        mid = skylake.effective_bandwidth_gbs(int(0.9 * capacity))
+        assert mem < mid < l3
+
+    def test_monotone_through_band(self, skylake):
+        capacity = skylake.caches[-1].size_bytes
+        fractions = [0.6, 0.75, 0.8, 0.9, 1.0, 1.05]
+        bws = [skylake.effective_bandwidth_gbs(int(f * capacity))
+               for f in fractions]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_full_miss_at_band_end(self, skylake):
+        """At 110% of capacity the set has spilled (classified to
+        memory by level selection anyway)."""
+        capacity = skylake.caches[-1].size_bytes
+        over = skylake.effective_bandwidth_gbs(int(1.2 * capacity))
+        assert over == skylake.memory.bandwidth_gbs
+
+    def test_inner_levels_stay_sharp(self, skylake):
+        """L1/L2 keep sharp knees: a 90%-of-L1 working set streams at
+        full L1 bandwidth."""
+        l1 = skylake.caches[0]
+        assert (skylake.effective_bandwidth_gbs(int(0.9 * l1.size_bytes))
+                == l1.bandwidth_gbs)
+
+    def test_i5_penalised_where_i7_is_not(self):
+        """A ~5 MB working set: >75% of the i5's 6 MiB L3 (blended down)
+        but <75% of the i7's 8 MiB L3 (full speed) — the Fig. 2b/2d/2e
+        mechanism."""
+        i5 = get_device("i5-3550")
+        i7 = get_device("i7-6700K")
+        ws = 5 * 1024 * 1024
+        i5_ratio = i5.effective_bandwidth_gbs(ws) / i5.caches[-1].bandwidth_gbs
+        i7_ratio = i7.effective_bandwidth_gbs(ws) / i7.caches[-1].bandwidth_gbs
+        assert i7_ratio == 1.0
+        assert i5_ratio < 0.8
+
+    def test_gpu_l2_also_soft(self, gtx1080):
+        """The knee applies to whatever the last level is (GPU L2)."""
+        capacity = gtx1080.caches[-1].size_bytes
+        in_band = gtx1080.effective_bandwidth_gbs(int(0.9 * capacity))
+        assert in_band < gtx1080.caches[-1].bandwidth_gbs
+
+    def test_knee_constants_sane(self):
+        assert 0.5 < DeviceSpec.LLC_SOFT_KNEE_START < 1.0
+        assert DeviceSpec.LLC_SOFT_KNEE_END > 1.0

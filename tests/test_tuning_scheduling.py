@@ -1,0 +1,182 @@
+"""Auto-tuning and scheduling extension modules."""
+
+import pytest
+
+from repro.devices import get_device
+from repro.dwarfs import create
+from repro.perfmodel import KernelProfile
+from repro.scheduling import (
+    Objective,
+    Task,
+    predict,
+    predict_all,
+    schedule_lpt,
+    schedule_round_robin,
+    select_device,
+)
+from repro.tuning import (
+    alignment_efficiency,
+    autotune,
+    autotune_benchmark,
+    scheduling_width,
+    tuned_kernel_time,
+)
+
+
+def wide_profile(items=1 << 20):
+    return KernelProfile("k", flops=1e9, int_ops=1e8, bytes_read=1e8,
+                         bytes_written=1e7, working_set_bytes=1e8,
+                         work_items=items)
+
+
+class TestAlignment:
+    def test_scheduling_widths(self):
+        assert scheduling_width(get_device("GTX 1080")) == 32
+        assert scheduling_width(get_device("R9 290X")) == 64
+        assert scheduling_width(get_device("i7-6700K")) == 8
+
+    def test_aligned_is_full_efficiency(self, gtx1080):
+        assert alignment_efficiency(gtx1080, 32) == 1.0
+        assert alignment_efficiency(gtx1080, 256) == 1.0
+
+    def test_sub_warp_wastes_lanes(self, gtx1080):
+        assert alignment_efficiency(gtx1080, 1) == pytest.approx(1 / 32)
+        assert alignment_efficiency(gtx1080, 48) == pytest.approx(48 / 64)
+
+    def test_invalid_local(self, gtx1080):
+        with pytest.raises(ValueError):
+            alignment_efficiency(gtx1080, 0)
+
+
+class TestTunedKernelTime:
+    def test_misaligned_slower(self, gtx1080):
+        p = wide_profile()
+        aligned = tuned_kernel_time(gtx1080, p, 256).total_s
+        misaligned = tuned_kernel_time(gtx1080, p, 33).total_s
+        assert misaligned > aligned
+
+    def test_tiny_groups_pay_dispatch(self, gtx1080):
+        p = wide_profile()
+        small = tuned_kernel_time(gtx1080, p, 32).total_s
+        large = tuned_kernel_time(gtx1080, p, 512).total_s
+        assert small > large  # 16x more groups to dispatch
+
+    def test_oversized_local_rejected(self, gtx1080):
+        with pytest.raises(ValueError):
+            tuned_kernel_time(gtx1080, wide_profile(), 2048)
+
+
+class TestAutotune:
+    def test_best_is_sweep_minimum(self, gtx1080):
+        r = autotune(gtx1080, wide_profile())
+        assert r.best_time_s == min(r.sweep.values())
+        assert r.sweep[r.best_local_size] == r.best_time_s
+
+    def test_gpu_prefers_warp_multiples(self, gtx1080):
+        r = autotune(gtx1080, wide_profile())
+        assert r.best_local_size % scheduling_width(gtx1080) == 0
+
+    def test_speedup_vs_worst_meaningful(self, gtx1080):
+        r = autotune(gtx1080, wide_profile())
+        assert r.speedup_vs_worst > 2.0  # local=1 is terrible on a GPU
+
+    def test_single_item_kernel(self, gtx1080):
+        p = KernelProfile("serial", flops=0, int_ops=0, bytes_read=0,
+                          bytes_written=4, working_set_bytes=64,
+                          work_items=1, chain_ops=1e6)
+        r = autotune(gtx1080, p)
+        assert r.best_local_size == 1
+
+    def test_autotune_benchmark_all_kernels(self, gtx1080):
+        results = autotune_benchmark(gtx1080, create("srad", "medium"))
+        assert set(results) == {"srad1", "srad2"}
+        assert all(r.device == "GTX 1080" for r in results.values())
+
+    def test_rows_mark_best(self, gtx1080):
+        r = autotune(gtx1080, wide_profile())
+        rows = r.rows()
+        marked = [row for row in rows if row["best"]]
+        assert len(marked) == 1
+        assert marked[0]["local size"] == r.best_local_size
+
+
+class TestSelector:
+    def test_predict_fields(self):
+        p = predict(create("fft", "medium"), "GTX 1080")
+        assert p.device == "GTX 1080"
+        assert p.time_s > 0 and p.energy_j > 0
+        assert p.edp == pytest.approx(p.time_s * p.energy_j)
+
+    def test_predict_all_default_catalog(self):
+        assert len(predict_all(create("crc", "tiny"))) == 15
+
+    def test_crc_selects_cpu(self):
+        sel = select_device(create("crc", "large"), objective="time")
+        assert sel.chosen.device_class == "CPU"
+
+    def test_srad_selects_gpu(self):
+        sel = select_device(create("srad", "large"), objective="time")
+        assert "GPU" in sel.chosen.device_class
+
+    def test_energy_objective_differs_from_time(self):
+        bench = create("srad", "large")
+        by_time = select_device(bench, objective=Objective.TIME)
+        by_energy = select_device(bench, objective=Objective.ENERGY)
+        assert by_energy.chosen.energy_j <= by_time.chosen.energy_j
+
+    def test_budget_filters(self):
+        bench = create("srad", "large")
+        unconstrained = select_device(bench)
+        tight = select_device(bench, time_budget_s=1e-12)
+        assert unconstrained.satisfiable
+        assert not tight.satisfiable
+        assert len(tight.rejected) == 15
+
+    def test_feasible_sorted_by_objective(self):
+        sel = select_device(create("fft", "large"), objective="edp")
+        values = [p.edp for p in sel.feasible]
+        assert values == sorted(values)
+
+
+class TestScheduler:
+    @pytest.fixture(scope="class")
+    def tasks(self):
+        return [
+            Task("crc-large", create("crc", "large")),
+            Task("srad-large", create("srad", "large")),
+            Task("fft-large", create("fft", "large")),
+            Task("nw-large", create("nw", "large")),
+        ]
+
+    DEVICES = ["i7-6700K", "GTX 1080", "R9 290X"]
+
+    def test_lpt_places_all_tasks(self, tasks):
+        a = schedule_lpt(tasks, self.DEVICES)
+        placed = [label for d in a.placements.values() for label, _ in d]
+        assert sorted(placed) == sorted(t.label for t in tasks)
+
+    def test_lpt_beats_round_robin(self, tasks):
+        lpt = schedule_lpt(tasks, self.DEVICES)
+        rr = schedule_round_robin(tasks, self.DEVICES)
+        assert lpt.makespan <= rr.makespan
+
+    def test_lpt_puts_crc_on_cpu(self, tasks):
+        a = schedule_lpt(tasks, self.DEVICES)
+        crc_device = next(d for d, placed in a.placements.items()
+                          if any(label == "crc-large" for label, _ in placed))
+        assert crc_device == "i7-6700K"
+
+    def test_makespan_is_max_load(self, tasks):
+        a = schedule_lpt(tasks, self.DEVICES)
+        assert a.makespan == pytest.approx(
+            max(a.load(d) for d in a.placements))
+
+    def test_empty_device_pool(self, tasks):
+        with pytest.raises(ValueError):
+            schedule_lpt(tasks, [])
+        with pytest.raises(ValueError):
+            schedule_round_robin(tasks, [])
+
+    def test_rows_render(self, tasks):
+        rows = schedule_lpt(tasks, self.DEVICES).rows()
+        assert all({"device", "tasks", "busy (ms)"} <= set(r) for r in rows)
