@@ -36,6 +36,7 @@ from . import (
     scheduling,
     scibench,
     sizing,
+    telemetry,
     tuning,
 )
 
@@ -53,5 +54,6 @@ __all__ = [
     "scheduling",
     "scibench",
     "sizing",
+    "telemetry",
     "tuning",
 ]

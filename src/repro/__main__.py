@@ -1,0 +1,8 @@
+"""``python -m repro`` — the harness CLI without console-script install."""
+
+import sys
+
+from .harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,10 @@ benchmark's Table 3 string, e.g.::
 
     opendwarfs run kmeans -p 0 -d 1 -t 0 -- -g -f 26 -p 65600
     opendwarfs run fft --device "GTX 1080" --size medium
+    opendwarfs run kmeans --size tiny --trace t.json --metrics m.prom
     opendwarfs table 2
     opendwarfs figure 3a
+    opendwarfs trace lsb.kmeans.r0 -o kmeans.trace.json
     opendwarfs verify-sizes kmeans
     opendwarfs list-devices
 """
@@ -16,7 +18,9 @@ benchmark's Table 3 string, e.g.::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+from pathlib import Path
 
 from ..devices.catalog import CATALOG, get_device
 from ..dwarfs.base import SIZES
@@ -26,6 +30,56 @@ from ..scibench.stats import summarize
 from . import figures as figmod
 from .report import render_table, table1_text, table2_text, table3_text
 from .runner import RunConfig, run_benchmark
+
+
+@contextlib.contextmanager
+def _observability(args):
+    """Wire ``--trace`` / ``--metrics`` / ``--log-jsonl`` around a command.
+
+    ``--trace`` subscribes a Chrome-trace exporter to the global event
+    bus and installs an enabled tracer so harness spans land in the
+    same file; ``--log-jsonl`` installs a process-default run log; both
+    are torn down (and their files written) on the way out.
+    ``--metrics`` snapshots the global registry afterwards.
+    """
+    from ..telemetry import (
+        ChromeTraceExporter,
+        GLOBAL_EVENT_BUS,
+        RunLog,
+        Tracer,
+        default_registry,
+        set_default_runlog,
+        set_tracer,
+    )
+
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    log_path = getattr(args, "log_jsonl", None)
+    exporter = tracer = runlog = prev_tracer = None
+    if trace_path:
+        exporter = ChromeTraceExporter()
+        GLOBAL_EVENT_BUS.subscribe(exporter.on_event)
+        tracer = Tracer(enabled=True)
+        prev_tracer = set_tracer(tracer)
+    if log_path:
+        runlog = RunLog(log_path)
+        set_default_runlog(runlog)
+    try:
+        yield
+    finally:
+        if runlog is not None:
+            set_default_runlog(None)
+            runlog.close()
+            print(f"wrote {log_path} ({runlog.records_written} records)")
+        if exporter is not None:
+            GLOBAL_EVENT_BUS.unsubscribe(exporter.on_event)
+            set_tracer(prev_tracer)
+            exporter.add_tracer(tracer)
+            exporter.write(trace_path)
+            print(f"wrote {trace_path} ({exporter.slice_count} slices)")
+        if metrics_path:
+            Path(metrics_path).write_text(default_registry().expose())
+            print(f"wrote {metrics_path}")
 
 
 def _split_device_args(argv: list[str]) -> tuple[list[str], list[str]]:
@@ -75,26 +129,27 @@ def cmd_run(args) -> int:
             device_name = select_device(p, d, t).name
 
     cls = get_benchmark(args.benchmark)
-    if bench_argv:
-        bench = cls.from_args(bench_argv)
-        # derive a label for reporting; reuse the closest preset if any
-        size = next(
-            (s for s in cls.available_sizes()
-             if cls.presets[s] == getattr(bench, "n", None)),
-            "custom",
+    with _observability(args):
+        if bench_argv:
+            bench = cls.from_args(bench_argv)
+            # derive a label for reporting; reuse the closest preset if any
+            size = next(
+                (s for s in cls.available_sizes()
+                 if cls.presets[s] == getattr(bench, "n", None)),
+                "custom",
+            )
+            if size == "custom":
+                result = _run_custom(bench, device_name, args)
+                _print_result(result)
+                return 0
+        else:
+            size = args.size or cls.available_sizes()[0]
+        config = RunConfig(
+            benchmark=args.benchmark, size=size, device=device_name,
+            samples=args.samples, execute=not args.no_execute,
+            validate=not args.no_execute,
         )
-        if size == "custom":
-            result = _run_custom(bench, device_name, args)
-            _print_result(result)
-            return 0
-    else:
-        size = args.size or cls.available_sizes()[0]
-    config = RunConfig(
-        benchmark=args.benchmark, size=size, device=device_name,
-        samples=args.samples, execute=not args.no_execute,
-        validate=not args.no_execute,
-    )
-    _print_result(run_benchmark(config))
+        _print_result(run_benchmark(config))
     return 0
 
 
@@ -156,21 +211,23 @@ def cmd_table(args) -> int:
 def cmd_figure(args) -> int:
     fid = args.figure_id.lower()
     samples = args.samples
-    if fid in ("1", "fig1"):
-        fig = figmod.figure1_crc(samples=samples)
-    elif fid in ("2a", "2b", "2c", "2d", "2e"):
-        bench = {"2a": "kmeans", "2b": "lud", "2c": "csr", "2d": "dwt",
-                 "2e": "fft"}[fid]
-        fig = figmod.figure2(bench, samples=samples)
-    elif fid in ("3a", "3b"):
-        fig = figmod.figure3({"3a": "srad", "3b": "nw"}[fid], samples=samples)
-    elif fid in ("4", "fig4"):
-        fig = figmod.figure4(samples=samples)
-    elif fid in ("5", "fig5"):
-        fig = figmod.figure5(samples=samples)
-    else:
-        print(f"unknown figure {args.figure_id!r}", file=sys.stderr)
-        return 2
+    with _observability(args):
+        if fid in ("1", "fig1"):
+            fig = figmod.figure1_crc(samples=samples)
+        elif fid in ("2a", "2b", "2c", "2d", "2e"):
+            bench = {"2a": "kmeans", "2b": "lud", "2c": "csr", "2d": "dwt",
+                     "2e": "fft"}[fid]
+            fig = figmod.figure2(bench, samples=samples)
+        elif fid in ("3a", "3b"):
+            fig = figmod.figure3({"3a": "srad", "3b": "nw"}[fid],
+                                 samples=samples)
+        elif fid in ("4", "fig4"):
+            fig = figmod.figure4(samples=samples)
+        elif fid in ("5", "fig5"):
+            fig = figmod.figure5(samples=samples)
+        else:
+            print(f"unknown figure {args.figure_id!r}", file=sys.stderr)
+            return 2
     print(fig.render())
     if args.csv:
         print(fig.to_csv())
@@ -178,6 +235,23 @@ def cmd_figure(args) -> int:
         from .plots import save_figure_html
         path = save_figure_html(fig, args.html, log_scale=(fid in ("5", "fig5")))
         print(f"wrote {path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Replay a saved LSB recorder file into a Chrome/Perfetto trace."""
+    from ..scibench import lsb
+    from ..telemetry import trace_from_recorder
+    try:
+        recorder = lsb.load(args.lsb_file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.lsb_file!r}: {exc}", file=sys.stderr)
+        return 2
+    exporter = trace_from_recorder(recorder)
+    out = args.output or f"{args.lsb_file}.trace.json"
+    exporter.write(out)
+    print(f"wrote {out} ({exporter.slice_count} slices from "
+          f"{len(recorder)} measurements)")
     return 0
 
 
@@ -246,6 +320,16 @@ def cmd_verify_sizes(args) -> int:
     return 0
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome/Perfetto trace-event JSON of "
+                             "every enqueued command (open in ui.perfetto.dev)")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write harness metrics in Prometheus text format")
+    parser.add_argument("--log-jsonl", default=None, metavar="PATH",
+                        help="write a structured JSONL run log")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="opendwarfs",
@@ -263,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--samples", type=int, default=50)
     run.add_argument("--no-execute", action="store_true",
                      help="model-only timing (skip functional execution)")
+    _add_observability_flags(run)
     run.set_defaults(func=cmd_run, rest=[])
 
     table = sub.add_parser("table", help="print a paper table")
@@ -276,7 +361,15 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--csv", action="store_true")
     figure.add_argument("--html", default=None, metavar="PATH",
                         help="also render boxplots to an HTML file")
+    _add_observability_flags(figure)
     figure.set_defaults(func=cmd_figure)
+
+    trace = sub.add_parser(
+        "trace", help="convert a saved LSB recorder file to a Chrome trace")
+    trace.add_argument("lsb_file", help="LibSciBench .r file (see repro.scibench.lsb)")
+    trace.add_argument("-o", "--output", default=None, metavar="PATH",
+                       help="output path (default: <lsb_file>.trace.json)")
+    trace.set_defaults(func=cmd_trace)
 
     characterize = sub.add_parser(
         "characterize", help="AIWC metrics + suite diversity (paper §7)")

@@ -36,6 +36,9 @@ from ..perfmodel.roofline import TimeBreakdown
 from ..perfmodel.energy import mean_power_w
 from ..scibench.recorder import REGION_KERNEL, REGION_SETUP, REGION_TRANSFER, Recorder
 from ..scibench.stats import SampleSummary, summarize
+from ..telemetry.metrics import default_registry
+from ..telemetry.runlog import RunLog, get_default_runlog
+from ..telemetry.tracer import get_tracer
 
 #: Samples per measurement group (paper §4.3).
 DEFAULT_SAMPLES = 50
@@ -76,7 +79,9 @@ class RunResult:
     breakdown: TimeBreakdown
     footprint_bytes: int
     validated: bool
-    recorder: Recorder = field(repr=False, default=None)
+    #: Per-region measurement log; absent for results built outside
+    #: :func:`run_benchmark` (e.g. the CLI's custom-argument path).
+    recorder: Recorder | None = field(repr=False, default=None)
 
     @property
     def time_summary(self) -> SampleSummary:
@@ -113,8 +118,11 @@ def _energy_samples(
     return mean_power_w(spec, utilization) * times_s
 
 
-def run_benchmark(config: RunConfig) -> RunResult:
+def run_benchmark(config: RunConfig, runlog: RunLog | None = None) -> RunResult:
     """Measure one (benchmark, size, device) group."""
+    tracer = get_tracer()
+    registry = default_registry()
+    runlog = runlog if runlog is not None else get_default_runlog()
     spec = get_device(config.device)
     cls = get_benchmark(config.benchmark)
     bench = cls.from_size(config.size)
@@ -122,40 +130,73 @@ def run_benchmark(config: RunConfig) -> RunResult:
         config.seed + hash((config.benchmark, config.size, spec.name)) % (2**31)
     )
     recorder = Recorder(f"{config.benchmark}/{config.size}/{spec.name}")
+    if runlog is not None:
+        runlog.write("run_start", benchmark=config.benchmark, size=config.size,
+                     device=spec.name, samples=config.samples,
+                     execute=config.execute)
 
-    validated = False
-    if config.execute:
-        device = find_device(spec.name)
-        context = Context(device)
-        queue = CommandQueue(context, rng=rng)
-        try:
-            bench.host_setup(context)
-            for event in bench.transfer_inputs(queue):
-                recorder.record_event(REGION_TRANSFER, event)
-            for event in bench.run_iteration(queue):
-                recorder.record_event(REGION_KERNEL, event)
-            for event in bench.collect_results(queue):
-                recorder.record_event(REGION_TRANSFER, event)
-            if config.validate:
-                bench.validate()
-                validated = True
-        finally:
-            bench.teardown()
-    else:
-        # profiles() needs per-instance parameters only; host data is
-        # not generated
-        pass
+    with tracer.span("run_benchmark", benchmark=config.benchmark,
+                     size=config.size, device=spec.name):
+        validated = False
+        if config.execute:
+            device = find_device(spec.name)
+            context = Context(device)
+            queue = CommandQueue(context, rng=rng)
+            try:
+                with tracer.span("host_setup"):
+                    bench.host_setup(context)
+                with tracer.span("transfer_inputs"):
+                    for event in bench.transfer_inputs(queue):
+                        recorder.record_event(REGION_TRANSFER, event)
+                with tracer.span("run_iteration"):
+                    for event in bench.run_iteration(queue):
+                        recorder.record_event(REGION_KERNEL, event)
+                with tracer.span("collect_results"):
+                    for event in bench.collect_results(queue):
+                        recorder.record_event(REGION_TRANSFER, event)
+                if config.validate:
+                    with tracer.span("validate"):
+                        try:
+                            bench.validate()
+                        except Exception:
+                            registry.counter(
+                                "harness_validation_failures_total",
+                                "Benchmark validations that raised",
+                            ).inc(benchmark=config.benchmark)
+                            raise
+                        validated = True
+            finally:
+                bench.teardown()
+        else:
+            # profiles() needs per-instance parameters only; host data
+            # is not generated
+            pass
 
-    breakdown = iteration_time(spec, bench.profiles())
-    nominal = breakdown.total_s
-    loop_iterations = max(1, math.ceil(config.min_loop_seconds / max(nominal, 1e-9)))
-    times = noisy_samples(spec, nominal, config.samples, rng,
-                          loop_iterations=loop_iterations)
-    energies = _energy_samples(spec, times, breakdown.utilization, rng)
-    for t, e in zip(times, energies):
-        recorder.record(REGION_KERNEL, float(t), energy_j=float(e), sampled=True)
+        with tracer.span("sample_timings", samples=config.samples):
+            breakdown = iteration_time(spec, bench.profiles())
+            nominal = breakdown.total_s
+            loop_iterations = max(
+                1, math.ceil(config.min_loop_seconds / max(nominal, 1e-9)))
+            times = noisy_samples(spec, nominal, config.samples, rng,
+                                  loop_iterations=loop_iterations)
+            energies = _energy_samples(spec, times, breakdown.utilization, rng)
+            for t, e in zip(times, energies):
+                recorder.record(REGION_KERNEL, float(t), energy_j=float(e),
+                                sampled=True)
 
-    return RunResult(
+    registry.counter("harness_runs_total",
+                     "Measurement groups executed").inc(
+        benchmark=config.benchmark, device_class=spec.device_class.value)
+    registry.counter("harness_samples_total",
+                     "Timing samples collected").inc(config.samples)
+    registry.counter("harness_loop_iterations_total",
+                     "Benchmark loop iterations implied by the 2 s rule").inc(
+        loop_iterations * config.samples)
+    registry.histogram("harness_run_mean_seconds",
+                       "Mean modeled kernel time per group").observe(
+        float(times.mean()), benchmark=config.benchmark)
+
+    result = RunResult(
         benchmark=config.benchmark,
         size=config.size,
         device=spec.name,
@@ -169,6 +210,15 @@ def run_benchmark(config: RunConfig) -> RunResult:
         validated=validated,
         recorder=recorder,
     )
+    if runlog is not None:
+        runlog.write(
+            "run_complete", benchmark=result.benchmark, size=result.size,
+            device=result.device, device_class=result.device_class,
+            validated=result.validated, loop_iterations=result.loop_iterations,
+            mean_ms=result.mean_ms, mean_energy_j=result.mean_energy_j,
+            nominal_s=result.nominal_s, footprint_bytes=result.footprint_bytes,
+        )
+    return result
 
 
 def run_matrix(
@@ -178,6 +228,7 @@ def run_matrix(
     execute: bool = False,
     samples: int = DEFAULT_SAMPLES,
     seed: int = 12345,
+    runlog: RunLog | None = None,
 ) -> list[RunResult]:
     """Measure a benchmark across sizes x devices (model-only default)."""
     cls = get_benchmark(benchmark)
@@ -185,12 +236,21 @@ def run_matrix(
     if devices is None:
         from ..devices.catalog import device_names
         devices = list(device_names())
+    runlog = runlog if runlog is not None else get_default_runlog()
+    if runlog is not None:
+        runlog.write("matrix_start", benchmark=benchmark, sizes=sizes,
+                     devices=devices, execute=execute)
     results = []
-    for size in sizes:
-        for device in devices:
-            results.append(run_benchmark(RunConfig(
-                benchmark=benchmark, size=size, device=device,
-                samples=samples, execute=execute, validate=execute,
-                seed=seed,
-            )))
+    with get_tracer().span("run_matrix", benchmark=benchmark,
+                           groups=len(sizes) * len(devices)):
+        for size in sizes:
+            for device in devices:
+                results.append(run_benchmark(RunConfig(
+                    benchmark=benchmark, size=size, device=device,
+                    samples=samples, execute=execute, validate=execute,
+                    seed=seed,
+                ), runlog=runlog))
+    if runlog is not None:
+        runlog.write("matrix_complete", benchmark=benchmark,
+                     groups=len(results))
     return results

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry.hooks import EventBus
 from .device import Device
 from .errors import MemObjectAllocationFailure, OutOfResources
 from .memory import Buffer
@@ -22,6 +23,10 @@ class Context:
         self._allocations: dict[int, Buffer] = {}
         self._allocated_bytes = 0
         self._peak_allocated_bytes = 0
+        #: Completed-command hook bus: every queue created on this
+        #: context publishes its events here (after the queue's own
+        #: bus, before the process-global one).
+        self.event_bus = EventBus()
 
     # ------------------------------------------------------------------
     def create_buffer(

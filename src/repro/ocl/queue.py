@@ -15,6 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..perfmodel import kernel_energy, kernel_time, noisy_samples, transfer_time_s
+from ..telemetry.hooks import EventBus, GLOBAL_EVENT_BUS
+from ..telemetry.metrics import default_registry
 from .context import Context
 from .errors import InvalidContext, InvalidValue
 from .event import Event
@@ -62,6 +64,8 @@ class CommandQueue:
         #: End of the most recently executed command (in-order chaining).
         self._last_end_ns = 1_000
         self.events: list[Event] = []
+        #: Per-queue completed-command hooks (``clSetEventCallback``).
+        self.event_bus = EventBus()
 
     # ------------------------------------------------------------------
     @property
@@ -113,6 +117,24 @@ class CommandQueue:
             info=info,
         )
         self.events.append(event)
+
+        registry = default_registry()
+        registry.counter(
+            "ocl_commands_enqueued_total",
+            "Commands enqueued on simulated command queues",
+        ).inc(command=command_type.value, device=self.device.name)
+        moved = info.get("bytes")
+        if moved:
+            registry.counter(
+                "ocl_bytes_moved_total",
+                "Bytes moved by buffer read/write/copy/fill commands",
+            ).inc(moved, command=command_type.value, device=self.device.name)
+
+        # Completion hooks, cheapest-scope first.  Each publish returns
+        # immediately when its bus has no subscribers.
+        self.event_bus.publish(self, event)
+        self.context.event_bus.publish(self, event)
+        GLOBAL_EVENT_BUS.publish(self, event)
         return event
 
     # ------------------------------------------------------------------

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from ..devices.catalog import get_device
 from ..dwarfs.base import Benchmark
 from ..perfmodel.roofline import iteration_time
+from ..telemetry.metrics import default_registry
+from ..telemetry.tracer import get_tracer
 
 
 @dataclass(frozen=True)
@@ -66,21 +68,34 @@ class Assignment:
         ]
 
 
+def _record_schedule(policy: str, assignment: Assignment,
+                     n_tasks: int) -> None:
+    registry = default_registry()
+    registry.counter("scheduler_tasks_assigned_total",
+                     "Tasks placed onto devices").inc(n_tasks, policy=policy)
+    registry.gauge("scheduler_makespan_seconds",
+                   "Makespan of the most recent schedule").set(
+        assignment.makespan, policy=policy)
+
+
 def schedule_lpt(tasks: list[Task], devices: list[str]) -> Assignment:
     """Heterogeneous LPT: biggest tasks first, earliest-finish device."""
     if not devices:
         raise ValueError("no devices to schedule onto")
-    # Precompute the per-device time matrix once.
-    matrix = {t.label: {d: t.time_on(d) for d in devices} for t in tasks}
-    order = sorted(tasks, key=lambda t: min(matrix[t.label].values()),
-                   reverse=True)
-    assignment = Assignment()
-    for task in order:
-        best = min(
-            devices,
-            key=lambda d: assignment.load(d) + matrix[task.label][d],
-        )
-        assignment.add(best, task.label, matrix[task.label][best])
+    with get_tracer().span("schedule_lpt", tasks=len(tasks),
+                           devices=len(devices)):
+        # Precompute the per-device time matrix once.
+        matrix = {t.label: {d: t.time_on(d) for d in devices} for t in tasks}
+        order = sorted(tasks, key=lambda t: min(matrix[t.label].values()),
+                       reverse=True)
+        assignment = Assignment()
+        for task in order:
+            best = min(
+                devices,
+                key=lambda d: assignment.load(d) + matrix[task.label][d],
+            )
+            assignment.add(best, task.label, matrix[task.label][best])
+    _record_schedule("lpt", assignment, len(tasks))
     return assignment
 
 
@@ -88,8 +103,11 @@ def schedule_round_robin(tasks: list[Task], devices: list[str]) -> Assignment:
     """Affinity-blind baseline: deal tasks to devices cyclically."""
     if not devices:
         raise ValueError("no devices to schedule onto")
-    assignment = Assignment()
-    for i, task in enumerate(tasks):
-        device = devices[i % len(devices)]
-        assignment.add(device, task.label, task.time_on(device))
+    with get_tracer().span("schedule_round_robin", tasks=len(tasks),
+                           devices=len(devices)):
+        assignment = Assignment()
+        for i, task in enumerate(tasks):
+            device = devices[i % len(devices)]
+            assignment.add(device, task.label, task.time_on(device))
+    _record_schedule("round_robin", assignment, len(tasks))
     return assignment

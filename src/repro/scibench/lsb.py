@@ -7,6 +7,11 @@ measured time in microseconds and the timer overhead.  The paper's
 statistical analysis and visualisation pipeline reads these files
 (§2, §6); this module writes and parses the same layout so our
 recorders interoperate with that tooling.
+
+One extension over stock LibSciBench: a trailing ``energy_j`` column
+(``-`` when a record has no energy sample) so RAPL/NVML measurements
+round-trip through save/load.  Four-column files written by real
+LibSciBench still parse.
 """
 
 from __future__ import annotations
@@ -31,11 +36,15 @@ def dumps(recorder: Recorder, system: str = "", rank: int = 0) -> str:
     if recorder.name:
         out.write(f"# Benchmark: {recorder.name}\n")
     out.write(f"# Timer overhead: {TIMER_OVERHEAD_NS} ns\n")
-    out.write(f"{'id':>8} {'region':>16} {'time_us':>18} {'overhead_ns':>12}\n")
+    out.write(
+        f"{'id':>8} {'region':>16} {'time_us':>18} {'overhead_ns':>12} "
+        f"{'energy_j':>14}\n"
+    )
     for i, m in enumerate(recorder._measurements):
+        energy = "-" if m.energy_j is None else f"{m.energy_j:.9g}"
         out.write(
             f"{i:>8} {m.region:>16} {m.time_s * 1e6:>18.6f} "
-            f"{TIMER_OVERHEAD_NS:>12}\n"
+            f"{TIMER_OVERHEAD_NS:>12} {energy:>14}\n"
         )
     return out.getvalue()
 
@@ -57,10 +66,15 @@ def loads(text: str) -> Recorder:
                 header_seen = True
                 continue
             raise ValueError(f"malformed LSB file: expected header, got {line!r}")
-        if len(parts) != 4:
+        if len(parts) == 4:  # pre-energy files (LibSciBench's own layout)
+            _, region, time_us, _ = parts
+            energy_j = None
+        elif len(parts) == 5:
+            _, region, time_us, _, energy = parts
+            energy_j = None if energy == "-" else float(energy)
+        else:
             raise ValueError(f"malformed LSB record: {line!r}")
-        _, region, time_us, _ = parts
-        recorder.record(region, float(time_us) * 1e-6)
+        recorder.record(region, float(time_us) * 1e-6, energy_j=energy_j)
     return recorder
 
 

@@ -51,12 +51,23 @@ class Recorder:
         )
 
     def record_event(self, region: str, event) -> None:
-        """Record an OpenCL event's device time (and energy if present)."""
+        """Record an OpenCL event's device time (and energy if present).
+
+        Besides the command type, the kernel name and bytes moved are
+        propagated from ``event.info`` into the measurement tags so
+        per-kernel/per-transfer breakdowns survive into the CSV and
+        LSB outputs instead of collapsing into one anonymous region.
+        """
+        tags = {"command": event.command_type.value}
+        if "kernel" in event.info:
+            tags["kernel"] = event.info["kernel"]
+        if "bytes" in event.info:
+            tags["bytes"] = event.info["bytes"]
         self.record(
             region,
             event.duration_s,
             energy_j=event.info.get("energy_j"),
-            command=event.command_type.value,
+            **tags,
         )
 
     # ------------------------------------------------------------------
@@ -101,12 +112,17 @@ class Recorder:
 
     # ------------------------------------------------------------------
     def to_csv(self) -> str:
-        """All samples as CSV text (region, time_s, energy_j)."""
+        """All samples as CSV text (region, time_s, energy_j, tags).
+
+        Tags are rendered ``key=value`` joined with ``;`` so the column
+        stays a single CSV field without quoting.
+        """
         out = io.StringIO()
-        out.write("region,time_s,energy_j\n")
+        out.write("region,time_s,energy_j,tags\n")
         for m in self._measurements:
             energy = "" if m.energy_j is None else f"{m.energy_j:.9g}"
-            out.write(f"{m.region},{m.time_s:.9g},{energy}\n")
+            tags = ";".join(f"{k}={v}" for k, v in sorted(m.tags.items()))
+            out.write(f"{m.region},{m.time_s:.9g},{energy},{tags}\n")
         return out.getvalue()
 
     def clear(self) -> None:

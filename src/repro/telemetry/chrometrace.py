@@ -1,0 +1,261 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Maps the simulated-OpenCL world onto the Trace Event Format that
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* each **device** becomes a process (``pid``) named after it,
+* each **command queue** becomes a thread (``tid``) of its device,
+* every completed command is a duration slice (``ph: "X"``) spanning
+  START to END on the device clock,
+* the QUEUED to START interval of each command is an async slice
+  (``ph: "b"``/``"e"``, category ``queue_delay``) — the runtime
+  overhead the paper isolates in its per-region breakdowns,
+* kernel energy (J) and modeled occupancy are emitted as counter
+  tracks (``ph: "C"``),
+* harness :class:`~repro.telemetry.tracer.Span` records become async
+  slices on a synthetic "harness" process (the host wall clock is a
+  different time base from the device clock, so spans get their own
+  process rather than pretending to share a timeline).
+
+Timestamps are microseconds, as the format requires; the device clock's
+nanoseconds are divided down and never truncated to zero-length slices
+(Perfetto drops zero-duration X events from some views).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from .hooks import GLOBAL_EVENT_BUS, EventBus
+from .tracer import Span, Tracer
+
+#: Command categories for slice colouring/filtering in the viewer.
+_CATEGORY = {
+    "ndrange_kernel": "kernel",
+    "task": "kernel",
+    "read_buffer": "transfer",
+    "write_buffer": "transfer",
+    "copy_buffer": "transfer",
+    "fill_buffer": "transfer",
+    "marker": "sync",
+    "barrier": "sync",
+}
+
+#: pid reserved for harness tracer spans.
+HARNESS_PID_NAME = "harness (host clock)"
+
+
+def _ns_to_us(ns: int) -> float:
+    return ns / 1e3
+
+
+class ChromeTraceExporter:
+    """Accumulates trace events; subscribe it to an :class:`EventBus`.
+
+    Usage::
+
+        exporter = ChromeTraceExporter()
+        with exporter.attached():          # global bus by default
+            run_benchmark(config)
+        exporter.write("run.trace.json")
+    """
+
+    def __init__(self, include_counters: bool = True):
+        self.include_counters = include_counters
+        self.trace_events: list[dict] = []
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[int, int], int] = {}
+        self._queue_serial: dict[int, int] = {}
+        self._async_id = 0
+
+    # ------------------------------------------------------------------
+    def _pid(self, name: str) -> int:
+        pid = self._pids.get(name)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[name] = pid
+            self.trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "ts": 0,
+                "args": {"name": name},
+            })
+        return pid
+
+    def _tid(self, pid: int, queue) -> int:
+        key = (pid, id(queue))
+        tid = self._tids.get(key)
+        if tid is None:
+            serial = self._queue_serial.setdefault(id(queue),
+                                                   len(self._queue_serial))
+            tid = len(self._tids) + 1
+            self._tids[key] = tid
+            self.trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "ts": 0, "args": {"name": f"queue {serial}"},
+            })
+        return tid
+
+    # ------------------------------------------------------------------
+    def on_event(self, queue, event) -> None:
+        """Event-bus callback: record one completed command."""
+        pid = self._pid(queue.device.name)
+        tid = self._tid(pid, queue)
+        command = event.command_type.value
+        category = _CATEGORY.get(command, "command")
+        name = event.info.get("kernel", command)
+
+        start = event.start_ns
+        end = event.end_ns
+        if start is None or end is None:
+            return  # never completed; nothing to draw
+
+        if category == "sync":
+            # markers/barriers are instants, not slices
+            self.trace_events.append({
+                "name": name, "cat": category, "ph": "i",
+                "ts": _ns_to_us(start), "pid": pid, "tid": tid, "s": "t",
+            })
+        else:
+            args = {
+                k: event.info[k]
+                for k in ("bytes", "work_items", "work_groups", "energy_j")
+                if k in event.info
+            }
+            self.trace_events.append({
+                "name": name, "cat": category, "ph": "X",
+                "ts": _ns_to_us(start),
+                "dur": max(_ns_to_us(end - start), 0.001),
+                "pid": pid, "tid": tid, "args": args,
+            })
+
+        queued = event.queued_ns
+        if queued is not None and start > queued:
+            self._async_id += 1
+            common = {"name": name, "cat": "queue_delay", "pid": pid,
+                      "tid": tid, "id": self._async_id}
+            self.trace_events.append(
+                {**common, "ph": "b", "ts": _ns_to_us(queued)})
+            self.trace_events.append(
+                {**common, "ph": "e", "ts": _ns_to_us(start)})
+
+        if self.include_counters:
+            energy = event.info.get("energy_j")
+            if energy is not None:
+                self.trace_events.append({
+                    "name": "energy (J)", "ph": "C", "pid": pid,
+                    "ts": _ns_to_us(end), "args": {"J": float(energy)},
+                })
+            breakdown = event.info.get("breakdown")
+            utilization = getattr(breakdown, "utilization", None)
+            if utilization is not None:
+                self.trace_events.append({
+                    "name": "occupancy", "ph": "C", "pid": pid,
+                    "ts": _ns_to_us(start),
+                    "args": {"utilization": float(utilization)},
+                })
+
+    # ------------------------------------------------------------------
+    def add_span(self, span: Span, origin_ns: int = 0) -> None:
+        """Record one harness span as an async slice on the harness pid."""
+        if not span.ended:
+            return
+        pid = self._pid(HARNESS_PID_NAME)
+        self._async_id += 1
+        common = {
+            "name": span.name, "cat": "span", "pid": pid,
+            "tid": span.depth + 1, "id": self._async_id,
+        }
+        self.trace_events.append({
+            **common, "ph": "b", "ts": _ns_to_us(span.start_ns - origin_ns),
+            "args": dict(span.attributes),
+        })
+        self.trace_events.append({
+            **common, "ph": "e", "ts": _ns_to_us(span.end_ns - origin_ns)})
+
+    def add_tracer(self, tracer: Tracer) -> int:
+        """Export all finished spans, rebased so the first starts at 0."""
+        spans = [s for s in tracer.finished if s.ended]
+        if not spans:
+            return 0
+        origin = min(s.start_ns for s in spans)
+        for span in spans:
+            self.add_span(span, origin_ns=origin)
+        return len(spans)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def attached(self, bus: EventBus | None = None):
+        """Scoped subscription to ``bus`` (the global bus by default)."""
+        bus = bus if bus is not None else GLOBAL_EVENT_BUS
+        with bus.subscribed(self.on_event):
+            yield self
+
+    # ------------------------------------------------------------------
+    @property
+    def slice_count(self) -> int:
+        """Number of duration (``ph: "X"``) slices recorded."""
+        return sum(1 for e in self.trace_events if e["ph"] == "X")
+
+    def to_dict(self) -> dict:
+        # Metadata first, then everything else in timestamp order, so
+        # the file is monotone and viewers name tracks before slices.
+        ordered = sorted(
+            self.trace_events,
+            key=lambda e: (e["ph"] != "M", e.get("ts", 0)),
+        )
+        return {
+            "traceEvents": ordered,
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.telemetry.chrometrace"},
+        }
+
+    def dumps(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.dumps())
+        return path
+
+    def __len__(self) -> int:
+        return len(self.trace_events)
+
+
+# ----------------------------------------------------------------------
+def trace_from_recorder(recorder, name: str | None = None) -> ChromeTraceExporter:
+    """Replay a saved LSB :class:`~repro.scibench.recorder.Recorder`.
+
+    Recorder measurements carry durations but no absolute timestamps,
+    so the replay lays samples end-to-end on a single timeline: one
+    process named after the recorder, one thread per region, slices in
+    recorded order.  Energy-tagged samples also emit the energy counter
+    track.  This is what ``opendwarfs trace lsb.kmeans.r0`` shows.
+    """
+    exporter = ChromeTraceExporter()
+    pid = exporter._pid(name or recorder.name or "recorder replay")
+    tids: dict[str, int] = {}
+    cursor_us = 0.0
+    for m in recorder._measurements:
+        tid = tids.get(m.region)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[m.region] = tid
+            exporter.trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "ts": 0, "args": {"name": m.region},
+            })
+        dur_us = max(m.time_s * 1e6, 0.001)
+        slice_name = m.tags.get("kernel") or m.tags.get("command") or m.region
+        exporter.trace_events.append({
+            "name": slice_name, "cat": m.region, "ph": "X",
+            "ts": cursor_us, "dur": dur_us, "pid": pid, "tid": tid,
+            "args": {k: v for k, v in m.tags.items()},
+        })
+        if m.energy_j is not None:
+            exporter.trace_events.append({
+                "name": "energy (J)", "ph": "C", "pid": pid,
+                "ts": cursor_us + dur_us, "args": {"J": float(m.energy_j)},
+            })
+        cursor_us += dur_us
+    return exporter

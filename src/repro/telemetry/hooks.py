@@ -1,0 +1,89 @@
+"""Event-hook bus: the simulated analogue of ``clSetEventCallback``.
+
+Real OpenCL lets a host register a callback fired when an event reaches
+``CL_COMPLETE``; profiling tools build timelines out of those
+callbacks.  Here every :class:`~repro.ocl.queue.CommandQueue` publishes
+each completed :class:`~repro.ocl.event.Event` to three buses in turn:
+
+* the queue's own ``event_bus`` (per-queue subscribers),
+* the owning context's ``event_bus`` (per-context subscribers),
+* the process-global :data:`GLOBAL_EVENT_BUS` (whole-harness exporters
+  such as the Chrome-trace writer, which must see events from queues it
+  never got a handle to).
+
+Subscribers are plain callables ``fn(queue, event)``.  ``publish`` is a
+no-op returning immediately when a bus has no subscribers, so the
+instrumented hot path costs one truthiness check per bus per command.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable
+
+
+class EventBus:
+    """An ordered list of ``fn(queue, event)`` subscribers."""
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self):
+        self._subscribers: list[Callable] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def has_subscribers(self) -> bool:
+        return bool(self._subscribers)
+
+    def subscribe(self, callback: Callable) -> Callable:
+        """Register a callback; returns it, so this works as a decorator."""
+        if not callable(callback):
+            raise TypeError(f"subscriber must be callable, got {callback!r}")
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable) -> None:
+        """Remove a callback; unknown callbacks are ignored."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    @contextmanager
+    def subscribed(self, callback: Callable):
+        """Scoped subscription: ``with bus.subscribed(fn): ...``."""
+        self.subscribe(callback)
+        try:
+            yield callback
+        finally:
+            self.unsubscribe(callback)
+
+    # ------------------------------------------------------------------
+    def publish(self, queue, event) -> None:
+        """Deliver ``event`` to every subscriber, in subscription order.
+
+        Iterates over a snapshot so a callback may unsubscribe itself.
+        """
+        if not self._subscribers:
+            return
+        for callback in tuple(self._subscribers):
+            callback(queue, event)
+
+    def clear(self) -> None:
+        self._subscribers.clear()
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    def __repr__(self) -> str:
+        return f"<EventBus: {len(self._subscribers)} subscribers>"
+
+
+#: Process-global bus every queue publishes to (after its own and its
+#: context's).  Whole-run exporters subscribe here.
+GLOBAL_EVENT_BUS = EventBus()
+
+
+def on_event(callback: Callable) -> Callable:
+    """Decorator/registration helper for the global bus."""
+    return GLOBAL_EVENT_BUS.subscribe(callback)

@@ -1,0 +1,264 @@
+"""Metrics registry with Prometheus text-format exposition.
+
+Counters, gauges and histograms-with-quantiles, registered by name in a
+:class:`MetricsRegistry` and incremented from the simulated runtime
+(commands enqueued, bytes moved), the harness runner (runs, samples,
+loop iterations, validation failures) and the scheduler.  ``expose()``
+renders the whole registry in the Prometheus text exposition format
+(``# HELP`` / ``# TYPE`` comments followed by sample lines), so the
+output drops straight into ``promtool`` or a scrape endpoint.
+
+Instruments support optional labels supplied at observation time::
+
+    reg = default_registry()
+    reg.counter("ocl_commands_enqueued_total").inc(command="ndrange_kernel")
+    reg.histogram("harness_run_mean_seconds").observe(0.004, benchmark="fft")
+
+Histograms are exposed as Prometheus *summaries* (quantile label per
+series plus ``_sum``/``_count``), matching LibSciBench's habit of
+reporting medians and tail quantiles rather than fixed buckets.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import insort
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Quantiles exposed for every histogram family.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: dict) -> tuple:
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ValueError(f"invalid label name {k!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_labels(key: tuple, extra: tuple = ()) -> str:
+    pairs = [f'{k}="{_escape_label_value(v)}"' for k, v in (*key, *extra)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+class MetricFamily:
+    """Base: a named instrument holding one series per label set."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+
+    def _series(self):
+        """Yield ``(label_key, rendered sample lines)`` pairs."""
+        raise NotImplementedError
+
+    def expose(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help or self.name}",
+            f"# TYPE {self.name} {self.type_name}",
+        ]
+        for _, sample_lines in sorted(self._series()):
+            lines.extend(sample_lines)
+        return "\n".join(lines)
+
+
+class Counter(MetricFamily):
+    """Monotonically increasing count."""
+
+    type_name = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._values.values())
+
+    def _series(self):
+        for key, value in self._values.items():
+            yield key, [f"{self.name}{_format_labels(key)} {_format_value(value)}"]
+
+
+class Gauge(MetricFamily):
+    """A value that can go up and down."""
+
+    type_name = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _series(self):
+        for key, value in self._values.items():
+            yield key, [f"{self.name}{_format_labels(key)} {_format_value(value)}"]
+
+
+class Histogram(MetricFamily):
+    """Observation distribution exposed as a summary with quantiles.
+
+    Observations are kept sorted per label set, so quantiles are exact
+    (the harness records at most tens of thousands of samples per run —
+    LibSciBench keeps every sample too, for its R analysis).
+    """
+
+    type_name = "summary"
+
+    def __init__(self, name: str, help: str = "",
+                 quantiles: tuple = DEFAULT_QUANTILES):
+        super().__init__(name, help)
+        self.quantiles = tuple(quantiles)
+        self._observations: dict[tuple, list[float]] = {}
+        self._sums: dict[tuple, float] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        insort(self._observations.setdefault(key, []), float(value))
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+
+    def count(self, **labels) -> int:
+        return len(self._observations.get(_label_key(labels), ()))
+
+    def sum(self, **labels) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def quantile(self, q: float, **labels) -> float:
+        """Exact q-quantile (nearest-rank interpolation) of one series."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        obs = self._observations.get(_label_key(labels))
+        if not obs:
+            raise ValueError(f"no observations for {self.name}{labels}")
+        if len(obs) == 1:
+            return obs[0]
+        pos = q * (len(obs) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(obs) - 1)
+        frac = pos - lo
+        return obs[lo] * (1 - frac) + obs[hi] * frac
+
+    def _series(self):
+        for key, obs in self._observations.items():
+            lines = []
+            for q in self.quantiles:
+                labels = _format_labels(key, (("quantile", str(q)),))
+                value = self.quantile(q, **dict(key))
+                lines.append(f"{self.name}{labels} {_format_value(value)}")
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)} "
+                f"{_format_value(self._sums.get(key, 0.0))}"
+            )
+            lines.append(f"{self.name}_count{_format_labels(key)} {len(obs)}")
+            yield key, lines
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors."""
+
+    def __init__(self):
+        self._families: dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        family = self._families.get(name)
+        if family is None:
+            family = cls(name, help, **kwargs)
+            self._families[name] = family
+        elif not isinstance(family, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {family.type_name}, "
+                f"not {cls.type_name}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  quantiles: tuple = DEFAULT_QUANTILES) -> Histogram:
+        return self._get_or_create(Histogram, name, help, quantiles=quantiles)
+
+    # ------------------------------------------------------------------
+    @property
+    def families(self) -> dict[str, MetricFamily]:
+        return dict(self._families)
+
+    def expose(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        blocks = [f.expose() for _, f in sorted(self._families.items())]
+        return "\n".join(blocks) + ("\n" if blocks else "")
+
+    def reset(self) -> None:
+        """Zero every series but keep the registered families.
+
+        Cached references handed out by the accessors stay valid, which
+        matters because instrumented modules hold on to their counters.
+        """
+        for family in self._families.values():
+            for attr in ("_values", "_observations", "_sums"):
+                store = getattr(family, attr, None)
+                if store is not None:
+                    store.clear()
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry: {len(self._families)} families>"
+
+
+#: Process-global registry all built-in instrumentation reports to.
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _default_registry

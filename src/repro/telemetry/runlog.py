@@ -1,0 +1,99 @@
+"""Structured JSONL run log.
+
+One JSON object per line, append-ordered, machine-replayable — the
+"reproducible measurement artifact" GEMMbench and the HPCChallenge
+OpenCL suite argue benchmarking needs.  The harness writes a record per
+lifecycle point (``run_start``, ``run_complete``, ``matrix_start``,
+``matrix_complete``); anything JSON-unfriendly (numpy scalars, enums,
+dataclasses) is coerced via ``str`` as a last resort so logging never
+takes the run down.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+
+
+def _json_default(value):
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalars
+        try:
+            return item()
+        except Exception:
+            pass
+    return str(value)
+
+
+class RunLog:
+    """Append-only JSONL writer over a path or an open text stream."""
+
+    def __init__(self, target, clock=time.time):
+        if isinstance(target, (str, Path)):
+            self._stream = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+            self.path: Path | None = Path(target)
+        else:
+            self._stream = target
+            self._owns_stream = False
+            self.path = None
+        self._clock = clock
+        self.records_written = 0
+
+    # ------------------------------------------------------------------
+    def write(self, event: str, **fields) -> dict:
+        """Append one record; returns the dict that was written."""
+        record = {"event": event, "ts": self._clock(), **fields}
+        self._stream.write(json.dumps(record, default=_json_default) + "\n")
+        self._stream.flush()
+        self.records_written += 1
+        return record
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path else "<stream>"
+        return f"<RunLog {where}: {self.records_written} records>"
+
+
+def read_jsonl(path) -> list[dict]:
+    """Load every record of a JSONL file (skipping blank lines)."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+#: Process-global run log the harness writes to when set (CLI wiring).
+_default_runlog: RunLog | None = None
+
+
+def get_default_runlog() -> RunLog | None:
+    return _default_runlog
+
+
+def set_default_runlog(runlog: RunLog | None) -> RunLog | None:
+    """Install (or clear, with None) the global run log; returns previous."""
+    global _default_runlog
+    previous = _default_runlog
+    _default_runlog = runlog
+    return previous
+
+
+def memory_runlog(clock=time.time) -> tuple[RunLog, io.StringIO]:
+    """A RunLog writing to an in-memory buffer (tests, dry runs)."""
+    buffer = io.StringIO()
+    return RunLog(buffer, clock=clock), buffer

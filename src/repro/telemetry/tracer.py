@@ -1,0 +1,218 @@
+"""Span tracing for the harness.
+
+A :class:`Tracer` produces nested :class:`Span` records — named,
+attributed, nanosecond-stamped intervals — around harness phases (host
+setup, transfers, the kernel loop, validation) the way an OpenTelemetry
+SDK would around service handlers.  Spans nest via a per-tracer stack,
+so ``with tracer.span("run"): with tracer.span("transfer"): ...``
+yields a parent/child tree that the Chrome-trace exporter renders as
+stacked slices.
+
+The process-global default tracer starts *disabled*: ``span()`` then
+returns a shared no-op context manager without allocating or recording
+anything, so instrumented code pays only an attribute load and a truth
+test when nobody is listening (the zero-overhead guarantee the
+acceptance tests pin down).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced interval."""
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    depth: int = 0
+    start_ns: int = 0
+    end_ns: int | None = None
+    attributes: dict = field(default_factory=dict)
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    @property
+    def ended(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            raise RuntimeError(f"span {self.name!r} has not ended")
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns * 1e-9
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the disabled-tracer fast path."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The single no-op span/context-manager instance.  ``tracer.span(...)``
+#: returns exactly this object whenever the tracer is disabled, so the
+#: identity check ``tracer.span("a") is NOOP_SPAN`` proves the fast path.
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager that opens a real span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._start(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.set_attribute("error", exc_type.__name__)
+        self._tracer._finish(self._span)
+        return False
+
+
+class Tracer:
+    """Collects nested spans; disabled by default construction choice.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`span` returns :data:`NOOP_SPAN` and nothing
+        is recorded.
+    clock:
+        Nanosecond clock; injectable for deterministic tests.  Defaults
+        to ``time.perf_counter_ns`` (wall time — spans time the *host*
+        harness, while :class:`~repro.ocl.event.Event` timestamps live
+        on the simulated device clock).
+    """
+
+    def __init__(self, enabled: bool = True, clock=time.perf_counter_ns):
+        self.enabled = enabled
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self.finished: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes):
+        """Open a span: ``with tracer.span("phase", benchmark="fft"):``."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return _ActiveSpan(self, name, attributes)
+
+    def _start(self, name: str, attributes: dict) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            start_ns=self._clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end_ns = self._clock()
+        # tolerate out-of-order exits rather than corrupting the stack
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+        self.finished.append(span)
+
+    # ------------------------------------------------------------------
+    @property
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self._stack.clear()
+
+    def to_dicts(self) -> list[dict]:
+        """All finished spans as JSON-ready dicts, in completion order."""
+        return [s.to_dict() for s in self.finished]
+
+    def __len__(self) -> int:
+        return len(self.finished)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Tracer {state}: {len(self.finished)} finished spans>"
+
+
+#: Process-global default tracer, disabled until someone opts in.
+_default_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer instrumented code should use."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the global default; returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None):
+    """Temporarily install (and enable) a tracer as the global default.
+
+    Yields the installed tracer; the previous default is restored on
+    exit.  ``with tracing() as t: run_benchmark(...)`` is the one-liner
+    for capturing harness spans.
+    """
+    tracer = tracer if tracer is not None else Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

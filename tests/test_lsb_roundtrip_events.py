@@ -1,0 +1,135 @@
+"""LSB file round-trips and Event profiling error paths (satellites)."""
+
+import numpy as np
+import pytest
+
+from repro import ocl
+from repro.ocl.errors import ProfilingInfoNotAvailable
+from repro.scibench import lsb
+from repro.scibench.recorder import (
+    REGION_KERNEL,
+    REGION_SETUP,
+    REGION_TRANSFER,
+    Recorder,
+)
+
+
+class TestLsbRoundTrip:
+    def make_recorder(self):
+        rec = Recorder("kmeans/tiny/i7-6700K")
+        rec.record(REGION_SETUP, 1e-3)
+        rec.record(REGION_KERNEL, 2e-3, energy_j=0.125)
+        rec.record(REGION_TRANSFER, 3e-3)
+        rec.record(REGION_KERNEL, 4e-3, energy_j=0.0625)
+        return rec
+
+    def test_energy_values_preserved(self):
+        rec = self.make_recorder()
+        back = lsb.loads(lsb.dumps(rec))
+        assert back.energies_j(REGION_KERNEL) == [0.125, 0.0625]
+        # energy-less records stay energy-less
+        assert back.energies_j(REGION_SETUP) == []
+        assert back.energies_j(REGION_TRANSFER) == []
+
+    def test_region_order_and_times_preserved(self):
+        rec = self.make_recorder()
+        back = lsb.loads(lsb.dumps(rec))
+        assert back.regions == (REGION_SETUP, REGION_KERNEL, REGION_TRANSFER)
+        assert [m.region for m in back._measurements] == [
+            m.region for m in rec._measurements]
+        for original, parsed in zip(rec._measurements, back._measurements):
+            assert parsed.time_s == pytest.approx(original.time_s, rel=1e-9)
+
+    def test_name_survives_and_file_round_trip(self, tmp_path):
+        rec = self.make_recorder()
+        path = tmp_path / lsb.default_filename("kmeans")
+        lsb.save(path, rec, system="skylake")
+        back = lsb.load(path)
+        assert back.name == "kmeans/tiny/i7-6700K"
+        assert len(back) == len(rec)
+        text = path.read_text()
+        assert "# System: skylake" in text
+        assert "energy_j" in text
+
+    def test_legacy_four_column_files_still_parse(self):
+        text = (
+            "# LibSciBench version 0.2.2\n"
+            f"{'id':>8} {'region':>16} {'time_us':>18} {'overhead_ns':>12}\n"
+            f"{0:>8} {'kernel':>16} {1500.0:>18.6f} {6:>12}\n"
+        )
+        rec = lsb.loads(text)
+        assert rec.times_s("kernel") == [pytest.approx(1.5e-3)]
+        assert rec.energies_j("kernel") == []
+
+    def test_malformed_records_rejected(self):
+        with pytest.raises(ValueError, match="expected header"):
+            lsb.loads("0 kernel 1.0 6\n")
+        header = f"{'id':>8} {'region':>16} {'time_us':>18} {'overhead_ns':>12}\n"
+        with pytest.raises(ValueError, match="malformed LSB record"):
+            lsb.loads(header + "0 kernel 1.0\n")
+        with pytest.raises(ValueError, match="malformed LSB record"):
+            lsb.loads(header + "0 kernel 1.0 6 0.5 extra extra\n")
+
+
+class TestEventProfilingErrorPaths:
+    def test_queue_delay_is_queued_to_start(self, cpu_context):
+        queue = ocl.CommandQueue(cpu_context)
+        buf = cpu_context.create_buffer(size=1024)
+        event = queue.enqueue_fill_buffer(buf, 0)
+        assert event.queue_delay_ns == event.start_ns - event.queued_ns
+        assert event.queue_delay_ns >= ocl.ENQUEUE_OVERHEAD_NS
+
+    def test_profiling_disabled_queue_raises(self, cpu_context):
+        queue = ocl.CommandQueue(cpu_context,
+                                 properties=ocl.QueueProperties.NONE)
+        buf = cpu_context.create_buffer(size=1024)
+        event = queue.enqueue_fill_buffer(buf, 0)
+        assert not event.profiling_enabled
+        for accessor in (
+            lambda: event.get_profiling_info(ocl.ProfilingInfo.START),
+            lambda: event.duration_ns,
+            lambda: event.queue_delay_ns,
+        ):
+            with pytest.raises(ProfilingInfoNotAvailable,
+                               match="PROFILING_ENABLE"):
+                accessor()
+
+    def test_unreached_timestamp_raises_even_with_profiling(self):
+        event = ocl.Event(command_type=ocl.CommandType.MARKER,
+                          profiling_enabled=True)
+        with pytest.raises(ProfilingInfoNotAvailable,
+                           match="not yet available"):
+            event.get_profiling_info(ocl.ProfilingInfo.END)
+        with pytest.raises(RuntimeError, match="never completed"):
+            event.wait()
+
+    def test_recorder_tags_carry_kernel_and_bytes(self, cpu_context):
+        """record_event no longer drops event.info detail."""
+        queue = ocl.CommandQueue(cpu_context)
+        buf = cpu_context.create_buffer(size=2048)
+        rec = Recorder()
+        rec.record_event(REGION_TRANSFER, queue.enqueue_fill_buffer(buf, 0))
+        transfer = rec._measurements[0]
+        assert transfer.tags["command"] == "fill_buffer"
+        assert transfer.tags["bytes"] == 2048
+
+        program = ocl.Program(
+            cpu_context,
+            [ocl.KernelSource("noop", lambda nd, b: None)]).build()
+        kernel = program.create_kernel("noop").set_args(buf)
+        rec.record_event(REGION_KERNEL,
+                         queue.enqueue_nd_range_kernel(kernel, (16,)))
+        measured = rec._measurements[1]
+        assert measured.tags["kernel"] == "noop"
+        assert measured.tags["command"] == "ndrange_kernel"
+
+    def test_csv_has_tags_column(self, cpu_context):
+        queue = ocl.CommandQueue(cpu_context)
+        buf = cpu_context.create_buffer(size=512)
+        rec = Recorder()
+        rec.record_event(REGION_TRANSFER, queue.enqueue_fill_buffer(buf, 0))
+        csv = rec.to_csv()
+        header, row = csv.splitlines()[:2]
+        assert header == "region,time_s,energy_j,tags"
+        assert "bytes=512" in row
+        assert "command=fill_buffer" in row

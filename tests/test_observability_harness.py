@@ -1,0 +1,150 @@
+"""Harness-level observability: CLI flags, trace subcommand, metrics
+exposition after sweeps (the acceptance criteria of the telemetry PR)."""
+
+import json
+
+import pytest
+
+from repro.harness import run_matrix
+from repro.harness.cli import main
+from repro.telemetry import default_registry, get_tracer
+from repro.telemetry.tracer import NOOP_SPAN
+
+from tests.test_telemetry import parse_prometheus
+
+
+class TestCliObservability:
+    def test_run_writes_trace_metrics_and_log(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        log = tmp_path / "r.jsonl"
+        rc = main(["run", "kmeans", "--size", "tiny", "--device", "i7-6700K",
+                   "--samples", "3", "--trace", str(trace),
+                   "--metrics", str(prom), "--log-jsonl", str(log)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out
+
+        doc = json.loads(trace.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices, "trace must contain duration slices"
+        for s in slices:
+            assert s["ts"] >= 0 and s["dur"] > 0
+        # harness spans rode along as async events on their own process
+        assert any(e.get("cat") == "span" for e in doc["traceEvents"])
+
+        families = parse_prometheus(prom.read_text())
+        assert "ocl_commands_enqueued_total" in families
+        assert "harness_runs_total" in families
+
+        records = [json.loads(l) for l in log.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["run_start", "run_complete"]
+
+    def test_trace_slice_count_matches_recorded_events(self, tmp_path):
+        """Acceptance: slice count == kernel + transfer events recorded."""
+        from repro.telemetry import GLOBAL_EVENT_BUS
+        counted = []
+        trace = tmp_path / "t.json"
+        with GLOBAL_EVENT_BUS.subscribed(lambda q, e: counted.append(e)):
+            rc = main(["run", "kmeans", "--size", "tiny", "--device",
+                       "i7-6700K", "--samples", "3", "--trace", str(trace)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        sliceable = [e for e in counted
+                     if e.command_type.value not in ("marker", "barrier")]
+        assert len(slices) == len(sliceable) > 0
+
+    def test_trace_subcommand_replays_lsb_file(self, tmp_path, capsys):
+        from repro.scibench import lsb
+        from repro.scibench.recorder import REGION_KERNEL, Recorder
+        rec = Recorder("fft/tiny/GTX 1080")
+        rec.record(REGION_KERNEL, 1e-3, energy_j=0.5)
+        rec.record(REGION_KERNEL, 2e-3)
+        src = tmp_path / "lsb.fft.r0"
+        lsb.save(src, rec)
+
+        out = tmp_path / "fft.trace.json"
+        assert main(["trace", str(src), "-o", str(out)]) == 0
+        assert "2 slices" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert sum(1 for e in doc["traceEvents"] if e["ph"] == "X") == 2
+
+    def test_trace_subcommand_default_output_name(self, tmp_path, capsys,
+                                                  monkeypatch):
+        from repro.scibench import lsb
+        from repro.scibench.recorder import REGION_KERNEL, Recorder
+        rec = Recorder()
+        rec.record(REGION_KERNEL, 1e-3)
+        src = tmp_path / "lsb.crc.r0"
+        lsb.save(src, rec)
+        assert main(["trace", str(src)]) == 0
+        assert (tmp_path / "lsb.crc.r0.trace.json").exists()
+
+    def test_trace_subcommand_missing_file_fails_cleanly(self, capsys):
+        assert main(["trace", "/nonexistent/lsb.r0"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_figure_with_metrics_and_log(self, tmp_path, capsys):
+        prom = tmp_path / "fig.prom"
+        log = tmp_path / "fig.jsonl"
+        rc = main(["figure", "1", "--samples", "3",
+                   "--metrics", str(prom), "--log-jsonl", str(log)])
+        assert rc == 0
+        assert "harness_runs_total" in prom.read_text()
+        events = [json.loads(l)["event"]
+                  for l in log.read_text().splitlines()]
+        assert "matrix_start" in events and "matrix_complete" in events
+        assert events.count("run_complete") >= 1
+
+    def test_flags_absent_leaves_globals_untouched(self, capsys):
+        from repro.telemetry import GLOBAL_EVENT_BUS, get_default_runlog
+        assert main(["run", "fft", "--size", "tiny", "--device", "i7-6700K",
+                     "--samples", "3"]) == 0
+        assert not GLOBAL_EVENT_BUS.has_subscribers
+        assert get_default_runlog() is None
+        assert get_tracer().span("x") is NOOP_SPAN
+
+
+class TestMetricsAfterSweep:
+    def test_run_matrix_populates_at_least_five_families(self):
+        """Acceptance: ≥ 5 distinct metric families after a sweep, all
+        parseable as Prometheus text."""
+        registry = default_registry()
+        registry.reset()
+        run_matrix("fft", sizes=["tiny"],
+                   devices=["i7-6700K", "GTX 1080"],
+                   execute=True, samples=3)
+        text = registry.expose()
+        families = parse_prometheus(text)
+        populated = {name for name, fam in families.items()
+                     if fam["samples"]}
+        assert len(populated) >= 5, sorted(populated)
+        assert {"ocl_commands_enqueued_total", "ocl_bytes_moved_total",
+                "harness_runs_total", "harness_samples_total",
+                "harness_run_mean_seconds"} <= populated
+        # counts are consistent: 2 groups ran, 3 samples each
+        assert families["harness_runs_total"]["samples"] and (
+            registry.counter("harness_runs_total").total == 2)
+        assert registry.counter("harness_samples_total").total == 6
+
+    def test_scheduler_metrics_and_exposition(self):
+        from repro.dwarfs.registry import get_benchmark
+        from repro.scheduling.scheduler import (
+            Task,
+            schedule_lpt,
+            schedule_round_robin,
+        )
+        registry = default_registry()
+        tasks = [Task("fft-tiny", get_benchmark("fft").from_size("tiny")),
+                 Task("crc-tiny", get_benchmark("crc").from_size("tiny"))]
+        before = registry.counter("scheduler_tasks_assigned_total").total
+        a = schedule_lpt(tasks, ["i7-6700K", "GTX 1080"])
+        b = schedule_round_robin(tasks, ["i7-6700K", "GTX 1080"])
+        assert registry.counter(
+            "scheduler_tasks_assigned_total").total == before + 4
+        assert registry.gauge("scheduler_makespan_seconds").value(
+            policy="lpt") == pytest.approx(a.makespan)
+        assert registry.gauge("scheduler_makespan_seconds").value(
+            policy="round_robin") == pytest.approx(b.makespan)
+        parse_prometheus(registry.expose())  # must not raise

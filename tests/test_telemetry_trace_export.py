@@ -1,0 +1,235 @@
+"""Chrome trace-event export: structure, slice accounting, properties."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ocl
+from repro.harness import RunConfig, run_benchmark
+from repro.scibench.recorder import REGION_KERNEL, REGION_TRANSFER, Recorder
+from contextlib import contextmanager
+
+from repro.telemetry import (
+    ChromeTraceExporter,
+    GLOBAL_EVENT_BUS,
+    Tracer,
+    trace_from_recorder,
+)
+
+
+@contextmanager
+def _capture(into):
+    with GLOBAL_EVENT_BUS.subscribed(lambda q, e: into.append(e)):
+        yield
+
+#: command types drawn as duration slices (ph == "X")
+SLICE_COMMANDS = {
+    ocl.CommandType.ND_RANGE_KERNEL,
+    ocl.CommandType.TASK,
+    ocl.CommandType.READ_BUFFER,
+    ocl.CommandType.WRITE_BUFFER,
+    ocl.CommandType.COPY_BUFFER,
+    ocl.CommandType.FILL_BUFFER,
+}
+
+
+def run_with_exporter(benchmark="kmeans", size="tiny", device="i7-6700K"):
+    exporter = ChromeTraceExporter()
+    captured = []
+    with exporter.attached(), _capture(captured):
+        result = run_benchmark(RunConfig(benchmark, size, device, samples=3))
+    return exporter, captured, result
+
+
+class TestChromeTraceExport:
+    def test_trace_structure_is_perfetto_loadable(self):
+        exporter, events, _ = run_with_exporter()
+        doc = json.loads(exporter.dumps())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        for e in doc["traceEvents"]:
+            assert "ph" in e and "pid" in e
+            if e["ph"] == "X":
+                assert e["ts"] >= 0
+                assert e["dur"] > 0
+                assert "tid" in e and "name" in e
+
+    def test_slice_count_matches_kernel_plus_transfer_events(self):
+        """Acceptance: one X slice per recorded kernel/transfer command."""
+        exporter, events, _ = run_with_exporter()
+        expected = sum(1 for e in events if e.command_type in SLICE_COMMANDS)
+        assert expected > 0
+        assert exporter.slice_count == expected
+
+    def test_devices_become_processes_queues_become_threads(self):
+        exporter, _, _ = run_with_exporter(device="GTX 1080")
+        meta = [e for e in exporter.trace_events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta
+                 if e["name"] == "process_name"}
+        assert "GTX 1080" in names
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_queue_delay_async_slices_pair_up(self):
+        exporter, _, _ = run_with_exporter()
+        begins = [e for e in exporter.trace_events
+                  if e["ph"] == "b" and e["cat"] == "queue_delay"]
+        ends = [e for e in exporter.trace_events
+                if e["ph"] == "e" and e["cat"] == "queue_delay"]
+        assert len(begins) == len(ends) > 0
+        by_id = {e["id"]: e for e in ends}
+        for b in begins:
+            assert b["id"] in by_id
+            assert by_id[b["id"]]["ts"] >= b["ts"]
+
+    def test_energy_and_occupancy_counter_tracks(self):
+        exporter, _, _ = run_with_exporter()
+        counters = [e for e in exporter.trace_events if e["ph"] == "C"]
+        assert {"energy (J)", "occupancy"} <= {e["name"] for e in counters}
+        joules = [e["args"]["J"] for e in counters
+                  if e["name"] == "energy (J)"]
+        assert all(j >= 0 for j in joules)
+
+    def test_kernel_slices_carry_kernel_names(self):
+        exporter, events, _ = run_with_exporter(benchmark="fft")
+        kernel_names = {e.info["kernel"] for e in events
+                        if e.command_type == ocl.CommandType.ND_RANGE_KERNEL}
+        slice_names = {e["name"] for e in exporter.trace_events
+                       if e["ph"] == "X" and e["cat"] == "kernel"}
+        assert slice_names == kernel_names
+
+    def test_timestamps_sorted_and_nonnegative(self):
+        exporter, _, _ = run_with_exporter()
+        ts = [e.get("ts", 0) for e in exporter.to_dict()["traceEvents"]
+              if e["ph"] != "M"]
+        assert all(t >= 0 for t in ts)
+        assert ts == sorted(ts)
+
+    def test_tracer_spans_exported_as_async_slices(self):
+        exporter = ChromeTraceExporter()
+        ticks = iter(range(0, 10**6, 1000))
+        tracer = Tracer(enabled=True, clock=lambda: next(ticks))
+        with tracer.span("outer"):
+            with tracer.span("inner", benchmark="fft"):
+                pass
+        assert exporter.add_tracer(tracer) == 2
+        spans = [e for e in exporter.trace_events if e.get("cat") == "span"]
+        assert {e["name"] for e in spans} == {"outer", "inner"}
+        # X-slice accounting must not be polluted by spans
+        assert exporter.slice_count == 0
+        assert min(e["ts"] for e in spans) == 0  # rebased to origin
+
+    def test_marker_becomes_instant_not_slice(self, cpu_queue):
+        exporter = ChromeTraceExporter()
+        with exporter.attached(cpu_queue.event_bus):
+            cpu_queue.enqueue_marker()
+        assert exporter.slice_count == 0
+        assert any(e["ph"] == "i" for e in exporter.trace_events)
+
+
+class TestTraceFromRecorder:
+    def test_replay_lays_samples_end_to_end(self):
+        rec = Recorder("kmeans/tiny/i7-6700K")
+        rec.record(REGION_TRANSFER, 1e-4, command="write_buffer")
+        rec.record(REGION_KERNEL, 2e-4, energy_j=0.5, kernel="kmeans_assign")
+        rec.record(REGION_KERNEL, 3e-4, energy_j=0.25)
+        exporter = trace_from_recorder(rec)
+        slices = [e for e in exporter.trace_events if e["ph"] == "X"]
+        assert len(slices) == len(rec)
+        assert [s["ts"] for s in slices] == sorted(s["ts"] for s in slices)
+        # slices must not overlap on the shared timeline
+        for a, b in zip(slices, slices[1:]):
+            assert a["ts"] + a["dur"] <= b["ts"] + 1e-9
+        assert slices[1]["name"] == "kmeans_assign"
+        counters = [e for e in exporter.trace_events if e["ph"] == "C"]
+        assert [c["args"]["J"] for c in counters] == [0.5, 0.25]
+
+    def test_lsb_file_round_trips_into_trace(self, tmp_path):
+        from repro.scibench import lsb
+        rec = Recorder("fft/small/GTX 1080")
+        rec.record(REGION_KERNEL, 5e-3, energy_j=1.25)
+        rec.record(REGION_TRANSFER, 1e-3)
+        path = tmp_path / "lsb.fft.r0"
+        lsb.save(path, rec)
+        exporter = trace_from_recorder(lsb.load(path))
+        assert exporter.slice_count == 2
+        doc = json.loads(exporter.dumps())
+        assert len(doc["traceEvents"]) >= 2
+
+
+# ----------------------------------------------------------------------
+# Property tests (hypothesis)
+# ----------------------------------------------------------------------
+COMMANDS = st.sampled_from(["kernel", "write", "read", "copy", "fill",
+                            "marker"])
+
+
+class TestTraceProperties:
+    @given(ops=st.lists(COMMANDS, min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_command_streams_export_consistently(self, ops):
+        """Valid JSON, monotone non-negative timestamps, every kernel
+        event appearing exactly once — for arbitrary command mixes."""
+        device = ocl.find_device("i7-6700K")
+        ctx = ocl.Context(device)
+        queue = ocl.CommandQueue(ctx)
+        a = ctx.buffer_like(np.zeros(64, np.float32))
+        b = ctx.buffer_like(np.zeros(64, np.float32))
+        host = np.zeros(64, np.float32)
+        # profile=None → launch-overhead-only timing, which is all the
+        # trace cares about
+        program = ocl.Program(
+            ctx, [ocl.KernelSource("touch", lambda nd, buf: None)]).build()
+        kernel = program.create_kernel("touch").set_args(a)
+
+        exporter = ChromeTraceExporter()
+        n_kernels = 0
+        n_sliceable = 0
+        with exporter.attached(queue.event_bus):
+            for op in ops:
+                if op == "kernel":
+                    queue.enqueue_nd_range_kernel(kernel, (64,))
+                    n_kernels += 1
+                elif op == "write":
+                    queue.enqueue_write_buffer(a, host)
+                elif op == "read":
+                    queue.enqueue_read_buffer(a, host)
+                elif op == "copy":
+                    queue.enqueue_copy_buffer(a, b)
+                elif op == "fill":
+                    queue.enqueue_fill_buffer(b, 3)
+                if op != "marker":
+                    n_sliceable += 1
+                else:
+                    queue.enqueue_marker()
+
+        doc = json.loads(exporter.dumps())  # valid JSON by construction
+        non_meta = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        ts = [e["ts"] for e in non_meta]
+        assert all(t >= 0 for t in ts)
+        assert ts == sorted(ts)
+        assert exporter.slice_count == n_sliceable
+        kernel_slices = [e for e in non_meta
+                         if e["ph"] == "X" and e["cat"] == "kernel"]
+        assert len(kernel_slices) == n_kernels
+        # exactly once: distinct start timestamps, one slice per event
+        assert len({(e["ts"], e["tid"]) for e in kernel_slices}) == n_kernels
+        ctx.release_all()
+
+    @given(times=st.lists(
+        st.floats(min_value=1e-9, max_value=10.0, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_recorder_replay_monotone_for_any_durations(self, times):
+        rec = Recorder("prop")
+        for i, t in enumerate(times):
+            rec.record(REGION_KERNEL if i % 2 else REGION_TRANSFER, t)
+        doc = json.loads(trace_from_recorder(rec).dumps())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == len(times)
+        ts = [e["ts"] for e in slices]
+        assert all(t >= 0 for t in ts)
+        assert ts == sorted(ts)
