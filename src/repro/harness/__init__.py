@@ -27,6 +27,19 @@ from .report import (
     table3_rows,
     table3_text,
 )
+# The sweep-engine import must precede the crossover import: loading
+# the ``.sweep`` submodule binds it to the package attribute ``sweep``,
+# which the long-standing ``crossover.sweep`` function re-claims on the
+# next line (``from repro.harness import sweep`` keeps meaning the
+# crossover sweep; use ``from repro.harness.sweep import ...`` for the
+# engine).
+from .sweep import (
+    MODEL_VERSION,
+    SweepCache,
+    SweepOutcome,
+    default_cache_dir,
+    run_sweep,
+)
 from .crossover import CrossoverResult, SweepPoint, crossover_footprint_kib, sweep
 from .plots import render_figure_html, save_figure_html
 from .results import ResultSet
@@ -36,14 +49,21 @@ from .runner import (
     MIN_LOOP_SECONDS,
     RunConfig,
     RunResult,
+    cell_seed,
     run_benchmark,
     run_matrix,
 )
 
 __all__ = [
     "CrossoverResult",
+    "MODEL_VERSION",
+    "SweepCache",
+    "SweepOutcome",
     "SweepPoint",
+    "cell_seed",
     "crossover_footprint_kib",
+    "default_cache_dir",
+    "run_sweep",
     "sweep",
     "DEFAULT_SAMPLES",
     "DEVICES_NO_KNL",

@@ -22,14 +22,16 @@ import contextlib
 import sys
 from pathlib import Path
 
-from ..devices.catalog import CATALOG, get_device
+from ..devices.catalog import CATALOG, device_names, get_device
 from ..dwarfs.base import SIZES
 from ..dwarfs.registry import BENCHMARKS, get_benchmark
 from ..ocl.platform import select_device
 from ..scibench.stats import summarize
 from . import figures as figmod
 from .report import render_table, table1_text, table2_text, table3_text
+from .results import ResultSet
 from .runner import RunConfig, run_benchmark
+from .sweep import SweepCache, default_cache_dir, run_sweep
 
 
 @contextlib.contextmanager
@@ -82,6 +84,85 @@ def _observability(args):
             print(f"wrote {metrics_path}")
 
 
+def _sweep_options(args, default_cache: bool) -> tuple[int | None, SweepCache | None, bool]:
+    """Resolve ``--jobs``/``--cache-dir``/``--no-cache``/``--refresh``/``--resume``.
+
+    Returns ``(jobs, cache, refresh)`` for :func:`run_sweep`.  The
+    cache defaults on (at :func:`default_cache_dir`) only for
+    full-matrix sweeps (``default_cache=True``); single runs and
+    figures cache only when ``--cache-dir`` is given explicitly, so
+    their output stays invocation-independent.  ``--resume`` is the
+    cache-reuse default made explicit; combining it with ``--no-cache``
+    or ``--refresh`` is contradictory and rejected.
+    """
+    resume = getattr(args, "resume", False)
+    no_cache = getattr(args, "no_cache", False)
+    refresh = getattr(args, "refresh", False)
+    if resume and (no_cache or refresh):
+        raise SystemExit("--resume contradicts --no-cache/--refresh")
+    cache = None
+    if not no_cache:
+        if args.cache_dir:
+            cache = SweepCache(args.cache_dir)
+        elif default_cache or resume:
+            cache = SweepCache(default_cache_dir())
+    return args.jobs, cache, refresh
+
+
+def _print_sweep_summary(outcome, cache: SweepCache | None) -> None:
+    """One-line accounting of a sweep's compute/cache split."""
+    where = f" [cache: {cache.root}]" if cache is not None else ""
+    print(f"{outcome.cells} cells: {outcome.computed} computed, "
+          f"{outcome.cached} cached in {outcome.wall_s:.2f} s "
+          f"({outcome.jobs} jobs){where}")
+
+
+def cmd_run_all(args) -> int:
+    """``run all``: the paper's full measurement matrix, parallel + cached.
+
+    Covers every registered benchmark x its sizes (or ``--size``) x the
+    catalog (or ``--device``).  Like a single ``run``, each cell
+    executes functionally and validates unless ``--no-execute`` asks
+    for model-only timing — recommended when sweeping the large sizes,
+    whose functional numpy passes are the expensive part.
+    """
+    jobs, cache, refresh = _sweep_options(args, default_cache=True)
+    execute = not args.no_execute
+    devices = ([get_device(args.device).name] if args.device
+               else list(device_names()))
+    configs = []
+    for name in sorted(BENCHMARKS):
+        cls = get_benchmark(name)
+        sizes = [args.size] if args.size else list(cls.available_sizes())
+        for size in sizes:
+            if size not in cls.available_sizes():
+                continue
+            for device in devices:
+                configs.append(RunConfig(
+                    benchmark=name, size=size, device=device,
+                    samples=args.samples, execute=execute, validate=execute,
+                    seed=args.seed,
+                ))
+    with _observability(args):
+        outcome = run_sweep(configs, jobs=jobs, cache=cache, refresh=refresh)
+    results = ResultSet(outcome.results)
+    rows = []
+    for name in sorted({c.benchmark for c in configs}):
+        for size in [s for s in SIZES
+                     if any(c.size == s and c.benchmark == name
+                            for c in configs)]:
+            best = results.best_device(name, size)
+            rows.append({
+                "benchmark": name, "size": size,
+                "best device": best.device,
+                "class": best.device_class,
+                "mean (ms)": round(best.mean_ms, 4),
+            })
+    print(render_table(rows, "Fastest device per benchmark x size"))
+    _print_sweep_summary(outcome, cache)
+    return 0
+
+
 def _split_device_args(argv: list[str]) -> tuple[list[str], list[str]]:
     """Split ``Device -- Arguments`` at the ``--`` separator."""
     if "--" in argv:
@@ -91,6 +172,7 @@ def _split_device_args(argv: list[str]) -> tuple[list[str], list[str]]:
 
 
 def cmd_list_devices(_args) -> int:
+    """``list-devices``: print the simulated device catalog."""
     rows = []
     for spec in CATALOG:
         rows.append({
@@ -106,6 +188,9 @@ def cmd_list_devices(_args) -> int:
 
 
 def cmd_run(args) -> int:
+    """``run``: one measurement group (or dispatch to ``run all``)."""
+    if args.benchmark == "all":
+        return cmd_run_all(args)
     device_argv, bench_argv = _split_device_args(args.rest)
     # resolve the device: either -p/-d/-t triple or --device name
     if args.device:
@@ -147,9 +232,16 @@ def cmd_run(args) -> int:
         config = RunConfig(
             benchmark=args.benchmark, size=size, device=device_name,
             samples=args.samples, execute=not args.no_execute,
-            validate=not args.no_execute,
+            validate=not args.no_execute, seed=args.seed,
         )
-        _print_result(run_benchmark(config))
+        jobs, cache, refresh = _sweep_options(args, default_cache=False)
+        if cache is not None:
+            outcome = run_sweep([config], jobs=1, cache=cache,
+                                refresh=refresh)
+            _print_result(outcome.results[0])
+            _print_sweep_summary(outcome, cache)
+        else:
+            _print_result(run_benchmark(config))
     return 0
 
 
@@ -203,28 +295,33 @@ def _print_result(result) -> None:
 
 
 def cmd_table(args) -> int:
+    """``table``: print one of the paper's tables."""
     text = {1: table1_text, 2: table2_text, 3: table3_text}[args.number]()
     print(text)
     return 0
 
 
 def cmd_figure(args) -> int:
+    """``figure``: regenerate one of the paper's figures."""
     fid = args.figure_id.lower()
     samples = args.samples
+    jobs, cache, refresh = _sweep_options(args, default_cache=False)
+    sweep_kw = dict(samples=samples, jobs=jobs, cache=cache,
+                    refresh=refresh)
     with _observability(args):
         if fid in ("1", "fig1"):
-            fig = figmod.figure1_crc(samples=samples)
+            fig = figmod.figure1_crc(**sweep_kw)
         elif fid in ("2a", "2b", "2c", "2d", "2e"):
             bench = {"2a": "kmeans", "2b": "lud", "2c": "csr", "2d": "dwt",
                      "2e": "fft"}[fid]
-            fig = figmod.figure2(bench, samples=samples)
+            fig = figmod.figure2(bench, **sweep_kw)
         elif fid in ("3a", "3b"):
             fig = figmod.figure3({"3a": "srad", "3b": "nw"}[fid],
-                                 samples=samples)
+                                 **sweep_kw)
         elif fid in ("4", "fig4"):
-            fig = figmod.figure4(samples=samples)
+            fig = figmod.figure4(**sweep_kw)
         elif fid in ("5", "fig5"):
-            fig = figmod.figure5(samples=samples)
+            fig = figmod.figure5(**sweep_kw)
         else:
             print(f"unknown figure {args.figure_id!r}", file=sys.stderr)
             return 2
@@ -313,11 +410,32 @@ def cmd_transfers(args) -> int:
 
 
 def cmd_verify_sizes(args) -> int:
+    """``verify-sizes``: cache-counter problem-size verification (§4.4)."""
     from ..sizing.verify import verify_benchmark_sizes
     v = verify_benchmark_sizes(args.benchmark, device=args.device)
     print(render_table(v.summary_rows(),
                        f"Cache-counter verification: {args.benchmark} on {v.device}"))
     return 0
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every sweep-capable command (``run``, ``figure``)."""
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep cells "
+                             "(default: os.cpu_count(); 1 = serial, "
+                             "identical samples either way)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="content-addressed result cache location "
+                             "(default for full-matrix sweeps: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute every cell, overwriting cached entries")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue an interrupted sweep from the cache "
+                             "(cells already computed are restored, the "
+                             "rest are measured)")
 
 
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
@@ -331,6 +449,7 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``opendwarfs`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="opendwarfs",
         description="Extended OpenDwarfs benchmark suite (simulated OpenCL)",
@@ -340,13 +459,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-devices", help="show the device catalog"
                    ).set_defaults(func=cmd_list_devices)
 
-    run = sub.add_parser("run", help="run one benchmark")
-    run.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    run = sub.add_parser(
+        "run", help="run one benchmark, or `all` for the full sweep matrix")
+    run.add_argument("benchmark", choices=sorted(BENCHMARKS) + ["all"],
+                     help="benchmark name, or `all` for every benchmark x "
+                          "size x device (parallel, cached, model-only)")
     run.add_argument("--size", choices=SIZES, default=None)
     run.add_argument("--device", default=None, help="device name from Table 1")
     run.add_argument("--samples", type=int, default=50)
+    run.add_argument("--seed", type=int, default=12345,
+                     help="base RNG seed for the measurement protocol")
     run.add_argument("--no-execute", action="store_true",
                      help="model-only timing (skip functional execution)")
+    _add_sweep_flags(run)
     _add_observability_flags(run)
     run.set_defaults(func=cmd_run, rest=[])
 
@@ -361,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--csv", action="store_true")
     figure.add_argument("--html", default=None, metavar="PATH",
                         help="also render boxplots to an HTML file")
+    _add_sweep_flags(figure)
     _add_observability_flags(figure)
     figure.set_defaults(func=cmd_figure)
 
@@ -412,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns the process exit status."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # For `run`, peel off the paper-style tail — the `-p/-d/-t` device
     # triple and everything after `--` — before argparse sees it, since

@@ -56,13 +56,16 @@ class CrossoverResult:
 
     @property
     def challenger_ever_wins(self) -> bool:
+        """Whether the challenger beats the baseline at any swept size."""
         return any(p.ratio > 1.0 for p in self.points)
 
     @property
     def challenger_always_wins(self) -> bool:
+        """Whether the challenger beats the baseline at every swept size."""
         return all(p.ratio > 1.0 for p in self.points)
 
     def rows(self) -> list[dict]:
+        """The sweep as printable table rows, crossover point marked."""
         out = []
         for p in self.points:
             out.append({

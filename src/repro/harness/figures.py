@@ -42,10 +42,12 @@ class FigureData:
     results: ResultSet = field(default_factory=ResultSet, repr=False)
 
     def panel(self, name: str) -> dict:
+        """One panel's device -> box-statistics mapping."""
         return self.panels[name]
 
     # ------------------------------------------------------------------
     def to_csv(self) -> str:
+        """Every panel's box statistics as CSV text."""
         out = io.StringIO()
         out.write("figure,panel,device,class,mean,median,q1,q3,min,max,cov\n")
         for panel, devices in self.panels.items():
@@ -59,6 +61,7 @@ class FigureData:
         return out.getvalue()
 
     def render(self) -> str:
+        """The figure as an ASCII bar chart, one panel per section."""
         out = io.StringIO()
         out.write(f"{self.figure_id}: {self.title}  [{self.value_label}]\n")
         for panel, devices in self.panels.items():
@@ -96,10 +99,12 @@ def _normalise_panel(panel: dict) -> None:
 
 def _time_figure(figure_id: str, title: str, benchmark: str,
                  sizes: tuple[str, ...], devices: tuple[str, ...],
-                 samples: int, seed: int) -> FigureData:
+                 samples: int, seed: int, jobs: int | None = 1,
+                 cache=None, refresh: bool = False) -> FigureData:
     fig = FigureData(figure_id=figure_id, title=title, value_label="time (ms)")
     results = ResultSet(run_matrix(benchmark, list(sizes), list(devices),
-                                   samples=samples, seed=seed))
+                                   samples=samples, seed=seed, jobs=jobs,
+                                   cache=cache, refresh=refresh))
     fig.results = results
     for size in sizes:
         panel = {}
@@ -114,10 +119,12 @@ def _time_figure(figure_id: str, title: str, benchmark: str,
 # ----------------------------------------------------------------------
 # Figures
 # ----------------------------------------------------------------------
-def figure1_crc(samples: int = 50, seed: int = 12345) -> FigureData:
+def figure1_crc(samples: int = 50, seed: int = 12345, jobs: int | None = 1,
+                cache=None, refresh: bool = False) -> FigureData:
     """Fig. 1: crc kernel times on all 15 devices (including KNL)."""
     return _time_figure("Figure 1", "crc kernel execution times", "crc",
-                        SIZES, tuple(device_names()), samples, seed)
+                        SIZES, tuple(device_names()), samples, seed,
+                        jobs=jobs, cache=cache, refresh=refresh)
 
 
 _FIG2 = (("2a", "kmeans"), ("2b", "lud"), ("2c", "csr"), ("2d", "dwt"),
@@ -125,27 +132,34 @@ _FIG2 = (("2a", "kmeans"), ("2b", "lud"), ("2c", "csr"), ("2d", "dwt"),
 _FIG3 = (("3a", "srad"), ("3b", "nw"))
 
 
-def figure2(benchmark: str, samples: int = 50, seed: int = 12345) -> FigureData:
+def figure2(benchmark: str, samples: int = 50, seed: int = 12345,
+            jobs: int | None = 1, cache=None,
+            refresh: bool = False) -> FigureData:
     """Fig. 2a-2e: kmeans/lud/csr/dwt/fft on the 14 non-KNL devices."""
     sub = dict((b, i) for i, b in _FIG2)
     if benchmark not in sub:
         raise ValueError(f"figure 2 covers {sorted(sub)}, not {benchmark!r}")
     return _time_figure(f"Figure {sub[benchmark]}",
                         f"{benchmark} kernel execution times",
-                        benchmark, SIZES, DEVICES_NO_KNL, samples, seed)
+                        benchmark, SIZES, DEVICES_NO_KNL, samples, seed,
+                        jobs=jobs, cache=cache, refresh=refresh)
 
 
-def figure3(benchmark: str, samples: int = 50, seed: int = 12345) -> FigureData:
+def figure3(benchmark: str, samples: int = 50, seed: int = 12345,
+            jobs: int | None = 1, cache=None,
+            refresh: bool = False) -> FigureData:
     """Fig. 3a/3b: srad and nw on the 14 non-KNL devices."""
     sub = dict((b, i) for i, b in _FIG3)
     if benchmark not in sub:
         raise ValueError(f"figure 3 covers {sorted(sub)}, not {benchmark!r}")
     return _time_figure(f"Figure {sub[benchmark]}",
                         f"{benchmark} kernel execution times",
-                        benchmark, SIZES, DEVICES_NO_KNL, samples, seed)
+                        benchmark, SIZES, DEVICES_NO_KNL, samples, seed,
+                        jobs=jobs, cache=cache, refresh=refresh)
 
 
-def figure4(samples: int = 50, seed: int = 12345) -> FigureData:
+def figure4(samples: int = 50, seed: int = 12345, jobs: int | None = 1,
+            cache=None, refresh: bool = False) -> FigureData:
     """Fig. 4: gem / nqueens / hmm at their single evaluated size."""
     fig = FigureData(figure_id="Figure 4",
                      title="single-problem-size benchmarks",
@@ -153,7 +167,8 @@ def figure4(samples: int = 50, seed: int = 12345) -> FigureData:
     for benchmark in ("gem", "nqueens", "hmm"):
         results = ResultSet(run_matrix(benchmark, ["tiny"],
                                        list(DEVICES_NO_KNL),
-                                       samples=samples, seed=seed))
+                                       samples=samples, seed=seed, jobs=jobs,
+                                       cache=cache, refresh=refresh))
         fig.results.extend(results.results)
         panel = {}
         for device in DEVICES_NO_KNL:
@@ -164,7 +179,8 @@ def figure4(samples: int = 50, seed: int = 12345) -> FigureData:
     return fig
 
 
-def figure5(samples: int = 50, seed: int = 12345) -> FigureData:
+def figure5(samples: int = 50, seed: int = 12345, jobs: int | None = 1,
+            cache=None, refresh: bool = False) -> FigureData:
     """Fig. 5: kernel energy at the large size, i7-6700K vs GTX 1080."""
     fig = FigureData(figure_id="Figure 5",
                      title="kernel execution energy (large)",
@@ -173,7 +189,8 @@ def figure5(samples: int = 50, seed: int = 12345) -> FigureData:
         size = "large"
         results = ResultSet(run_matrix(benchmark, [size],
                                        list(ENERGY_DEVICES),
-                                       samples=samples, seed=seed))
+                                       samples=samples, seed=seed, jobs=jobs,
+                                       cache=cache, refresh=refresh))
         fig.results.extend(results.results)
         panel = {}
         for device in ENERGY_DEVICES:

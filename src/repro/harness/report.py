@@ -40,6 +40,7 @@ def table1_rows() -> list[dict]:
 
 
 def table1_text() -> str:
+    """Table 1 rendered as aligned text."""
     return render_table(table1_rows(), "Table 1: Hardware")
 
 
@@ -56,6 +57,7 @@ def table2_rows() -> list[dict]:
 
 
 def table2_text() -> str:
+    """Table 2 rendered as aligned text."""
     return render_table(table2_rows(), "Table 2: OpenDwarfs workload scale parameters Φ")
 
 
@@ -68,4 +70,5 @@ def table3_rows() -> list[dict]:
 
 
 def table3_text() -> str:
+    """Table 3 rendered as aligned text."""
     return render_table(table3_rows(), "Table 3: Program Arguments")

@@ -17,15 +17,18 @@ class ResultSet:
         self.results: list[RunResult] = list(results or [])
 
     def add(self, result: RunResult) -> None:
+        """Append one result."""
         self.results.append(result)
 
     def extend(self, results: list[RunResult]) -> None:
+        """Append many results."""
         self.results.extend(results)
 
     # ------------------------------------------------------------------
     def filter(self, benchmark: str | None = None, size: str | None = None,
                device: str | None = None, device_class: str | None = None
                ) -> "ResultSet":
+        """A new set restricted to the given coordinates (None = any)."""
         out = [
             r for r in self.results
             if (benchmark is None or r.benchmark == benchmark)
@@ -36,18 +39,21 @@ class ResultSet:
         return ResultSet(out)
 
     def get(self, benchmark: str, size: str, device: str) -> RunResult:
+        """The result for one exact cell; raises ``KeyError`` if absent."""
         for r in self.results:
             if (r.benchmark, r.size, r.device) == (benchmark, size, device):
                 return r
         raise KeyError(f"no result for ({benchmark}, {size}, {device})")
 
     def devices(self) -> list[str]:
+        """Device names present, in first-seen order."""
         seen: dict[str, None] = {}
         for r in self.results:
             seen.setdefault(r.device, None)
         return list(seen)
 
     def sizes(self) -> list[str]:
+        """Size names present, in first-seen order."""
         seen: dict[str, None] = {}
         for r in self.results:
             seen.setdefault(r.size, None)

@@ -19,6 +19,7 @@ times would only measure the simulator, not the modeled device.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 
@@ -45,6 +46,31 @@ DEFAULT_SAMPLES = 50
 
 #: Minimum looped duration per sample, seconds (paper §2).
 MIN_LOOP_SECONDS = 2.0
+
+
+def cell_seed(seed: int, benchmark: str, size: str, device: str) -> int:
+    """Deterministic RNG seed for one (benchmark, size, device) cell.
+
+    Derived with SHA-256 rather than Python's built-in ``hash`` so the
+    value is identical in every process regardless of
+    ``PYTHONHASHSEED`` — the property that lets
+    :func:`repro.harness.sweep.run_sweep` fan cells out over a process
+    pool and still produce samples bit-identical to a serial run.
+
+    Parameters
+    ----------
+    seed : int
+        The sweep-level base seed (``RunConfig.seed``).
+    benchmark, size, device : str
+        The cell coordinates; ``device`` is the canonical catalog name.
+
+    Returns
+    -------
+    int
+        A 64-bit seed for :func:`numpy.random.default_rng`.
+    """
+    material = f"{seed}|{benchmark}|{size}|{device}".encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "little")
 
 
 @dataclass
@@ -85,18 +111,22 @@ class RunResult:
 
     @property
     def time_summary(self) -> SampleSummary:
+        """Summary statistics of the timing samples."""
         return summarize(self.times_s)
 
     @property
     def energy_summary(self) -> SampleSummary:
+        """Summary statistics of the energy samples."""
         return summarize(self.energies_j)
 
     @property
     def mean_ms(self) -> float:
+        """Mean kernel time per iteration, milliseconds."""
         return float(self.times_s.mean() * 1e3)
 
     @property
     def mean_energy_j(self) -> float:
+        """Mean kernel energy per iteration, joules."""
         return float(self.energies_j.mean())
 
 
@@ -127,7 +157,7 @@ def run_benchmark(config: RunConfig, runlog: RunLog | None = None) -> RunResult:
     cls = get_benchmark(config.benchmark)
     bench = cls.from_size(config.size)
     rng = np.random.default_rng(
-        config.seed + hash((config.benchmark, config.size, spec.name)) % (2**31)
+        cell_seed(config.seed, config.benchmark, config.size, spec.name)
     )
     recorder = Recorder(f"{config.benchmark}/{config.size}/{spec.name}")
     if runlog is not None:
@@ -229,8 +259,44 @@ def run_matrix(
     samples: int = DEFAULT_SAMPLES,
     seed: int = 12345,
     runlog: RunLog | None = None,
+    jobs: int | None = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> list[RunResult]:
-    """Measure a benchmark across sizes x devices (model-only default)."""
+    """Measure a benchmark across sizes x devices (model-only default).
+
+    Parameters
+    ----------
+    benchmark : str
+        Registered benchmark name.
+    sizes, devices : list of str, optional
+        Cells to cover; default every preset size and the full Table 1
+        catalog.
+    execute : bool
+        Run the kernels functionally and validate (default: model-only).
+    samples, seed : int
+        Measurement protocol knobs, forwarded to each cell's
+        :class:`RunConfig`.
+    runlog : RunLog, optional
+        Explicit JSONL run log (default: the process-global one).
+    jobs : int or None
+        Worker processes for the sweep engine; ``1`` (the default) runs
+        every cell in this process, exactly as before the engine
+        existed, and ``None`` asks for ``os.cpu_count()`` workers.
+        Per-cell seeding is process-stable, so any ``jobs`` value
+        yields bit-identical samples.
+    cache : repro.harness.sweep.SweepCache, optional
+        Content-addressed result cache; hits skip computation entirely.
+    refresh : bool
+        Recompute every cell and overwrite existing cache entries.
+
+    Returns
+    -------
+    list of RunResult
+        One result per (size, device) cell, in row-major input order.
+    """
+    from .sweep import run_sweep  # deferred: sweep imports this module
+
     cls = get_benchmark(benchmark)
     sizes = list(sizes) if sizes else list(cls.available_sizes())
     if devices is None:
@@ -239,18 +305,19 @@ def run_matrix(
     runlog = runlog if runlog is not None else get_default_runlog()
     if runlog is not None:
         runlog.write("matrix_start", benchmark=benchmark, sizes=sizes,
-                     devices=devices, execute=execute)
-    results = []
+                     devices=devices, execute=execute, jobs=jobs)
+    configs = [
+        RunConfig(benchmark=benchmark, size=size, device=device,
+                  samples=samples, execute=execute, validate=execute,
+                  seed=seed)
+        for size in sizes for device in devices
+    ]
     with get_tracer().span("run_matrix", benchmark=benchmark,
-                           groups=len(sizes) * len(devices)):
-        for size in sizes:
-            for device in devices:
-                results.append(run_benchmark(RunConfig(
-                    benchmark=benchmark, size=size, device=device,
-                    samples=samples, execute=execute, validate=execute,
-                    seed=seed,
-                ), runlog=runlog))
+                           groups=len(configs)):
+        outcome = run_sweep(configs, jobs=jobs, cache=cache,
+                            refresh=refresh, runlog=runlog)
     if runlog is not None:
         runlog.write("matrix_complete", benchmark=benchmark,
-                     groups=len(results))
-    return results
+                     groups=len(outcome.results),
+                     computed=outcome.computed, cached=outcome.cached)
+    return outcome.results

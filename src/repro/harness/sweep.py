@@ -1,0 +1,422 @@
+"""Parallel sweep engine with a content-addressed result cache.
+
+The paper's headline artifact is a full measurement matrix — 11
+benchmarks x 4 problem sizes x 15 devices, 50 samples each (§4.3).
+:func:`repro.harness.runner.run_matrix` used to walk that matrix
+serially in one process and recompute it from scratch on every
+invocation; this module gives the harness the two properties GEMMbench
+(Lokhmotov 2015) and the HPCChallenge OpenCL suite (Meyer et al. 2020)
+argue reproducible benchmarking needs:
+
+* **parallelism** — :func:`run_sweep` fans cells out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs`` workers,
+  default ``os.cpu_count()``).  Because each cell seeds its RNG with
+  the process-stable :func:`~repro.harness.runner.cell_seed`, a
+  parallel sweep produces samples **bit-identical** to a serial one;
+* **memoisation** — a :class:`SweepCache` persists each cell's
+  :class:`~repro.harness.runner.RunResult` keyed on a SHA-256 of the
+  :class:`~repro.harness.runner.RunConfig`, the full device spec and a
+  model-version stamp, so re-running a sweep only computes
+  missing/invalidated cells and an interrupted matrix resumes where it
+  stopped.
+
+Observability rides along: every cell gets a ``sweep_cell`` span, the
+``sweep_cells_cached_total`` / ``sweep_cells_computed_total`` counter
+pair tracks cache effectiveness, and each worker's JSONL records are
+merged back into the parent run log (tagged with the worker PID).
+
+The on-disk cache-entry layout is documented in ``docs/formats.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..devices.catalog import get_device
+from ..perfmodel.roofline import TimeBreakdown
+from ..scibench.recorder import Recorder
+from ..telemetry.metrics import default_registry
+from ..telemetry.runlog import RunLog, get_default_runlog, memory_runlog
+from ..telemetry.tracer import get_tracer
+from .runner import RunConfig, RunResult, run_benchmark
+
+#: Stamp mixed into every cache key.  Bump whenever the performance,
+#: noise or energy models change in a way that invalidates previously
+#: cached samples — every existing entry then misses and is recomputed.
+MODEL_VERSION = "1"
+
+#: On-disk cache entry format (the JSON envelope, not the model).
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """The sweep cache location used when none is given explicitly.
+
+    ``$REPRO_CACHE_DIR`` wins, then ``$XDG_CACHE_HOME/repro``, then
+    ``~/.cache/repro``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg).expanduser() / "repro"
+    return Path("~/.cache/repro").expanduser()
+
+
+# ----------------------------------------------------------------------
+# RunResult (de)serialisation — shared by the cache and the worker IPC
+# ----------------------------------------------------------------------
+def result_to_payload(result: RunResult) -> dict:
+    """Serialise a :class:`RunResult` to a JSON-safe dict.
+
+    The same payload shape is used for cache entries and for shipping
+    results back from worker processes, so both paths are exercised by
+    the same round-trip tests.
+    """
+    recorder = None
+    if result.recorder is not None:
+        recorder = {
+            "name": result.recorder.name,
+            "measurements": [
+                {"region": m.region, "time_s": m.time_s,
+                 "energy_j": m.energy_j, "tags": dict(m.tags)}
+                for m in result.recorder._measurements
+            ],
+        }
+    return {
+        "benchmark": result.benchmark,
+        "size": result.size,
+        "device": result.device,
+        "device_class": result.device_class,
+        "nominal_s": result.nominal_s,
+        "times_s": [float(t) for t in result.times_s],
+        "energies_j": [float(e) for e in result.energies_j],
+        "loop_iterations": result.loop_iterations,
+        "breakdown": dataclasses.asdict(result.breakdown),
+        "footprint_bytes": result.footprint_bytes,
+        "validated": result.validated,
+        "recorder": recorder,
+    }
+
+
+def result_from_payload(payload: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_payload` output."""
+    recorder = None
+    if payload.get("recorder") is not None:
+        recorder = Recorder(payload["recorder"].get("name", ""))
+        for m in payload["recorder"]["measurements"]:
+            recorder.record(m["region"], m["time_s"],
+                            energy_j=m.get("energy_j"), **m.get("tags", {}))
+    return RunResult(
+        benchmark=payload["benchmark"],
+        size=payload["size"],
+        device=payload["device"],
+        device_class=payload["device_class"],
+        nominal_s=payload["nominal_s"],
+        times_s=np.asarray(payload["times_s"], dtype=float),
+        energies_j=np.asarray(payload["energies_j"], dtype=float),
+        loop_iterations=payload["loop_iterations"],
+        breakdown=TimeBreakdown(**payload["breakdown"]),
+        footprint_bytes=payload["footprint_bytes"],
+        validated=payload["validated"],
+        recorder=recorder,
+    )
+
+
+# ----------------------------------------------------------------------
+# Content-addressed result cache
+# ----------------------------------------------------------------------
+class SweepCache:
+    """Content-addressed store of per-cell :class:`RunResult` entries.
+
+    Each entry lives at ``<root>/<key[:2]>/<key>.json`` where ``key``
+    is :meth:`key`'s SHA-256 over the cell's full configuration, the
+    resolved device spec and the :data:`MODEL_VERSION` stamp.  Any
+    change to those inputs — different sample count, a re-parameterised
+    device, a model bump — yields a different key, so invalidation is
+    simply a miss; stale entries are never served.
+
+    Writes are atomic (temp file + ``os.replace``) and only ever
+    performed by the parent sweep process, so concurrent workers never
+    race on the store.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def key(self, config: RunConfig, model_version: str | None = None) -> str:
+        """The cache key (SHA-256 hex digest) for one sweep cell.
+
+        Parameters
+        ----------
+        config : RunConfig
+            The cell to address.  The device name is canonicalised
+            through the catalog and the *entire* device spec is folded
+            into the digest, so retuning a device's model parameters
+            invalidates its entries.
+        model_version : str, optional
+            Override of the global :data:`MODEL_VERSION` stamp
+            (tests use this to exercise invalidation).
+        """
+        spec = get_device(config.device)
+        fields = dataclasses.asdict(config)
+        fields["device"] = spec.name
+        material = {
+            "model_version": (MODEL_VERSION if model_version is None
+                              else model_version),
+            "config": fields,
+            "device_spec": dataclasses.asdict(spec),
+        }
+        blob = json.dumps(material, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> RunResult | None:
+        """Load a cached result, or ``None`` on miss/corruption.
+
+        A corrupt or format-incompatible entry is treated as a miss
+        (the sweep recomputes and overwrites it) rather than an error —
+        a half-written file from a killed run must not wedge resumes.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            if entry.get("format") != CACHE_FORMAT:
+                return None
+            return result_from_payload(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, config: RunConfig, result: RunResult) -> Path:
+        """Persist one cell's result under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "model_version": MODEL_VERSION,
+            "key": key,
+            "config": dataclasses.asdict(config),
+            "created_unix": time.time(),
+            "result": result_to_payload(result),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, default=str), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"<SweepCache {self.root}: {len(self)} entries>"
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
+class SweepOutcome:
+    """What a sweep did: the results plus compute/cache accounting."""
+
+    results: list[RunResult]
+    computed: int
+    cached: int
+    wall_s: float
+    jobs: int
+
+    @property
+    def cells(self) -> int:
+        """Total number of cells covered by the sweep."""
+        return len(self.results)
+
+
+def _compute_cell(config: RunConfig) -> tuple[dict, list[dict], dict]:
+    """Worker entry point: measure one cell in a child process.
+
+    Returns the serialised result, the cell's JSONL records (captured
+    in memory, each tagged with this worker's PID) and a metrics
+    snapshot, so the parent can merge both into its own run log and
+    registry.  The worker's registry is reset first: under ``fork`` it
+    inherits the parent's accumulated series, and the snapshot must be
+    a per-cell delta, not a cumulative copy.  Module-level and
+    argument-picklable so it works under both ``fork`` and ``spawn``
+    start methods.
+    """
+    from ..telemetry.runlog import set_default_runlog
+    set_default_runlog(None)  # never write to a handle inherited from the parent
+    default_registry().reset()
+    runlog, buffer = memory_runlog()
+    result = run_benchmark(config, runlog=runlog)
+    pid = os.getpid()
+    records = []
+    for line in buffer.getvalue().splitlines():
+        if line.strip():
+            record = json.loads(line)
+            record["worker_pid"] = pid
+            records.append(record)
+    return result_to_payload(result), records, default_registry().snapshot()
+
+
+def run_sweep(
+    configs: list[RunConfig],
+    jobs: int | None = None,
+    cache: SweepCache | None = None,
+    refresh: bool = False,
+    runlog: RunLog | None = None,
+) -> SweepOutcome:
+    """Measure many (benchmark, size, device) cells, in parallel, cached.
+
+    Parameters
+    ----------
+    configs : list of RunConfig
+        The cells to cover.  Results come back in the same order.
+    jobs : int, optional
+        Worker processes.  ``None`` means ``os.cpu_count()``; ``1``
+        runs every cell in this process (no pool, no pickling).
+        Either way the samples are bit-identical, because each cell's
+        RNG seed is derived process-stably by
+        :func:`~repro.harness.runner.cell_seed`.
+    cache : SweepCache, optional
+        When given, cells already present are restored without
+        computation and newly computed cells are persisted — which is
+        also how ``--resume`` continues an interrupted matrix.
+    refresh : bool
+        Ignore existing entries (recompute everything) but still write
+        the fresh results back to the cache.
+    runlog : RunLog, optional
+        Parent JSONL log; defaults to the process-global one.  Child
+        processes log to memory and their records are merged here,
+        tagged ``worker_pid``.
+
+    Returns
+    -------
+    SweepOutcome
+        Results in input order plus computed/cached cell counts and
+        the wall-clock duration.
+
+    Notes
+    -----
+    Pending (non-cached) cells are submitted longest-modeled-first via
+    :func:`repro.scheduling.sweep_execution_order` — the LPT heuristic
+    the scheduler already uses for heterogeneous task placement —
+    which minimises pool makespan when cell costs are skewed.
+    In parallel mode the per-cell ``sweep_cell`` spans are recorded at
+    completion on the parent (the tracer's span stack is per-process),
+    so they mark ordering and cache state, not child-side duration.
+    """
+    from ..scheduling import sweep_execution_order
+
+    tracer = get_tracer()
+    registry = default_registry()
+    runlog = runlog if runlog is not None else get_default_runlog()
+    jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+    cached_counter = registry.counter(
+        "sweep_cells_cached_total",
+        "Sweep cells restored from the result cache")
+    computed_counter = registry.counter(
+        "sweep_cells_computed_total",
+        "Sweep cells actually measured")
+
+    start = time.perf_counter()
+    if runlog is not None:
+        runlog.write("sweep_start", cells=len(configs), jobs=jobs,
+                     cache_dir=str(cache.root) if cache else None,
+                     refresh=refresh)
+
+    results: dict[int, RunResult] = {}
+    pending: list[tuple[int, RunConfig]] = []
+    keys: dict[int, str] = {}
+    for i, config in enumerate(configs):
+        hit = None
+        if cache is not None:
+            keys[i] = cache.key(config)
+            if not refresh:
+                hit = cache.get(keys[i])
+        if hit is not None:
+            with tracer.span("sweep_cell", benchmark=config.benchmark,
+                             size=config.size, device=config.device,
+                             cached=True):
+                pass
+            cached_counter.inc()
+            if runlog is not None:
+                runlog.write("cell_cached", benchmark=config.benchmark,
+                             size=config.size, device=config.device,
+                             key=keys[i])
+            results[i] = hit
+        else:
+            pending.append((i, config))
+
+    def _finish(i: int, config: RunConfig, result: RunResult) -> None:
+        computed_counter.inc()
+        if cache is not None:
+            cache.put(keys[i], config, result)
+        results[i] = result
+
+    if pending:
+        order = sweep_execution_order([c for _, c in pending])
+        if jobs == 1:
+            for pos in order:
+                i, config = pending[pos]
+                with tracer.span("sweep_cell", benchmark=config.benchmark,
+                                 size=config.size, device=config.device,
+                                 cached=False):
+                    result = run_benchmark(config, runlog=runlog)
+                _finish(i, config, result)
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {
+                    pool.submit(_compute_cell, pending[pos][1]): pending[pos]
+                    for pos in order
+                }
+                for future in as_completed(futures):
+                    i, config = futures[future]
+                    payload, records, metrics = future.result()
+                    if runlog is not None:
+                        for record in records:
+                            runlog.write_record(record)
+                    registry.merge_snapshot(metrics)
+                    with tracer.span("sweep_cell",
+                                     benchmark=config.benchmark,
+                                     size=config.size, device=config.device,
+                                     cached=False):
+                        pass
+                    _finish(i, config, result_from_payload(payload))
+
+    wall_s = time.perf_counter() - start
+    outcome = SweepOutcome(
+        results=[results[i] for i in range(len(configs))],
+        computed=len(pending),
+        cached=len(configs) - len(pending),
+        wall_s=wall_s,
+        jobs=jobs,
+    )
+    if runlog is not None:
+        runlog.write("sweep_complete", cells=outcome.cells,
+                     computed=outcome.computed, cached=outcome.cached,
+                     wall_s=wall_s)
+    return outcome

@@ -1,6 +1,12 @@
 """Device selection and task scheduling over the model (paper §7)."""
 
-from .scheduler import Assignment, Task, schedule_lpt, schedule_round_robin
+from .scheduler import (
+    Assignment,
+    Task,
+    schedule_lpt,
+    schedule_round_robin,
+    sweep_execution_order,
+)
 from .selector import (
     DevicePrediction,
     Objective,
@@ -21,4 +27,5 @@ __all__ = [
     "schedule_lpt",
     "schedule_round_robin",
     "select_device",
+    "sweep_execution_order",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..devices.catalog import get_device
 from ..dwarfs.base import Benchmark
+from ..dwarfs.registry import get_benchmark
 from ..perfmodel.roofline import iteration_time
 from ..telemetry.metrics import default_registry
 from ..telemetry.tracer import get_tracer
@@ -34,6 +35,18 @@ class Task:
     bench: Benchmark
 
     def time_on(self, device: str) -> float:
+        """Modeled iteration time of this task on one device.
+
+        Parameters
+        ----------
+        device : str
+            Catalog device name (Table 1).
+
+        Returns
+        -------
+        float
+            Modeled seconds per iteration (the scheduler's cost unit).
+        """
         return iteration_time(get_device(device), self.bench.profiles()).total_s
 
 
@@ -44,22 +57,37 @@ class Assignment:
     placements: dict = field(default_factory=dict)  # device -> [(label, s)]
 
     def add(self, device: str, label: str, time_s: float) -> None:
+        """Append one task to a device's queue.
+
+        Parameters
+        ----------
+        device : str
+            Target device name.
+        label : str
+            The task's label.
+        time_s : float
+            The task's modeled time on ``device``.
+        """
         self.placements.setdefault(device, []).append((label, time_s))
 
     def load(self, device: str) -> float:
+        """Total modeled busy time queued on ``device``, in seconds."""
         return sum(t for _, t in self.placements.get(device, []))
 
     @property
     def makespan(self) -> float:
+        """The schedule's finish time: the maximum per-device load."""
         if not self.placements:
             return 0.0
         return max(self.load(d) for d in self.placements)
 
     @property
     def total_device_seconds(self) -> float:
+        """Sum of all device loads (the schedule's total work)."""
         return sum(self.load(d) for d in self.placements)
 
     def rows(self) -> list[dict]:
+        """The schedule as printable table rows, one per device."""
         return [
             {"device": device,
              "tasks": ", ".join(label for label, _ in tasks),
@@ -79,7 +107,33 @@ def _record_schedule(policy: str, assignment: Assignment,
 
 
 def schedule_lpt(tasks: list[Task], devices: list[str]) -> Assignment:
-    """Heterogeneous LPT: biggest tasks first, earliest-finish device."""
+    """Heterogeneous LPT: biggest tasks first, earliest-finish device.
+
+    Tasks are sorted by their best-case modeled time (descending);
+    each is then placed on the device minimising completion time —
+    current load plus that device's modeled time for the task, so
+    affinity (a serial-chain kernel preferring a high-clocked CPU)
+    falls out of the cost matrix.
+
+    Parameters
+    ----------
+    tasks : list of Task
+        The batch to place.
+    devices : list of str
+        Candidate catalog device names; must be non-empty.
+
+    Returns
+    -------
+    Assignment
+        Per-device ordered task lists with modeled times; compare its
+        ``makespan`` against :func:`schedule_round_robin` to see the
+        value of device-aware placement.
+
+    Raises
+    ------
+    ValueError
+        If ``devices`` is empty.
+    """
     if not devices:
         raise ValueError("no devices to schedule onto")
     with get_tracer().span("schedule_lpt", tasks=len(tasks),
@@ -99,8 +153,63 @@ def schedule_lpt(tasks: list[Task], devices: list[str]) -> Assignment:
     return assignment
 
 
+def sweep_execution_order(configs: list) -> list[int]:
+    """Submission order for sweep cells: longest modeled cell first.
+
+    The same longest-processing-time-first idea as
+    :func:`schedule_lpt`, applied to the harness's parallel sweep
+    engine: when :func:`repro.harness.sweep.run_sweep` feeds a process
+    pool, starting the most expensive cells first minimises the
+    makespan tail (a cheap cell finishing last costs nothing; an
+    expensive one started last idles every other worker).
+
+    Parameters
+    ----------
+    configs : list of repro.harness.runner.RunConfig
+        The pending sweep cells.  Each cell's cost proxy is the
+        modeled iteration time of its benchmark/size on its device;
+        cells whose cost cannot be modeled (unknown benchmark during a
+        partial registry, say) sort last rather than raising.
+
+    Returns
+    -------
+    list of int
+        Indices into ``configs``, most expensive cell first.  Ties
+        keep input order, so the ordering is deterministic.
+    """
+    costs = []
+    for i, config in enumerate(configs):
+        try:
+            bench = get_benchmark(config.benchmark).from_size(config.size)
+            cost = iteration_time(get_device(config.device),
+                                  bench.profiles()).total_s
+        except Exception:
+            cost = -1.0
+        costs.append((i, cost))
+    return [i for i, _ in sorted(costs, key=lambda p: (-p[1], p[0]))]
+
+
 def schedule_round_robin(tasks: list[Task], devices: list[str]) -> Assignment:
-    """Affinity-blind baseline: deal tasks to devices cyclically."""
+    """Affinity-blind baseline: deal tasks to devices cyclically.
+
+    Parameters
+    ----------
+    tasks : list of Task
+        The batch to place, in input order.
+    devices : list of str
+        Candidate catalog device names; must be non-empty.
+
+    Returns
+    -------
+    Assignment
+        Task ``i`` lands on ``devices[i % len(devices)]`` regardless
+        of modeled cost — the strawman that happily puts crc on a KNL.
+
+    Raises
+    ------
+    ValueError
+        If ``devices`` is empty.
+    """
     if not devices:
         raise ValueError("no devices to schedule onto")
     with get_tracer().span("schedule_round_robin", tasks=len(tasks),

@@ -43,9 +43,11 @@ class DevicePrediction:
 
     @property
     def edp(self) -> float:
+        """Energy-delay product (J·s), the combined objective."""
         return self.time_s * self.energy_j
 
     def objective_value(self, objective: Objective) -> float:
+        """This prediction's cost under the given :class:`Objective`."""
         return {
             Objective.TIME: self.time_s,
             Objective.ENERGY: self.energy_j,
@@ -64,11 +66,26 @@ class Selection:
 
     @property
     def satisfiable(self) -> bool:
+        """Whether any device met every budget."""
         return self.chosen is not None
 
 
 def predict(bench: Benchmark, device: str | DeviceSpec) -> DevicePrediction:
-    """Model one device's time/energy for a benchmark iteration."""
+    """Model one device's time/energy for a benchmark iteration.
+
+    Parameters
+    ----------
+    bench : Benchmark
+        A sized benchmark instance (``cls.from_size(...)``); only its
+        kernel profiles are consulted, nothing executes.
+    device : str or DeviceSpec
+        Catalog name or an already-resolved spec.
+
+    Returns
+    -------
+    DevicePrediction
+        Modeled kernel time (s) and energy (J) for one iteration.
+    """
     spec = get_device(device) if isinstance(device, str) else device
     breakdown = iteration_time(spec, bench.profiles())
     energy = kernel_energy(spec, breakdown)
@@ -82,7 +99,20 @@ def predict(bench: Benchmark, device: str | DeviceSpec) -> DevicePrediction:
 
 def predict_all(bench: Benchmark,
                 devices: list[str] | None = None) -> list[DevicePrediction]:
-    """Predictions across a device set (default: the whole catalog)."""
+    """Predictions across a device set.
+
+    Parameters
+    ----------
+    bench : Benchmark
+        A sized benchmark instance.
+    devices : list of str, optional
+        Catalog names to consider; default the full Table 1 catalog.
+
+    Returns
+    -------
+    list of DevicePrediction
+        One prediction per device, in input (or catalog) order.
+    """
     return [predict(bench, d) for d in (devices or device_names())]
 
 
@@ -99,6 +129,25 @@ def select_device(
     objective minimiser wins.  An unsatisfiable query returns a
     Selection with ``chosen=None`` and the full rejected list, so a
     scheduler can relax constraints deliberately.
+
+    Parameters
+    ----------
+    bench : Benchmark
+        A sized benchmark instance.
+    devices : list of str, optional
+        Candidate catalog names; default the whole catalog.
+    time_budget_s, energy_budget_j : float, optional
+        Hard upper bounds on modeled time / energy; ``None`` means
+        unconstrained.
+    objective : Objective or str
+        Ranking criterion among feasible devices: ``"time"``,
+        ``"energy"`` or ``"edp"``.
+
+    Returns
+    -------
+    Selection
+        The chosen device (or ``None``), the feasible set sorted by
+        objective, and the rejected set.
     """
     if isinstance(objective, str):
         objective = Objective(objective)

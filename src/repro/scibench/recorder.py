@@ -73,15 +73,18 @@ class Recorder:
     # ------------------------------------------------------------------
     @property
     def regions(self) -> tuple[str, ...]:
+        """Region names in first-recorded order."""
         seen: dict[str, None] = {}
         for m in self._measurements:
             seen.setdefault(m.region, None)
         return tuple(seen)
 
     def times_s(self, region: str) -> list[float]:
+        """All timing samples of one region, in recording order."""
         return [m.time_s for m in self._measurements if m.region == region]
 
     def energies_j(self, region: str) -> list[float]:
+        """All energy samples of one region (records without energy skipped)."""
         return [
             m.energy_j
             for m in self._measurements
@@ -89,6 +92,7 @@ class Recorder:
         ]
 
     def count(self, region: str | None = None) -> int:
+        """Number of samples in one region (or in total, with ``None``)."""
         if region is None:
             return len(self._measurements)
         return sum(1 for m in self._measurements if m.region == region)
@@ -102,9 +106,11 @@ class Recorder:
         return summarize(samples)
 
     def summaries(self) -> dict[str, SampleSummary]:
+        """Per-region timing summaries, keyed by region name."""
         return {r: self.summary(r) for r in self.regions}
 
     def energy_summary(self, region: str) -> SampleSummary:
+        """Summary statistics of a region's energy samples."""
         samples = self.energies_j(region)
         if not samples:
             raise KeyError(f"no energy samples recorded for region {region!r}")
@@ -126,6 +132,7 @@ class Recorder:
         return out.getvalue()
 
     def clear(self) -> None:
+        """Drop every recorded sample."""
         self._measurements.clear()
 
     def __len__(self) -> int:

@@ -29,6 +29,7 @@ class WallClock:
         self._elapsed_ns = 0
 
     def start(self) -> None:
+        """Begin a timing interval."""
         self._start_ns = time.perf_counter_ns()
 
     def stop(self) -> int:
@@ -46,6 +47,7 @@ class WallClock:
         return self._elapsed_ns
 
     def reset(self) -> None:
+        """Discard the running interval and the accumulated total."""
         self._start_ns = None
         self._elapsed_ns = 0
 
@@ -66,9 +68,11 @@ class DeviceClock:
         self._elapsed_ns = 0
 
     def start(self) -> None:
+        """Begin a timing interval on the device clock."""
         self._start_ns = self.queue.device_time_ns
 
     def stop(self) -> int:
+        """Stop and return the elapsed device nanoseconds."""
         if self._start_ns is None:
             raise RuntimeError("timer stopped without being started")
         delta = self.queue.device_time_ns - self._start_ns
@@ -78,9 +82,11 @@ class DeviceClock:
 
     @property
     def elapsed_ns(self) -> int:
+        """Total device nanoseconds accumulated across intervals."""
         return self._elapsed_ns
 
     def reset(self) -> None:
+        """Discard the running interval and the accumulated total."""
         self._start_ns = None
         self._elapsed_ns = 0
 

@@ -198,6 +198,7 @@ class ChromeTraceExporter:
         return sum(1 for e in self.trace_events if e["ph"] == "X")
 
     def to_dict(self) -> dict:
+        """The whole trace as a Trace Event Format dict."""
         # Metadata first, then everything else in timestamp order, so
         # the file is monotone and viewers name tracks before slices.
         ordered = sorted(
@@ -211,9 +212,11 @@ class ChromeTraceExporter:
         }
 
     def dumps(self, indent: int | None = None) -> str:
+        """The trace as JSON text (Chrome/Perfetto-loadable)."""
         return json.dumps(self.to_dict(), indent=indent)
 
     def write(self, path) -> Path:
+        """Write the trace JSON to ``path``; returns the path."""
         path = Path(path)
         path.write_text(self.dumps())
         return path

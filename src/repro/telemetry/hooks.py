@@ -33,6 +33,7 @@ class EventBus:
     # ------------------------------------------------------------------
     @property
     def has_subscribers(self) -> bool:
+        """Whether any callback is registered (publish is a no-op if not)."""
         return bool(self._subscribers)
 
     def subscribe(self, callback: Callable) -> Callable:
@@ -70,6 +71,7 @@ class EventBus:
             callback(queue, event)
 
     def clear(self) -> None:
+        """Remove every subscriber."""
         self._subscribers.clear()
 
     def __len__(self) -> int:

@@ -76,6 +76,7 @@ class MetricFamily:
         raise NotImplementedError
 
     def expose(self) -> str:
+        """This family in Prometheus text exposition format."""
         lines = [
             f"# HELP {self.name} {self.help or self.name}",
             f"# TYPE {self.name} {self.type_name}",
@@ -95,12 +96,14 @@ class Counter(MetricFamily):
         self._values: dict[tuple, float] = {}
 
     def inc(self, amount: float = 1.0, **labels) -> None:
+        """Increase one label set's count by ``amount`` (>= 0)."""
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
+        """One label set's current count (0.0 if never incremented)."""
         return self._values.get(_label_key(labels), 0.0)
 
     @property
@@ -123,16 +126,20 @@ class Gauge(MetricFamily):
         self._values: dict[tuple, float] = {}
 
     def set(self, value: float, **labels) -> None:
+        """Set one label set's value."""
         self._values[_label_key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (possibly negative) to one label set."""
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels) -> None:
+        """Subtract ``amount`` from one label set."""
         self.inc(-amount, **labels)
 
     def value(self, **labels) -> float:
+        """One label set's current value (0.0 if never set)."""
         return self._values.get(_label_key(labels), 0.0)
 
     def _series(self):
@@ -158,14 +165,17 @@ class Histogram(MetricFamily):
         self._sums: dict[tuple, float] = {}
 
     def observe(self, value: float, **labels) -> None:
+        """Record one observation into a label set's series."""
         key = _label_key(labels)
         insort(self._observations.setdefault(key, []), float(value))
         self._sums[key] = self._sums.get(key, 0.0) + float(value)
 
     def count(self, **labels) -> int:
+        """Number of observations in one label set's series."""
         return len(self._observations.get(_label_key(labels), ()))
 
     def sum(self, **labels) -> float:
+        """Sum of observations in one label set's series."""
         return self._sums.get(_label_key(labels), 0.0)
 
     def quantile(self, q: float, **labels) -> float:
@@ -218,18 +228,22 @@ class MetricsRegistry:
         return family
 
     def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the :class:`Counter` named ``name``."""
         return self._get_or_create(Counter, name, help)
 
     def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the :class:`Gauge` named ``name``."""
         return self._get_or_create(Gauge, name, help)
 
     def histogram(self, name: str, help: str = "",
                   quantiles: tuple = DEFAULT_QUANTILES) -> Histogram:
+        """Get or create the :class:`Histogram` named ``name``."""
         return self._get_or_create(Histogram, name, help, quantiles=quantiles)
 
     # ------------------------------------------------------------------
     @property
     def families(self) -> dict[str, MetricFamily]:
+        """A copy of the name -> instrument map."""
         return dict(self._families)
 
     def expose(self) -> str:
@@ -249,6 +263,54 @@ class MetricsRegistry:
                 if store is not None:
                     store.clear()
 
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every series as a JSON-safe dict (for cross-process merging).
+
+        The parallel sweep engine resets the registry in each worker,
+        runs the cell, snapshots, and ships the snapshot back so the
+        parent can :meth:`merge_snapshot` it — without this, counters
+        incremented in child processes would silently vanish.
+        """
+        families = {}
+        for name, family in self._families.items():
+            entry = {"type": family.type_name, "help": family.help}
+            if isinstance(family, Histogram):
+                entry["series"] = [
+                    [list(key), list(obs), family._sums.get(key, 0.0)]
+                    for key, obs in family._observations.items()
+                ]
+            else:
+                entry["series"] = [
+                    [list(key), value]
+                    for key, value in family._values.items()
+                ]
+            families[name] = entry
+        return families
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, histograms re-observe every sample, gauges take
+        the snapshot's value (last-writer-wins, matching Prometheus
+        gauge semantics).
+        """
+        for name, entry in snapshot.items():
+            if entry["type"] == "counter":
+                family = self.counter(name, entry.get("help", ""))
+                for key, value in entry["series"]:
+                    family.inc(value, **{k: v for k, v in key})
+            elif entry["type"] == "gauge":
+                family = self.gauge(name, entry.get("help", ""))
+                for key, value in entry["series"]:
+                    family.set(value, **{k: v for k, v in key})
+            elif entry["type"] == "summary":
+                family = self.histogram(name, entry.get("help", ""))
+                for key, observations, _ in entry["series"]:
+                    labels = {k: v for k, v in key}
+                    for value in observations:
+                        family.observe(value, **labels)
+
     def __len__(self) -> int:
         return len(self._families)
 
@@ -261,4 +323,5 @@ _default_registry = MetricsRegistry()
 
 
 def default_registry() -> MetricsRegistry:
+    """The process-global registry built-in instrumentation reports to."""
     return _default_registry

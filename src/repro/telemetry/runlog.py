@@ -51,7 +51,21 @@ class RunLog:
         self.records_written += 1
         return record
 
+    def write_record(self, record: dict) -> dict:
+        """Append a pre-built record verbatim (timestamp and all).
+
+        Used when merging child-process sweep logs into the parent run
+        log: the record already carries the child's ``ts`` and
+        ``worker_pid``, so re-stamping it through :meth:`write` would
+        falsify the timeline.
+        """
+        self._stream.write(json.dumps(record, default=_json_default) + "\n")
+        self._stream.flush()
+        self.records_written += 1
+        return record
+
     def close(self) -> None:
+        """Close the underlying stream if this log opened it."""
         if self._owns_stream and not self._stream.closed:
             self._stream.close()
 
@@ -82,6 +96,7 @@ _default_runlog: RunLog | None = None
 
 
 def get_default_runlog() -> RunLog | None:
+    """The process-global run log, or ``None`` when logging is off."""
     return _default_runlog
 
 

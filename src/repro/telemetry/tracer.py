@@ -35,23 +35,28 @@ class Span:
     attributes: dict = field(default_factory=dict)
 
     def set_attribute(self, key: str, value) -> None:
+        """Attach (or overwrite) one attribute on this span."""
         self.attributes[key] = value
 
     @property
     def ended(self) -> bool:
+        """Whether the span has been closed."""
         return self.end_ns is not None
 
     @property
     def duration_ns(self) -> int:
+        """Span duration in nanoseconds; raises if still open."""
         if self.end_ns is None:
             raise RuntimeError(f"span {self.name!r} has not ended")
         return self.end_ns - self.start_ns
 
     @property
     def duration_s(self) -> float:
+        """Span duration in seconds; raises if still open."""
         return self.duration_ns * 1e-9
 
     def to_dict(self) -> dict:
+        """The span as a JSON-ready dict."""
         return {
             "name": self.name,
             "span_id": self.span_id,
@@ -161,15 +166,19 @@ class Tracer:
     # ------------------------------------------------------------------
     @property
     def current_span(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
         return self._stack[-1] if self._stack else None
 
     def enable(self) -> None:
+        """Start recording spans."""
         self.enabled = True
 
     def disable(self) -> None:
+        """Stop recording; :meth:`span` returns :data:`NOOP_SPAN`."""
         self.enabled = False
 
     def clear(self) -> None:
+        """Drop all finished spans and any open stack."""
         self.finished.clear()
         self._stack.clear()
 

@@ -36,7 +36,20 @@ CANDIDATE_LOCAL_SIZES = tuple(2**k for k in range(0, 11))  # 1 .. 1024
 
 
 def scheduling_width(spec: DeviceSpec) -> int:
-    """The device's native sub-group width."""
+    """The device's native sub-group width.
+
+    Parameters
+    ----------
+    spec : DeviceSpec
+        The device to query.
+
+    Returns
+    -------
+    int
+        Warp (32) on NVIDIA GPUs, wavefront (64) on AMD GPUs, and the
+        fp32 SIMD lane count on CPUs/MIC — the granularity at which
+        hardware schedules work items.
+    """
     if spec.device_type == DeviceType.GPU:
         return 64 if spec.vendor == Vendor.AMD else 32
     return max(1, spec.compute.simd_width_bits // 32)
@@ -48,6 +61,24 @@ def alignment_efficiency(spec: DeviceSpec, local_size: int) -> float:
     A local size below the scheduling width leaves the rest of the
     sub-group idle; a size that is not a multiple wastes the remainder
     of its last sub-group.
+
+    Parameters
+    ----------
+    spec : DeviceSpec
+        The device whose scheduling width applies.
+    local_size : int
+        Work items per work group; must be positive.
+
+    Returns
+    -------
+    float
+        Useful-lane fraction in (0, 1]; exactly 1.0 when
+        ``local_size`` is a multiple of the scheduling width.
+
+    Raises
+    ------
+    ValueError
+        If ``local_size`` is not positive.
     """
     width = scheduling_width(spec)
     if local_size <= 0:
@@ -58,7 +89,31 @@ def alignment_efficiency(spec: DeviceSpec, local_size: int) -> float:
 
 def tuned_kernel_time(spec: DeviceSpec, profile: KernelProfile,
                       local_size: int) -> TimeBreakdown:
-    """Model a kernel launched with an explicit local work-group size."""
+    """Model a kernel launched with an explicit local work-group size.
+
+    Lost alignment lanes stretch the computed work (flops and int ops
+    scale by ``1 / alignment_efficiency``); memory traffic is
+    unchanged, so memory-bound kernels are less local-size sensitive.
+
+    Parameters
+    ----------
+    spec : DeviceSpec
+        The target device.
+    profile : KernelProfile
+        The kernel's architecture-independent characterization.
+    local_size : int
+        Work items per work group to model.
+
+    Returns
+    -------
+    TimeBreakdown
+        The roofline breakdown for the adjusted launch.
+
+    Raises
+    ------
+    ValueError
+        If ``local_size`` exceeds the device maximum work-group size.
+    """
     if local_size > MAX_WORK_GROUP_SIZE:
         raise ValueError(
             f"local size {local_size} exceeds the device maximum "
@@ -87,13 +142,16 @@ class TuningResult:
 
     @property
     def worst_time_s(self) -> float:
+        """Slowest modeled time across the swept local sizes."""
         return max(self.sweep.values())
 
     @property
     def speedup_vs_worst(self) -> float:
+        """How much tuning bought: worst over best modeled time."""
         return self.worst_time_s / self.best_time_s if self.best_time_s else 1.0
 
     def rows(self) -> list[dict]:
+        """The sweep as printable table rows, best size marked."""
         return [
             {"local size": ls, "modeled ms": round(t * 1e3, 5),
              "best": "<-" if ls == self.best_local_size else ""}
@@ -108,6 +166,23 @@ def autotune(spec: DeviceSpec, profile: KernelProfile,
 
     Ties break toward the larger local size (fewer groups, matching
     what hand-tuned OpenCL codes pick).
+
+    Parameters
+    ----------
+    spec : DeviceSpec
+        The target device.
+    profile : KernelProfile
+        The kernel to tune.
+    candidates : tuple of int, optional
+        Local sizes to try; powers of two 1..1024 by default.  Sizes
+        exceeding the device maximum or the kernel's NDRange are
+        skipped; a degenerate single-work-item NDRange falls back to
+        local size 1.
+
+    Returns
+    -------
+    TuningResult
+        The winning local size, its modeled time, and the full sweep.
     """
     sweep = {}
     for local in candidates:
@@ -130,7 +205,21 @@ def autotune(spec: DeviceSpec, profile: KernelProfile,
 
 
 def autotune_benchmark(spec: DeviceSpec, bench) -> dict[str, TuningResult]:
-    """Tune every kernel of a benchmark; returns results by kernel name."""
+    """Tune every kernel of a benchmark.
+
+    Parameters
+    ----------
+    spec : DeviceSpec
+        The target device.
+    bench : Benchmark
+        A sized benchmark instance; each of its kernel profiles is
+        tuned independently.
+
+    Returns
+    -------
+    dict of str to TuningResult
+        One result per kernel, keyed by kernel name.
+    """
     out = {}
     for profile in bench.profiles():
         out[profile.name] = autotune(spec, profile)

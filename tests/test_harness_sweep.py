@@ -1,0 +1,325 @@
+"""The parallel sweep engine: determinism, caching, resume, telemetry.
+
+Acceptance pins for ISSUE 2's tentpole:
+
+* a parallel sweep produces samples **bit-identical** to a serial one
+  (the process-stable ``cell_seed`` derivation);
+* the content-addressed cache turns a repeated sweep into 0 computed
+  cells, misses on any config/model change, and survives corruption;
+* ``--resume`` (cache reuse) continues an interrupted matrix, only
+  computing the missing cells — counter-verified.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import RunConfig, cell_seed, run_benchmark, run_matrix
+from repro.harness import sweep as crossover_sweep_function  # legacy name
+from repro.harness.sweep import (
+    CACHE_FORMAT,
+    SweepCache,
+    default_cache_dir,
+    result_from_payload,
+    result_to_payload,
+    run_sweep,
+)
+from repro.scheduling import sweep_execution_order
+from repro.telemetry.metrics import default_registry
+from repro.telemetry.runlog import memory_runlog
+
+
+def _configs(samples=6, execute=False):
+    return [
+        RunConfig("fft", "tiny", "i7-6700K", samples=samples,
+                  execute=execute, validate=execute),
+        RunConfig("fft", "tiny", "GTX 1080", samples=samples,
+                  execute=execute, validate=execute),
+        RunConfig("crc", "tiny", "R9 290X", samples=samples,
+                  execute=execute, validate=execute),
+        RunConfig("srad", "small", "K20m", samples=samples,
+                  execute=execute, validate=execute),
+    ]
+
+
+class TestCellSeed:
+    def test_stable_value(self):
+        """The derivation is frozen: same inputs, same 64-bit seed,
+        in every process regardless of PYTHONHASHSEED."""
+        assert cell_seed(12345, "fft", "tiny", "GTX 1080") == \
+            cell_seed(12345, "fft", "tiny", "GTX 1080")
+
+    def test_distinct_per_coordinate(self):
+        base = cell_seed(1, "fft", "tiny", "GTX 1080")
+        assert cell_seed(2, "fft", "tiny", "GTX 1080") != base
+        assert cell_seed(1, "crc", "tiny", "GTX 1080") != base
+        assert cell_seed(1, "fft", "small", "GTX 1080") != base
+        assert cell_seed(1, "fft", "tiny", "K20m") != base
+
+
+class TestParallelDeterminism:
+    def test_parallel_equals_serial(self):
+        """Same seed => identical samples, any number of workers."""
+        configs = _configs()
+        serial = run_sweep(configs, jobs=1)
+        parallel = run_sweep(configs, jobs=2)
+        assert serial.computed == parallel.computed == len(configs)
+        for a, b in zip(serial.results, parallel.results):
+            np.testing.assert_array_equal(a.times_s, b.times_s)
+            np.testing.assert_array_equal(a.energies_j, b.energies_j)
+            assert a.loop_iterations == b.loop_iterations
+            assert a.nominal_s == b.nominal_s
+
+    def test_results_in_input_order(self):
+        configs = _configs()
+        outcome = run_sweep(configs, jobs=2)
+        got = [(r.benchmark, r.size, r.device) for r in outcome.results]
+        assert got == [(c.benchmark, c.size, c.device) for c in configs]
+
+    def test_parallel_matches_direct_run_benchmark(self):
+        config = RunConfig("csr", "tiny", "K40m", samples=5)
+        direct = run_benchmark(config)
+        pooled = run_sweep([config], jobs=2).results[0]
+        np.testing.assert_array_equal(direct.times_s, pooled.times_s)
+
+    def test_worker_logs_merged_into_parent(self):
+        runlog, buffer = memory_runlog()
+        run_sweep(_configs()[:2], jobs=2, runlog=runlog)
+        records = [json.loads(l) for l in buffer.getvalue().splitlines()]
+        events = [r["event"] for r in records]
+        assert events[0] == "sweep_start" and events[-1] == "sweep_complete"
+        completes = [r for r in records if r["event"] == "run_complete"]
+        assert len(completes) == 2
+        assert all("worker_pid" in r for r in completes)
+
+    def test_worker_metrics_merged_into_parent(self):
+        registry = default_registry()
+        registry.reset()
+        run_sweep(_configs()[:2], jobs=2)
+        assert registry.counter("harness_runs_total").total == 2
+        assert registry.counter("harness_samples_total").total == 12
+
+
+class TestSweepCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        registry = default_registry()
+        registry.reset()
+        configs = _configs()
+        first = run_sweep(configs, jobs=1, cache=cache)
+        assert (first.computed, first.cached) == (4, 0)
+        assert len(cache) == 4
+        second = run_sweep(configs, jobs=1, cache=cache)
+        assert (second.computed, second.cached) == (0, 4)
+        assert registry.counter("sweep_cells_computed_total").total == 4
+        assert registry.counter("sweep_cells_cached_total").total == 4
+        for a, b in zip(first.results, second.results):
+            np.testing.assert_array_equal(a.times_s, b.times_s)
+            np.testing.assert_array_equal(a.energies_j, b.energies_j)
+
+    def test_key_sensitivity(self, tmp_path):
+        """Any config coordinate change re-addresses the cell."""
+        cache = SweepCache(tmp_path)
+        base = RunConfig("fft", "tiny", "i7-6700K", samples=5)
+        key = cache.key(base)
+        assert cache.key(RunConfig("fft", "tiny", "i7-6700K", samples=6)) != key
+        assert cache.key(RunConfig("fft", "small", "i7-6700K", samples=5)) != key
+        assert cache.key(RunConfig("fft", "tiny", "GTX 1080", samples=5)) != key
+        variant = RunConfig("fft", "tiny", "i7-6700K", samples=5, seed=7)
+        assert cache.key(variant) != key
+        # canonicalisation: device name case does not split the cache
+        assert cache.key(RunConfig("fft", "tiny", "I7-6700K", samples=5)) == key
+
+    def test_model_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = SweepCache(tmp_path)
+        configs = _configs()[:2]
+        run_sweep(configs, jobs=1, cache=cache)
+        import sys
+        sweep_module = sys.modules["repro.harness.sweep"]
+        monkeypatch.setattr(sweep_module, "MODEL_VERSION", "999-test")
+        outcome = run_sweep(configs, jobs=1, cache=cache)
+        assert (outcome.computed, outcome.cached) == (2, 0)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        config = RunConfig("fft", "tiny", "i7-6700K", samples=4)
+        run_sweep([config], jobs=1, cache=cache)
+        key = cache.key(config)
+        cache.path_for(key).write_text("{ truncated garbage")
+        assert cache.get(key) is None
+        outcome = run_sweep([config], jobs=1, cache=cache)
+        assert outcome.computed == 1  # recomputed and healed
+        assert cache.get(key) is not None
+
+    def test_refresh_recomputes_and_overwrites(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        configs = _configs()[:2]
+        run_sweep(configs, jobs=1, cache=cache)
+        outcome = run_sweep(configs, jobs=1, cache=cache, refresh=True)
+        assert (outcome.computed, outcome.cached) == (2, 0)
+        assert len(cache) == 2
+
+    def test_format_stamp_checked(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        config = RunConfig("fft", "tiny", "i7-6700K", samples=4)
+        run_sweep([config], jobs=1, cache=cache)
+        key = cache.key(config)
+        entry = json.loads(cache.path_for(key).read_text())
+        assert entry["format"] == CACHE_FORMAT
+        entry["format"] = CACHE_FORMAT + 1
+        cache.path_for(key).write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(_configs()[:2], jobs=1, cache=cache)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestResume:
+    def test_resume_after_simulated_crash(self, tmp_path):
+        """A sweep killed mid-matrix resumes: only missing cells run."""
+        cache = SweepCache(tmp_path)
+        configs = _configs()
+        # the "crashed" first invocation persisted 2 of 4 cells
+        interrupted = run_sweep(configs[:2], jobs=1, cache=cache)
+        assert interrupted.computed == 2
+        registry = default_registry()
+        registry.reset()
+        resumed = run_sweep(configs, jobs=1, cache=cache)
+        assert (resumed.computed, resumed.cached) == (2, 2)
+        assert registry.counter("sweep_cells_computed_total").total == 2
+        assert registry.counter("sweep_cells_cached_total").total == 2
+        # and the restored cells equal what a fresh serial run produces
+        fresh = run_sweep(configs, jobs=1)
+        for a, b in zip(resumed.results, fresh.results):
+            np.testing.assert_array_equal(a.times_s, b.times_s)
+
+    def test_cached_cells_logged(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        configs = _configs()[:2]
+        run_sweep(configs, jobs=1, cache=cache)
+        runlog, buffer = memory_runlog()
+        run_sweep(configs, jobs=1, cache=cache, runlog=runlog)
+        events = [json.loads(l)["event"]
+                  for l in buffer.getvalue().splitlines()]
+        assert events.count("cell_cached") == 2
+        assert events.count("run_complete") == 0
+
+
+class TestSerialization:
+    def test_result_payload_roundtrip(self):
+        result = run_benchmark(RunConfig("fft", "tiny", "i7-6700K", samples=5))
+        back = result_from_payload(
+            json.loads(json.dumps(result_to_payload(result))))
+        np.testing.assert_array_equal(result.times_s, back.times_s)
+        np.testing.assert_array_equal(result.energies_j, back.energies_j)
+        assert back.validated == result.validated
+        assert back.breakdown.bound == result.breakdown.bound
+        assert back.breakdown.total_s == pytest.approx(result.breakdown.total_s)
+        assert len(back.recorder) == len(result.recorder)
+        assert back.recorder.regions == result.recorder.regions
+        assert back.footprint_bytes == result.footprint_bytes
+
+    def test_recorder_tags_survive(self):
+        result = run_benchmark(RunConfig("fft", "tiny", "i7-6700K", samples=3))
+        back = result_from_payload(result_to_payload(result))
+        assert back.recorder.to_csv() == result.recorder.to_csv()
+
+    def test_none_recorder_roundtrips(self):
+        result = run_benchmark(RunConfig("fft", "tiny", "i7-6700K", samples=3))
+        result.recorder = None
+        assert result_from_payload(result_to_payload(result)).recorder is None
+
+
+class TestExecutionOrder:
+    def test_lpt_order_longest_first(self):
+        configs = [
+            RunConfig("fft", "tiny", "GTX 1080"),
+            RunConfig("fft", "large", "GTX 1080"),
+            RunConfig("fft", "medium", "GTX 1080"),
+        ]
+        order = sweep_execution_order(configs)
+        assert order[0] == 1  # large is the most expensive cell
+        assert order[-1] == 0
+
+    def test_deterministic_and_complete(self):
+        configs = _configs()
+        order = sweep_execution_order(configs)
+        assert sorted(order) == list(range(len(configs)))
+        assert order == sweep_execution_order(configs)
+
+
+class TestMatrixIntegration:
+    def test_run_matrix_cache_and_jobs_passthrough(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        a = run_matrix("fft", ["tiny"], ["i7-6700K", "GTX 1080"],
+                       samples=4, cache=cache)
+        b = run_matrix("fft", ["tiny"], ["i7-6700K", "GTX 1080"],
+                       samples=4, cache=cache, jobs=2)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.times_s, y.times_s)
+        assert len(cache) == 2
+
+    def test_legacy_sweep_name_still_crossover(self):
+        """`from repro.harness import sweep` keeps meaning the
+        crossover sweep function, not the new engine module."""
+        assert callable(crossover_sweep_function)
+        assert crossover_sweep_function.__module__ == \
+            "repro.harness.crossover"
+
+
+class TestCLI:
+    def test_run_all_sweeps_and_summarises(self, tmp_path, capsys):
+        from repro.harness.cli import main
+        rc = main(["run", "all", "--size", "tiny", "--samples", "3",
+                   "--device", "i7-6700K", "--no-execute",
+                   "--jobs", "1", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fastest device per benchmark x size" in out
+        assert "computed" in out and "cached" in out
+        # second invocation completes from cache alone
+        rc = main(["run", "all", "--size", "tiny", "--samples", "3",
+                   "--device", "i7-6700K", "--no-execute",
+                   "--jobs", "1", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 computed" in out
+
+    def test_run_single_with_cache_dir(self, tmp_path, capsys):
+        from repro.harness.cli import main
+        argv = ["run", "fft", "--size", "tiny", "--device", "i7-6700K",
+                "--samples", "3", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "1 computed" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 cached" in second
+        # the printed measurement is identical, cache or not
+        assert first.splitlines()[:8] == second.splitlines()[:8]
+
+    def test_resume_contradicts_no_cache(self):
+        from repro.harness.cli import main
+        with pytest.raises(SystemExit):
+            main(["run", "all", "--size", "tiny", "--resume", "--no-cache"])
+
+    def test_figure_with_cache(self, tmp_path, capsys):
+        from repro.harness.cli import main
+        argv = ["figure", "5", "--samples", "3", "--jobs", "1",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        registry = default_registry()
+        before = registry.counter("sweep_cells_computed_total").total
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert registry.counter("sweep_cells_computed_total").total == before
+        assert first == second
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
