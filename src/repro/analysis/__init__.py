@@ -1,0 +1,34 @@
+"""Kernel sanitizer and lint suite for the simulated OpenCL runtime.
+
+An Oclgrind-style analysis layer (paper §4.4's verification step,
+automated): a **static lint** pass over OpenCL C sources and host-side
+argument bindings (:mod:`repro.analysis.lint`) and an opt-in **runtime
+sanitizer** that executes kernels against shadow-memory guards
+(:mod:`repro.analysis.sanitize`).  Both emit :class:`Finding` records
+collected by a :class:`Report`; :func:`run_suite` drives the whole
+thing and backs the ``repro lint`` CLI subcommand.
+
+See docs/analysis.md for the check catalogue, severity semantics,
+suppression directives and the JSON report schema.
+"""
+
+from .findings import JSON_SCHEMA_VERSION, Finding, Report, SEVERITIES, severity_rank
+from .lint import lint_cl_source, lint_program
+from .sanitize import GuardedNDArray, Sanitizer, sanitized
+from .suite import DEFAULT_DEVICE, analyze_benchmark, run_suite
+
+__all__ = [
+    "DEFAULT_DEVICE",
+    "Finding",
+    "GuardedNDArray",
+    "JSON_SCHEMA_VERSION",
+    "Report",
+    "SEVERITIES",
+    "Sanitizer",
+    "analyze_benchmark",
+    "lint_cl_source",
+    "lint_program",
+    "run_suite",
+    "sanitized",
+    "severity_rank",
+]

@@ -1,0 +1,267 @@
+"""Static lint over OpenCL C kernel sources and host-side bindings.
+
+The checks target the host/kernel mismatch class the paper's curation
+fought (§4.4): parameters the kernel never reads, writes through
+``__constant`` memory, ``__local`` parameters fed from global buffers,
+kernels that exist only on one side of the host/device boundary, and
+barriers reached under thread-divergent control flow (undefined
+behaviour on real devices, invisible in a sequential simulation).
+
+Everything here is textual/structural — no kernel executes.  The
+runtime complement lives in :mod:`repro.analysis.sanitize`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..ocl.clsource import (
+    CLKernelSignature,
+    CLSourceError,
+    kernel_bodies,
+    kernel_suppressions,
+    parse_kernels,
+)
+from ..ocl.memory import Buffer
+from ..ocl.program import Program
+from .findings import Finding
+
+#: Identifiers whose appearance in an ``if`` condition marks the branch
+#: as (potentially) thread-divergent.
+_ID_RE = re.compile(
+    r"get_global_id|get_local_id|get_group_id|\bgid\b|\btid\b|\blid\b"
+)
+
+_BARRIER_RE = re.compile(r"\bbarrier\s*\(")
+
+_IF_RE = re.compile(r"\bif\s*\(")
+
+
+def _word_re(name: str) -> re.Pattern:
+    return re.compile(rf"\b{re.escape(name)}\b")
+
+
+#: ``name[...] op=``, ``name[...]++`` and ``++name[...]`` — a store
+#: through the subscripted pointer.
+def _write_through(name: str) -> re.Pattern:
+    sub = rf"\b{re.escape(name)}\s*\[[^\]]*\]"
+    return re.compile(
+        rf"({sub}\s*(\+\+|--|[-+*/%&|^]?=(?!=)))|((\+\+|--)\s*{re.escape(name)}\s*\[)"
+    )
+
+
+def _match_delim(text: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Offset just past the delimiter matching ``text[start]``, or -1."""
+    depth = 0
+    for pos in range(start, len(text)):
+        if text[pos] == open_ch:
+            depth += 1
+        elif text[pos] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return pos + 1
+    return -1
+
+
+def _divergent_barrier(body: str) -> bool:
+    """Does any work-item-dependent ``if`` body contain a barrier?
+
+    Heuristic: an ``if`` whose condition mentions a work-item id
+    (``get_global_id`` etc.) guards a region not all work items reach;
+    a ``barrier()`` inside it deadlocks real devices.  Early-exit
+    guards (``if (gid >= n) return;``) do not trip this because the
+    barrier must be *inside* the divergent block.
+    """
+    for match in _IF_RE.finditer(body):
+        cond_start = match.end() - 1
+        cond_end = _match_delim(body, cond_start, "(", ")")
+        if cond_end < 0:
+            continue
+        if not _ID_RE.search(body[cond_start:cond_end]):
+            continue
+        rest = body[cond_end:]
+        block_match = re.match(r"\s*\{", rest)
+        if block_match:
+            brace_at = cond_end + block_match.end() - 1
+            block_end = _match_delim(body, brace_at, "{", "}")
+            block = body[brace_at:block_end] if block_end > 0 else body[brace_at:]
+        else:
+            # single-statement branch: up to the next semicolon
+            semi = rest.find(";")
+            block = rest if semi < 0 else rest[: semi + 1]
+        if _BARRIER_RE.search(block):
+            return True
+    return False
+
+
+def _suppressed(allows: set, check: str, name: str | None = None) -> bool:
+    return (check, None) in allows or (name is not None and (check, name) in allows)
+
+
+# ---------------------------------------------------------------------------
+def lint_cl_source(
+    source: str,
+    python_bodies: set[str] | None = None,
+    benchmark: str | None = None,
+) -> list[Finding]:
+    """Lint one OpenCL C source string.
+
+    ``python_bodies`` is the set of kernel names for which the program
+    registered a Python body; ``__kernel`` functions outside it are
+    flagged (a kernel shipped in ``.cl`` that the simulation never
+    executes drifts silently).
+    """
+    findings: list[Finding] = []
+    try:
+        signatures = parse_kernels(source)
+    except CLSourceError as exc:
+        findings.append(Finding(
+            check="build-failure", severity="error", benchmark=benchmark,
+            message=f"OpenCL C source failed to parse: {exc}",
+        ))
+        return findings
+    bodies = kernel_bodies(source)
+    suppressions = kernel_suppressions(source)
+
+    for name, signature in signatures.items():
+        body = bodies.get(name)  # None when brace matching failed
+        allows = suppressions.get(name, set())
+        findings.extend(
+            _lint_kernel(signature, body, allows, benchmark, python_bodies)
+        )
+    return findings
+
+
+def _lint_kernel(
+    signature: CLKernelSignature,
+    body: str | None,
+    allows: set,
+    benchmark: str | None,
+    python_bodies: set[str] | None,
+) -> list[Finding]:
+    name = signature.name
+    findings: list[Finding] = []
+
+    if (
+        python_bodies is not None
+        and name not in python_bodies
+        and not _suppressed(allows, "missing-kernel-body")
+    ):
+        findings.append(Finding(
+            check="missing-kernel-body", severity="warning",
+            benchmark=benchmark, kernel=name,
+            message="__kernel is declared in the OpenCL C source but the "
+                    "program registers no Python body for it",
+            hint="register a KernelSource of the same name, or drop the "
+                 "kernel from the .cl source",
+        ))
+
+    for index, param in enumerate(signature.params):
+        if (
+            body is not None
+            and not _word_re(param.name).search(body)
+            and not _suppressed(allows, "unused-param", param.name)
+        ):
+            findings.append(Finding(
+                check="unused-param", severity="warning",
+                benchmark=benchmark, kernel=name, argument=param.name,
+                location=f"argument {index}",
+                message=f"kernel parameter {param.name!r} is never used in "
+                        "the kernel body",
+                hint="remove the parameter (and its host-side set_arg) or "
+                     "suppress with // repro-lint: allow(unused-param: "
+                     f"{param.name})",
+            ))
+        if (
+            param.is_pointer
+            and param.address_space == "constant"
+            and body
+            and _write_through(param.name).search(body)
+            and not _suppressed(allows, "constant-write", param.name)
+        ):
+            findings.append(Finding(
+                check="constant-write", severity="error",
+                benchmark=benchmark, kernel=name, argument=param.name,
+                location=f"argument {index}",
+                message=f"kernel writes through __constant pointer "
+                        f"{param.name!r}",
+                hint="move the parameter to __global, or drop the store",
+            ))
+
+    if (
+        body
+        and _BARRIER_RE.search(body)
+        and _divergent_barrier(body)
+        and not _suppressed(allows, "barrier-divergence")
+    ):
+        findings.append(Finding(
+            check="barrier-divergence", severity="warning",
+            benchmark=benchmark, kernel=name,
+            message="barrier() is reached inside a branch conditioned on a "
+                    "work-item id; not all work items of a group would reach "
+                    "it on a real device",
+            hint="hoist the barrier out of the divergent branch",
+        ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+def lint_program(program: Program, benchmark: str | None = None) -> list[Finding]:
+    """Lint every kernel of a built program plus its host bindings."""
+    findings: list[Finding] = []
+    python_bodies = set(program.kernel_names)
+    seen_sources: set[str] = set()
+
+    for src in program._sources:
+        if src.cl_source is None:
+            findings.append(Finding(
+                check="missing-cl-source", severity="note",
+                benchmark=benchmark, kernel=src.name,
+                message="kernel has a Python body but carries no OpenCL C "
+                        "source; signature checks cannot run",
+                hint="attach the .cl text via KernelSource(cl_source=...)",
+            ))
+            continue
+        if src.cl_source in seen_sources:
+            continue  # several kernels sharing one .cl file
+        seen_sources.add(src.cl_source)
+        findings.extend(
+            lint_cl_source(src.cl_source, python_bodies, benchmark)
+        )
+
+    findings.extend(_lint_bound_args(program, benchmark))
+    return findings
+
+
+def _lint_bound_args(program: Program, benchmark: str | None) -> list[Finding]:
+    """Cross-check host-side ``set_args`` bindings against signatures.
+
+    Scalar dtype mismatches raise at ``set_arg`` time; what remains to
+    lint is address-space misuse the runtime tolerates, i.e. a
+    ``__local`` pointer fed from a global :class:`Buffer` (real OpenCL
+    passes only a *size* for ``__local`` parameters).
+    """
+    findings: list[Finding] = []
+    for kernel in program._kernels:
+        if kernel.signature is None or kernel._args is None:
+            continue
+        for index, param in enumerate(kernel.signature.params):
+            if index >= len(kernel._args):
+                break
+            value = kernel._args[index]
+            if (
+                param.is_pointer
+                and param.address_space == "local"
+                and isinstance(value, Buffer)
+            ):
+                findings.append(Finding(
+                    check="local-from-global", severity="error",
+                    benchmark=benchmark, kernel=kernel.name,
+                    argument=param.name, location=f"argument {index}",
+                    message="a global Buffer is bound to a __local pointer "
+                            "parameter; OpenCL passes __local arguments as a "
+                            "size, not a buffer",
+                    hint="bind the scratch size instead, or change the "
+                         "parameter's address space",
+                ))
+    return findings

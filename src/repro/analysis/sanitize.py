@@ -1,0 +1,479 @@
+"""Runtime sanitizer: shadow-memory guards over buffer accesses.
+
+The Oclgrind analogue for the simulated runtime.  Attaching a
+:class:`Sanitizer` to a :class:`~repro.ocl.context.Context` makes every
+kernel launch execute against :class:`GuardedNDArray` views of the
+buffers' backing arrays.  The guards detect:
+
+``oob-access``
+    An index at or beyond the end of the buffer (numpy would raise
+    ``IndexError``; the guard records the kernel/element first).  A
+    *negative* integer or fancy index is reported as a ``note`` — it
+    wraps legally in numpy but addresses out-of-bounds memory in
+    OpenCL C.
+``uninit-read``
+    A read of an element never written since allocation, for buffers
+    created without host data (``clCreateBuffer`` without
+    ``COPY_HOST_PTR`` leaves contents undefined on a real device; the
+    simulation's zero-fill hides that).
+``data-race``
+    Two work items of one NDRange touching the same element with at
+    least one write, unordered by a work-group barrier.  Work-item
+    attribution exists only under the scalar
+    :func:`~repro.ocl.program.work_item_kernel` adapter — vectorised
+    kernel bodies act as a single actor and cannot race with
+    themselves.
+``use-after-release`` / ``kernel-abort`` / ``buffer-leak`` /
+``queue-leak``
+    Lifecycle probes fed by hooks in the queue and context.
+
+Guarding is strictly opt-in: an unattached context takes a single
+``is None`` branch per hook site.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..ocl.context import Context
+from ..ocl.memory import Buffer
+from ..ocl.program import (
+    current_work_item,
+    disable_work_item_tracking,
+    enable_work_item_tracking,
+)
+from .findings import Finding
+
+
+def _has_negative_index(idx) -> bool:
+    """Negative *element* indices (ints / fancy arrays), not slices.
+
+    Negative slice bounds (``a[:-1]``) are idiomatic Python and stay
+    in bounds, so they are deliberately not flagged.
+    """
+    if isinstance(idx, (int, np.integer)):
+        return idx < 0
+    if isinstance(idx, tuple):
+        return any(_has_negative_index(i) for i in idx)
+    if isinstance(idx, np.ndarray) and idx.dtype != np.bool_:
+        return bool((idx < 0).any())
+    if isinstance(idx, (list,)):
+        return _has_negative_index(np.asarray(idx))
+    return False
+
+
+class _Shadow:
+    """Per-buffer shadow state: init mask + per-launch access history."""
+
+    __slots__ = ("buffer", "initialized", "flat", "writers", "readers")
+
+    def __init__(self, buf: Buffer, array: np.ndarray):
+        self.buffer = buf
+        #: One bool per element of the backing array; False means the
+        #: element has never been written since allocation.
+        self.initialized = np.full(array.shape, buf._host_initialized, dtype=bool)
+        #: Companion array mapping any indexing expression to the flat
+        #: element offsets it selects (lazily built at first guard use).
+        self.flat: np.ndarray | None = None
+        #: element -> (work item, group, epoch) of last access in the
+        #: current launch; reset by :meth:`Sanitizer.after_kernel`.
+        self.writers: dict = {}
+        self.readers: dict = {}
+
+    def flat_for(self, array: np.ndarray) -> np.ndarray:
+        if self.flat is None or self.flat.shape != array.shape:
+            self.flat = np.arange(array.size).reshape(array.shape)
+        return self.flat
+
+
+class _Guard:
+    """Access hooks for one guarded kernel argument in one launch."""
+
+    __slots__ = ("san", "shadow", "kernel_name", "argument")
+
+    def __init__(self, san: "Sanitizer", shadow: _Shadow,
+                 kernel_name: str, argument: str | None):
+        self.san = san
+        self.shadow = shadow
+        self.kernel_name = kernel_name
+        self.argument = argument
+
+    # ------------------------------------------------------------------
+    def _select(self, view: np.ndarray, idx) -> np.ndarray:
+        """Flat element offsets selected by ``idx``; records OOB."""
+        flat = self.shadow.flat_for(view)
+        try:
+            sel = np.asarray(flat[idx]).ravel()
+        except IndexError as exc:
+            self.san.record(Finding(
+                check="oob-access", severity="error",
+                benchmark=self.san.benchmark, kernel=self.kernel_name,
+                argument=self.argument, location=f"index {idx!r}",
+                message=f"out-of-bounds access on a buffer of "
+                        f"{view.size} element(s): {exc}",
+                hint="guard the access with the problem size, or fix the "
+                     "index arithmetic",
+            ))
+            raise
+        if _has_negative_index(idx):
+            self.san.record(Finding(
+                check="oob-access", severity="note",
+                benchmark=self.san.benchmark, kernel=self.kernel_name,
+                argument=self.argument, location=f"index {idx!r}",
+                message="negative index wraps in numpy but is out of "
+                        "bounds in OpenCL C",
+            ), dedup=("oob-wrap", self.kernel_name, id(self.shadow)))
+        return sel
+
+    def on_read(self, view: np.ndarray, idx) -> None:
+        sel = self._select(view, idx)
+        self._check_uninit(sel)
+        self._record_race(sel, is_write=False)
+
+    def on_write(self, view: np.ndarray, idx) -> None:
+        sel = self._select(view, idx)
+        self._record_race(sel, is_write=True)
+        self.shadow.initialized.ravel()[sel] = True
+
+    def on_read_all(self, view: np.ndarray) -> None:
+        self._check_uninit(None)
+        if current_work_item() is not None:
+            self._record_race(
+                np.arange(self.shadow.initialized.size), is_write=False
+            )
+
+    def on_write_all(self, view: np.ndarray) -> None:
+        if current_work_item() is not None:
+            self._record_race(
+                np.arange(self.shadow.initialized.size), is_write=True
+            )
+        self.shadow.initialized[...] = True
+
+    def on_escape(self, sel: np.ndarray | None = None) -> None:
+        """A mutable view escaped the guard (slice result, reshape).
+
+        Writes through the escaped view are untracked, so the escaped
+        elements are conservatively marked initialized to keep the
+        uninit-read check free of false positives.
+        """
+        if sel is None:
+            self.shadow.initialized[...] = True
+        else:
+            self.shadow.initialized.ravel()[sel] = True
+
+    # ------------------------------------------------------------------
+    def _check_uninit(self, sel: np.ndarray | None) -> None:
+        init = self.shadow.initialized.ravel()
+        mask = init if sel is None else init[sel]
+        if mask.all():
+            return
+        if sel is None:
+            first = int(np.flatnonzero(~init)[0])
+        else:
+            first = int(sel[np.flatnonzero(~mask)[0]])
+        count = int((~mask).sum())
+        self.san.record(Finding(
+            check="uninit-read", severity="error",
+            benchmark=self.san.benchmark, kernel=self.kernel_name,
+            argument=self.argument, location=f"element {first}",
+            message=f"read of element {first}, which was never written "
+                    f"since allocation ({count} of the selected elements "
+                    "are uninitialized)",
+            hint="initialise the buffer with a host write or fill before "
+                 "launching, or create it from a host array",
+        ), dedup=("uninit", self.kernel_name, id(self.shadow)))
+
+    def _record_race(self, sel: np.ndarray, is_write: bool) -> None:
+        state = current_work_item()
+        if state is None:
+            return  # vectorised body: a single actor cannot race
+        actor = (state.gid, state.group, state.epoch)
+        writers, readers = self.shadow.writers, self.shadow.readers
+        for element in sel.tolist():
+            prior_write = writers.get(element)
+            if prior_write is not None and self._conflicts(prior_write, actor):
+                self._race(element, prior_write, actor,
+                           "write/write" if is_write else "read/write")
+            if is_write:
+                prior_read = readers.get(element)
+                if prior_read is not None and self._conflicts(prior_read, actor):
+                    self._race(element, prior_read, actor, "read/write")
+                writers[element] = actor
+            else:
+                readers[element] = actor
+
+    @staticmethod
+    def _conflicts(prev: tuple, cur: tuple) -> bool:
+        """Unordered accesses: distinct work items, not barrier-separated.
+
+        Accesses by the same work item are program-ordered.  Within a
+        work group, a differing barrier epoch means a barrier executed
+        between the two accesses, ordering them; across groups no
+        barrier synchronises, so distinct items always conflict.
+        """
+        (prev_item, prev_group, prev_epoch) = prev
+        (cur_item, cur_group, cur_epoch) = cur
+        if prev_item == cur_item:
+            return False
+        if prev_group != cur_group:
+            return True
+        return prev_epoch == cur_epoch
+
+    def _race(self, element: int, prev: tuple, cur: tuple, kind: str) -> None:
+        self.san.record(Finding(
+            check="data-race", severity="error",
+            benchmark=self.san.benchmark, kernel=self.kernel_name,
+            argument=self.argument, location=f"element {element}",
+            message=f"{kind} race on element {element}: work items "
+                    f"{prev[0]} and {cur[0]} access it without an "
+                    "ordering barrier",
+            hint="give each work item a disjoint output slot, or separate "
+                 "the accesses with work_group_barrier()",
+        ), dedup=("race", self.kernel_name, id(self.shadow), element))
+
+
+class GuardedNDArray(np.ndarray):
+    """ndarray subclass that reports element accesses to a :class:`_Guard`.
+
+    Only the top-level array handed to the kernel body carries a guard;
+    any derived array (slice, reshape, ufunc result) degrades to plain
+    ndarray behaviour via ``__array_finalize__``.  Derivation is
+    recorded as a view *escape* so untracked writes cannot fake
+    uninitialized reads later.
+    """
+
+    _guard = None
+
+    def __array_finalize__(self, obj):
+        self._guard = None
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, idx):
+        guard = self._guard
+        if guard is not None:
+            guard.on_read(self, idx)
+        out = np.ndarray.__getitem__(self, idx)
+        if guard is not None and isinstance(out, np.ndarray) and out.base is not None:
+            # a mutable view escaped: further writes are invisible
+            guard.on_escape(guard._select(self, idx))
+        return out
+
+    def __setitem__(self, idx, value):
+        guard = self._guard
+        if guard is not None:
+            guard.on_write(self, idx)
+        np.ndarray.__setitem__(self, idx, value)
+
+    # ------------------------------------------------------------------
+    def __array_ufunc__(self, ufunc, method, *inputs, out=None, **kwargs):
+        # Every GuardedNDArray (guarded or a derived, guard-less one)
+        # must be demoted to a base view, or the delegated ufunc call
+        # would re-enter this hook and recurse.
+        base_inputs = []
+        for value in inputs:
+            if isinstance(value, GuardedNDArray):
+                if value._guard is not None:
+                    value._guard.on_read_all(value)
+                base_inputs.append(np.ndarray.view(value, np.ndarray))
+            else:
+                base_inputs.append(value)
+        if out is not None:
+            base_out = []
+            for target in out:
+                if isinstance(target, GuardedNDArray):
+                    if target._guard is not None:
+                        target._guard.on_write_all(target)
+                    base_out.append(np.ndarray.view(target, np.ndarray))
+                else:
+                    base_out.append(target)
+            kwargs["out"] = tuple(base_out)
+        result = getattr(ufunc, method)(*base_inputs, **kwargs)
+        if out is not None and len(out) == 1:
+            return out[0]
+        return result
+
+    # ------------------------------------------------------------------
+    def _escaped(self):
+        if self._guard is not None:
+            self._guard.on_escape()
+
+    def reshape(self, *shape, **kwargs):
+        self._escaped()
+        return np.ndarray.reshape(self, *shape, **kwargs)
+
+    def ravel(self, *args, **kwargs):
+        self._escaped()
+        return np.ndarray.ravel(self, *args, **kwargs)
+
+    def view(self, *args, **kwargs):
+        self._escaped()
+        return np.ndarray.view(self, *args, **kwargs)
+
+    def transpose(self, *axes):
+        self._escaped()
+        return np.ndarray.transpose(self, *axes)
+
+
+class Sanitizer:
+    """Collects runtime findings for contexts it is attached to.
+
+    Use :func:`sanitized` for scoped attachment, or ``attach``/
+    ``detach`` directly.  Findings accumulate on :attr:`findings`.
+    """
+
+    def __init__(self, benchmark: str | None = None):
+        self.benchmark = benchmark
+        self.findings: list[Finding] = []
+        self._shadows: dict[int, _Shadow] = {}
+        self._contexts: list[Context] = []
+        self._seen: set = set()
+
+    # ------------------------------------------------------------------
+    def attach(self, context: Context) -> "Sanitizer":
+        """Instrument a context (and pre-shadow its live buffers)."""
+        if context.sanitizer is not None and context.sanitizer is not self:
+            raise ValueError("context already has a sanitizer attached")
+        if context not in self._contexts:
+            context.sanitizer = self
+            self._contexts.append(context)
+            enable_work_item_tracking()
+            for buf in context._allocations.values():
+                self.on_alloc(buf)
+        return self
+
+    def detach(self) -> None:
+        """Remove instrumentation from all attached contexts."""
+        for context in self._contexts:
+            context.sanitizer = None
+            disable_work_item_tracking()
+        self._contexts.clear()
+
+    # ------------------------------------------------------------------
+    def record(self, finding: Finding, dedup: tuple | None = None) -> None:
+        """Append a finding, optionally collapsing repeats by key."""
+        if dedup is not None:
+            if dedup in self._seen:
+                return
+            self._seen.add(dedup)
+        self.findings.append(finding)
+
+    # ------------------------------------------------------------------
+    # Context / queue hooks (all no-ops unless attached)
+    # ------------------------------------------------------------------
+    def on_alloc(self, buf: Buffer) -> None:
+        self._shadows[id(buf)] = _Shadow(buf, buf.array)
+
+    def on_release(self, buf: Buffer) -> None:
+        self._shadows.pop(id(buf), None)
+
+    def on_host_write(self, buf: Buffer) -> None:
+        shadow = self._shadows.get(id(buf))
+        if shadow is not None:
+            shadow.initialized[...] = True
+
+    def on_host_read(self, buf: Buffer) -> None:
+        shadow = self._shadows.get(id(buf))
+        if shadow is not None and not shadow.initialized.all():
+            first = int(np.flatnonzero(~shadow.initialized.ravel())[0])
+            self.record(Finding(
+                check="uninit-read", severity="error",
+                benchmark=self.benchmark,
+                location=f"element {first}",
+                message=f"host read of a buffer whose element {first} was "
+                        "never written since allocation",
+                hint="write or fill the buffer before reading it back",
+            ), dedup=("uninit-host", id(shadow)))
+
+    def on_use_after_release(self, kernel, exc: Exception) -> None:
+        self.record(Finding(
+            check="use-after-release", severity="error",
+            benchmark=self.benchmark, kernel=kernel.name,
+            message=f"kernel launch uses a released buffer: {exc}",
+            hint="release buffers only after the last launch that binds them",
+        ))
+
+    def on_kernel_abort(self, kernel, nd, exc: Exception) -> None:
+        self.record(Finding(
+            check="kernel-abort", severity="error",
+            benchmark=self.benchmark, kernel=kernel.name,
+            message=f"kernel body aborted with {type(exc).__name__}: {exc}",
+        ))
+
+    # ------------------------------------------------------------------
+    def _shadow_for(self, buf: Buffer) -> _Shadow:
+        shadow = self._shadows.get(id(buf))
+        if shadow is None:
+            shadow = _Shadow(buf, buf.array)
+            self._shadows[id(buf)] = shadow
+        return shadow
+
+    def wrap_args(self, kernel, nd, raw_args: list, resolved: list) -> list:
+        """Swap resolved buffer arrays for guarded views for one launch."""
+        signature = kernel.signature
+        wrapped = []
+        for index, (raw, value) in enumerate(zip(raw_args, resolved)):
+            if isinstance(raw, Buffer) and isinstance(value, np.ndarray):
+                argument = None
+                if signature is not None and index < signature.arity:
+                    argument = signature.params[index].name
+                shadow = self._shadow_for(raw)
+                guarded = value.view(GuardedNDArray)
+                guarded._guard = _Guard(self, shadow, kernel.name, argument)
+                wrapped.append(guarded)
+            else:
+                wrapped.append(value)
+        return wrapped
+
+    def after_kernel(self, kernel, nd) -> None:
+        """Reset per-launch race state (shadows persist across launches)."""
+        for shadow in self._shadows.values():
+            shadow.writers.clear()
+            shadow.readers.clear()
+
+    # ------------------------------------------------------------------
+    def check_leaks(self) -> list[Finding]:
+        """Report live buffers/queues on every attached context.
+
+        Call at benchmark-teardown time; the returned findings are also
+        appended to :attr:`findings`.
+        """
+        found: list[Finding] = []
+        for context in self._contexts:
+            for buf in context._allocations.values():
+                found.append(Finding(
+                    check="buffer-leak", severity="warning",
+                    benchmark=self.benchmark,
+                    location=f"{buf.size}-byte buffer",
+                    message=f"buffer of {buf.size} bytes is still allocated "
+                            "at teardown",
+                    hint="release it in teardown(), or use the buffer as a "
+                         "context manager",
+                ))
+            for queue in context._queues:
+                if not queue.released:
+                    found.append(Finding(
+                        check="queue-leak", severity="note",
+                        benchmark=self.benchmark,
+                        message="command queue was never released",
+                    ))
+        for finding in found:
+            self.record(finding)
+        return found
+
+
+@contextmanager
+def sanitized(context: Context, benchmark: str | None = None):
+    """Scoped sanitizer attachment::
+
+        with sanitized(ctx, "lud") as san:
+            ...run the benchmark...
+        report.extend(san.findings)
+    """
+    san = Sanitizer(benchmark=benchmark)
+    san.attach(context)
+    try:
+        yield san
+    finally:
+        san.detach()

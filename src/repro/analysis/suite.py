@@ -1,0 +1,119 @@
+"""Analysis driver: run the lint/sanitizer suite over benchmarks.
+
+This is the engine behind ``repro lint``: for each registered dwarf it
+executes the full benchmark life cycle at the smallest problem size on
+a simulated device, statically lints every program built on the
+context, and (optionally) attaches the runtime sanitizer for the run.
+The result is a :class:`~repro.analysis.findings.Report` suitable for
+text/JSON output and CI gating.
+"""
+
+from __future__ import annotations
+
+from ..dwarfs import registry
+from ..dwarfs.base import ValidationError
+from ..ocl import CLError, CLSourceError, CommandQueue, Context, find_device
+from ..ocl.errors import BuildProgramFailure
+from .findings import Finding, Report
+from .lint import lint_program
+from .sanitize import sanitized
+
+#: Device used for analysis runs.  Any catalog device works — kernels
+#: execute functionally regardless — so the suite standardises on the
+#: paper's CPU baseline.
+DEFAULT_DEVICE = "i7-6700K"
+
+
+def analyze_benchmark(
+    name: str,
+    size: str | None = None,
+    sanitize: bool = False,
+    device_name: str = DEFAULT_DEVICE,
+) -> list[Finding]:
+    """Run the analysis suite over one benchmark.
+
+    ``size=None`` picks the benchmark's smallest available size (tiny,
+    except for the fixed-size benchmarks).  With ``sanitize=True`` the
+    life cycle runs under an attached :class:`Sanitizer` and its
+    findings (plus a teardown leak check) are included.
+    """
+    cls = registry.get_benchmark(name)
+    if size is None or size not in cls.presets:
+        size = cls.available_sizes()[0]
+    bench = cls.from_size(size)
+    context = Context(find_device(device_name))
+    findings: list[Finding] = []
+
+    def run_lifecycle() -> None:
+        queue = CommandQueue(context)
+        try:
+            bench.host_setup(context)
+            bench.transfer_inputs(queue)
+            bench.run_iteration(queue)
+            bench.collect_results(queue)
+            bench.validate()
+        except CLSourceError as exc:
+            findings.append(Finding(
+                check="scalar-dtype", severity="error", benchmark=name,
+                message=f"host/kernel argument mismatch: {exc}",
+                hint="fix the bound value or the OpenCL C signature",
+            ))
+        except BuildProgramFailure as exc:
+            findings.append(Finding(
+                check="build-failure", severity="error", benchmark=name,
+                message=f"program failed to build: {exc}",
+            ))
+        except ValidationError as exc:
+            findings.append(Finding(
+                check="validation-failure", severity="error", benchmark=name,
+                message=f"results disagree with the serial reference: {exc}",
+            ))
+        except CLError as exc:
+            findings.append(Finding(
+                check="run-failure", severity="error", benchmark=name,
+                message=f"benchmark run failed: {type(exc).__name__}: {exc}",
+            ))
+        finally:
+            queue.release()
+
+    if sanitize:
+        with sanitized(context, benchmark=name) as san:
+            run_lifecycle()
+            bench.teardown()
+            san.check_leaks()
+        findings.extend(san.findings)
+    else:
+        run_lifecycle()
+
+    for program in context.programs:
+        findings.extend(lint_program(program, benchmark=name))
+
+    bench.teardown()
+    return findings
+
+
+def run_suite(
+    benchmarks: list[str] | None = None,
+    size: str | None = None,
+    sanitize: bool = False,
+    device_name: str = DEFAULT_DEVICE,
+    ignore: tuple[str, ...] = (),
+    emit_metrics: bool = True,
+) -> Report:
+    """Run the suite over many benchmarks and collect a :class:`Report`.
+
+    ``benchmarks=None`` covers every registered dwarf (the paper set
+    plus extensions).  Checks named in ``ignore`` are dropped from the
+    report (the CLI's ``--ignore``).
+    """
+    if benchmarks is None:
+        benchmarks = [*registry.BENCHMARKS, *registry.EXTENSIONS]
+    report = Report(emit_metrics=emit_metrics)
+    ignored = set(ignore)
+    for name in benchmarks:
+        for finding in analyze_benchmark(
+            name, size=size, sanitize=sanitize, device_name=device_name
+        ):
+            if finding.check not in ignored:
+                report.add(finding)
+    return report

@@ -22,9 +22,10 @@ import contextlib
 import sys
 from pathlib import Path
 
+from ..analysis.findings import SEVERITIES
 from ..devices.catalog import CATALOG, device_names, get_device
 from ..dwarfs.base import SIZES
-from ..dwarfs.registry import BENCHMARKS, get_benchmark
+from ..dwarfs.registry import BENCHMARKS, EXTENSIONS, get_benchmark
 from ..ocl.platform import select_device
 from ..scibench.stats import summarize
 from . import figures as figmod
@@ -438,6 +439,36 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
                              "rest are measured)")
 
 
+def cmd_lint(args) -> int:
+    """``lint``: run the analysis suite and gate on finding severity.
+
+    Executes every benchmark (or one, with ``--benchmark``) at its
+    smallest problem size, statically lints the kernel sources and
+    host bindings, optionally runs under the shadow-memory sanitizer,
+    and exits nonzero when any finding reaches ``--fail-on``.
+    """
+    from ..analysis import run_suite
+
+    benchmarks = [args.benchmark] if args.benchmark else None
+    report = run_suite(
+        benchmarks=benchmarks,
+        size=args.size,
+        sanitize=args.sanitize,
+        device_name=args.device,
+        ignore=tuple(args.ignore),
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    if args.metrics:
+        from ..telemetry import default_registry
+
+        Path(args.metrics).write_text(default_registry().expose())
+        print(f"wrote {args.metrics}", file=sys.stderr)
+    return 1 if report.fails(args.fail_on) else 0
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a Chrome/Perfetto trace-event JSON of "
@@ -527,6 +558,31 @@ def build_parser() -> argparse.ArgumentParser:
     transfers.add_argument("--size", choices=SIZES, default="small")
     transfers.add_argument("--device", default="GTX 1080")
     transfers.set_defaults(func=cmd_transfers)
+
+    lint = sub.add_parser(
+        "lint", help="kernel lint + runtime sanitizer (repro.analysis)")
+    lint.add_argument("--benchmark",
+                      choices=sorted(BENCHMARKS) + sorted(EXTENSIONS),
+                      default=None,
+                      help="restrict to one benchmark (default: the whole "
+                           "suite, paper set plus extensions)")
+    lint.add_argument("--size", choices=SIZES, default=None,
+                      help="problem size (default: each benchmark's smallest)")
+    lint.add_argument("--sanitize", action="store_true",
+                      help="also execute kernels under the shadow-memory "
+                           "sanitizer (OOB, uninit reads, races, leaks)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the JSON report (schema: docs/analysis.md)")
+    lint.add_argument("--ignore", action="append", default=[], metavar="CHECK",
+                      help="drop findings of this check id (repeatable)")
+    lint.add_argument("--fail-on", choices=SEVERITIES, default="error",
+                      help="exit nonzero when a finding reaches this "
+                           "severity (default: error)")
+    lint.add_argument("--device", default="i7-6700K",
+                      help="catalog device to execute on")
+    lint.add_argument("--metrics", default=None, metavar="PATH",
+                      help="write analysis metrics in Prometheus text format")
+    lint.set_defaults(func=cmd_lint)
 
     verify = sub.add_parser("verify-sizes",
                             help="cache-counter verification of Table 2 sizes")

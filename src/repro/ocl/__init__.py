@@ -17,13 +17,23 @@ benchmarks use::
     print(event.duration_s)
 """
 
-from .clsource import CLKernelSignature, CLParam, CLSourceError, parse_kernels
+from .clsource import (
+    CLKernelSignature,
+    CLParam,
+    CLSourceError,
+    check_scalar_argument,
+    kernel_bodies,
+    kernel_suppressions,
+    parse_kernels,
+    scalar_kind,
+)
 from .context import Context
 from .device import Device
 from .errors import (
     BuildProgramFailure,
     CLError,
     DeviceNotFound,
+    InvalidCommandQueue,
     InvalidContext,
     InvalidDevice,
     InvalidKernelArgs,
@@ -38,7 +48,17 @@ from .event import Event
 from .memory import Buffer, SubBuffer
 from .ndrange import MAX_WORK_GROUP_SIZE, NDRange, ndrange
 from .platform import Platform, TYPE_FLAG, find_device, get_platforms, select_device
-from .program import Kernel, KernelSource, Program, work_item_kernel
+from .program import (
+    Kernel,
+    KernelSource,
+    Program,
+    current_work_item,
+    disable_work_item_tracking,
+    enable_work_item_tracking,
+    work_group_barrier,
+    work_item_kernel,
+    work_item_tracking_enabled,
+)
 from .queue import CommandQueue, ENQUEUE_OVERHEAD_NS
 from .types import (
     CommandExecutionStatus,
@@ -53,7 +73,11 @@ __all__ = [
     "CLKernelSignature",
     "CLParam",
     "CLSourceError",
+    "check_scalar_argument",
+    "kernel_bodies",
+    "kernel_suppressions",
     "parse_kernels",
+    "scalar_kind",
     "Buffer",
     "SubBuffer",
     "BuildProgramFailure",
@@ -67,6 +91,7 @@ __all__ = [
     "DeviceType",
     "ENQUEUE_OVERHEAD_NS",
     "Event",
+    "InvalidCommandQueue",
     "InvalidContext",
     "InvalidDevice",
     "InvalidKernelArgs",
@@ -86,9 +111,14 @@ __all__ = [
     "ProfilingInfoNotAvailable",
     "QueueProperties",
     "TYPE_FLAG",
+    "current_work_item",
+    "disable_work_item_tracking",
+    "enable_work_item_tracking",
     "find_device",
     "get_platforms",
     "ndrange",
     "select_device",
+    "work_group_barrier",
     "work_item_kernel",
+    "work_item_tracking_enabled",
 ]

@@ -27,6 +27,15 @@ class Context:
         #: context publishes its events here (after the queue's own
         #: bus, before the process-global one).
         self.event_bus = EventBus()
+        #: Attached :class:`repro.analysis.sanitize.Sanitizer`, or
+        #: ``None``.  When set, buffer lifecycle and kernel launches on
+        #: this context are instrumented (opt-in, zero cost otherwise).
+        self.sanitizer = None
+        #: Programs built on this context, in build order (the lint
+        #: pass walks these to cross-check .cl sources vs Python bodies).
+        self._programs: list = []
+        #: Command queues created on this context (leak reporting).
+        self._queues: list = []
 
     # ------------------------------------------------------------------
     def create_buffer(
@@ -78,11 +87,64 @@ class Context:
         self._allocations[id(buf)] = buf
         self._allocated_bytes += buf.size
         self._peak_allocated_bytes = max(self._peak_allocated_bytes, self._allocated_bytes)
+        if self.sanitizer is not None:
+            self.sanitizer.on_alloc(buf)
 
     def _unregister_allocation(self, buf: Buffer) -> None:
         if id(buf) in self._allocations:
             del self._allocations[id(buf)]
             self._allocated_bytes -= buf.size
+            if self.sanitizer is not None:
+                self.sanitizer.on_release(buf)
+
+    def _register_program(self, program) -> None:
+        """Record a successfully built program (lint introspection)."""
+        if program not in self._programs:
+            self._programs.append(program)
+
+    def _register_queue(self, queue) -> None:
+        self._queues.append(queue)
+
+    @property
+    def programs(self) -> tuple:
+        """Every program built on this context, in build order."""
+        return tuple(self._programs)
+
+    # ------------------------------------------------------------------
+    def leak_report(self) -> list[str]:
+        """Human-readable description of each leaked resource.
+
+        A *leak* is a buffer still alive, or a queue never released, at
+        the point of the call — the state a well-behaved benchmark must
+        not be in after its ``teardown()``.  Shared by
+        :meth:`assert_no_leaks` and the runtime sanitizer.
+        """
+        leaks = [
+            f"buffer of {buf.size} bytes still allocated"
+            for buf in self._allocations.values()
+        ]
+        leaks.extend(
+            f"command queue with {len(q.events)} recorded events never released"
+            for q in self._queues if not q.released
+        )
+        return leaks
+
+    def assert_no_leaks(self, include_queues: bool = False) -> None:
+        """Raise ``AssertionError`` if resources are still live.
+
+        The paper's footprint verification prints the sum of device
+        allocations; this is its teardown-time complement.  Queues are
+        excluded by default because the pre-existing benchmark life
+        cycle has no queue-release step.
+        """
+        leaks = self.leak_report()
+        if not include_queues:
+            leaks = [l for l in leaks if not l.startswith("command queue")]
+        if leaks:
+            raise AssertionError(
+                f"context on {self.device.name} leaked {len(leaks)} "
+                "resource(s): " + "; ".join(leaks)
+            )
 
     def release_all(self) -> None:
         """Release every live buffer (context teardown)."""

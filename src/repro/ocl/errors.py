@@ -56,6 +56,12 @@ class InvalidMemObject(CLError):
     default_code = -38
 
 
+class InvalidCommandQueue(CLError):
+    """Command enqueued on a released queue (``CL_INVALID_COMMAND_QUEUE``)."""
+
+    default_code = -36
+
+
 class InvalidKernelArgs(CLError):
     """Kernel launched with unset/ill-typed args (``CL_INVALID_KERNEL_ARGS``)."""
 

@@ -60,6 +60,11 @@ class Buffer:
         self.flags = flags
         self.size = int(size)
         self._released = False
+        #: Whether creation provided initial contents.  Size-only
+        #: allocations start uninitialised (the zeros below model
+        #: storage, not data); the sanitizer's uninit-read check keys
+        #: off this.
+        self._host_initialized = hostbuf is not None
 
         if hostbuf is not None and MemFlags.USE_HOST_PTR in flags:
             self._array = hostbuf
@@ -163,6 +168,7 @@ class SubBuffer(Buffer):
         self.flags = flags
         self.size = int(size)
         self._released = False
+        self._host_initialized = parent._host_initialized
 
     @property
     def array(self) -> np.ndarray:

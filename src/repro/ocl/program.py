@@ -14,10 +14,12 @@ semantically faithful (if slow) execution in tests and references.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import contextvars
+from dataclasses import dataclass
 from typing import Callable
 
 from ..perfmodel.characterization import KernelProfile
+from .clsource import CLSourceError, check_scalar_argument
 from .context import Context
 from .errors import BuildProgramFailure, InvalidKernelArgs, InvalidValue
 from .memory import Buffer
@@ -53,6 +55,9 @@ class Program:
         self._sources = list(kernels)
         self._built = False
         self.build_log = ""
+        #: Kernel instances created from this program (the lint pass
+        #: inspects their bound arguments against parsed signatures).
+        self._kernels: list["Kernel"] = []
 
     def build(self, options: str = "") -> "Program":
         """Validate the program (``clBuildProgram``).
@@ -90,6 +95,7 @@ class Program:
             f"Build succeeded for {len(names)} kernel(s) on "
             f"{self.context.device.name} (options: {options or 'none'})"
         )
+        self.context._register_program(self)
         return self
 
     @property
@@ -102,7 +108,9 @@ class Program:
             raise BuildProgramFailure("program must be built before creating kernels")
         for src in self._sources:
             if src.name == name:
-                return Kernel(self, src)
+                kernel = Kernel(self, src)
+                self._kernels.append(kernel)
+                return kernel
         raise InvalidValue(
             f"no kernel named {name!r}; program has {self.kernel_names}"
         )
@@ -130,13 +138,37 @@ class Kernel:
         return self.program.context
 
     # ------------------------------------------------------------------
+    def _validate_arg(self, index: int, value) -> None:
+        """Check a bound scalar value against the parsed C parameter.
+
+        Only *scalar* (non-pointer) parameters are validated, and only
+        when the kernel carries a parsed OpenCL C signature; extra args
+        beyond the signature's arity are left for the arity check at
+        enqueue (which names the kernel in its error).
+        """
+        if self.signature is None or index >= self.signature.arity:
+            return
+        param = self.signature.params[index]
+        if param.is_pointer:
+            return
+        if isinstance(value, Buffer):
+            raise CLSourceError(
+                f"kernel {self.name!r} argument {index} ({param.name!r}): a "
+                f"Buffer was bound to scalar parameter of type "
+                f"{param.type_name!r}"
+            )
+        check_scalar_argument(self.name, param, index, value)
+
     def set_args(self, *args) -> "Kernel":
         """Bind all kernel arguments at once."""
+        for i, value in enumerate(args):
+            self._validate_arg(i, value)
         self._args = list(args)
         return self
 
     def set_arg(self, index: int, value) -> "Kernel":
         """Bind a single argument slot (``clSetKernelArg``)."""
+        self._validate_arg(index, value)
         if self._args is None:
             self._args = []
         while len(self._args) <= index:
@@ -206,6 +238,75 @@ class _Unset:
 _UNSET = _Unset()
 
 
+# ---------------------------------------------------------------------------
+# Per-work-item execution tracking.
+#
+# The runtime sanitizer attributes memory accesses to the work item that
+# made them, which is only meaningful under the scalar adapter below
+# (vectorised kernel bodies act as a single whole-range actor).  The
+# adapter publishes the current work item's identity through a context
+# variable while tracking is enabled; the shadow-memory guards read it.
+
+
+class WorkItemState:
+    """Identity of the work item currently executing under the adapter.
+
+    ``epoch`` counts :func:`work_group_barrier` calls made by this work
+    item so far: accesses separated by a barrier are ordered within a
+    work group and therefore cannot race.
+    """
+
+    __slots__ = ("gid", "group", "epoch")
+
+    def __init__(self):
+        self.gid = None
+        self.group = None
+        self.epoch = 0
+
+
+_current_work_item: contextvars.ContextVar[WorkItemState | None] = (
+    contextvars.ContextVar("current_work_item", default=None)
+)
+
+#: Tracking is enabled while at least one sanitizer session is active;
+#: a plain module-level counter keeps the unsanitized fast path free of
+#: contextvar lookups.
+_tracking_depth = 0
+
+
+def enable_work_item_tracking() -> None:
+    """Start publishing work-item identity from the scalar adapter."""
+    global _tracking_depth
+    _tracking_depth += 1
+
+
+def disable_work_item_tracking() -> None:
+    global _tracking_depth
+    _tracking_depth = max(0, _tracking_depth - 1)
+
+
+def work_item_tracking_enabled() -> bool:
+    return _tracking_depth > 0
+
+
+def current_work_item() -> WorkItemState | None:
+    """The executing work item, or ``None`` outside tracked execution."""
+    return _current_work_item.get()
+
+
+def work_group_barrier() -> None:
+    """``barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE)`` analogue.
+
+    Under the sequential scalar adapter a barrier has no scheduling
+    effect; its purpose here is to advance the sanitizer's barrier
+    epoch so that accesses on opposite sides of the barrier are treated
+    as ordered within a work group.  A no-op outside tracked execution.
+    """
+    state = _current_work_item.get()
+    if state is not None:
+        state.epoch += 1
+
+
 def work_item_kernel(scalar_fn: Callable) -> KernelBody:
     """Adapt a per-work-item function to the kernel calling convention.
 
@@ -215,8 +316,21 @@ def work_item_kernel(scalar_fn: Callable) -> KernelBody:
     """
 
     def body(nd: NDRange, *args) -> None:
-        for gid in nd.global_ids():
-            scalar_fn(gid if nd.dimensions > 1 else gid[0], *args)
+        if _tracking_depth:
+            ls = nd.effective_local_size
+            state = WorkItemState()
+            token = _current_work_item.set(state)
+            try:
+                for gid in nd.global_ids():
+                    state.gid = gid if nd.dimensions > 1 else gid[0]
+                    state.group = tuple(g // l for g, l in zip(gid, ls))
+                    state.epoch = 0
+                    scalar_fn(state.gid, *args)
+            finally:
+                _current_work_item.reset(token)
+        else:
+            for gid in nd.global_ids():
+                scalar_fn(gid if nd.dimensions > 1 else gid[0], *args)
 
     body.__name__ = getattr(scalar_fn, "__name__", "work_item_kernel")
     return body

@@ -18,7 +18,7 @@ from ..perfmodel import kernel_energy, kernel_time, noisy_samples, transfer_time
 from ..telemetry.hooks import EventBus, GLOBAL_EVENT_BUS
 from ..telemetry.metrics import default_registry
 from .context import Context
-from .errors import InvalidContext, InvalidValue
+from .errors import InvalidCommandQueue, InvalidContext, InvalidMemObject, InvalidValue
 from .event import Event
 from .memory import Buffer
 from .ndrange import NDRange
@@ -66,8 +66,29 @@ class CommandQueue:
         self.events: list[Event] = []
         #: Per-queue completed-command hooks (``clSetEventCallback``).
         self.event_bus = EventBus()
+        self._released = False
+        context._register_queue(self)
 
     # ------------------------------------------------------------------
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Release the queue (``clReleaseCommandQueue``).  Idempotent.
+
+        Further enqueues raise :class:`InvalidCommandQueue`; recorded
+        events remain readable (profiling outlives the queue handle in
+        OpenCL too).
+        """
+        self._released = True
+
+    def _check_queue_alive(self) -> None:
+        if self._released:
+            raise InvalidCommandQueue(
+                f"command queue on {self.device.name} has been released"
+            )
+
     @property
     def profiling_enabled(self) -> bool:
         return QueueProperties.PROFILING_ENABLE in self.properties
@@ -90,6 +111,7 @@ class CommandQueue:
         wait_for: list[Event] | None,
         info: dict,
     ) -> Event:
+        self._check_queue_alive()
         queued = self._host_time_ns
         self._host_time_ns += ENQUEUE_OVERHEAD_NS
         submit = queued + ENQUEUE_OVERHEAD_NS
@@ -146,6 +168,7 @@ class CommandQueue:
         wait_for: list[Event] | None = None,
     ) -> Event:
         """Execute a kernel over an NDRange (``clEnqueueNDRangeKernel``)."""
+        self._check_queue_alive()
         if kernel.context is not self.context:
             raise InvalidContext("kernel belongs to a different context")
         if isinstance(global_size, NDRange):
@@ -155,13 +178,31 @@ class CommandQueue:
                 global_size = (global_size,)
             nd = NDRange(tuple(global_size), local_size)
 
-        resolved = kernel.resolved_args()
+        san = self.context.sanitizer
+        try:
+            resolved = kernel.resolved_args()
+        except InvalidMemObject as exc:
+            if san is not None:
+                san.on_use_after_release(kernel, exc)
+            raise
         profile = kernel.resolve_profile(nd, resolved)
         breakdown = kernel_time(self.device.spec, profile)
         energy = kernel_energy(self.device.spec, breakdown)
 
         # Functional execution: the kernel body mutates buffer storage.
-        kernel.source.body(nd, *resolved)
+        # Under an attached sanitizer buffer arrays are swapped for
+        # shadow-memory guard views, and a guard-raised IndexError
+        # aborts the kernel but not the analysis run.
+        if san is None:
+            kernel.source.body(nd, *resolved)
+        else:
+            exec_args = san.wrap_args(kernel, nd, kernel._args, resolved)
+            try:
+                kernel.source.body(nd, *exec_args)
+            except IndexError as exc:
+                san.on_kernel_abort(kernel, nd, exc)
+            finally:
+                san.after_kernel(kernel, nd)
 
         duration_ns = self._duration_with_noise_ns(breakdown.total_s)
         return self._record(
@@ -201,6 +242,8 @@ class CommandQueue:
             )
         dst = buf.array
         np.copyto(dst.view(np.uint8).reshape(-1), src.view(np.uint8).reshape(-1))
+        if self.context.sanitizer is not None:
+            self.context.sanitizer.on_host_write(buf)
         duration = transfer_time_s(self.device.spec, buf.size)
         return self._record(
             CommandType.WRITE_BUFFER,
@@ -219,6 +262,8 @@ class CommandQueue:
             raise InvalidValue(
                 f"host array of {dest.nbytes} bytes does not match buffer of {buf.size}"
             )
+        if self.context.sanitizer is not None:
+            self.context.sanitizer.on_host_read(buf)
         np.copyto(dest.view(np.uint8).reshape(-1), buf.array.view(np.uint8).reshape(-1))
         duration = transfer_time_s(self.device.spec, buf.size)
         return self._record(
@@ -239,6 +284,9 @@ class CommandQueue:
         np.copyto(
             dst.array.view(np.uint8).reshape(-1), src.array.view(np.uint8).reshape(-1)
         )
+        if self.context.sanitizer is not None:
+            self.context.sanitizer.on_host_read(src)
+            self.context.sanitizer.on_host_write(dst)
         # On-device copies run at memory bandwidth (read + write).
         bw = self.device.spec.memory.bandwidth_gbs * 1e9
         duration = 2 * src.size / bw
@@ -255,6 +303,8 @@ class CommandQueue:
         """Pattern-fill a buffer (``clEnqueueFillBuffer``, byte pattern)."""
         self._check_buffer(buf)
         buf.array.view(np.uint8)[...] = np.uint8(value)
+        if self.context.sanitizer is not None:
+            self.context.sanitizer.on_host_write(buf)
         bw = self.device.spec.memory.bandwidth_gbs * 1e9
         return self._record(
             CommandType.FILL_BUFFER,

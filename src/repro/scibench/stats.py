@@ -49,7 +49,10 @@ def summarize(samples, confidence: float = 0.95) -> SampleSummary:
     if x.size == 0:
         raise ValueError("cannot summarise an empty sample")
     n = int(x.size)
-    mean = float(x.mean())
+    lo, hi = float(x.min()), float(x.max())
+    # Pairwise summation can drift a ULP outside [min, max]; the true
+    # arithmetic mean never does, so clamp before deriving the CI.
+    mean = min(max(float(x.mean()), lo), hi)
     std = float(x.std(ddof=1)) if n > 1 else 0.0
     if n > 1 and std > 0:
         half = sps.t.ppf(0.5 + confidence / 2.0, df=n - 1) * std / math.sqrt(n)
@@ -60,8 +63,8 @@ def summarize(samples, confidence: float = 0.95) -> SampleSummary:
         n=n,
         mean=mean,
         std=std,
-        minimum=float(x.min()),
-        maximum=float(x.max()),
+        minimum=lo,
+        maximum=hi,
         median=med,
         q1=q1,
         q3=q3,

@@ -1,0 +1,368 @@
+"""Runtime sanitizer: each seeded defect is detected with its location."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Sanitizer, sanitized
+from repro.ocl import (
+    CommandQueue,
+    InvalidCommandQueue,
+    InvalidMemObject,
+    KernelSource,
+    Program,
+    work_group_barrier,
+    work_item_kernel,
+)
+
+
+def by_check(findings, check):
+    return [f for f in findings if f.check == check]
+
+
+def make_kernel(context, name, body, cl_source=None):
+    return Program(context, [
+        KernelSource(name, body, cl_source=cl_source)
+    ]).build().create_kernel(name)
+
+
+# ---------------------------------------------------------------------------
+class TestOutOfBounds:
+    def test_seeded_oob_read_detected(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.arange(8, dtype=np.float32))
+
+        def body(nd, x):
+            _ = x[12]  # one past the end and then some
+
+        kernel = make_kernel(cpu_context, "oob_read", body).set_args(buf)
+        with sanitized(cpu_context, benchmark="seeded") as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (4,))
+        hits = by_check(san.findings, "oob-access")
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert hits[0].kernel == "oob_read"
+        assert "12" in hits[0].location
+        # the guard aborted the kernel, and the abort is also recorded
+        aborts = by_check(san.findings, "kernel-abort")
+        assert len(aborts) == 1 and aborts[0].kernel == "oob_read"
+
+    def test_seeded_oob_write_detected(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(4, dtype=np.int64))
+
+        def body(nd, x):
+            x[9] = 1
+
+        kernel = make_kernel(cpu_context, "oob_write", body).set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (4,))
+        hits = by_check(san.findings, "oob-access")
+        assert len(hits) == 1
+        assert "9" in hits[0].location
+
+    def test_negative_index_is_a_note(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.arange(4, dtype=np.float32))
+
+        def body(nd, x):
+            _ = x[-1]  # legal numpy wrap, OOB in OpenCL C
+
+        kernel = make_kernel(cpu_context, "neg", body).set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (1,))
+        hits = by_check(san.findings, "oob-access")
+        assert len(hits) == 1
+        assert hits[0].severity == "note"
+
+    def test_in_bounds_run_is_clean(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.arange(8, dtype=np.float32))
+
+        def body(nd, x):
+            x[: nd.work_items] = x[: nd.work_items] * 2.0
+
+        kernel = make_kernel(cpu_context, "scale2", body).set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (8,))
+        assert san.findings == []
+        np.testing.assert_array_equal(buf.array, np.arange(8) * 2.0)
+
+
+# ---------------------------------------------------------------------------
+class TestUninitializedReads:
+    def test_seeded_uninit_read_detected(self, cpu_context, cpu_queue):
+        # size-only allocation: contents undefined on a real device
+        buf = cpu_context.create_buffer(size=32)
+
+        def body(nd, x):
+            _ = x[5]
+
+        kernel = make_kernel(cpu_context, "uninit", body).set_args(buf)
+        with sanitized(cpu_context, benchmark="seeded") as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (1,))
+        hits = by_check(san.findings, "uninit-read")
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert hits[0].kernel == "uninit"
+        assert hits[0].location == "element 5"
+
+    def test_write_then_read_is_clean(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=16)
+
+        def body(nd, x):
+            x[3] = 7
+            _ = x[3]
+
+        kernel = make_kernel(cpu_context, "wr", body).set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (1,))
+        assert by_check(san.findings, "uninit-read") == []
+
+    def test_host_write_initializes(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=16)
+
+        def body(nd, x):
+            _ = x[0]
+
+        kernel = make_kernel(cpu_context, "r0", body).set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_write_buffer(buf, np.zeros(16, np.uint8))
+            cpu_queue.enqueue_nd_range_kernel(kernel, (1,))
+        assert by_check(san.findings, "uninit-read") == []
+
+    def test_fill_initializes(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=16)
+
+        def body(nd, x):
+            _ = x[0]
+
+        kernel = make_kernel(cpu_context, "rf", body).set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_fill_buffer(buf, 0)
+            cpu_queue.enqueue_nd_range_kernel(kernel, (1,))
+        assert by_check(san.findings, "uninit-read") == []
+
+    def test_host_readback_of_uninit_buffer(self, cpu_context, cpu_queue):
+        buf = cpu_context.create_buffer(size=8)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_read_buffer(buf, np.empty(8, np.uint8))
+        hits = by_check(san.findings, "uninit-read")
+        assert len(hits) == 1
+        assert "element 0" in hits[0].location
+
+    def test_hostbuf_backed_buffer_is_initialized(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.ones(4, np.float32))
+
+        def body(nd, x):
+            _ = x[2]
+
+        kernel = make_kernel(cpu_context, "init", body).set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (1,))
+        assert san.findings == []
+
+
+# ---------------------------------------------------------------------------
+class TestDataRaces:
+    def test_seeded_write_write_race(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(4, dtype=np.int64))
+
+        def item(gid, x):
+            x[0] = gid  # every work item stores to the same element
+
+        kernel = make_kernel(cpu_context, "race", work_item_kernel(item))
+        kernel.set_args(buf)
+        with sanitized(cpu_context, benchmark="seeded") as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (4,))
+        hits = by_check(san.findings, "data-race")
+        assert len(hits) == 1  # deduplicated per element
+        assert hits[0].severity == "error"
+        assert hits[0].kernel == "race"
+        assert hits[0].location == "element 0"
+        assert "write/write" in hits[0].message
+
+    def test_seeded_read_write_race(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(8, dtype=np.int64))
+
+        def item(gid, x):
+            if gid == 0:
+                _ = x[7]
+            if gid == 7:
+                x[7] = 1
+
+        kernel = make_kernel(cpu_context, "rw", work_item_kernel(item))
+        kernel.set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (8,))
+        hits = by_check(san.findings, "data-race")
+        assert len(hits) == 1
+        assert "read/write" in hits[0].message
+
+    def test_disjoint_writes_are_clean(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(8, dtype=np.int64))
+
+        def item(gid, x):
+            x[gid] = gid
+
+        kernel = make_kernel(cpu_context, "disjoint", work_item_kernel(item))
+        kernel.set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (8,))
+        assert san.findings == []
+        np.testing.assert_array_equal(buf.array, np.arange(8))
+
+    def test_barrier_orders_same_group_accesses(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(4, dtype=np.int64))
+
+        def item(gid, x):
+            x[gid] = gid          # phase 1: disjoint
+            work_group_barrier()
+            _ = x[(gid + 1) % 4]  # phase 2: reads a neighbour's slot
+
+        kernel = make_kernel(cpu_context, "staged", work_item_kernel(item))
+        kernel.set_args(buf)
+        with sanitized(cpu_context) as san:
+            # one work group: the barrier orders phase 1 before phase 2
+            cpu_queue.enqueue_nd_range_kernel(kernel, (4,), (4,))
+        assert by_check(san.findings, "data-race") == []
+
+    def test_barrier_does_not_order_across_groups(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(4, dtype=np.int64))
+
+        def item(gid, x):
+            x[gid] = gid
+            work_group_barrier()
+            _ = x[(gid + 1) % 4]
+
+        kernel = make_kernel(cpu_context, "xgroup", work_item_kernel(item))
+        kernel.set_args(buf)
+        with sanitized(cpu_context) as san:
+            # two groups of two: neighbour reads cross the group boundary
+            cpu_queue.enqueue_nd_range_kernel(kernel, (4,), (2,))
+        assert by_check(san.findings, "data-race") != []
+
+    def test_race_state_resets_between_launches(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(4, dtype=np.int64))
+
+        def item(gid, x):
+            x[gid] = gid
+
+        kernel = make_kernel(cpu_context, "twice", work_item_kernel(item))
+        kernel.set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (4,))
+            cpu_queue.enqueue_nd_range_kernel(kernel, (4,))
+        # same elements written by the same items in separate launches:
+        # launches are ordered by the in-order queue, not a race
+        assert by_check(san.findings, "data-race") == []
+
+    def test_vectorised_kernel_cannot_race(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(4, dtype=np.int64))
+
+        def body(nd, x):
+            x[0] = 1
+            x[0] = 2  # same "actor": program order, not a race
+
+        kernel = make_kernel(cpu_context, "vec", body).set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (4,))
+        assert by_check(san.findings, "data-race") == []
+
+
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def test_seeded_buffer_leak_detected(self, cpu_context):
+        with sanitized(cpu_context, benchmark="seeded") as san:
+            cpu_context.create_buffer(size=640)
+            leaks = san.check_leaks()
+        hits = by_check(leaks, "buffer-leak")
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+        assert "640" in hits[0].message
+
+    def test_released_buffers_do_not_leak(self, cpu_context):
+        with sanitized(cpu_context) as san:
+            buf = cpu_context.create_buffer(size=64)
+            buf.release()
+            assert by_check(san.check_leaks(), "buffer-leak") == []
+
+    def test_queue_leak_detected(self, cpu_context):
+        with sanitized(cpu_context) as san:
+            CommandQueue(cpu_context)
+            hits = by_check(san.check_leaks(), "queue-leak")
+        assert len(hits) >= 1
+        assert hits[0].severity == "note"
+
+    def test_use_after_release_detected(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(4, np.float32))
+
+        def body(nd, x):
+            pass
+
+        kernel = make_kernel(cpu_context, "uar", body).set_args(buf)
+        buf.release()
+        with sanitized(cpu_context, benchmark="seeded") as san:
+            with pytest.raises(InvalidMemObject):
+                cpu_queue.enqueue_nd_range_kernel(kernel, (4,))
+        hits = by_check(san.findings, "use-after-release")
+        assert len(hits) == 1
+        assert hits[0].kernel == "uar"
+
+    def test_release_is_idempotent(self, cpu_context):
+        buf = cpu_context.create_buffer(size=16)
+        buf.release()
+        buf.release()  # second release is a no-op, not an error
+        assert buf.released
+        with pytest.raises(InvalidMemObject):
+            _ = buf.array
+
+    def test_released_queue_rejects_enqueues(self, cpu_context):
+        queue = CommandQueue(cpu_context)
+        queue.release()
+        with pytest.raises(InvalidCommandQueue):
+            queue.enqueue_marker()
+
+    def test_queue_release_idempotent(self, cpu_context):
+        queue = CommandQueue(cpu_context)
+        queue.release()
+        queue.release()
+        assert queue.released
+
+
+# ---------------------------------------------------------------------------
+class TestAttachment:
+    def test_unattached_context_pays_nothing(self, cpu_context, cpu_queue):
+        buf = cpu_context.buffer_like(np.zeros(4, np.float32))
+        seen = []
+
+        def body(nd, x):
+            seen.append(type(x))
+
+        kernel = make_kernel(cpu_context, "plain", body).set_args(buf)
+        cpu_queue.enqueue_nd_range_kernel(kernel, (4,))
+        assert seen == [np.ndarray]
+
+    def test_double_attach_rejected(self, cpu_context):
+        san = Sanitizer().attach(cpu_context)
+        try:
+            with pytest.raises(ValueError):
+                Sanitizer().attach(cpu_context)
+        finally:
+            san.detach()
+
+    def test_detach_restores_context(self, cpu_context):
+        with sanitized(cpu_context):
+            assert cpu_context.sanitizer is not None
+        assert cpu_context.sanitizer is None
+
+    def test_guard_views_degrade(self, cpu_context, cpu_queue):
+        # derived arrays (slices, ufunc results) drop guarding but
+        # still behave as ndarrays; results stay correct
+        buf = cpu_context.buffer_like(np.arange(6, dtype=np.float32))
+
+        def body(nd, x):
+            half = x[0:3]
+            total = (x * 2.0).sum()
+            x[0] = float(total) + float(half[1])
+
+        kernel = make_kernel(cpu_context, "derived", body).set_args(buf)
+        with sanitized(cpu_context) as san:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (1,))
+        assert by_check(san.findings, "oob-access") == []
+        assert buf.array[0] == 31.0  # 2*(0+..+5) + 1

@@ -139,3 +139,94 @@ class TestRuntimeEnforcement:
         kernel = program.create_kernel("f").set_args(1, 2)
         event = cpu_queue.enqueue_nd_range_kernel(kernel, (4,))
         assert event.info["n_args"] == 2
+
+
+class TestParserEdgeCases:
+    def test_preprocessor_lines_stripped(self):
+        src = ("#define WIDTH 64\n"
+               "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"
+               "#include \"common.h\"\n"
+               "__kernel void f(__global float *x, int n) { }\n")
+        sigs = parse_kernels(src)
+        assert set(sigs) == {"f"}
+        assert sigs["f"].arity == 2
+
+    def test_macro_body_does_not_confuse_parser(self):
+        src = ("#define HELPER(a, b) ((a) + (b))\n"
+               "__kernel void f(int n) { }\n")
+        sigs = parse_kernels(src)
+        assert sigs["f"].arity == 1
+        assert sigs["f"].params[0].name == "n"
+
+    def test_vector_pointer_types(self):
+        sigs = parse_kernels(
+            "__kernel void f(__global float4 *v, __global int2 *pairs) {}")
+        v, pairs = sigs["f"].params
+        assert v.type_name == "float4" and v.is_pointer
+        assert pairs.type_name == "int2" and pairs.is_pointer
+        assert v.address_space == "global"
+
+    def test_multiline_parameter_list(self):
+        src = ("__kernel void f(__global const float *a,\n"
+               "                __global float *b,\n"
+               "                int rows,\n"
+               "                int cols)\n"
+               "{ }\n")
+        sig = parse_kernels(src)["f"]
+        assert [p.name for p in sig.params] == ["a", "b", "rows", "cols"]
+
+    def test_comments_inside_signature(self):
+        src = ("__kernel void f(__global float *x, /* data */\n"
+               "                int n /* length */) { }")
+        sig = parse_kernels(src)["f"]
+        assert [p.name for p in sig.params] == ["x", "n"]
+
+    def test_line_comment_between_params(self):
+        src = ("__kernel void f(__global float *x, // the data\n"
+               "                int n) { }")
+        sig = parse_kernels(src)["f"]
+        assert sig.arity == 2
+
+    def test_multiword_scalar_types(self):
+        sig = parse_kernels(
+            "__kernel void f(unsigned int n, long m) { }")["f"]
+        assert sig.params[0].type_name == "unsigned int"
+        assert sig.params[1].type_name == "long"
+
+
+class TestScalarKind:
+    def test_families(self):
+        from repro.ocl.clsource import scalar_kind
+        assert scalar_kind("int") == "int"
+        assert scalar_kind("unsigned int") == "int"
+        assert scalar_kind("size_t") == "int"
+        assert scalar_kind("float") == "float"
+        assert scalar_kind("double") == "float"
+        assert scalar_kind("float4") == "other"
+        assert scalar_kind("my_struct_t") == "other"
+
+
+class TestKernelBodies:
+    def test_bodies_extracted(self):
+        from repro.ocl.clsource import kernel_bodies
+        src = ("__kernel void a(int n) { int x = n; }\n"
+               "__kernel void b(int m) { if (m) { m += 1; } }\n")
+        bodies = kernel_bodies(src)
+        assert "int x = n;" in bodies["a"]
+        assert "m += 1;" in bodies["b"]  # nested braces matched
+
+    def test_comments_blanked_in_bodies(self):
+        from repro.ocl.clsource import kernel_bodies
+        src = "__kernel void a(int n) { /* uses n? no */ }\n"
+        assert "n" not in kernel_bodies(src)["a"].replace("int n", "")
+
+    def test_suppressions_parsed(self):
+        from repro.ocl.clsource import kernel_suppressions
+        src = ("__kernel void a(int n) {\n"
+               "  // repro-lint: allow(unused-param: n)\n"
+               "  // repro-lint: allow(barrier-divergence)\n"
+               "}\n"
+               "__kernel void b(int m) { }\n")
+        allows = kernel_suppressions(src)
+        assert allows["a"] == {("unused-param", "n"), ("barrier-divergence", None)}
+        assert "b" not in allows

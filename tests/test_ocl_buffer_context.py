@@ -127,3 +127,41 @@ class TestAllocationLimits:
             cpu_context.create_buffer(size=s)
         assert cpu_context.allocated_bytes == sum(sizes)
         assert cpu_context.live_buffers == 3
+
+
+class TestLeakHelpers:
+    def test_assert_no_leaks_passes_when_clean(self, cpu_context):
+        buf = cpu_context.create_buffer(size=64)
+        buf.release()
+        cpu_context.assert_no_leaks()
+
+    def test_assert_no_leaks_raises_on_live_buffer(self, cpu_context):
+        cpu_context.create_buffer(size=64)
+        with pytest.raises(AssertionError, match="leaked 1 resource"):
+            cpu_context.assert_no_leaks()
+
+    def test_assert_no_leaks_after_release_all(self, cpu_context):
+        for size in (16, 32, 64):
+            cpu_context.create_buffer(size=size)
+        cpu_context.release_all()
+        cpu_context.assert_no_leaks()
+
+    def test_queue_leaks_reported_only_on_request(self, cpu_context):
+        queue = ocl.CommandQueue(cpu_context)
+        cpu_context.assert_no_leaks()  # queues excluded by default
+        with pytest.raises(AssertionError, match="command queue"):
+            cpu_context.assert_no_leaks(include_queues=True)
+        queue.release()
+        cpu_context.assert_no_leaks(include_queues=True)
+
+    def test_leak_report_lists_sizes(self, cpu_context):
+        cpu_context.create_buffer(size=640)
+        report = cpu_context.leak_report()
+        assert any("640" in line for line in report)
+
+    def test_programs_registered_on_build(self, cpu_context):
+        from repro.ocl import KernelSource, Program
+        program = Program(cpu_context, [
+            KernelSource("k", lambda nd: None)
+        ]).build()
+        assert program in cpu_context.programs

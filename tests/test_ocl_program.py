@@ -147,3 +147,119 @@ class TestWorkItemAdapter:
         cpu_queue.enqueue_nd_range_kernel(k, (3, 4))
         expected = 10 * np.arange(3)[:, None] + np.arange(4)[None, :]
         np.testing.assert_array_equal(out.array, expected)
+
+
+class TestScalarArgValidation:
+    """set_arg checks scalar values against the parsed C type (§4.4)."""
+
+    SRC = "__kernel void f(__global float *x, int n, float lam) {}"
+
+    def _kernel(self, cpu_context):
+        from repro.ocl import CLSourceError  # noqa: F401  (re-export check)
+        return Program(cpu_context, [
+            KernelSource("f", _noop, cl_source=self.SRC)
+        ]).build().create_kernel("f")
+
+    def test_float_to_int_param_rejected(self, cpu_context):
+        from repro.ocl import CLSourceError
+        kernel = self._kernel(cpu_context)
+        with pytest.raises(CLSourceError, match="'f'.*argument 1.*'n'"):
+            kernel.set_arg(1, 0.5)
+
+    def test_numpy_float_to_int_param_rejected(self, cpu_context):
+        from repro.ocl import CLSourceError
+        kernel = self._kernel(cpu_context)
+        with pytest.raises(CLSourceError):
+            kernel.set_args(None, np.float32(2.0), 1.0)
+
+    def test_array_to_scalar_param_rejected(self, cpu_context):
+        from repro.ocl import CLSourceError
+        kernel = self._kernel(cpu_context)
+        with pytest.raises(CLSourceError, match="array"):
+            kernel.set_arg(2, np.zeros(4, np.float32))
+
+    def test_buffer_to_scalar_param_rejected(self, cpu_context):
+        from repro.ocl import CLSourceError
+        buf = cpu_context.buffer_like(np.zeros(4, np.float32))
+        kernel = self._kernel(cpu_context)
+        with pytest.raises(CLSourceError, match="Buffer"):
+            kernel.set_arg(1, buf)
+
+    def test_valid_scalars_accepted(self, cpu_context):
+        buf = cpu_context.buffer_like(np.zeros(4, np.float32))
+        kernel = self._kernel(cpu_context)
+        kernel.set_args(buf, 16, 0.5)        # int to int, float to float
+        kernel.set_arg(1, np.int32(3))       # numpy ints fine too
+        kernel.set_arg(2, 2)                 # int widens to float: fine
+
+    def test_pointer_params_not_validated(self, cpu_context):
+        # OpenDwarfs-style hosts sometimes bind placeholder ints before
+        # the real buffer; validation must not reject pointer slots.
+        kernel = self._kernel(cpu_context)
+        kernel.set_arg(0, 123)
+
+    def test_extra_args_deferred_to_arity_check(self, cpu_context):
+        kernel = self._kernel(cpu_context)
+        kernel.set_args(1, 2, 3.0, 4)  # 4th arg beyond signature: no raise
+        assert kernel._args[3] == 4
+
+    def test_no_signature_no_validation(self, cpu_context):
+        kernel = Program(cpu_context, [
+            KernelSource("g", _noop)
+        ]).build().create_kernel("g")
+        kernel.set_args(0.5, np.zeros(3))  # nothing to validate against
+
+
+class TestWorkItemTracking:
+    def test_barrier_noop_outside_tracking(self):
+        from repro.ocl import current_work_item, work_group_barrier
+        assert current_work_item() is None
+        work_group_barrier()  # must not raise
+
+    def test_tracking_publishes_state(self, cpu_context, cpu_queue):
+        from repro.ocl import (
+            current_work_item,
+            disable_work_item_tracking,
+            enable_work_item_tracking,
+        )
+        seen = []
+
+        def item(gid, x):
+            state = current_work_item()
+            seen.append((state.gid, state.group, state.epoch))
+
+        buf = cpu_context.buffer_like(np.zeros(4, np.int64))
+        kernel = Program(cpu_context, [
+            KernelSource("t", work_item_kernel(item))
+        ]).build().create_kernel("t").set_args(buf)
+        enable_work_item_tracking()
+        try:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (4,), (2,))
+        finally:
+            disable_work_item_tracking()
+        assert seen == [(0, (0,), 0), (1, (0,), 0), (2, (1,), 0), (3, (1,), 0)]
+
+    def test_barrier_bumps_epoch(self, cpu_context, cpu_queue):
+        from repro.ocl import (
+            current_work_item,
+            disable_work_item_tracking,
+            enable_work_item_tracking,
+            work_group_barrier,
+        )
+        epochs = []
+
+        def item(gid, x):
+            epochs.append(current_work_item().epoch)
+            work_group_barrier()
+            epochs.append(current_work_item().epoch)
+
+        buf = cpu_context.buffer_like(np.zeros(2, np.int64))
+        kernel = Program(cpu_context, [
+            KernelSource("e", work_item_kernel(item))
+        ]).build().create_kernel("e").set_args(buf)
+        enable_work_item_tracking()
+        try:
+            cpu_queue.enqueue_nd_range_kernel(kernel, (2,))
+        finally:
+            disable_work_item_tracking()
+        assert epochs == [0, 1, 0, 1]  # epoch resets per work item
