@@ -33,6 +33,7 @@ from . import (
     io,
     ocl,
     perfmodel,
+    regress,
     scheduling,
     scibench,
     sizing,
@@ -51,6 +52,7 @@ __all__ = [
     "io",
     "ocl",
     "perfmodel",
+    "regress",
     "scheduling",
     "scibench",
     "sizing",

@@ -34,6 +34,26 @@ from .results import ResultSet
 from .runner import RunConfig, run_benchmark
 from .sweep import SweepCache, default_cache_dir, run_sweep
 
+#: Exit statuses shared by every subcommand: 0 = success, 1 = the
+#: command ran but found something (lint findings, regressions, an
+#: unsatisfiable schedule), 2 = usage or configuration error (bad
+#: flags, unknown device, missing baseline).
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+class UsageError(Exception):
+    """A usage/configuration error; :func:`main` maps it to exit 2."""
+
+
+def _resolve_device(name: str):
+    """Catalog lookup that reports unknown names as a usage error."""
+    try:
+        return get_device(name)
+    except KeyError as exc:
+        raise UsageError(str(exc.args[0]) if exc.args else str(exc)) from None
+
 
 @contextlib.contextmanager
 def _observability(args):
@@ -58,6 +78,10 @@ def _observability(args):
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     log_path = getattr(args, "log_jsonl", None)
+    for out_path in (trace_path, metrics_path, log_path):
+        if out_path:
+            Path(out_path).expanduser().parent.mkdir(parents=True,
+                                                     exist_ok=True)
     exporter = tracer = runlog = prev_tracer = None
     if trace_path:
         exporter = ChromeTraceExporter()
@@ -100,7 +124,7 @@ def _sweep_options(args, default_cache: bool) -> tuple[int | None, SweepCache | 
     no_cache = getattr(args, "no_cache", False)
     refresh = getattr(args, "refresh", False)
     if resume and (no_cache or refresh):
-        raise SystemExit("--resume contradicts --no-cache/--refresh")
+        raise UsageError("--resume contradicts --no-cache/--refresh")
     cache = None
     if not no_cache:
         if args.cache_dir:
@@ -118,21 +142,16 @@ def _print_sweep_summary(outcome, cache: SweepCache | None) -> None:
           f"({outcome.jobs} jobs){where}")
 
 
-def cmd_run_all(args) -> int:
-    """``run all``: the paper's full measurement matrix, parallel + cached.
-
-    Covers every registered benchmark x its sizes (or ``--size``) x the
-    catalog (or ``--device``).  Like a single ``run``, each cell
-    executes functionally and validates unless ``--no-execute`` asks
-    for model-only timing — recommended when sweeping the large sizes,
-    whose functional numpy passes are the expensive part.
-    """
-    jobs, cache, refresh = _sweep_options(args, default_cache=True)
+def _matrix_configs(args) -> list[RunConfig]:
+    """The measurement-matrix cells selected by ``--benchmark``/``--size``/
+    ``--device`` (each ``None`` meaning "every one registered")."""
     execute = not args.no_execute
-    devices = ([get_device(args.device).name] if args.device
+    devices = ([_resolve_device(args.device).name] if args.device
                else list(device_names()))
+    benchmarks = ([args.benchmark] if getattr(args, "benchmark", None)
+                  and args.benchmark != "all" else sorted(BENCHMARKS))
     configs = []
-    for name in sorted(BENCHMARKS):
+    for name in benchmarks:
         cls = get_benchmark(name)
         sizes = [args.size] if args.size else list(cls.available_sizes())
         for size in sizes:
@@ -144,6 +163,20 @@ def cmd_run_all(args) -> int:
                     samples=args.samples, execute=execute, validate=execute,
                     seed=args.seed,
                 ))
+    return configs
+
+
+def cmd_run_all(args) -> int:
+    """``run all``: the paper's full measurement matrix, parallel + cached.
+
+    Covers every registered benchmark x its sizes (or ``--size``) x the
+    catalog (or ``--device``).  Like a single ``run``, each cell
+    executes functionally and validates unless ``--no-execute`` asks
+    for model-only timing — recommended when sweeping the large sizes,
+    whose functional numpy passes are the expensive part.
+    """
+    jobs, cache, refresh = _sweep_options(args, default_cache=True)
+    configs = _matrix_configs(args)
     with _observability(args):
         outcome = run_sweep(configs, jobs=jobs, cache=cache, refresh=refresh)
     results = ResultSet(outcome.results)
@@ -161,7 +194,7 @@ def cmd_run_all(args) -> int:
             })
     print(render_table(rows, "Fastest device per benchmark x size"))
     _print_sweep_summary(outcome, cache)
-    return 0
+    return EXIT_OK
 
 
 def _split_device_args(argv: list[str]) -> tuple[list[str], list[str]]:
@@ -185,7 +218,7 @@ def cmd_list_devices(_args) -> int:
             "TDP W": spec.tdp_w,
         })
     print(render_table(rows, "Simulated devices"))
-    return 0
+    return EXIT_OK
 
 
 def cmd_run(args) -> int:
@@ -195,7 +228,7 @@ def cmd_run(args) -> int:
     device_argv, bench_argv = _split_device_args(args.rest)
     # resolve the device: either -p/-d/-t triple or --device name
     if args.device:
-        device_name = get_device(args.device).name
+        device_name = _resolve_device(args.device).name
     else:
         p = d = t = None
         i = 0
@@ -208,7 +241,7 @@ def cmd_run(args) -> int:
                 t = int(device_argv[i + 1]); i += 2
             else:
                 print(f"unknown device argument {device_argv[i]!r}", file=sys.stderr)
-                return 2
+                return EXIT_USAGE
         if None in (p, d, t):
             device_name = "i7-6700K"
         else:
@@ -227,7 +260,7 @@ def cmd_run(args) -> int:
             if size == "custom":
                 result = _run_custom(bench, device_name, args)
                 _print_result(result)
-                return 0
+                return EXIT_OK
         else:
             size = args.size or cls.available_sizes()[0]
         config = RunConfig(
@@ -243,7 +276,7 @@ def cmd_run(args) -> int:
             _print_sweep_summary(outcome, cache)
         else:
             _print_result(run_benchmark(config))
-    return 0
+    return EXIT_OK
 
 
 def _run_custom(bench, device_name: str, args):
@@ -299,7 +332,7 @@ def cmd_table(args) -> int:
     """``table``: print one of the paper's tables."""
     text = {1: table1_text, 2: table2_text, 3: table3_text}[args.number]()
     print(text)
-    return 0
+    return EXIT_OK
 
 
 def cmd_figure(args) -> int:
@@ -325,7 +358,7 @@ def cmd_figure(args) -> int:
             fig = figmod.figure5(**sweep_kw)
         else:
             print(f"unknown figure {args.figure_id!r}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
     print(fig.render())
     if args.csv:
         print(fig.to_csv())
@@ -333,7 +366,7 @@ def cmd_figure(args) -> int:
         from .plots import save_figure_html
         path = save_figure_html(fig, args.html, log_scale=(fid in ("5", "fig5")))
         print(f"wrote {path}")
-    return 0
+    return EXIT_OK
 
 
 def cmd_trace(args) -> int:
@@ -344,13 +377,13 @@ def cmd_trace(args) -> int:
         recorder = lsb.load(args.lsb_file)
     except (OSError, ValueError) as exc:
         print(f"cannot read {args.lsb_file!r}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     exporter = trace_from_recorder(recorder)
     out = args.output or f"{args.lsb_file}.trace.json"
     exporter.write(out)
     print(f"wrote {out} ({exporter.slice_count} slices from "
           f"{len(recorder)} measurements)")
-    return 0
+    return EXIT_OK
 
 
 def cmd_characterize(args) -> int:
@@ -363,13 +396,13 @@ def cmd_characterize(args) -> int:
     print(render_table(report.distinctiveness_rows(),
                        "Distinctiveness (distance to nearest neighbour)"))
     print("MST:", ", ".join(f"{a}-{b}({d})" for a, b, d in report.mst_edges))
-    return 0
+    return EXIT_OK
 
 
 def cmd_autotune(args) -> int:
     """Local work-group size tuning (paper §7)."""
     from ..tuning import autotune_benchmark
-    spec = get_device(args.device)
+    spec = _resolve_device(args.device)
     bench = get_benchmark(args.benchmark).from_size(args.size)
     results = autotune_benchmark(spec, bench)
     for name, result in results.items():
@@ -377,7 +410,7 @@ def cmd_autotune(args) -> int:
                            f"{name} on {spec.name} "
                            f"(best: {result.best_local_size}, "
                            f"{result.speedup_vs_worst:.1f}x vs worst)"))
-    return 0
+    return EXIT_OK
 
 
 def cmd_schedule(args) -> int:
@@ -398,8 +431,8 @@ def cmd_schedule(args) -> int:
                              f"{args.objective}"))
     if not selection.satisfiable:
         print("no device satisfies the given budgets")
-        return 1
-    return 0
+        return EXIT_FINDINGS
+    return EXIT_OK
 
 
 def cmd_transfers(args) -> int:
@@ -407,7 +440,7 @@ def cmd_transfers(args) -> int:
     from .transfers import measure_transfers
     m = measure_transfers(args.benchmark, args.size, args.device)
     print(render_table([m.as_row()], "Memory transfer times"))
-    return 0
+    return EXIT_OK
 
 
 def cmd_verify_sizes(args) -> int:
@@ -416,7 +449,7 @@ def cmd_verify_sizes(args) -> int:
     v = verify_benchmark_sizes(args.benchmark, device=args.device)
     print(render_table(v.summary_rows(),
                        f"Cache-counter verification: {args.benchmark} on {v.device}"))
-    return 0
+    return EXIT_OK
 
 
 def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
@@ -466,7 +499,146 @@ def cmd_lint(args) -> int:
 
         Path(args.metrics).write_text(default_registry().expose())
         print(f"wrote {args.metrics}", file=sys.stderr)
-    return 1 if report.fails(args.fail_on) else 0
+    return EXIT_FINDINGS if report.fails(args.fail_on) else EXIT_OK
+
+
+def _regress_thresholds(args):
+    """Build classification :class:`~repro.regress.Thresholds` from flags."""
+    from ..regress import Thresholds
+    try:
+        return Thresholds(alpha=args.alpha,
+                          min_effect_size=args.min_effect,
+                          min_rel_shift=args.min_shift)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+
+
+def cmd_regress_record(args) -> int:
+    """``regress record``: freeze a sweep as a named baseline.
+
+    Measures the selected matrix through :func:`run_sweep` (parallel,
+    and cached like ``run all`` so an interrupted record resumes), then
+    stores every cell's config, content-address and raw samples as
+    ``<baseline-dir>/<name>.json``.  With ``--trajectory-dir`` the
+    run's per-cell summaries are also appended to the performance
+    trajectory as the next ``BENCH_<n>.json`` point.
+    """
+    from ..regress import (
+        Baseline,
+        BaselineError,
+        BaselineStore,
+        Trajectory,
+        TrajectoryError,
+        TrajectoryPoint,
+        default_baseline_dir,
+    )
+
+    jobs, cache, refresh = _sweep_options(args, default_cache=True)
+    configs = _matrix_configs(args)
+    with _observability(args):
+        outcome = run_sweep(configs, jobs=jobs, cache=cache, refresh=refresh)
+    try:
+        baseline = Baseline.from_sweep(args.name, configs, outcome.results)
+        store = BaselineStore(args.baseline_dir or default_baseline_dir())
+        path = store.save(baseline)
+    except BaselineError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    print(f"recorded baseline {args.name!r}: {len(baseline)} cells -> {path}")
+    _print_sweep_summary(outcome, cache)
+    if args.trajectory_dir:
+        trajectory = Trajectory(args.trajectory_dir)
+        index = (args.bench_index if args.bench_index is not None
+                 else trajectory.next_index())
+        point = TrajectoryPoint.from_results(
+            index, outcome.results, label=args.label or args.name)
+        try:
+            point_path = trajectory.append(point)
+        except TrajectoryError as exc:
+            print(str(exc), file=sys.stderr)
+            return EXIT_USAGE
+        print(f"appended trajectory point {point_path}")
+    return EXIT_OK
+
+
+def cmd_regress_check(args) -> int:
+    """``regress check``: re-measure a baseline's cells and gate.
+
+    Re-runs the *exact* configurations the baseline froze (same sample
+    count, same seed — so on an unchanged performance model the samples
+    are bit-identical and every cell is ``unchanged``), compares each
+    group with Welch's t-test, Cohen's d and a bootstrap ratio CI, and
+    exits :data:`EXIT_FINDINGS` when the report trips ``--fail-on``.
+    The fresh run deliberately bypasses the sweep cache unless a cache
+    is explicitly requested: serving the baseline's own cached samples
+    back would make the gate vacuous.
+    """
+    from ..regress import BaselineError, BaselineStore, compare, default_baseline_dir
+
+    store = BaselineStore(args.baseline_dir or default_baseline_dir())
+    try:
+        baseline = store.load(args.name)
+    except BaselineError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    thresholds = _regress_thresholds(args)
+    configs = [cell.run_config() for cell in baseline]
+    jobs, cache, refresh = _sweep_options(args, default_cache=False)
+    # the comparison stays inside the observability scope so the
+    # regress_cells_*_total counters land in a --metrics snapshot
+    with _observability(args):
+        outcome = run_sweep(configs, jobs=jobs, cache=cache, refresh=refresh)
+        report = compare(baseline, outcome.results, thresholds)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return EXIT_FINDINGS if report.fails(args.fail_on) else EXIT_OK
+
+
+def cmd_regress_history(args) -> int:
+    """``regress history``: the trajectory and its change points."""
+    from ..regress import (
+        Trajectory,
+        TrajectoryError,
+        change_points,
+        default_trajectory_dir,
+    )
+
+    trajectory = Trajectory(args.trajectory_dir or default_trajectory_dir())
+    try:
+        points = trajectory.points()
+    except TrajectoryError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    thresholds = _regress_thresholds(args)
+    changes = change_points(points, thresholds)
+    if args.json:
+        import json as jsonmod
+        print(jsonmod.dumps({
+            "points": [
+                {"index": p.index, "label": p.label,
+                 "model_version": p.model_version,
+                 "created_unix": p.created_unix, "cells": len(p.cells)}
+                for p in points
+            ],
+            "change_points": [c.to_dict() for c in changes],
+        }, indent=2, sort_keys=True))
+    else:
+        if not points:
+            print(f"no trajectory points in {trajectory.root}")
+        rows = [{
+            "point": f"BENCH_{p.index}", "label": p.label,
+            "cells": len(p.cells), "model": p.model_version,
+        } for p in points]
+        if rows:
+            print(render_table(rows, f"Trajectory: {trajectory.root}"))
+        for change in changes:
+            print(change.format())
+        print(f"{len(changes)} change point(s) across {len(points)} point(s)")
+    if args.fail_on_change and changes:
+        return EXIT_FINDINGS
+    return EXIT_OK
 
 
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
@@ -590,6 +762,92 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--device", default="i7-6700K")
     verify.set_defaults(func=cmd_verify_sizes)
 
+    regress = sub.add_parser(
+        "regress",
+        help="performance-regression gate: baselines, checks, history")
+    regress_sub = regress.add_subparsers(dest="regress_command",
+                                         required=True)
+
+    def _add_threshold_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--alpha", type=float, default=0.01,
+                            help="Welch's-test significance level "
+                                 "(default: 0.01)")
+        parser.add_argument("--min-effect", type=float, default=0.5,
+                            metavar="D",
+                            help="minimum |Cohen's d| in pooled-sigma units "
+                                 "(default: 0.5, the paper's detection "
+                                 "target)")
+        parser.add_argument("--min-shift", type=float, default=0.03,
+                            metavar="FRACTION",
+                            help="minimum relative mean shift "
+                                 "(default: 0.03 = 3%%)")
+
+    record = regress_sub.add_parser(
+        "record", help="measure a sweep and freeze it as a named baseline")
+    record.add_argument("--name", default="default",
+                        help="baseline name (default: %(default)s)")
+    record.add_argument("--benchmark", choices=sorted(BENCHMARKS),
+                        default=None,
+                        help="restrict to one benchmark (default: all)")
+    record.add_argument("--size", choices=SIZES, default=None,
+                        help="restrict to one problem size (default: each "
+                             "benchmark's presets)")
+    record.add_argument("--device", default=None,
+                        help="restrict to one Table 1 device (default: the "
+                             "full catalog)")
+    record.add_argument("--samples", type=int, default=50)
+    record.add_argument("--seed", type=int, default=12345,
+                        help="base RNG seed for the measurement protocol")
+    record.add_argument("--no-execute", action="store_true",
+                        help="model-only timing (skip functional execution)")
+    record.add_argument("--baseline-dir", default=None, metavar="DIR",
+                        help="baseline store location (default: "
+                             "$REPRO_BASELINE_DIR or .repro/baselines)")
+    record.add_argument("--trajectory-dir", default=None, metavar="DIR",
+                        help="also append this run to the BENCH_<n>.json "
+                             "trajectory in DIR")
+    record.add_argument("--bench-index", type=int, default=None, metavar="N",
+                        help="force the trajectory point index (default: "
+                             "next free)")
+    record.add_argument("--label", default=None,
+                        help="trajectory point label, e.g. a git revision "
+                             "(default: the baseline name)")
+    _add_sweep_flags(record)
+    _add_observability_flags(record)
+    record.set_defaults(func=cmd_regress_record)
+
+    check = regress_sub.add_parser(
+        "check", help="re-measure a baseline's cells and gate on regressions")
+    check.add_argument("--name", default="default",
+                       help="baseline name (default: %(default)s)")
+    check.add_argument("--baseline-dir", default=None, metavar="DIR",
+                       help="baseline store location (default: "
+                            "$REPRO_BASELINE_DIR or .repro/baselines)")
+    check.add_argument("--fail-on", choices=("regressed", "changed", "none"),
+                       default="regressed",
+                       help="exit 1 when the report has this (default: "
+                            "%(default)s; `changed` also trips on "
+                            "improvements and coverage drift)")
+    check.add_argument("--json", action="store_true",
+                       help="emit the JSON report (schema: "
+                            "docs/regression.md)")
+    _add_threshold_flags(check)
+    _add_sweep_flags(check)
+    _add_observability_flags(check)
+    check.set_defaults(func=cmd_regress_check)
+
+    history = regress_sub.add_parser(
+        "history", help="render the BENCH_<n>.json trajectory + change points")
+    history.add_argument("--trajectory-dir", default=None, metavar="DIR",
+                         help="trajectory location (default: "
+                              "$REPRO_TRAJECTORY_DIR or .repro/trajectory)")
+    history.add_argument("--json", action="store_true",
+                         help="emit points and change points as JSON")
+    history.add_argument("--fail-on-change", action="store_true",
+                         help="exit 1 when any change point is detected")
+    _add_threshold_flags(history)
+    history.set_defaults(func=cmd_regress_history)
+
     return parser
 
 
@@ -611,6 +869,9 @@ def main(argv: list[str] | None = None) -> int:
         args.rest = rest
     try:
         return args.func(args)
+    except UsageError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
     except BrokenPipeError:
         # stdout consumer (head, less) closed the pipe: not an error
         import os

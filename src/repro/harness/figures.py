@@ -87,7 +87,8 @@ def _box(values: np.ndarray, device_class: str) -> dict:
         "q3": float(q3),
         "min": float(values.min()),
         "max": float(values.max()),
-        "cov": std / mean if mean else 0.0,
+        # like SampleSummary.cov: undefined when zero-mean samples vary
+        "cov": (std / mean) if mean else (0.0 if std == 0.0 else float("nan")),
     }
 
 

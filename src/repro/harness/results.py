@@ -7,6 +7,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from ..perfmodel.roofline import TimeBreakdown
 from .runner import RunResult
 
 
@@ -79,16 +80,109 @@ class ResultSet:
 
     # ------------------------------------------------------------------
     def to_csv(self) -> str:
-        """Long-form CSV: one row per sample."""
+        """Long-form CSV: one row per sample.
+
+        The trailing ``tags`` column carries the group-level metadata a
+        loader needs to rebuild each :class:`RunResult` — the nominal
+        time, loop iterations, validation flag and the
+        :class:`~repro.perfmodel.roofline.TimeBreakdown` components —
+        rendered ``key=value`` joined with ``;`` (the same single-field
+        convention as the recorder CSV from the observability layer).
+        :meth:`from_csv` is the matching loader; the pair round-trips.
+        """
         out = io.StringIO()
-        out.write("benchmark,size,device,device_class,sample,time_s,energy_j\n")
+        out.write("benchmark,size,device,device_class,sample,time_s,"
+                  "energy_j,tags\n")
         for r in self.results:
+            b = r.breakdown
+            tags = ";".join(f"{k}={v}" for k, v in (
+                ("nominal_s", f"{r.nominal_s:.9g}"),
+                ("loop_iterations", r.loop_iterations),
+                ("footprint_bytes", r.footprint_bytes),
+                ("validated", r.validated),
+                ("compute_s", f"{b.compute_s:.9g}"),
+                ("memory_s", f"{b.memory_s:.9g}"),
+                ("serial_s", f"{b.serial_s:.9g}"),
+                ("launch_s", f"{b.launch_s:.9g}"),
+                ("launches", b.launches),
+                ("body_override_s",
+                 "" if b.body_override_s is None
+                 else f"{b.body_override_s:.9g}"),
+            ))
             for i, (t, e) in enumerate(zip(r.times_s, r.energies_j)):
                 out.write(
                     f"{r.benchmark},{r.size},{r.device},{r.device_class},"
-                    f"{i},{t:.9g},{e:.9g}\n"
+                    f"{i},{t:.9g},{e:.9g},{tags}\n"
                 )
         return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "ResultSet":
+        """Rebuild a result set from :meth:`to_csv` output.
+
+        Rows are grouped by (benchmark, size, device) in first-seen
+        order; samples are ordered by their ``sample`` index.  The
+        ``tags`` column restores the group-level fields; files written
+        before the column existed (7-column header) still load, with
+        those fields defaulting to zeros/False.  Per-region recorders
+        are not serialised to CSV and come back as ``None``.
+        """
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            return cls()
+        header = lines[0].split(",")
+        expected = ["benchmark", "size", "device", "device_class",
+                    "sample", "time_s", "energy_j"]
+        if header[:7] != expected:
+            raise ValueError(
+                f"unrecognised results CSV header {lines[0]!r}")
+        has_tags = len(header) > 7 and header[7] == "tags"
+        groups: dict[tuple[str, str, str, str], dict] = {}
+        for n, line in enumerate(lines[1:], start=2):
+            parts = line.split(",")
+            if len(parts) < 7:
+                raise ValueError(f"line {n}: expected >= 7 fields, "
+                                 f"got {len(parts)}")
+            benchmark, size, device, device_class = parts[:4]
+            sample = int(parts[4])
+            time_s, energy_j = float(parts[5]), float(parts[6])
+            tags = {}
+            if has_tags and len(parts) > 7:
+                for pair in parts[7].split(";"):
+                    if "=" in pair:
+                        key, _, value = pair.partition("=")
+                        tags[key] = value
+            group = groups.setdefault(
+                (benchmark, size, device, device_class),
+                {"rows": [], "tags": tags})
+            group["rows"].append((sample, time_s, energy_j))
+        results = []
+        for (benchmark, size, device, device_class), group in groups.items():
+            rows = sorted(group["rows"])
+            tags = group["tags"]
+            override = tags.get("body_override_s", "")
+            breakdown = TimeBreakdown(
+                compute_s=float(tags.get("compute_s", 0.0)),
+                memory_s=float(tags.get("memory_s", 0.0)),
+                serial_s=float(tags.get("serial_s", 0.0)),
+                launch_s=float(tags.get("launch_s", 0.0)),
+                launches=int(tags.get("launches", 1)),
+                body_override_s=float(override) if override else None,
+            )
+            results.append(RunResult(
+                benchmark=benchmark,
+                size=size,
+                device=device,
+                device_class=device_class,
+                nominal_s=float(tags.get("nominal_s", 0.0)),
+                times_s=np.array([t for _, t, _ in rows], dtype=float),
+                energies_j=np.array([e for _, _, e in rows], dtype=float),
+                loop_iterations=int(tags.get("loop_iterations", 1)),
+                breakdown=breakdown,
+                footprint_bytes=int(tags.get("footprint_bytes", 0)),
+                validated=tags.get("validated", "False") == "True",
+            ))
+        return cls(results)
 
     def summary_rows(self) -> list[dict]:
         """One summary dict per group (for table rendering)."""

@@ -58,6 +58,39 @@ MODEL_VERSION = "1"
 CACHE_FORMAT = 1
 
 
+def cell_key(config: RunConfig, model_version: str | None = None) -> str:
+    """Content hash (SHA-256 hex) addressing one sweep cell.
+
+    The digest folds in the full :class:`RunConfig`, the resolved
+    device spec and the :data:`MODEL_VERSION` stamp, so any change to
+    those inputs — different sample count, a re-parameterised device, a
+    model bump — yields a different key.  Shared by :class:`SweepCache`
+    and the :mod:`repro.regress` baseline store: a baseline cell whose
+    key no longer matches a freshly computed one was recorded under a
+    different model and is flagged stale.
+
+    Parameters
+    ----------
+    config : RunConfig
+        The cell to address.  The device name is canonicalised through
+        the catalog first.
+    model_version : str, optional
+        Override of the global :data:`MODEL_VERSION` stamp (tests use
+        this to exercise invalidation).
+    """
+    spec = get_device(config.device)
+    fields = dataclasses.asdict(config)
+    fields["device"] = spec.name
+    material = {
+        "model_version": (MODEL_VERSION if model_version is None
+                          else model_version),
+        "config": fields,
+        "device_spec": dataclasses.asdict(spec),
+    }
+    blob = json.dumps(material, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 def default_cache_dir() -> Path:
     """The sweep cache location used when none is given explicitly.
 
@@ -170,17 +203,7 @@ class SweepCache:
             Override of the global :data:`MODEL_VERSION` stamp
             (tests use this to exercise invalidation).
         """
-        spec = get_device(config.device)
-        fields = dataclasses.asdict(config)
-        fields["device"] = spec.name
-        material = {
-            "model_version": (MODEL_VERSION if model_version is None
-                              else model_version),
-            "config": fields,
-            "device_spec": dataclasses.asdict(spec),
-        }
-        blob = json.dumps(material, sort_keys=True, default=str)
-        return hashlib.sha256(blob.encode()).hexdigest()
+        return cell_key(config, model_version)
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""

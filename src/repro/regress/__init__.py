@@ -1,0 +1,76 @@
+"""Performance-regression subsystem: baselines, comparison, trajectory.
+
+The paper's measurement discipline (§4.3 — 50 samples per group,
+Welch's t-test powered to detect a 0.5σ shift) describes a *single*
+run; this package turns it into a gate between runs:
+
+* :mod:`~repro.regress.baseline` — a versioned, content-addressed
+  store freezing one sweep's raw samples per cell;
+* :mod:`~repro.regress.compare` — Welch's test + Cohen's d + a
+  bootstrap CI on the ratio of means, classifying each cell
+  improved / unchanged / regressed;
+* :mod:`~repro.regress.trajectory` — an append-only ``BENCH_<n>.json``
+  history with change-point detection;
+* :mod:`~repro.regress.report` — text/JSON rendering and the
+  ``--fail-on`` CI gate.
+
+Workflow (``docs/regression.md``)::
+
+    repro regress record --name main --size tiny      # freeze a baseline
+    repro regress check  --name main --size tiny      # gate a fresh run
+    repro regress history                             # change points
+"""
+
+from .baseline import (
+    BASELINE_SCHEMA_VERSION,
+    Baseline,
+    BaselineError,
+    BaselineStore,
+    CellBaseline,
+    default_baseline_dir,
+)
+from .compare import (
+    STATUSES,
+    CellComparison,
+    Thresholds,
+    classify,
+    compare,
+    compare_cell,
+)
+from .report import FAIL_MODES, JSON_SCHEMA_VERSION, RegressReport
+from .trajectory import (
+    TRAJECTORY_SCHEMA_VERSION,
+    CellPoint,
+    ChangePoint,
+    Trajectory,
+    TrajectoryError,
+    TrajectoryPoint,
+    change_points,
+    default_trajectory_dir,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "Baseline",
+    "BaselineError",
+    "BaselineStore",
+    "CellBaseline",
+    "CellComparison",
+    "CellPoint",
+    "ChangePoint",
+    "FAIL_MODES",
+    "JSON_SCHEMA_VERSION",
+    "RegressReport",
+    "STATUSES",
+    "TRAJECTORY_SCHEMA_VERSION",
+    "Thresholds",
+    "Trajectory",
+    "TrajectoryError",
+    "TrajectoryPoint",
+    "change_points",
+    "classify",
+    "compare",
+    "compare_cell",
+    "default_baseline_dir",
+    "default_trajectory_dir",
+]

@@ -1,0 +1,297 @@
+"""Versioned, content-addressed performance-baseline store.
+
+A *baseline* freezes one sweep's measurements so a later run can be
+compared against it: for every (benchmark, size, device) cell it keeps
+the full :class:`~repro.harness.runner.RunConfig`, the cell's
+content-address (:func:`repro.harness.sweep.cell_key` — the same
+SHA-256 over config + device spec + model version that keys the
+:class:`~repro.harness.sweep.SweepCache`), the raw timing/energy
+samples and their :class:`~repro.scibench.stats.SampleSummary`.
+
+Keeping the *raw* samples, not just the summary, is what lets
+:mod:`repro.regress.compare` re-run Welch's t-test between the stored
+group and a fresh one exactly as the paper's §4.3 methodology
+prescribes for two measurement groups.
+
+Baselines are JSON files (``<root>/<name>.json``, schema
+:data:`BASELINE_SCHEMA_VERSION`; layout documented in
+``docs/regression.md``) written atomically.  Unlike the sweep cache, a
+corrupt or schema-incompatible baseline is an *error*, not a miss — a
+CI gate must never silently pass because its reference data rotted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..harness.runner import RunConfig, RunResult
+from ..harness.sweep import MODEL_VERSION, cell_key
+from ..scibench.stats import SampleSummary, summarize
+
+#: Version stamp of the baseline JSON schema (see docs/regression.md).
+BASELINE_SCHEMA_VERSION = 1
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class BaselineError(Exception):
+    """A baseline is missing, corrupt or schema-incompatible."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise BaselineError(
+            f"invalid baseline name {name!r} (use letters, digits, . _ -)"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class CellBaseline:
+    """One cell's frozen measurement group.
+
+    Parameters
+    ----------
+    config:
+        The cell's :class:`RunConfig` as a plain dict — enough to
+        re-run the *identical* measurement later.
+    key:
+        The cell's content-address at record time.  A later
+        :func:`cell_key` over the same config that yields a different
+        digest means the device spec or model version changed since the
+        baseline was recorded (the comparison flags such cells stale).
+    times_s, energies_j:
+        Raw per-sample measurements, in sample order.
+    device_class:
+        The device's accelerator class (CPU/Consumer GPU/...), kept for
+        reporting.
+    """
+
+    config: dict
+    key: str
+    times_s: tuple[float, ...]
+    energies_j: tuple[float, ...]
+    device_class: str
+
+    @property
+    def benchmark(self) -> str:
+        return str(self.config["benchmark"])
+
+    @property
+    def size(self) -> str:
+        return str(self.config["size"])
+
+    @property
+    def device(self) -> str:
+        return str(self.config["device"])
+
+    @property
+    def coordinates(self) -> tuple[str, str, str]:
+        """The (benchmark, size, device) triple identifying this cell."""
+        return (self.benchmark, self.size, self.device)
+
+    @property
+    def summary(self) -> SampleSummary:
+        """Summary statistics of the stored timing samples."""
+        return summarize(self.times_s)
+
+    def run_config(self) -> RunConfig:
+        """The cell's :class:`RunConfig`, reconstructed."""
+        return RunConfig(**self.config)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, config: RunConfig, result: RunResult
+                    ) -> "CellBaseline":
+        """Freeze one sweep cell (its config and measured samples)."""
+        fields = dataclasses.asdict(config)
+        fields["device"] = result.device  # canonical catalog name
+        return cls(
+            config=fields,
+            key=cell_key(RunConfig(**fields)),
+            times_s=tuple(float(t) for t in result.times_s),
+            energies_j=tuple(float(e) for e in result.energies_j),
+            device_class=result.device_class,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (summary included for human readers)."""
+        s = self.summary
+        return {
+            "config": dict(self.config),
+            "key": self.key,
+            "times_s": list(self.times_s),
+            "energies_j": list(self.energies_j),
+            "device_class": self.device_class,
+            "summary": dataclasses.asdict(s),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellBaseline":
+        """Rebuild a cell from :meth:`to_dict` output.
+
+        The embedded summary is redundant (derivable from the raw
+        samples) and is ignored on load, so a hand-edited summary can
+        never disagree with the samples it claims to describe.
+        """
+        return cls(
+            config=dict(payload["config"]),
+            key=str(payload["key"]),
+            times_s=tuple(float(t) for t in payload["times_s"]),
+            energies_j=tuple(float(e) for e in payload["energies_j"]),
+            device_class=str(payload["device_class"]),
+        )
+
+
+@dataclass
+class Baseline:
+    """A named set of frozen measurement groups (one sweep's worth)."""
+
+    name: str
+    model_version: str = MODEL_VERSION
+    created_unix: float = field(default_factory=time.time)
+    cells: list[CellBaseline] = field(default_factory=list)
+
+    def __post_init__(self):
+        _check_name(self.name)
+
+    # ------------------------------------------------------------------
+    def add(self, cell: CellBaseline) -> None:
+        """Append one cell (its coordinates must be unique)."""
+        if self.cell(*cell.coordinates) is not None:
+            raise BaselineError(
+                f"duplicate baseline cell for {cell.coordinates}")
+        self.cells.append(cell)
+
+    def cell(self, benchmark: str, size: str, device: str
+             ) -> CellBaseline | None:
+        """The cell at the given coordinates, or ``None``."""
+        for c in self.cells:
+            if c.coordinates == (benchmark, size, device):
+                return c
+        return None
+
+    def coordinates(self) -> list[tuple[str, str, str]]:
+        """Every cell's (benchmark, size, device), in stored order."""
+        return [c.coordinates for c in self.cells]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sweep(cls, name: str, configs: list[RunConfig],
+                   results: list[RunResult]) -> "Baseline":
+        """Freeze a sweep's aligned (config, result) pairs."""
+        if len(configs) != len(results):
+            raise BaselineError(
+                f"{len(configs)} configs but {len(results)} results")
+        baseline = cls(name=name)
+        for config, result in zip(configs, results):
+            baseline.add(CellBaseline.from_result(config, result))
+        return baseline
+
+    def to_json(self) -> str:
+        """The baseline as schema-versioned JSON text."""
+        return json.dumps(
+            {
+                "schema_version": BASELINE_SCHEMA_VERSION,
+                "name": self.name,
+                "model_version": self.model_version,
+                "created_unix": self.created_unix,
+                "cells": [c.to_dict() for c in self.cells],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        """Parse :meth:`to_json` output; raises :class:`BaselineError`."""
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise BaselineError(f"baseline is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise BaselineError("baseline JSON must be an object")
+        version = payload.get("schema_version")
+        if version != BASELINE_SCHEMA_VERSION:
+            raise BaselineError(
+                f"baseline schema version {version!r} is not supported "
+                f"(expected {BASELINE_SCHEMA_VERSION})")
+        try:
+            baseline = cls(
+                name=str(payload["name"]),
+                model_version=str(payload["model_version"]),
+                created_unix=float(payload["created_unix"]),
+            )
+            for cell in payload["cells"]:
+                baseline.add(CellBaseline.from_dict(cell))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(f"malformed baseline: {exc!r}") from None
+        return baseline
+
+
+def default_baseline_dir() -> Path:
+    """Where baselines live when no ``--baseline-dir`` is given.
+
+    ``$REPRO_BASELINE_DIR`` wins, else ``.repro/baselines`` under the
+    current directory — baselines are project data meant to be
+    committed or uploaded, not per-user cache.
+    """
+    env = os.environ.get("REPRO_BASELINE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path(".repro/baselines")
+
+
+class BaselineStore:
+    """Directory of named baselines (``<root>/<name>.json``)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root).expanduser()
+
+    def path_for(self, name: str) -> Path:
+        """Where the named baseline lives (whether or not it exists)."""
+        return self.root / f"{_check_name(name)}.json"
+
+    # ------------------------------------------------------------------
+    def save(self, baseline: Baseline) -> Path:
+        """Persist a baseline atomically; returns its path."""
+        path = self.path_for(baseline.name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(baseline.to_json(), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def load(self, name: str) -> Baseline:
+        """Load a named baseline; missing/corrupt raises BaselineError."""
+        path = self.path_for(name)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            known = ", ".join(self.names()) or "<none>"
+            raise BaselineError(
+                f"no baseline {name!r} in {self.root} "
+                f"(known: {known})") from None
+        return Baseline.from_json(text)
+
+    def names(self) -> list[str]:
+        """Baseline names present, sorted."""
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def __contains__(self, name: str) -> bool:
+        return self.path_for(name).exists()
+
+    def __repr__(self) -> str:
+        return f"<BaselineStore {self.root}: {len(self.names())} baselines>"

@@ -1,0 +1,269 @@
+"""Statistical comparison of a fresh run against a stored baseline.
+
+The paper's §4.3 methodology sizes every measurement group at 50
+samples so that a Welch's t-test has power 0.8 to detect a half-σ
+shift.  This module is the second half of that bargain: given two
+groups — the baseline's stored samples and a freshly measured set — it
+runs exactly that test and classifies the cell:
+
+* **regressed** — the fresh mean is *slower*, and the difference is
+  simultaneously significant (``p < alpha``), large in effect size
+  (``|Cohen's d| >= min_effect_size``, default the paper's 0.5σ
+  detection target) and material (relative mean shift
+  ``>= min_rel_shift``, default 3%);
+* **improved** — the mirror image, faster;
+* **unchanged** — anything that fails one of the three criteria.
+
+Requiring all three gates at once is deliberate: with 50 samples a
+0.1% shift can be "significant" (p tells you it is real, not that it
+matters), while a 10% shift on two samples is anecdote.  The bootstrap
+CI on the ratio of means quantifies *how much* slower for the report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..harness.runner import RunResult
+from ..harness.sweep import cell_key
+from ..scibench.stats import (
+    achieved_power,
+    bootstrap_ratio_ci,
+    cohens_d,
+    welch_t_test,
+)
+from .baseline import Baseline, CellBaseline
+
+#: Cell classifications, in report order.  ``missing``/``new`` mark
+#: coverage drift (a cell present on only one side); ``stale`` is not a
+#: status but a flag — see :attr:`CellComparison.stale`.
+STATUSES = ("regressed", "improved", "unchanged", "missing", "new")
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """The three-part classification gate (defaults mirror §4.3).
+
+    Parameters
+    ----------
+    alpha:
+        Welch's-test significance level.  Default 0.01 — stricter than
+        the power analysis's 0.05 because a CI gate runs one test per
+        cell and the suite has dozens of cells.
+    min_effect_size:
+        Minimum |Cohen's d|, in pooled-σ units.  Default 0.5, the shift
+        the paper sized its groups to detect.
+    min_rel_shift:
+        Minimum relative mean shift.  Default 3% — below that, a
+        "regression" is within the run-to-run noise floor of every
+        device in Table 1.
+    confidence, n_boot, boot_seed:
+        Bootstrap-CI parameters for the reported ratio interval.
+    """
+
+    alpha: float = 0.01
+    min_effect_size: float = 0.5
+    min_rel_shift: float = 0.03
+    confidence: float = 0.95
+    n_boot: int = 2000
+    boot_seed: int = 0
+
+    def __post_init__(self):
+        if not 0 < self.alpha < 1:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.min_effect_size < 0:
+            raise ValueError("min_effect_size must be >= 0")
+        if self.min_rel_shift < 0:
+            raise ValueError("min_rel_shift must be >= 0")
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """One cell's verdict and the statistics behind it.
+
+    ``ratio`` is ``fresh_mean / baseline_mean`` (> 1 means slower);
+    ``effect_size`` is Cohen's d of fresh vs baseline (positive means
+    slower); ``power`` is the achieved power of the test at the
+    baseline's group size for the configured effect-size target.
+    ``stale`` marks a cell whose content-address no longer matches the
+    baseline's — the device spec or model version changed since the
+    baseline was recorded, so the verdict compares different models
+    (exactly what a regression gate is for, but worth surfacing).
+    """
+
+    benchmark: str
+    size: str
+    device: str
+    device_class: str
+    status: str
+    baseline_mean: float = math.nan
+    fresh_mean: float = math.nan
+    ratio: float = math.nan
+    ratio_ci: tuple[float, float] = (math.nan, math.nan)
+    t_stat: float = math.nan
+    p_value: float = math.nan
+    effect_size: float = math.nan
+    power: float = math.nan
+    stale: bool = False
+
+    @property
+    def coordinates(self) -> tuple[str, str, str]:
+        """The (benchmark, size, device) triple identifying this cell."""
+        return (self.benchmark, self.size, self.device)
+
+    def format(self) -> str:
+        """One-line text rendering (the ``regress check`` output)."""
+        where = "/".join(self.coordinates)
+        if self.status in ("missing", "new"):
+            return f"{self.status}: {where}"
+        line = (
+            f"{self.status}: {where}: "
+            f"{self.baseline_mean * 1e3:.4f} -> {self.fresh_mean * 1e3:.4f} ms "
+            f"(x{self.ratio:.3f}, CI [{self.ratio_ci[0]:.3f}, "
+            f"{self.ratio_ci[1]:.3f}], p={self.p_value:.2e}, "
+            f"d={self.effect_size:+.2f})"
+        )
+        if self.stale:
+            line += " [stale: model/device changed since record]"
+        return line
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (NaN statistics are omitted)."""
+        out: dict = {
+            "benchmark": self.benchmark,
+            "size": self.size,
+            "device": self.device,
+            "device_class": self.device_class,
+            "status": self.status,
+            "stale": self.stale,
+        }
+        scalars = {
+            "baseline_mean_s": self.baseline_mean,
+            "fresh_mean_s": self.fresh_mean,
+            "ratio": self.ratio,
+            "t_stat": self.t_stat,
+            "p_value": self.p_value,
+            "effect_size": self.effect_size,
+            "power": self.power,
+        }
+        for name, value in scalars.items():
+            if not math.isnan(value):
+                out[name] = value
+        if not math.isnan(self.ratio_ci[0]):
+            out["ratio_ci"] = list(self.ratio_ci)
+        return out
+
+
+def classify(baseline_samples, fresh_samples,
+             thresholds: Thresholds | None = None) -> tuple[str, dict]:
+    """Classify two sample groups; returns (status, statistics).
+
+    The statistics dict carries every intermediate the report renders:
+    ``t_stat``, ``p_value``, ``effect_size``, ``ratio``, ``ratio_ci``,
+    ``baseline_mean``, ``fresh_mean`` and ``power``.
+    """
+    th = thresholds or Thresholds()
+    base = np.asarray(baseline_samples, dtype=float)
+    fresh = np.asarray(fresh_samples, dtype=float)
+    base_mean = float(base.mean())
+    fresh_mean = float(fresh.mean())
+    t_stat, p_value = welch_t_test(base, fresh)
+    d = cohens_d(base, fresh)
+    ratio = fresh_mean / base_mean if base_mean else math.nan
+    ratio_ci = bootstrap_ratio_ci(
+        base, fresh, confidence=th.confidence, n_boot=th.n_boot,
+        seed=th.boot_seed,
+    ) if base_mean else (math.nan, math.nan)
+    rel_shift = abs(fresh_mean - base_mean) / base_mean if base_mean else 0.0
+    stats = {
+        "baseline_mean": base_mean,
+        "fresh_mean": fresh_mean,
+        "ratio": ratio,
+        "ratio_ci": ratio_ci,
+        "t_stat": t_stat,
+        "p_value": p_value,
+        "effect_size": d,
+        "power": achieved_power(min(base.size, fresh.size),
+                                effect_size=th.min_effect_size,
+                                alpha=th.alpha),
+    }
+    # identical groups (same seed, same model) short-circuit: Welch's
+    # p is 1 there but can be nan when both groups are constant
+    significant = (not math.isnan(p_value)) and p_value < th.alpha
+    if (significant and abs(d) >= th.min_effect_size
+            and rel_shift >= th.min_rel_shift):
+        status = "regressed" if fresh_mean > base_mean else "improved"
+    else:
+        status = "unchanged"
+    return status, stats
+
+
+def compare_cell(cell: CellBaseline, result: RunResult,
+                 thresholds: Thresholds | None = None) -> CellComparison:
+    """Compare one fresh result against its baseline cell."""
+    status, stats = classify(cell.times_s, result.times_s, thresholds)
+    return CellComparison(
+        benchmark=cell.benchmark,
+        size=cell.size,
+        device=cell.device,
+        device_class=cell.device_class,
+        status=status,
+        baseline_mean=stats["baseline_mean"],
+        fresh_mean=stats["fresh_mean"],
+        ratio=stats["ratio"],
+        ratio_ci=tuple(stats["ratio_ci"]),
+        t_stat=stats["t_stat"],
+        p_value=stats["p_value"],
+        effect_size=stats["effect_size"],
+        power=stats["power"],
+        stale=cell_key(cell.run_config()) != cell.key,
+    )
+
+
+def compare(baseline: Baseline, results: list[RunResult],
+            thresholds: Thresholds | None = None):
+    """Compare a fresh result list against a whole baseline.
+
+    Fresh results are matched to baseline cells by (benchmark, size,
+    device).  Baseline cells with no fresh result come back
+    ``missing``; fresh results with no baseline cell come back ``new``
+    — both count as coverage drift, neither as a regression.
+
+    Returns
+    -------
+    RegressReport
+        Per-cell verdicts in baseline order (then any ``new`` cells),
+        ready to render or gate on.
+    """
+    from .report import RegressReport
+
+    th = thresholds or Thresholds()
+    report = RegressReport(baseline_name=baseline.name, thresholds=th)
+    by_coords = {
+        (r.benchmark, r.size, r.device): r for r in results
+    }
+    seen = set()
+    for cell in baseline:
+        result = by_coords.get(cell.coordinates)
+        if result is None:
+            report.add(CellComparison(
+                benchmark=cell.benchmark, size=cell.size,
+                device=cell.device, device_class=cell.device_class,
+                status="missing",
+                baseline_mean=float(np.mean(cell.times_s)),
+            ))
+        else:
+            seen.add(cell.coordinates)
+            report.add(compare_cell(cell, result, th))
+    for coords, result in by_coords.items():
+        if coords not in seen:
+            report.add(CellComparison(
+                benchmark=result.benchmark, size=result.size,
+                device=result.device, device_class=result.device_class,
+                status="new",
+                fresh_mean=float(result.times_s.mean()),
+            ))
+    return report

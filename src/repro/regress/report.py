@@ -1,0 +1,163 @@
+"""Rendering and CI gating of a regression comparison.
+
+Modeled on :mod:`repro.analysis.findings`: a :class:`RegressReport`
+collects per-cell :class:`~repro.regress.compare.CellComparison`
+verdicts, renders text or schema-versioned JSON, decides the exit
+status of the ``repro regress check`` gate, and feeds the
+``regress_cells_regressed_total`` / ``regress_cells_improved_total``
+telemetry counters so finding volume is trackable across CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .compare import STATUSES, CellComparison, Thresholds
+
+#: Version stamp of the JSON report schema (see docs/regression.md).
+JSON_SCHEMA_VERSION = 1
+
+#: ``--fail-on`` thresholds: what makes the gate exit nonzero.
+#: ``regressed`` fails only on slowdowns; ``changed`` also fails on
+#: improvements and coverage drift (missing/new cells) — for gates that
+#: demand a baseline re-record whenever anything moves; ``none`` never
+#: fails (report-only).
+FAIL_MODES = ("regressed", "changed", "none")
+
+#: Statuses the ``changed`` fail mode trips on.
+_CHANGED = ("regressed", "improved", "missing", "new")
+
+
+class RegressReport:
+    """An ordered collection of cell verdicts with rendering and gating.
+
+    Parameters
+    ----------
+    baseline_name:
+        Name of the baseline the comparison ran against.
+    thresholds:
+        The classification gate used (stamped into the JSON output so a
+        report is self-describing).
+    emit_metrics:
+        When true (the default), every regressed/improved cell bumps
+        the corresponding ``regress_cells_*_total`` counter in the
+        process-global telemetry registry, tagged by benchmark, size
+        and device.
+    """
+
+    def __init__(self, baseline_name: str = "",
+                 thresholds: Thresholds | None = None,
+                 emit_metrics: bool = True):
+        self.baseline_name = baseline_name
+        self.thresholds = thresholds or Thresholds()
+        self.cells: list[CellComparison] = []
+        self._emit_metrics = emit_metrics
+
+    # ------------------------------------------------------------------
+    def add(self, cell: CellComparison) -> None:
+        """Record one cell verdict (and bump the telemetry counter)."""
+        if cell.status not in STATUSES:
+            raise ValueError(
+                f"status must be one of {STATUSES}, got {cell.status!r}")
+        self.cells.append(cell)
+        if self._emit_metrics and cell.status in ("regressed", "improved"):
+            from ..telemetry.metrics import default_registry
+
+            default_registry().counter(
+                f"regress_cells_{cell.status}_total",
+                f"Sweep cells classified {cell.status} by the "
+                "performance-regression gate",
+            ).inc(benchmark=cell.benchmark, size=cell.size,
+                  device=cell.device)
+
+    def extend(self, cells) -> None:
+        for cell in cells:
+            self.add(cell)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    # ------------------------------------------------------------------
+    def count(self, status: str | None = None) -> int:
+        """Number of cells, optionally restricted to one status."""
+        if status is None:
+            return len(self.cells)
+        return sum(1 for c in self.cells if c.status == status)
+
+    def regressions(self) -> list[CellComparison]:
+        """The regressed cells, in report order."""
+        return [c for c in self.cells if c.status == "regressed"]
+
+    def improvements(self) -> list[CellComparison]:
+        """The improved cells, in report order."""
+        return [c for c in self.cells if c.status == "improved"]
+
+    def stale(self) -> list[CellComparison]:
+        """Cells whose content-address drifted since record time."""
+        return [c for c in self.cells if c.stale]
+
+    def fails(self, fail_on: str = "regressed") -> bool:
+        """Whether the report trips the given gate."""
+        if fail_on not in FAIL_MODES:
+            raise ValueError(
+                f"fail_on must be one of {FAIL_MODES}, got {fail_on!r}")
+        if fail_on == "none":
+            return False
+        if fail_on == "regressed":
+            return self.count("regressed") > 0
+        return any(self.count(s) > 0 for s in _CHANGED)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        return {status: self.count(status) for status in STATUSES}
+
+    def render_text(self) -> str:
+        """Multi-line report: changed cells first, then totals.
+
+        Unchanged cells are elided (a healthy full-matrix check would
+        otherwise print hundreds of identical lines); the totals line
+        always states how many were checked.
+        """
+        order = {status: rank for rank, status in enumerate(STATUSES)}
+        lines = [
+            c.format()
+            for c in sorted(
+                (c for c in self.cells if c.status != "unchanged"),
+                key=lambda c: (order[c.status], c.coordinates))
+        ]
+        counts = self.summary()
+        lines.append(
+            f"regress vs {self.baseline_name or '<baseline>'}: "
+            + ", ".join(f"{counts[s]} {s}" for s in STATUSES)
+            + f" of {len(self.cells)} cells"
+        )
+        stale = len(self.stale())
+        if stale:
+            lines.append(
+                f"note: {stale} cell(s) stale — device spec or model "
+                "version changed since the baseline was recorded"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """JSON rendering (schema documented in docs/regression.md)."""
+        th = self.thresholds
+        return json.dumps(
+            {
+                "schema_version": JSON_SCHEMA_VERSION,
+                "baseline": self.baseline_name,
+                "thresholds": {
+                    "alpha": th.alpha,
+                    "min_effect_size": th.min_effect_size,
+                    "min_rel_shift": th.min_rel_shift,
+                    "confidence": th.confidence,
+                },
+                "summary": self.summary(),
+                "cells": [c.to_dict() for c in self.cells],
+            },
+            indent=2,
+            sort_keys=True,
+        )

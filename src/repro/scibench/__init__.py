@@ -11,7 +11,9 @@ from . import lsb
 from .stats import (
     SampleSummary,
     achieved_power,
+    bootstrap_ratio_ci,
     coefficient_of_variation,
+    cohens_d,
     required_sample_size,
     summarize,
     welch_t_test,
@@ -30,7 +32,9 @@ __all__ = [
     "TIMER_OVERHEAD_NS",
     "WallClock",
     "achieved_power",
+    "bootstrap_ratio_ci",
     "coefficient_of_variation",
+    "cohens_d",
     "required_sample_size",
     "summarize",
     "welch_t_test",

@@ -35,8 +35,15 @@ class SampleSummary:
 
     @property
     def cov(self) -> float:
-        """Coefficient of variation (std / mean)."""
-        return self.std / self.mean if self.mean else 0.0
+        """Coefficient of variation (std / mean).
+
+        Undefined (``nan``) when the mean is zero but the samples vary:
+        a zero-mean group with nonzero spread must not masquerade as
+        perfectly stable.  A genuinely constant zero group is 0.0.
+        """
+        if self.mean:
+            return self.std / self.mean
+        return 0.0 if self.std == 0.0 else math.nan
 
     @property
     def iqr(self) -> float:
@@ -119,9 +126,95 @@ def welch_t_test(a, b) -> tuple[float, float]:
 
 
 def coefficient_of_variation(samples) -> float:
-    """std/mean of a sample (the dispersion measure of paper §5.1)."""
+    """std/mean of a sample (the dispersion measure of paper §5.1).
+
+    ``nan`` when the mean is zero but the spread is not (see
+    :attr:`SampleSummary.cov`).
+    """
     x = np.asarray(samples, dtype=float)
     if x.size < 2:
         return 0.0
     m = x.mean()
-    return float(x.std(ddof=1) / m) if m else 0.0
+    s = x.std(ddof=1)
+    if m:
+        return float(s / m)
+    return 0.0 if s == 0.0 else math.nan
+
+
+def cohens_d(a, b) -> float:
+    """Cohen's d effect size between two groups (pooled-std units).
+
+    The paper's power analysis (§4.3) is phrased in exactly these
+    units: 50 samples per group detect a shift of ``d = 0.5`` — half a
+    pooled standard deviation — with power 0.8.  The sign follows
+    ``mean(b) - mean(a)``, so a positive d means group ``b`` is larger
+    (slower, for timing samples).
+
+    Returns 0.0 when both groups are constant and equal, ``inf`` (with
+    the shift's sign) when they are constant but different.
+    """
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.size < 2 or y.size < 2:
+        raise ValueError("cohens_d needs at least 2 samples per group")
+    shift = float(y.mean() - x.mean())
+    var_x = float(x.var(ddof=1))
+    var_y = float(y.var(ddof=1))
+    pooled = math.sqrt(
+        ((x.size - 1) * var_x + (y.size - 1) * var_y)
+        / (x.size + y.size - 2)
+    )
+    if pooled == 0.0:
+        return 0.0 if shift == 0.0 else math.copysign(math.inf, shift)
+    return shift / pooled
+
+
+def bootstrap_ratio_ci(
+    a,
+    b,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap percentile CI on the ratio of means ``mean(b)/mean(a)``.
+
+    Welch's test answers "is there a difference?"; this answers "how
+    big is it, multiplicatively?" — the form a regression report needs
+    ("1.12x slower, CI [1.08, 1.16]").  Resampling is deterministic for
+    a given ``seed`` so reports are reproducible.
+
+    Parameters
+    ----------
+    a, b : array-like
+        Baseline and fresh samples.  ``mean(a)`` must be nonzero.
+    confidence : float
+        Central coverage of the interval (default 95%).
+    n_boot : int
+        Bootstrap replicates.
+    seed : int
+        RNG seed for the resampling.
+
+    Returns
+    -------
+    (low, high) : tuple of float
+        The percentile interval on the ratio of means.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.size == 0 or y.size == 0:
+        raise ValueError("bootstrap_ratio_ci needs non-empty groups")
+    if x.mean() == 0.0:
+        raise ValueError("baseline mean is zero; ratio undefined")
+    rng = np.random.default_rng(seed)
+    means_x = x[rng.integers(0, x.size, size=(n_boot, x.size))].mean(axis=1)
+    means_y = y[rng.integers(0, y.size, size=(n_boot, y.size))].mean(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = means_y / means_x
+    ratios = ratios[np.isfinite(ratios)]
+    if ratios.size == 0:
+        raise ValueError("all bootstrap resamples had zero baseline mean")
+    tail = (1.0 - confidence) / 2.0 * 100.0
+    lo, hi = np.percentile(ratios, [tail, 100.0 - tail])
+    return float(lo), float(hi)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.harness.cli import build_parser, main
+from repro.harness.cli import (
+    EXIT_FINDINGS,
+    EXIT_OK,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -115,3 +121,43 @@ class TestExtendedCommands:
         assert rc == 0
         assert out_file.exists()
         assert out_file.read_text().startswith("<!doctype html>")
+
+
+class TestExitCodes:
+    """The convention every command follows: 0 = ok, 1 = findings
+    (a gate tripped on otherwise-valid input), 2 = usage/config error."""
+
+    def test_constants(self):
+        assert (EXIT_OK, EXIT_FINDINGS, EXIT_USAGE) == (0, 1, 2)
+
+    def test_success_is_exit_ok(self, capsys):
+        assert main(["run", "fft", "--size", "tiny", "--device", "GTX 1080",
+                     "--samples", "3", "--no-execute"]) == EXIT_OK
+        capsys.readouterr()
+
+    def test_unknown_device_is_usage_error(self, capsys):
+        rc = main(["run", "fft", "--size", "tiny", "--device", "HAL 9000",
+                   "--samples", "3"])
+        assert rc == EXIT_USAGE
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_unknown_figure_is_usage_error(self, capsys):
+        assert main(["figure", "9z"]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_contradictory_sweep_flags_are_usage_error(self, capsys):
+        rc = main(["run", "fft", "--size", "tiny", "--samples", "3",
+                   "--no-execute", "--no-cache", "--resume"])
+        assert rc == EXIT_USAGE
+        assert "--resume" in capsys.readouterr().err
+
+    def test_unsatisfiable_schedule_is_findings(self, capsys):
+        rc = main(["schedule", "crc", "--time-budget", "1e-12"])
+        assert rc == EXIT_FINDINGS
+        capsys.readouterr()
+
+    def test_lint_findings_exit_1(self, capsys):
+        rc = main(["lint", "--fail-on", "note"])
+        out = capsys.readouterr().out
+        clean = "0 error(s), 0 warning(s), 0 note(s)" in out
+        assert rc == (EXIT_OK if clean else EXIT_FINDINGS)

@@ -114,6 +114,44 @@ class TestResultSet:
         assert csv.startswith("benchmark,size,device,")
         # 6 groups x 5 samples + header
         assert len(csv.strip().splitlines()) == 31
+        assert csv.splitlines()[0].endswith(",tags")
+        assert "nominal_s=" in csv and "launches=" in csv
+
+    def test_csv_round_trip(self, results):
+        back = ResultSet.from_csv(results.to_csv())
+        assert len(back) == len(results)
+        for orig, loaded in zip(results, back):
+            assert (loaded.benchmark, loaded.size, loaded.device,
+                    loaded.device_class) == (orig.benchmark, orig.size,
+                                             orig.device, orig.device_class)
+            np.testing.assert_allclose(loaded.times_s, orig.times_s,
+                                       rtol=1e-8)
+            np.testing.assert_allclose(loaded.energies_j, orig.energies_j,
+                                       rtol=1e-8)
+            assert loaded.loop_iterations == orig.loop_iterations
+            assert loaded.validated == orig.validated
+            assert loaded.footprint_bytes == orig.footprint_bytes
+            assert loaded.breakdown.launches == orig.breakdown.launches
+            assert loaded.breakdown.compute_s == pytest.approx(
+                orig.breakdown.compute_s, rel=1e-8)
+        # a reload is a fixed point: the CSV text is bit-identical
+        assert back.to_csv() == results.to_csv()
+
+    def test_csv_legacy_seven_columns(self, results):
+        legacy = "\n".join(
+            ",".join(line.split(",")[:7])
+            for line in results.to_csv().splitlines()) + "\n"
+        back = ResultSet.from_csv(legacy)
+        assert len(back) == len(results)
+        assert back.results[0].loop_iterations == 1
+        assert back.results[0].validated is False
+
+    def test_csv_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            ResultSet.from_csv("alpha,beta\n1,2\n")
+
+    def test_csv_empty_text(self):
+        assert len(ResultSet.from_csv("")) == 0
 
     def test_summary_rows(self, results):
         rows = results.summary_rows()

@@ -302,10 +302,11 @@ class TestCLI:
         # the printed measurement is identical, cache or not
         assert first.splitlines()[:8] == second.splitlines()[:8]
 
-    def test_resume_contradicts_no_cache(self):
-        from repro.harness.cli import main
-        with pytest.raises(SystemExit):
-            main(["run", "all", "--size", "tiny", "--resume", "--no-cache"])
+    def test_resume_contradicts_no_cache(self, capsys):
+        from repro.harness.cli import EXIT_USAGE, main
+        rc = main(["run", "all", "--size", "tiny", "--resume", "--no-cache"])
+        assert rc == EXIT_USAGE
+        assert "--resume" in capsys.readouterr().err
 
     def test_figure_with_cache(self, tmp_path, capsys):
         from repro.harness.cli import main

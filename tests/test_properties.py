@@ -297,3 +297,82 @@ def test_clsource_parser_roundtrip(names, arities):
     assert set(sigs) == set(names)
     for name, arity in zip(names, arities):
         assert sigs[name].arity == arity
+
+
+# ----------------------------------------------------------------------
+# Regression-gate statistics (paper §4.3 discipline between runs)
+# ----------------------------------------------------------------------
+_group = st.lists(st.floats(1e-3, 1e3), min_size=3, max_size=40)
+
+
+@SLOW
+@given(_group, _group)
+def test_welch_antisymmetric_in_group_order(a, b):
+    from repro.scibench.stats import welch_t_test
+    t_ab, p_ab = welch_t_test(a, b)
+    t_ba, p_ba = welch_t_test(b, a)
+    if np.isnan(t_ab):
+        assert np.isnan(t_ba)
+    else:
+        assert t_ab == pytest.approx(-t_ba, rel=1e-9, abs=1e-12)
+        assert p_ab == pytest.approx(p_ba, rel=1e-9, abs=1e-12)
+
+
+@SLOW
+@given(_group, _group, st.floats(1e-3, 1e3))
+def test_welch_scale_invariant(a, b, k):
+    """Rescaling both groups (unit change) must not move t or p."""
+    from repro.scibench.stats import welch_t_test
+    t1, p1 = welch_t_test(a, b)
+    t2, p2 = welch_t_test([k * x for x in a], [k * x for x in b])
+    if np.isnan(t1):
+        assert np.isnan(t2)
+    else:
+        assert t1 == pytest.approx(t2, rel=1e-6, abs=1e-9)
+        assert p1 == pytest.approx(p2, rel=1e-6, abs=1e-9)
+
+
+@SLOW
+@given(_group, _group)
+def test_cohens_d_antisymmetric(a, b):
+    from repro.scibench.stats import cohens_d
+    d_ab, d_ba = cohens_d(a, b), cohens_d(b, a)
+    if np.isinf(d_ab):
+        assert d_ba == -d_ab
+    else:
+        assert d_ab == pytest.approx(-d_ba, rel=1e-9, abs=1e-12)
+
+
+@SLOW
+@given(_group, _group, st.floats(1e-3, 1e3))
+def test_cohens_d_scale_invariant(a, b, k):
+    from repro.scibench.stats import cohens_d
+    d1 = cohens_d(a, b)
+    d2 = cohens_d([k * x for x in a], [k * x for x in b])
+    if np.isinf(d1) or np.isinf(d2):
+        assert d1 == d2
+    else:
+        assert d1 == pytest.approx(d2, rel=1e-6, abs=1e-9)
+
+
+@SLOW
+@given(_group)
+def test_identical_samples_never_regress(samples):
+    """A cell re-measured bit-identically must classify as unchanged."""
+    from repro.regress import classify
+    status, stats = classify(samples, samples)
+    assert status == "unchanged"
+    assert stats["effect_size"] == 0.0 or np.isnan(stats["effect_size"])
+
+
+@SLOW
+@given(_group, _group, st.floats(1e-3, 1e3), st.integers(0, 2**31))
+def test_bootstrap_ci_ordered_and_scale_invariant(a, b, k, seed):
+    """lo <= hi always; rescaling both groups leaves the ratio CI alone."""
+    from repro.scibench.stats import bootstrap_ratio_ci
+    lo, hi = bootstrap_ratio_ci(a, b, n_boot=200, seed=seed)
+    assert lo <= hi
+    lo2, hi2 = bootstrap_ratio_ci([k * x for x in a], [k * x for x in b],
+                                  n_boot=200, seed=seed)
+    assert lo == pytest.approx(lo2, rel=1e-6)
+    assert hi == pytest.approx(hi2, rel=1e-6)

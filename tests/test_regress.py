@@ -1,0 +1,547 @@
+"""repro.regress: baseline store, statistical gate, trajectory, CLI."""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness.cli import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE, main
+from repro.harness.runner import RunConfig
+from repro.harness.sweep import MODEL_VERSION, SweepCache, cell_key, run_sweep
+from repro.regress import (
+    Baseline,
+    BaselineError,
+    BaselineStore,
+    CellBaseline,
+    RegressReport,
+    Thresholds,
+    Trajectory,
+    TrajectoryError,
+    TrajectoryPoint,
+    change_points,
+    classify,
+    compare,
+)
+from repro.scibench.stats import bootstrap_ratio_ci, cohens_d
+from repro.telemetry.metrics import default_registry
+
+DEVICES = ("i7-6700K", "GTX 1080")
+
+
+def _configs(devices=DEVICES, samples=12, benchmark="fft"):
+    return [
+        RunConfig(benchmark=benchmark, size="tiny", device=d,
+                  samples=samples, execute=False, validate=False)
+        for d in devices
+    ]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One small model-only sweep, shared by the module's tests."""
+    configs = _configs()
+    outcome = run_sweep(configs, jobs=1)
+    return configs, outcome.results
+
+
+def _slowed(results, device, factor=1.2):
+    """Copies of ``results`` with one device's samples scaled slower."""
+    return [
+        dataclasses.replace(r, times_s=r.times_s * factor)
+        if r.device == device else r
+        for r in results
+    ]
+
+
+# ----------------------------------------------------------------------
+# Statistics helpers
+# ----------------------------------------------------------------------
+class TestStatsHelpers:
+    def test_cohens_d_known_value(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [2.0, 3.0, 4.0, 5.0]  # shift of 1, pooled std ~1.29
+        d = cohens_d(a, b)
+        assert d == pytest.approx(1.0 / np.std(a, ddof=1))
+
+    def test_cohens_d_sign_follows_second_group(self):
+        a, b = [1.0, 1.1, 0.9], [2.0, 2.1, 1.9]
+        assert cohens_d(a, b) > 0
+        assert cohens_d(b, a) < 0
+
+    def test_cohens_d_constant_groups(self):
+        assert cohens_d([1.0, 1.0], [1.0, 1.0]) == 0.0
+        assert cohens_d([1.0, 1.0], [2.0, 2.0]) == math.inf
+
+    def test_cohens_d_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            cohens_d([1.0], [1.0, 2.0])
+
+    def test_bootstrap_ci_brackets_the_ratio(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(1.0, 0.05, 50)
+        b = rng.normal(1.2, 0.05, 50)
+        lo, hi = bootstrap_ratio_ci(a, b, seed=3)
+        assert lo < 1.2 / 1.0 < hi
+        assert hi - lo < 0.2
+
+    def test_bootstrap_ci_deterministic_per_seed(self):
+        a, b = [1.0, 1.1, 0.9, 1.05], [1.2, 1.3, 1.1, 1.25]
+        assert bootstrap_ratio_ci(a, b, seed=5) == bootstrap_ratio_ci(
+            a, b, seed=5)
+
+    def test_bootstrap_ci_rejects_zero_mean(self):
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci([0.0, 0.0], [1.0, 2.0])
+
+    def test_bootstrap_ci_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci([1.0], [1.0], confidence=1.5)
+
+
+# ----------------------------------------------------------------------
+# Baseline store
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_from_sweep_freezes_every_cell(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        assert len(baseline) == len(configs)
+        cell = baseline.cell("fft", "tiny", "GTX 1080")
+        assert cell is not None
+        assert cell.key == cell_key(cell.run_config())
+        np.testing.assert_array_equal(
+            np.array(cell.times_s),
+            next(r for r in results if r.device == "GTX 1080").times_s)
+
+    def test_save_load_round_trip(self, sweep, tmp_path):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        store = BaselineStore(tmp_path)
+        path = store.save(baseline)
+        assert path.name == "main.json"
+        back = store.load("main")
+        assert back.model_version == MODEL_VERSION
+        assert back.coordinates() == baseline.coordinates()
+        for a, b in zip(baseline, back):
+            assert a == b
+
+    def test_summary_matches_samples(self, sweep):
+        configs, results = sweep
+        cell = CellBaseline.from_result(configs[0], results[0])
+        assert cell.summary.n == len(cell.times_s)
+        assert cell.summary.mean == pytest.approx(
+            float(np.mean(cell.times_s)))
+
+    def test_duplicate_cell_rejected(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        with pytest.raises(BaselineError, match="duplicate"):
+            baseline.add(CellBaseline.from_result(configs[0], results[0]))
+
+    def test_mismatched_lengths_rejected(self, sweep):
+        configs, results = sweep
+        with pytest.raises(BaselineError):
+            Baseline.from_sweep("main", configs, results[:1])
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(BaselineError):
+            Baseline(name="../escape")
+
+    def test_missing_baseline_is_error(self, tmp_path):
+        with pytest.raises(BaselineError, match="no baseline"):
+            BaselineStore(tmp_path).load("ghost")
+
+    def test_corrupt_baseline_is_error(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            BaselineStore(tmp_path).load("bad")
+
+    def test_future_schema_rejected(self, sweep, tmp_path):
+        configs, results = sweep
+        store = BaselineStore(tmp_path)
+        store.save(Baseline.from_sweep("main", configs, results))
+        payload = json.loads((tmp_path / "main.json").read_text())
+        payload["schema_version"] = 99
+        (tmp_path / "main.json").write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="schema version"):
+            store.load("main")
+
+    def test_store_names_and_contains(self, sweep, tmp_path):
+        configs, results = sweep
+        store = BaselineStore(tmp_path)
+        assert store.names() == []
+        store.save(Baseline.from_sweep("main", configs, results))
+        assert store.names() == ["main"]
+        assert "main" in store and "other" not in store
+
+
+# ----------------------------------------------------------------------
+# Comparison and classification
+# ----------------------------------------------------------------------
+class TestCompare:
+    def test_same_seed_is_all_unchanged(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        fresh = run_sweep(configs, jobs=1).results
+        report = compare(baseline, fresh)
+        assert report.summary() == {
+            "regressed": 0, "improved": 0,
+            "unchanged": len(configs), "missing": 0, "new": 0,
+        }
+        assert not report.fails("regressed")
+        assert not report.fails("changed")
+
+    def test_slowdown_flags_exactly_the_perturbed_cells(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        report = compare(baseline, _slowed(results, "GTX 1080", 1.2))
+        assert [c.coordinates for c in report.regressions()] == [
+            ("fft", "tiny", "GTX 1080")]
+        assert report.count("unchanged") == len(configs) - 1
+        assert report.fails("regressed")
+        cell = report.regressions()[0]
+        assert cell.p_value < 0.01
+        assert cell.effect_size >= 0.5
+        assert cell.ratio == pytest.approx(1.2, rel=1e-6)
+        assert cell.ratio_ci[0] <= 1.2 <= cell.ratio_ci[1]
+
+    def test_speedup_is_improved_not_regressed(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        report = compare(baseline, _slowed(results, "i7-6700K", 1 / 1.2))
+        assert [c.coordinates for c in report.improvements()] == [
+            ("fft", "tiny", "i7-6700K")]
+        assert not report.fails("regressed")
+        assert report.fails("changed")
+
+    def test_small_shift_below_min_shift_is_unchanged(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        # 1% mean shift: significant and large-d (scaling shifts every
+        # sample) but below the 3% materiality floor
+        report = compare(baseline, _slowed(results, "GTX 1080", 1.01))
+        assert report.count("regressed") == 0
+
+    def test_missing_and_new_cells(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        crc = run_sweep(_configs(devices=("K20m",), benchmark="crc"),
+                        jobs=1).results
+        report = compare(baseline, results[:1] + crc)
+        assert report.count("missing") == 1
+        assert report.count("new") == 1
+        assert not report.fails("regressed")
+        assert report.fails("changed")
+
+    def test_stale_flag_on_model_drift(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        drifted = Baseline(name="drift")
+        for cell in baseline:
+            drifted.add(dataclasses.replace(cell, key="0" * 64))
+        report = compare(drifted, results)
+        assert len(report.stale()) == len(configs)
+        assert "stale" in report.render_text()
+
+    def test_classify_identical_groups(self):
+        samples = [1.0, 1.1, 0.9, 1.05, 0.95]
+        status, stats = classify(samples, samples)
+        assert status == "unchanged"
+        assert stats["ratio"] == pytest.approx(1.0)
+
+    def test_classify_constant_identical_groups(self):
+        # zero variance on both sides: Welch's p is nan, never a verdict
+        status, _ = classify([1.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+        assert status == "unchanged"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            Thresholds(alpha=0.0)
+        with pytest.raises(ValueError):
+            Thresholds(min_effect_size=-1.0)
+        with pytest.raises(ValueError):
+            Thresholds(min_rel_shift=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Report rendering, gating and metrics
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_text_report_elides_unchanged(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        text = compare(baseline, _slowed(results, "GTX 1080")).render_text()
+        assert "regressed: fft/tiny/GTX 1080" in text
+        assert "i7-6700K" not in text  # unchanged cells are elided
+        assert "of 2 cells" in text
+
+    def test_json_report_schema(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        payload = json.loads(
+            compare(baseline, _slowed(results, "GTX 1080")).to_json())
+        assert payload["schema_version"] == 1
+        assert payload["baseline"] == "main"
+        assert payload["summary"]["regressed"] == 1
+        assert payload["thresholds"]["alpha"] == 0.01
+        regressed = [c for c in payload["cells"]
+                     if c["status"] == "regressed"]
+        assert regressed[0]["device"] == "GTX 1080"
+        assert regressed[0]["ratio"] == pytest.approx(1.2, rel=1e-6)
+
+    def test_counters_incremented(self, sweep):
+        configs, results = sweep
+        baseline = Baseline.from_sweep("main", configs, results)
+        registry = default_registry()
+        before_r = registry.counter("regress_cells_regressed_total").total
+        before_i = registry.counter("regress_cells_improved_total").total
+        compare(baseline, _slowed(results, "GTX 1080", 1.2))
+        compare(baseline, _slowed(results, "i7-6700K", 1 / 1.2))
+        assert registry.counter(
+            "regress_cells_regressed_total").total == before_r + 1
+        assert registry.counter(
+            "regress_cells_improved_total").total == before_i + 1
+
+    def test_fails_modes(self):
+        report = RegressReport(baseline_name="b", emit_metrics=False)
+        assert not report.fails("regressed")
+        assert not report.fails("none")
+        with pytest.raises(ValueError):
+            report.fails("sometimes")
+
+    def test_rejects_unknown_status(self):
+        from repro.regress import CellComparison
+        report = RegressReport(emit_metrics=False)
+        with pytest.raises(ValueError):
+            report.add(CellComparison(
+                benchmark="fft", size="tiny", device="K20m",
+                device_class="HPC GPU", status="exploded"))
+
+
+# ----------------------------------------------------------------------
+# Trajectory
+# ----------------------------------------------------------------------
+class TestTrajectory:
+    def test_append_and_reload(self, sweep, tmp_path):
+        _, results = sweep
+        trajectory = Trajectory(tmp_path)
+        point = TrajectoryPoint.from_results(0, results, label="seed")
+        path = trajectory.append(point)
+        assert path.name == "BENCH_0.json"
+        back = trajectory.load(0)
+        assert back.label == "seed"
+        assert len(back.cells) == len(results)
+        assert back.cell("fft", "tiny", "GTX 1080").n == 12
+
+    def test_append_only(self, sweep, tmp_path):
+        _, results = sweep
+        trajectory = Trajectory(tmp_path)
+        trajectory.append(TrajectoryPoint.from_results(0, results))
+        with pytest.raises(TrajectoryError, match="append-only"):
+            trajectory.append(TrajectoryPoint.from_results(0, results))
+
+    def test_indices_and_next_index(self, sweep, tmp_path):
+        _, results = sweep
+        trajectory = Trajectory(tmp_path)
+        assert trajectory.indices() == []
+        assert trajectory.next_index() == 0
+        trajectory.append(TrajectoryPoint.from_results(4, results))
+        assert trajectory.indices() == [4]
+        assert trajectory.next_index() == 5
+
+    def test_missing_point_is_error(self, tmp_path):
+        with pytest.raises(TrajectoryError, match="BENCH_3"):
+            Trajectory(tmp_path).load(3)
+
+    def test_change_points_locate_the_step(self, sweep, tmp_path):
+        _, results = sweep
+        slowed = _slowed(results, "GTX 1080", 1.25)
+        points = [
+            TrajectoryPoint.from_results(0, results),
+            TrajectoryPoint.from_results(1, results),
+            TrajectoryPoint.from_results(2, slowed),
+            TrajectoryPoint.from_results(3, slowed),
+        ]
+        changes = change_points(points)
+        assert len(changes) == 1
+        change = changes[0]
+        assert (change.from_index, change.to_index) == (1, 2)
+        assert change.device == "GTX 1080"
+        assert change.direction == "slower"
+        assert change.ratio == pytest.approx(1.25, rel=1e-6)
+        assert "BENCH_2" in change.format()
+
+    def test_no_change_points_on_stable_history(self, sweep, tmp_path):
+        _, results = sweep
+        points = [TrajectoryPoint.from_results(i, results) for i in range(3)]
+        assert change_points(points) == []
+
+    def test_change_points_skip_absent_cells(self, sweep):
+        _, results = sweep
+        points = [
+            TrajectoryPoint.from_results(0, results[:1]),
+            TrajectoryPoint.from_results(1, _slowed(results, "GTX 1080",
+                                                    1.5)),
+        ]
+        # GTX 1080 is absent from point 0: no pairing, no change point
+        assert change_points(points) == []
+
+    def test_schema_guard(self, sweep, tmp_path):
+        _, results = sweep
+        trajectory = Trajectory(tmp_path)
+        trajectory.append(TrajectoryPoint.from_results(0, results))
+        payload = json.loads((tmp_path / "BENCH_0.json").read_text())
+        payload["schema_version"] = 99
+        (tmp_path / "BENCH_0.json").write_text(json.dumps(payload))
+        with pytest.raises(TrajectoryError, match="schema version"):
+            trajectory.load(0)
+
+
+# ----------------------------------------------------------------------
+# CLI: record / check / history (the CI gate)
+# ----------------------------------------------------------------------
+def _record_args(tmp_path, **extra):
+    args = ["regress", "record", "--name", "main",
+            "--benchmark", "fft", "--size", "tiny",
+            "--samples", "10", "--no-execute", "--jobs", "1", "--no-cache",
+            "--baseline-dir", str(tmp_path / "baselines")]
+    for key, value in extra.items():
+        args += [f"--{key.replace('_', '-')}", str(value)]
+    return args
+
+
+class TestRegressCLI:
+    def test_record_then_check_same_seed_exits_0(self, capsys, tmp_path):
+        assert main(_record_args(tmp_path)) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "recorded baseline 'main'" in out
+        assert (tmp_path / "baselines" / "main.json").exists()
+        rc = main(["regress", "check", "--name", "main",
+                   "--baseline-dir", str(tmp_path / "baselines"),
+                   "--fail-on", "regressed", "--jobs", "1"])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+
+    def test_check_flags_slowed_device_model(self, capsys, tmp_path,
+                                             monkeypatch):
+        """A perturbed device model regresses exactly its own cells."""
+        assert main(_record_args(tmp_path,
+                                 device="GTX 1080")) == EXIT_OK
+        # second baseline cell set on an untouched device
+        assert main(["regress", "record", "--name", "cpu",
+                     "--benchmark", "fft", "--size", "tiny",
+                     "--samples", "10", "--no-execute", "--jobs", "1",
+                     "--no-cache",
+                     "--baseline-dir", str(tmp_path / "baselines")]
+                    ) == EXIT_OK
+        capsys.readouterr()
+
+        from repro.harness import runner as runner_mod
+        real = runner_mod.noisy_samples
+
+        def slowed(spec, nominal, samples, rng, **kw):
+            scale = 1.2 if spec.name == "GTX 1080" else 1.0
+            return real(spec, nominal, samples, rng, **kw) * scale
+
+        monkeypatch.setattr(runner_mod, "noisy_samples", slowed)
+        rc = main(["regress", "check", "--name", "cpu",
+                   "--baseline-dir", str(tmp_path / "baselines"),
+                   "--fail-on", "regressed", "--jobs", "1", "--json"])
+        assert rc == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        flagged = [(c["benchmark"], c["size"], c["device"])
+                   for c in payload["cells"] if c["status"] == "regressed"]
+        expected = [(c["benchmark"], c["size"], c["device"])
+                    for c in payload["cells"] if c["device"] == "GTX 1080"]
+        assert flagged == expected and flagged  # exactly the slowed device
+        for cell in payload["cells"]:
+            if cell["status"] == "regressed":
+                assert cell["p_value"] < 0.01
+                assert cell["effect_size"] >= 0.5
+
+    def test_check_unknown_baseline_exits_2(self, capsys, tmp_path):
+        rc = main(["regress", "check", "--name", "ghost",
+                   "--baseline-dir", str(tmp_path / "empty")])
+        assert rc == EXIT_USAGE
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_check_bad_threshold_exits_2(self, capsys, tmp_path):
+        assert main(_record_args(tmp_path)) == EXIT_OK
+        capsys.readouterr()
+        rc = main(["regress", "check", "--name", "main",
+                   "--baseline-dir", str(tmp_path / "baselines"),
+                   "--alpha", "7"])
+        assert rc == EXIT_USAGE
+
+    def test_record_appends_trajectory_point(self, capsys, tmp_path):
+        rc = main(_record_args(tmp_path,
+                               trajectory_dir=tmp_path / "traj",
+                               bench_index=4))
+        assert rc == EXIT_OK
+        assert "BENCH_4.json" in capsys.readouterr().out
+        assert (tmp_path / "traj" / "BENCH_4.json").exists()
+
+    def test_record_refuses_to_overwrite_trajectory_point(self, capsys,
+                                                          tmp_path):
+        assert main(_record_args(tmp_path,
+                                 trajectory_dir=tmp_path / "traj",
+                                 bench_index=0)) == EXIT_OK
+        rc = main(["regress", "record", "--name", "again",
+                   "--benchmark", "fft", "--size", "tiny",
+                   "--samples", "10", "--no-execute", "--jobs", "1",
+                   "--no-cache",
+                   "--baseline-dir", str(tmp_path / "baselines"),
+                   "--trajectory-dir", str(tmp_path / "traj"),
+                   "--bench-index", "0"])
+        assert rc == EXIT_USAGE
+        assert "append-only" in capsys.readouterr().err
+
+    def test_history_renders_and_detects_change(self, capsys, tmp_path,
+                                                monkeypatch):
+        assert main(_record_args(tmp_path,
+                                 trajectory_dir=tmp_path / "traj")) == EXIT_OK
+
+        from repro.harness import runner as runner_mod
+        real = runner_mod.noisy_samples
+        monkeypatch.setattr(
+            runner_mod, "noisy_samples",
+            lambda spec, nominal, samples, rng, **kw:
+                real(spec, nominal, samples, rng, **kw) * 1.2)
+        assert main(["regress", "record", "--name", "slow",
+                     "--benchmark", "fft", "--size", "tiny",
+                     "--samples", "10", "--no-execute", "--jobs", "1",
+                     "--no-cache",
+                     "--baseline-dir", str(tmp_path / "baselines"),
+                     "--trajectory-dir", str(tmp_path / "traj")]) == EXIT_OK
+        capsys.readouterr()
+        rc = main(["regress", "history",
+                   "--trajectory-dir", str(tmp_path / "traj")])
+        assert rc == EXIT_OK
+        out = capsys.readouterr().out
+        assert "BENCH_0" in out and "BENCH_1" in out
+        assert "slower at BENCH_1" in out
+        rc = main(["regress", "history",
+                   "--trajectory-dir", str(tmp_path / "traj"),
+                   "--fail-on-change"])
+        assert rc == EXIT_FINDINGS
+
+    def test_history_json_empty_dir(self, capsys, tmp_path):
+        rc = main(["regress", "history", "--json",
+                   "--trajectory-dir", str(tmp_path / "none")])
+        assert rc == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"change_points": [], "points": []}
+
+    def test_record_uses_sweep_cache(self, capsys, tmp_path):
+        """record runs through run_sweep: a second record is all cache."""
+        base = ["regress", "record", "--benchmark", "fft", "--size", "tiny",
+                "--samples", "10", "--no-execute", "--jobs", "1",
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(base + ["--name", "one"]) == EXIT_OK
+        assert main(base + ["--name", "two"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "0 computed" in out and "cached" in out

@@ -79,6 +79,17 @@ class TestSummarize:
         assert coefficient_of_variation([1.0]) == 0.0
         assert coefficient_of_variation([1.0, 3.0]) > 0
 
+    def test_cov_zero_mean_zero_spread(self):
+        # all-zero samples: no spread, cov is a well-defined 0
+        assert summarize([0.0, 0.0, 0.0]).cov == 0.0
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+    def test_cov_zero_mean_nonzero_spread_is_nan(self):
+        # mean 0 with real spread: cov is undefined, not an inf/crash
+        import math
+        assert math.isnan(summarize([-1.0, 1.0]).cov)
+        assert math.isnan(coefficient_of_variation([-1.0, 1.0]))
+
 
 class TestWelch:
     def test_detects_difference(self, rng):
