@@ -8,27 +8,65 @@ sanitizer** that executes kernels against shadow-memory guards
 collected by a :class:`Report`; :func:`run_suite` drives the whole
 thing and backs the ``repro lint`` CLI subcommand.
 
+On top of the textual pass sits the **kernel IR** pipeline: an OpenCL
+C frontend (:mod:`repro.analysis.frontend`), per-kernel control-flow
+graphs with dominator analyses (:mod:`repro.analysis.cfg`), and an
+abstract interpreter deriving symbolic memory footprints
+(:mod:`repro.analysis.absint`).  :func:`run_deep_suite` (``repro lint
+--deep``) layers the IR-exact checks and the §4.4 static-vs-runtime
+working-set verification on the shallow suite.
+
 See docs/analysis.md for the check catalogue, severity semantics,
 suppression directives and the JSON report schema.
 """
 
-from .findings import JSON_SCHEMA_VERSION, Finding, Report, SEVERITIES, severity_rank
+from .absint import (
+    SLACK_PER_BUFFER,
+    benchmark_strides,
+    interpret_kernel,
+    static_footprint,
+    verify_benchmark_footprint,
+)
+from .deep import deep_analyze_benchmark, run_deep_suite
+from .findings import (
+    FAIL_ON_CHOICES,
+    JSON_SCHEMA_VERSION,
+    SEVERITIES,
+    Finding,
+    Report,
+    default_severity,
+    severity_rank,
+)
+from .frontend import CLSyntaxError, parse_source, strip_noncode, tokenize
 from .lint import lint_cl_source, lint_program
 from .sanitize import GuardedNDArray, Sanitizer, sanitized
 from .suite import DEFAULT_DEVICE, analyze_benchmark, run_suite
 
 __all__ = [
+    "CLSyntaxError",
     "DEFAULT_DEVICE",
+    "FAIL_ON_CHOICES",
     "Finding",
     "GuardedNDArray",
     "JSON_SCHEMA_VERSION",
     "Report",
     "SEVERITIES",
+    "SLACK_PER_BUFFER",
     "Sanitizer",
     "analyze_benchmark",
+    "benchmark_strides",
+    "deep_analyze_benchmark",
+    "default_severity",
+    "interpret_kernel",
     "lint_cl_source",
     "lint_program",
+    "parse_source",
+    "run_deep_suite",
     "run_suite",
     "sanitized",
     "severity_rank",
+    "static_footprint",
+    "strip_noncode",
+    "tokenize",
+    "verify_benchmark_footprint",
 ]

@@ -12,18 +12,61 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
+from typing import Iterable, Iterator
 
-#: Severity levels, least to most severe.  ``note`` records something
-#: worth a look but idiomatic in simulation (e.g. a wrapped negative
-#: index, legal numpy but out-of-bounds in OpenCL C); ``warning`` is a
-#: likely defect that does not corrupt results by itself; ``error`` is
-#: a correctness violation.
-SEVERITIES = ("note", "warning", "error")
+#: Severity levels, least to most severe.  ``info`` is purely
+#: informational output (schema v2; e.g. stride-class reports);
+#: ``note`` records something worth a look but idiomatic in simulation
+#: (e.g. a wrapped negative index, legal numpy but out-of-bounds in
+#: OpenCL C); ``warning`` is a likely defect that does not corrupt
+#: results by itself; ``error`` is a correctness violation.
+SEVERITIES = ("info", "note", "warning", "error")
 
 _SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
 
 #: Version stamp of the JSON report schema (see docs/analysis.md).
-JSON_SCHEMA_VERSION = 1
+#: v2 adds the ``info`` severity, per-check default severities and the
+#: report-level ``extras`` object; every v1 field is unchanged, so v1
+#: consumers parse v2 documents.
+JSON_SCHEMA_VERSION = 2
+
+#: ``--fail-on`` accepts any severity plus ``any`` (= every finding,
+#: whatever its severity, trips the gate).
+FAIL_ON_CHOICES = ("any",) + SEVERITIES
+
+#: Default severity per check identifier (schema v2).  Checks absent
+#: from the map default to ``warning``; emitters may still override
+#: per finding (e.g. ``build-failure`` escalating a parse error).
+DEFAULT_SEVERITIES: dict[str, str] = {
+    # static lint (regex + IR)
+    "build-failure": "error",
+    "constant-write": "error",
+    "local-from-global": "error",
+    "missing-kernel-body": "warning",
+    "missing-cl-source": "note",
+    "unused-param": "warning",
+    "barrier-divergence": "warning",
+    # IR-only checks (repro.analysis.deep)
+    "uninit-local-var": "error",
+    "constant-index-oob": "error",
+    "unreachable-code": "warning",
+    "reqd-work-group-size": "error",
+    "footprint-mismatch": "error",
+    "access-stride": "info",
+    # runtime sanitizer / suite
+    "scalar-dtype": "error",
+    "validation-failure": "error",
+    "run-failure": "error",
+    "oob-access": "error",
+    "uninit-read": "warning",
+    "write-race": "warning",
+    "buffer-leak": "warning",
+}
+
+
+def default_severity(check: str) -> str:
+    """The schema-v2 default severity for a check identifier."""
+    return DEFAULT_SEVERITIES.get(check, "warning")
 
 
 @dataclass(frozen=True)
@@ -56,7 +99,7 @@ class Finding:
     location: str | None = None
     hint: str | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.severity not in _SEVERITY_RANK:
             raise ValueError(
                 f"severity must be one of {SEVERITIES}, got {self.severity!r}"
@@ -87,7 +130,13 @@ class Finding:
 
 
 def severity_rank(severity: str) -> int:
-    """Numeric rank of a severity name (for ``--fail-on`` thresholds)."""
+    """Numeric rank of a severity name (for ``--fail-on`` thresholds).
+
+    ``any`` ranks below every severity, so ``fails("any")`` trips on
+    the first finding of whatever level.
+    """
+    if severity == "any":
+        return 0
     try:
         return _SEVERITY_RANK[severity]
     except KeyError:
@@ -107,8 +156,12 @@ class Report:
         telemetry registry, tagged by check, severity and benchmark.
     """
 
-    def __init__(self, emit_metrics: bool = True):
+    def __init__(self, emit_metrics: bool = True) -> None:
         self.findings: list[Finding] = []
+        #: Structured non-finding payloads (schema v2): a JSON-ready
+        #: mapping attached to the report, e.g. the per-benchmark
+        #: access-stride classes from the deep pass.
+        self.extras: dict = {}
         self._emit_metrics = emit_metrics
 
     # ------------------------------------------------------------------
@@ -127,14 +180,15 @@ class Report:
                 benchmark=finding.benchmark or "-",
             )
 
-    def extend(self, findings) -> None:
+    def extend(self, findings: Iterable[Finding]) -> None:
+        """Record findings in order (each through :meth:`add`)."""
         for finding in findings:
             self.add(finding)
 
     def __len__(self) -> int:
         return len(self.findings)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Finding]:
         return iter(self.findings)
 
     # ------------------------------------------------------------------
@@ -173,13 +227,16 @@ class Report:
         return "\n".join(lines)
 
     def to_json(self) -> str:
-        """JSON rendering (schema documented in docs/analysis.md)."""
-        return json.dumps(
-            {
-                "schema_version": JSON_SCHEMA_VERSION,
-                "summary": self.summary(),
-                "findings": [f.to_dict() for f in self.findings],
-            },
-            indent=2,
-            sort_keys=True,
-        )
+        """JSON rendering (schema documented in docs/analysis.md).
+
+        v2 keeps every v1 key; ``extras`` appears only when populated,
+        so v1 consumers keep parsing v2 documents unchanged.
+        """
+        document: dict = {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "summary": self.summary(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+        if self.extras:
+            document["extras"] = self.extras
+        return json.dumps(document, indent=2, sort_keys=True)

@@ -25,6 +25,7 @@ from ..ocl.clsource import (
 from ..ocl.memory import Buffer
 from ..ocl.program import Program
 from .findings import Finding
+from .frontend import strip_noncode
 
 #: Identifiers whose appearance in an ``if`` condition marks the branch
 #: as (potentially) thread-divergent.
@@ -141,6 +142,9 @@ def _lint_kernel(
 ) -> list[Finding]:
     name = signature.name
     findings: list[Finding] = []
+    # The regex checks below must not see comments or string literals:
+    # a parameter named in a comment is not a use (PR 3 false positive)
+    code = strip_noncode(body) if body is not None else None
 
     if (
         python_bodies is not None
@@ -158,8 +162,8 @@ def _lint_kernel(
 
     for index, param in enumerate(signature.params):
         if (
-            body is not None
-            and not _word_re(param.name).search(body)
+            code is not None
+            and not _word_re(param.name).search(code)
             and not _suppressed(allows, "unused-param", param.name)
         ):
             findings.append(Finding(
@@ -175,8 +179,8 @@ def _lint_kernel(
         if (
             param.is_pointer
             and param.address_space == "constant"
-            and body
-            and _write_through(param.name).search(body)
+            and code
+            and _write_through(param.name).search(code)
             and not _suppressed(allows, "constant-write", param.name)
         ):
             findings.append(Finding(
@@ -189,9 +193,9 @@ def _lint_kernel(
             ))
 
     if (
-        body
-        and _BARRIER_RE.search(body)
-        and _divergent_barrier(body)
+        code
+        and _BARRIER_RE.search(code)
+        and _divergent_barrier(code)
         and not _suppressed(allows, "barrier-divergence")
     ):
         findings.append(Finding(

@@ -34,12 +34,15 @@ Guarding is strictly opt-in: an unattached context takes a single
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Any, Iterator
 
 import numpy as np
 
 from ..ocl.context import Context
 from ..ocl.memory import Buffer
+from ..ocl.ndrange import NDRange
 from ..ocl.program import (
+    Kernel,
     current_work_item,
     disable_work_item_tracking,
     enable_work_item_tracking,
@@ -47,7 +50,7 @@ from ..ocl.program import (
 from .findings import Finding
 
 
-def _has_negative_index(idx) -> bool:
+def _has_negative_index(idx: Any) -> bool:
     """Negative *element* indices (ints / fancy arrays), not slices.
 
     Negative slice bounds (``a[:-1]``) are idiomatic Python and stay
@@ -69,7 +72,7 @@ class _Shadow:
 
     __slots__ = ("buffer", "initialized", "flat", "writers", "readers")
 
-    def __init__(self, buf: Buffer, array: np.ndarray):
+    def __init__(self, buf: Buffer, array: np.ndarray) -> None:
         self.buffer = buf
         #: One bool per element of the backing array; False means the
         #: element has never been written since allocation.
@@ -94,14 +97,14 @@ class _Guard:
     __slots__ = ("san", "shadow", "kernel_name", "argument")
 
     def __init__(self, san: "Sanitizer", shadow: _Shadow,
-                 kernel_name: str, argument: str | None):
+                 kernel_name: str, argument: str | None) -> None:
         self.san = san
         self.shadow = shadow
         self.kernel_name = kernel_name
         self.argument = argument
 
     # ------------------------------------------------------------------
-    def _select(self, view: np.ndarray, idx) -> np.ndarray:
+    def _select(self, view: np.ndarray, idx: Any) -> np.ndarray:
         """Flat element offsets selected by ``idx``; records OOB."""
         flat = self.shadow.flat_for(view)
         try:
@@ -127,12 +130,12 @@ class _Guard:
             ), dedup=("oob-wrap", self.kernel_name, id(self.shadow)))
         return sel
 
-    def on_read(self, view: np.ndarray, idx) -> None:
+    def on_read(self, view: np.ndarray, idx: Any) -> None:
         sel = self._select(view, idx)
         self._check_uninit(sel)
         self._record_race(sel, is_write=False)
 
-    def on_write(self, view: np.ndarray, idx) -> None:
+    def on_write(self, view: np.ndarray, idx: Any) -> None:
         sel = self._select(view, idx)
         self._record_race(sel, is_write=True)
         self.shadow.initialized.ravel()[sel] = True
@@ -244,13 +247,13 @@ class GuardedNDArray(np.ndarray):
     uninitialized reads later.
     """
 
-    _guard = None
+    _guard: _Guard | None = None
 
-    def __array_finalize__(self, obj):
+    def __array_finalize__(self, obj: Any) -> None:
         self._guard = None
 
     # ------------------------------------------------------------------
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: Any) -> Any:
         guard = self._guard
         if guard is not None:
             guard.on_read(self, idx)
@@ -260,14 +263,15 @@ class GuardedNDArray(np.ndarray):
             guard.on_escape(guard._select(self, idx))
         return out
 
-    def __setitem__(self, idx, value):
+    def __setitem__(self, idx: Any, value: Any) -> None:
         guard = self._guard
         if guard is not None:
             guard.on_write(self, idx)
         np.ndarray.__setitem__(self, idx, value)
 
     # ------------------------------------------------------------------
-    def __array_ufunc__(self, ufunc, method, *inputs, out=None, **kwargs):
+    def __array_ufunc__(self, ufunc: Any, method: str, *inputs: Any,
+                        out: Any = None, **kwargs: Any) -> Any:
         # Every GuardedNDArray (guarded or a derived, guard-less one)
         # must be demoted to a base view, or the delegated ufunc call
         # would re-enter this hook and recurse.
@@ -295,23 +299,23 @@ class GuardedNDArray(np.ndarray):
         return result
 
     # ------------------------------------------------------------------
-    def _escaped(self):
+    def _escaped(self) -> None:
         if self._guard is not None:
             self._guard.on_escape()
 
-    def reshape(self, *shape, **kwargs):
+    def reshape(self, *shape: Any, **kwargs: Any) -> Any:
         self._escaped()
         return np.ndarray.reshape(self, *shape, **kwargs)
 
-    def ravel(self, *args, **kwargs):
+    def ravel(self, *args: Any, **kwargs: Any) -> Any:
         self._escaped()
         return np.ndarray.ravel(self, *args, **kwargs)
 
-    def view(self, *args, **kwargs):
+    def view(self, *args: Any, **kwargs: Any) -> Any:
         self._escaped()
         return np.ndarray.view(self, *args, **kwargs)
 
-    def transpose(self, *axes):
+    def transpose(self, *axes: Any) -> Any:
         self._escaped()
         return np.ndarray.transpose(self, *axes)
 
@@ -323,7 +327,7 @@ class Sanitizer:
     ``detach`` directly.  Findings accumulate on :attr:`findings`.
     """
 
-    def __init__(self, benchmark: str | None = None):
+    def __init__(self, benchmark: str | None = None) -> None:
         self.benchmark = benchmark
         self.findings: list[Finding] = []
         self._shadows: dict[int, _Shadow] = {}
@@ -386,7 +390,7 @@ class Sanitizer:
                 hint="write or fill the buffer before reading it back",
             ), dedup=("uninit-host", id(shadow)))
 
-    def on_use_after_release(self, kernel, exc: Exception) -> None:
+    def on_use_after_release(self, kernel: Kernel, exc: Exception) -> None:
         self.record(Finding(
             check="use-after-release", severity="error",
             benchmark=self.benchmark, kernel=kernel.name,
@@ -394,7 +398,8 @@ class Sanitizer:
             hint="release buffers only after the last launch that binds them",
         ))
 
-    def on_kernel_abort(self, kernel, nd, exc: Exception) -> None:
+    def on_kernel_abort(self, kernel: Kernel, nd: NDRange,
+                        exc: Exception) -> None:
         self.record(Finding(
             check="kernel-abort", severity="error",
             benchmark=self.benchmark, kernel=kernel.name,
@@ -409,7 +414,8 @@ class Sanitizer:
             self._shadows[id(buf)] = shadow
         return shadow
 
-    def wrap_args(self, kernel, nd, raw_args: list, resolved: list) -> list:
+    def wrap_args(self, kernel: Kernel, nd: NDRange,
+                  raw_args: list, resolved: list) -> list:
         """Swap resolved buffer arrays for guarded views for one launch."""
         signature = kernel.signature
         wrapped = []
@@ -426,7 +432,7 @@ class Sanitizer:
                 wrapped.append(value)
         return wrapped
 
-    def after_kernel(self, kernel, nd) -> None:
+    def after_kernel(self, kernel: Kernel, nd: NDRange) -> None:
         """Reset per-launch race state (shadows persist across launches)."""
         for shadow in self._shadows.values():
             shadow.writers.clear()
@@ -464,7 +470,8 @@ class Sanitizer:
 
 
 @contextmanager
-def sanitized(context: Context, benchmark: str | None = None):
+def sanitized(context: Context,
+              benchmark: str | None = None) -> Iterator["Sanitizer"]:
     """Scoped sanitizer attachment::
 
         with sanitized(ctx, "lud") as san:

@@ -25,6 +25,7 @@ verification of §4.4.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass, field
 from typing import ClassVar
 
 import numpy as np
@@ -41,6 +42,58 @@ SIZES = ("tiny", "small", "medium", "large")
 
 class ValidationError(AssertionError):
     """Benchmark results disagree with the serial reference."""
+
+
+# ---------------------------------------------------------------------------
+# Static launch model (consumed by repro.analysis.absint)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StaticBuffer:
+    """One device (or host-staging) allocation of a benchmark run.
+
+    ``nbytes`` is the declared size — what ``footprint_bytes()`` prices
+    the buffer at.  ``kernel_bound`` distinguishes buffers some kernel
+    launch binds from host-only staging (those are always priced at
+    their declared size by the static footprint).
+    """
+
+    key: str
+    nbytes: int
+    kernel_bound: bool = True
+
+
+@dataclass(frozen=True)
+class StaticLaunch:
+    """One kernel enqueue: NDRange, scalar arguments, buffer bindings.
+
+    ``buffers`` maps kernel parameter names to ``(buffer key, byte
+    offset)`` pairs — the offset supports benchmarks that bind row
+    views of a larger allocation (cwt's per-scale output planes).
+    """
+
+    kernel: str
+    global_size: tuple[int, ...]
+    scalars: dict[str, float] = field(default_factory=dict)
+    buffers: dict[str, tuple[str, int]] = field(default_factory=dict)
+    local_size: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class StaticLaunchModel:
+    """A benchmark's launch geometry, declared without executing it.
+
+    This is the bridge between the dwarf layer and the §4.4 working-set
+    verification: :func:`repro.analysis.absint.static_footprint`
+    interprets ``source`` abstractly and substitutes each launch to
+    reconstruct the benchmark's memory footprint from first principles.
+    """
+
+    source: str
+    buffers: dict[str, StaticBuffer]
+    launches: tuple[StaticLaunch, ...]
+    macros: dict[str, float] = field(default_factory=dict)
 
 
 class Benchmark(abc.ABC):
@@ -134,6 +187,16 @@ class Benchmark(abc.ABC):
     @abc.abstractmethod
     def footprint_bytes(self) -> int:
         """Device-side memory footprint (sum of buffer sizes)."""
+
+    def static_launches(self) -> StaticLaunchModel | None:
+        """The benchmark's launch geometry, for static verification.
+
+        Implementations must not require :meth:`host_setup` — the model
+        is derived from the scale parameters alone, so the §4.4
+        cross-check can price a working set without allocating it.
+        Returning ``None`` (the default) opts out of the cross-check.
+        """
+        return None
 
     @abc.abstractmethod
     def profiles(self) -> list[KernelProfile]:

@@ -23,7 +23,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError)
 
 #: Average out-degree of the synthetic graphs.
 AVG_DEGREE = 8
@@ -127,6 +128,32 @@ class BFS(Benchmark):
         edges = (len(self.columns) if hasattr(self, "columns")
                  else self._edge_estimate())
         return (self.n + 1) * 4 + edges * 4 + self.n * 4 + self.n
+
+    def static_launches(self) -> StaticLaunchModel:
+        n = self.n
+        edges = (len(self.columns) if hasattr(self, "columns")
+                 else self._edge_estimate())
+        # one representative frontier launch: the footprint is
+        # depth-independent, so a single level stands in for the
+        # data-dependent launch count
+        return StaticLaunchModel(
+            source=kernels_cl.BFS_CL,
+            buffers={
+                "row_ptr": StaticBuffer("row_ptr", (n + 1) * 4),
+                "columns": StaticBuffer("columns", edges * 4),
+                "levels": StaticBuffer("levels", n * 4),
+                "flags": StaticBuffer("flags", n),
+            },
+            launches=(
+                StaticLaunch(
+                    "bfs_level", (n,), scalars={"depth": 0},
+                    buffers={"row_ptr": ("row_ptr", 0),
+                             "columns": ("columns", 0),
+                             "levels": ("levels", 0),
+                             "frontier_flags": ("flags", 0)},
+                ),
+            ),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

@@ -26,7 +26,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError)
 
 #: Reflected CRC-32 polynomial (IEEE 802.3 / zlib).
 POLY = 0xEDB88320
@@ -175,6 +176,28 @@ class CRC(Benchmark):
         """Padded page matrix + lengths + per-page CRCs + lookup table."""
         return (self.n_pages * self.page_bytes + self.n_pages * 4
                 + self.n_pages * 4 + 256 * 4)
+
+    def static_launches(self) -> StaticLaunchModel:
+        np_, pb = self.n_pages, self.page_bytes
+        return StaticLaunchModel(
+            source=kernels_cl.CRC_CL,
+            macros={"PAGE_BYTES": pb},
+            buffers={
+                "pages": StaticBuffer("pages", np_ * pb),
+                "lengths": StaticBuffer("lengths", np_ * 4),
+                "table": StaticBuffer("table", 256 * 4),
+                "crcs": StaticBuffer("crcs", np_ * 4),
+            },
+            launches=(
+                StaticLaunch(
+                    "crc_pages", (np_,),
+                    buffers={"pages": ("pages", 0),
+                             "lengths": ("lengths", 0),
+                             "table": ("table", 0),
+                             "crcs": ("crcs", 0)},
+                ),
+            ),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

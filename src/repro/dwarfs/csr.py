@@ -18,7 +18,8 @@ from ..io import csrfile
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 #: Table 3 density parameter (0.5% dense).
 DENSITY_PARAM = 5000
@@ -91,6 +92,30 @@ class CSR(Benchmark):
         matrix = (self.n + 1) * 4 + nnz * 8
         vectors = 2 * self.n * 4
         return matrix + vectors
+
+    def static_launches(self) -> StaticLaunchModel:
+        n = self.n
+        nnz = self.matrix.nnz if self.matrix is not None else self._nnz_estimate()
+        return StaticLaunchModel(
+            source=kernels_cl.CSR_CL,
+            buffers={
+                "row_ptr": StaticBuffer("row_ptr", (n + 1) * 4),
+                "col_idx": StaticBuffer("col_idx", nnz * 4),
+                "values": StaticBuffer("values", nnz * 4),
+                "x": StaticBuffer("x", n * 4),
+                "y": StaticBuffer("y", n * 4),
+            },
+            launches=(
+                StaticLaunch(
+                    "csr_spmv", (n,),
+                    buffers={"row_ptr": ("row_ptr", 0),
+                             "col_idx": ("col_idx", 0),
+                             "values": ("values", 0),
+                             "x": ("x", 0),
+                             "y": ("y", 0)},
+                ),
+            ),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

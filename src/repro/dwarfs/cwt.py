@@ -25,7 +25,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 #: Morlet centre frequency (rad/s), the conventional omega0.
 OMEGA0 = 6.0
@@ -120,6 +121,28 @@ class CWT(Benchmark):
     def footprint_bytes(self) -> int:
         """Signal, its spectrum, and the (scales x n) coefficient plane."""
         return self.n * 4 + self.n * 8 + self.n_scales * self.n * 8
+
+    def static_launches(self) -> StaticLaunchModel:
+        n = self.n
+        launches = [StaticLaunch(
+            "cwt_fft", (n,),
+            buffers={"signal": ("signal", 0), "signal_hat": ("hat", 0)})]
+        for i, scale in enumerate(self.scales):
+            launches.append(StaticLaunch(
+                "cwt_scale", (n,),
+                scalars={"scale": float(scale), "n": n, "dt": 1.0},
+                buffers={"signal_hat": ("hat", 0), "out": ("out", i * n * 8)}))
+        return StaticLaunchModel(
+            source=kernels_cl.CWT_CL,
+            macros={"OMEGA0": OMEGA0,
+                    "PI_QUARTER_INV": float(np.pi) ** -0.25},
+            buffers={
+                "signal": StaticBuffer("signal", n * 4),
+                "hat": StaticBuffer("hat", n * 8),
+                "out": StaticBuffer("out", self.n_scales * n * 8),
+            },
+            launches=tuple(launches),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

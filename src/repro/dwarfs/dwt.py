@@ -26,7 +26,8 @@ from ..io import images, ppm
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 #: Decomposition levels from the Table 3 arguments (``-l 3``).
 LEVELS = 3
@@ -160,6 +161,24 @@ class DWT(Benchmark):
     def footprint_bytes(self) -> int:
         """One float32 working image plus the uint8 source raster."""
         return self.width * self.height * 4 + self.width * self.height
+
+    def static_launches(self) -> StaticLaunchModel:
+        launches: list[StaticLaunch] = []
+        for h, w in self._level_shapes():
+            for kernel in ("dwt_rows", "dwt_cols"):
+                launches.append(StaticLaunch(
+                    kernel, (h * w,),
+                    scalars={"h": h, "w": w},
+                    buffers={"image": ("image", 0)}))
+        return StaticLaunchModel(
+            source=kernels_cl.DWT_CL,
+            buffers={
+                "image": StaticBuffer("image", self.width * self.height * 4),
+                "raster": StaticBuffer(
+                    "raster", self.width * self.height, kernel_bound=False),
+            },
+            launches=tuple(launches),
+        )
 
     def _level_shapes(self) -> list[tuple[int, int]]:
         """Active (h, w) region per decomposition level."""

@@ -20,7 +20,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 
 def _is_pow2(x: int) -> bool:
@@ -83,6 +84,23 @@ class FFT(Benchmark):
     def footprint_bytes(self) -> int:
         """Two complex64 ping-pong buffers."""
         return 2 * self.n * 8
+
+    def static_launches(self) -> StaticLaunchModel:
+        n = self.n
+        launches: list[StaticLaunch] = []
+        src, dst = "a", "b"
+        for stage in range(self.stages):
+            launches.append(StaticLaunch(
+                "fft_radix2", (n // 2,),
+                scalars={"n_total": n, "stage": stage},
+                buffers={"src": (src, 0), "dst": (dst, 0)}))
+            src, dst = dst, src
+        return StaticLaunchModel(
+            source=kernels_cl.FFT_CL,
+            buffers={"a": StaticBuffer("a", n * 8),
+                     "b": StaticBuffer("b", n * 8)},
+            launches=tuple(launches),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

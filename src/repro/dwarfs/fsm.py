@@ -27,7 +27,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError)
 
 #: Alphabet size (byte text folded to this many symbols).
 ALPHABET = 16
@@ -165,6 +166,33 @@ class FSM(Benchmark):
                 + self.transitions.nbytes + self.match_table.nbytes
                 + self.n_chunks * self.n_states * 4     # chunk maps
                 + self.n_chunks * self.n_states * 8)    # chunk counts
+
+    def static_launches(self) -> StaticLaunchModel:
+        nc, ns = self.n_chunks, self.n_states
+        return StaticLaunchModel(
+            source=kernels_cl.FSM_CL,
+            macros={"N_STATES": ns, "ALPHABET": ALPHABET,
+                    "TEXT_BYTES": self.n_bytes},
+            buffers={
+                "text": StaticBuffer("text", self.n_bytes),
+                "transitions": StaticBuffer(
+                    "transitions", ns * ALPHABET * 4),
+                "matches": StaticBuffer("matches", ns * 8),
+                "chunk_maps": StaticBuffer("chunk_maps", nc * ns * 4),
+                "chunk_counts": StaticBuffer("chunk_counts", nc * ns * 8),
+            },
+            launches=(
+                StaticLaunch(
+                    "fsm_compose", (nc,),
+                    scalars={"chunk_bytes": self.chunk_bytes},
+                    buffers={"text": ("text", 0),
+                             "transitions": ("transitions", 0),
+                             "matches": ("matches", 0),
+                             "chunk_maps": ("chunk_maps", 0),
+                             "chunk_counts": ("chunk_counts", 0)},
+                ),
+            ),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

@@ -24,7 +24,8 @@ from ..io import molecules as mol
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 #: Softening term keeping the kernel finite if a vertex touches an atom.
 SOFTENING = 1e-6
@@ -84,6 +85,28 @@ class GEM(Benchmark):
     # ------------------------------------------------------------------
     def footprint_bytes(self) -> int:
         return self.spec.footprint_bytes
+
+    def static_launches(self) -> StaticLaunchModel:
+        na, nv = self.spec.n_atoms, self.spec.n_vertices
+        return StaticLaunchModel(
+            source=kernels_cl.GEM_CL,
+            macros={"N_ATOMS": na, "SOFTENING": SOFTENING},
+            buffers={
+                "atoms": StaticBuffer("atoms", na * mol.ATOM_BYTES),
+                # (nv, 3) float32 positions; with the nv*4 potential this
+                # sums to the spec's VERTEX_BYTES per vertex
+                "vertices": StaticBuffer("vertices", nv * 12),
+                "potential": StaticBuffer("potential", nv * 4),
+            },
+            launches=(
+                StaticLaunch(
+                    "gem_potential", (nv,),
+                    buffers={"atoms": ("atoms", 0),
+                             "vertices": ("vertices", 0),
+                             "potential": ("potential", 0)},
+                ),
+            ),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

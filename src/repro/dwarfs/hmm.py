@@ -23,7 +23,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 #: Observation-sequence length (fixed across problem sizes; the Table 2
 #: parameters vary states and symbols).
@@ -147,6 +148,52 @@ class HMM(Benchmark):
         lattices = 2 * t * n * 4                 # alpha, beta
         seq = t * 4 + t * 4                      # observations + scale
         return model + outputs + lattices + seq
+
+    def static_launches(self) -> StaticLaunchModel:
+        n, s, t_obs = self.n_states, self.n_symbols, self.t_obs
+        launches: list[StaticLaunch] = []
+        for t in range(t_obs):
+            launches.append(StaticLaunch(
+                "hmm_forward", (n,), scalars={"t": t},
+                buffers={"a": ("a", 0), "b": ("b", 0), "pi": ("pi", 0),
+                         "obs": ("obs", 0), "alpha": ("alpha", 0),
+                         "scale": ("scale", 0)}))
+        for t in reversed(range(t_obs)):
+            launches.append(StaticLaunch(
+                "hmm_backward", (n,), scalars={"t": t},
+                buffers={"a": ("a", 0), "b": ("b", 0), "obs": ("obs", 0),
+                         "beta": ("beta", 0), "scale": ("scale", 0)}))
+        launches.append(StaticLaunch(
+            "hmm_estimate_pi", (n,),
+            buffers={"alpha": ("alpha", 0), "beta": ("beta", 0),
+                     "scale": ("scale", 0), "pi_out": ("pi_out", 0)}))
+        launches.append(StaticLaunch(
+            "hmm_estimate_a", (n * n,),
+            buffers={"a": ("a", 0), "b": ("b", 0), "obs": ("obs", 0),
+                     "alpha": ("alpha", 0), "beta": ("beta", 0),
+                     "a_out": ("a_out", 0)}))
+        launches.append(StaticLaunch(
+            "hmm_estimate_b", (n * s,),
+            buffers={"obs": ("obs", 0), "alpha": ("alpha", 0),
+                     "beta": ("beta", 0), "scale": ("scale", 0),
+                     "b_out": ("b_out", 0)}))
+        return StaticLaunchModel(
+            source=kernels_cl.HMM_CL,
+            macros={"N_STATES": n, "N_SYMBOLS": s, "T_OBS": t_obs},
+            buffers={
+                "a": StaticBuffer("a", n * n * 4),
+                "b": StaticBuffer("b", n * s * 4),
+                "pi": StaticBuffer("pi", n * 4),
+                "obs": StaticBuffer("obs", t_obs * 4),
+                "alpha": StaticBuffer("alpha", t_obs * n * 4),
+                "beta": StaticBuffer("beta", t_obs * n * 4),
+                "scale": StaticBuffer("scale", t_obs * 4),
+                "a_out": StaticBuffer("a_out", n * n * 4),
+                "b_out": StaticBuffer("b_out", n * s * 4),
+                "pi_out": StaticBuffer("pi_out", n * 4),
+            },
+            launches=tuple(launches),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

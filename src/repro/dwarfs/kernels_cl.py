@@ -252,15 +252,17 @@ __kernel void nw_diagonal(__global int *score,
 GEM_CL = r"""
 // N-Body Methods dwarf: Coulomb potential at molecular-surface vertices
 __kernel void gem_potential(__global const float4 *atoms,
-                            __global const float4 *vertices,
+                            __global const float *vertices,
                             __global float *potential)
 {
     const int v = get_global_id(0);
-    const float4 p = vertices[v];
+    const float px = vertices[3 * v];             // packed (x, y, z) triples
+    const float py = vertices[3 * v + 1];
+    const float pz = vertices[3 * v + 2];
     float phi = 0.0f;
     for (int a = 0; a < N_ATOMS; ++a) {           // tiled via local mem
         const float4 q = atoms[a];
-        const float dx = p.x - q.x, dy = p.y - q.y, dz = p.z - q.z;
+        const float dx = px - q.x, dy = py - q.y, dz = pz - q.z;
         phi += q.w * rsqrt(dx*dx + dy*dy + dz*dz + SOFTENING);
     }
     potential[v] = phi;
@@ -333,6 +335,10 @@ __kernel void hmm_backward(__global const float *a, __global const float *b,
                            __global const float *scale, int t)
 {
     const int i = get_global_id(0);
+    if (t == T_OBS - 1) {                         // base case: no successor
+        beta[t * N_STATES + i] = scale[t];
+        return;
+    }
     float acc = 0.0f;
     for (int j = 0; j < N_STATES; ++j)
         acc += a[i * N_STATES + j] * b[j * N_SYMBOLS + obs[t+1]]

@@ -26,7 +26,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 #: Fixed cluster count for all problem sizes (paper §4.4.1).
 N_CLUSTERS = 5
@@ -108,6 +109,26 @@ class KMeans(Benchmark):
     # ------------------------------------------------------------------
     def footprint_bytes(self) -> int:
         return footprint_formula(self.n_points, self.n_features, self.n_clusters)
+
+    def static_launches(self) -> StaticLaunchModel:
+        p, f, c = self.n_points, self.n_features, self.n_clusters
+        return StaticLaunchModel(
+            source=kernels_cl.KMEANS_CL,
+            macros={"N_FEATURES": f, "N_CLUSTERS": c},
+            buffers={
+                "features": StaticBuffer("features", p * f * 4),
+                "clusters": StaticBuffer("clusters", c * f * 4),
+                "membership": StaticBuffer("membership", p * 4),
+            },
+            launches=(
+                StaticLaunch(
+                    "kmeans_assign", (p,),
+                    buffers={"features": ("features", 0),
+                             "clusters": ("clusters", 0),
+                             "membership": ("membership", 0)},
+                ),
+            ),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

@@ -22,7 +22,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 #: Block size used by the OpenDwarfs kernels.
 BLOCK = 16
@@ -99,6 +100,28 @@ class LUD(Benchmark):
     # ------------------------------------------------------------------
     def footprint_bytes(self) -> int:
         return self.n * self.n * 4
+
+    def static_launches(self) -> StaticLaunchModel:
+        n, b = self.n, self.block
+        bind = {"a": ("a", 0)}
+        launches: list[StaticLaunch] = []
+        for k in range(0, n, b):
+            remaining = n - k - b
+            launches.append(StaticLaunch(
+                "lud_diagonal", (b,),
+                scalars={"n": n, "k": k, "b": b}, buffers=bind))
+            if remaining > 0:
+                launches.append(StaticLaunch(
+                    "lud_perimeter", (2 * remaining,),
+                    scalars={"n": n, "k": k, "b": b}, buffers=bind))
+                launches.append(StaticLaunch(
+                    "lud_internal", (remaining * remaining,),
+                    scalars={"n": n, "k": k, "b": b}, buffers=bind))
+        return StaticLaunchModel(
+            source=kernels_cl.LUD_CL,
+            buffers={"a": StaticBuffer("a", n * n * 4)},
+            launches=tuple(launches),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

@@ -31,7 +31,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError)
 
 #: Known solution counts (OEIS A000170), indexed by board size.
 KNOWN_SOLUTIONS = {
@@ -183,6 +184,46 @@ class NQueens(Benchmark):
         if self.exact:
             return k * (3 * 4 + 8)   # 3 int32 prefix words + int64 count
         return k * (8 + 8)           # int64 seed + float64 estimate
+
+    def static_launches(self) -> StaticLaunchModel:
+        k = self._subproblem_count()
+        if self.exact:
+            return StaticLaunchModel(
+                source=kernels_cl.NQUEENS_CL,
+                macros={"PREFIX_DEPTH": PREFIX_DEPTH},
+                buffers={
+                    "cols": StaticBuffer("cols", k * 4),
+                    "dl": StaticBuffer("dl", k * 4),
+                    "dr": StaticBuffer("dr", k * 4),
+                    "counts": StaticBuffer("counts", k * 8),
+                },
+                launches=(
+                    StaticLaunch(
+                        "nqueens_count", (k,),
+                        scalars={"n": self.n},
+                        buffers={"prefix_cols": ("cols", 0),
+                                 "prefix_dl": ("dl", 0),
+                                 "prefix_dr": ("dr", 0),
+                                 "counts": ("counts", 0)},
+                    ),
+                ),
+            )
+        return StaticLaunchModel(
+            source=kernels_cl.NQUEENS_CL,
+            macros={"WALKS_PER_ITEM": WALKS_PER_ITEM},
+            buffers={
+                "seeds": StaticBuffer("seeds", k * 8),
+                "estimates": StaticBuffer("estimates", k * 8),
+            },
+            launches=(
+                StaticLaunch(
+                    "nqueens_estimate", (k,),
+                    scalars={"n": self.n},
+                    buffers={"seeds": ("seeds", 0),
+                             "estimates": ("estimates", 0)},
+                ),
+            ),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

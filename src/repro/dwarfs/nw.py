@@ -26,7 +26,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError)
 
 #: Block edge used by the OpenDwarfs kernels.
 BLOCK = 16
@@ -131,6 +132,28 @@ class NW(Benchmark):
     def footprint_bytes(self) -> int:
         """Score matrix + similarity matrix (both (N+1)² / N² int32)."""
         return (self.n + 1) ** 2 * 4 + self.n * self.n * 4
+
+    def static_launches(self) -> StaticLaunchModel:
+        n, b = self.n, self.block
+        nb = n // b
+        launches: list[StaticLaunch] = []
+        for diag in range(self.n_diagonals):
+            blocks = min(diag, nb - 1) - max(0, diag - nb + 1) + 1
+            launches.append(StaticLaunch(
+                "nw_diagonal", (blocks * b,),
+                scalars={"n": n, "block": b, "diag": diag,
+                         "penalty": self.penalty},
+                buffers={"score": ("score", 0),
+                         "similarity": ("similarity", 0)},
+                local_size=(b,)))
+        return StaticLaunchModel(
+            source=kernels_cl.NW_CL,
+            buffers={
+                "score": StaticBuffer("score", (n + 1) ** 2 * 4),
+                "similarity": StaticBuffer("similarity", n * n * 4),
+            },
+            launches=tuple(launches),
+        )
 
     @property
     def n_diagonals(self) -> int:

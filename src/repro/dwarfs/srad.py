@@ -28,7 +28,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 
 def _clamped_shifts(a: np.ndarray):
@@ -117,6 +118,27 @@ class SRAD(Benchmark):
     def footprint_bytes(self) -> int:
         """J, c and the four derivative arrays (6 fp32 planes)."""
         return 6 * self.rows * self.cols * 4
+
+    def static_launches(self) -> StaticLaunchModel:
+        plane = self.rows * self.cols * 4
+        keys = ("j_img", "c", "dn", "ds", "dw", "de")
+        bind = {key: (key, 0) for key in keys}
+        launches: list[StaticLaunch] = []
+        for _ in range(self.iterations):
+            # q0sqr is data-dependent at runtime; any finite value works
+            # for the footprint (it never feeds an index expression)
+            launches.append(StaticLaunch(
+                "srad1", (self.rows * self.cols,),
+                scalars={"q0sqr": 0.5}, buffers=bind))
+            launches.append(StaticLaunch(
+                "srad2", (self.rows * self.cols,),
+                scalars={"lambda_": self.lam}, buffers=bind))
+        return StaticLaunchModel(
+            source=kernels_cl.SRAD_CL,
+            macros={"ROWS": self.rows, "COLS": self.cols},
+            buffers={key: StaticBuffer(key, plane) for key in keys},
+            launches=tuple(launches),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

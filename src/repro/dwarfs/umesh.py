@@ -24,7 +24,8 @@ from ..cache import trace as trace_mod
 from ..ocl import Context, Event, KernelSource, MemFlags, Program
 from ..perfmodel.characterization import KernelProfile
 from . import kernels_cl
-from .base import Benchmark, ValidationError, assert_close
+from .base import (Benchmark, StaticBuffer, StaticLaunch, StaticLaunchModel,
+                   ValidationError, assert_close)
 
 #: Relaxation weight (under-relaxed Jacobi).
 OMEGA = 0.8
@@ -122,6 +123,34 @@ class UMesh(Benchmark):
         return ((self.n + 1) * 4 + edges * 4    # CSR adjacency
                 + 2 * self.n * 4                # ping-pong value arrays
                 + self.n)                       # interior mask
+
+    def static_launches(self) -> StaticLaunchModel:
+        n = self.n
+        edges = (len(self.columns) if hasattr(self, "columns")
+                 else self._edge_estimate())
+        launches: list[StaticLaunch] = []
+        src, dst = "values_a", "values_b"
+        for _ in range(self.sweeps):
+            launches.append(StaticLaunch(
+                "umesh_relax", (n,),
+                scalars={"omega": self.omega},
+                buffers={"row_ptr": ("row_ptr", 0),
+                         "columns": ("columns", 0),
+                         "interior": ("interior", 0),
+                         "values_in": (src, 0),
+                         "values_out": (dst, 0)}))
+            src, dst = dst, src
+        return StaticLaunchModel(
+            source=kernels_cl.UMESH_CL,
+            buffers={
+                "row_ptr": StaticBuffer("row_ptr", (n + 1) * 4),
+                "columns": StaticBuffer("columns", edges * 4),
+                "interior": StaticBuffer("interior", n),
+                "values_a": StaticBuffer("values_a", n * 4),
+                "values_b": StaticBuffer("values_b", n * 4),
+            },
+            launches=tuple(launches),
+        )
 
     def host_setup(self, context: Context) -> None:
         self.context = context

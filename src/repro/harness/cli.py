@@ -22,7 +22,7 @@ import contextlib
 import sys
 from pathlib import Path
 
-from ..analysis.findings import SEVERITIES
+from ..analysis.findings import FAIL_ON_CHOICES
 from ..devices.catalog import CATALOG, device_names, get_device
 from ..dwarfs.base import SIZES
 from ..dwarfs.registry import BENCHMARKS, EXTENSIONS, get_benchmark
@@ -478,12 +478,16 @@ def cmd_lint(args) -> int:
     Executes every benchmark (or one, with ``--benchmark``) at its
     smallest problem size, statically lints the kernel sources and
     host bindings, optionally runs under the shadow-memory sanitizer,
-    and exits nonzero when any finding reaches ``--fail-on``.
+    and exits nonzero when any finding reaches ``--fail-on``.  With
+    ``--deep`` the IR pipeline runs as well: exact CFG/dataflow
+    versions of the lint checks plus the §4.4 symbolic working-set
+    cross-check against every size preset.
     """
-    from ..analysis import run_suite
+    from ..analysis import run_deep_suite, run_suite
 
+    engine = run_deep_suite if args.deep else run_suite
     benchmarks = [args.benchmark] if args.benchmark else None
-    report = run_suite(
+    report = engine(
         benchmarks=benchmarks,
         size=args.size,
         sanitize=args.sanitize,
@@ -743,13 +747,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--sanitize", action="store_true",
                       help="also execute kernels under the shadow-memory "
                            "sanitizer (OOB, uninit reads, races, leaks)")
+    lint.add_argument("--deep", action="store_true",
+                      help="run the kernel IR pipeline too: CFG/dataflow "
+                           "exact checks plus the symbolic working-set "
+                           "verification against footprint_bytes() "
+                           "(paper §4.4)")
     lint.add_argument("--json", action="store_true",
                       help="emit the JSON report (schema: docs/analysis.md)")
     lint.add_argument("--ignore", action="append", default=[], metavar="CHECK",
                       help="drop findings of this check id (repeatable)")
-    lint.add_argument("--fail-on", choices=SEVERITIES, default="error",
+    lint.add_argument("--fail-on", choices=FAIL_ON_CHOICES, default="error",
                       help="exit nonzero when a finding reaches this "
-                           "severity (default: error)")
+                           "severity; 'any' trips on every finding "
+                           "(default: error)")
     lint.add_argument("--device", default="i7-6700K",
                       help="catalog device to execute on")
     lint.add_argument("--metrics", default=None, metavar="PATH",

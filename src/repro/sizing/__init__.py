@@ -13,6 +13,7 @@ from .verify import (
     TRACE_LEN,
     transition_detected,
     verify_benchmark_sizes,
+    verify_static_footprints,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "solve_sizes",
     "transition_detected",
     "verify_benchmark_sizes",
+    "verify_static_footprints",
 ]

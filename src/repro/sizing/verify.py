@@ -102,6 +102,30 @@ def verify_benchmark_sizes(
     return SizeVerification(benchmark=benchmark, device=spec.name, reports=reports)
 
 
+def verify_static_footprints(
+    benchmark: str, sizes: tuple[str, ...] | None = None
+) -> dict:
+    """Cross-check symbolic working sets against ``footprint_bytes()``.
+
+    The analytic complement of the cache-counter replay above: for each
+    size preset, the benchmark's static launch model is abstractly
+    interpreted (:mod:`repro.analysis.absint`) and the derived
+    working-set bytes are compared with the runtime footprint formula.
+    Returns ``{size: FootprintComparison}``; benchmarks without a
+    static launch model yield an empty mapping.
+    """
+    from ..analysis.absint import verify_benchmark_footprint
+
+    cls = get_benchmark(benchmark)
+    sizes = sizes or cls.available_sizes()
+    out: dict = {}
+    for size in sizes:
+        comparison = verify_benchmark_footprint(benchmark, size)
+        if comparison is not None:
+            out[size] = comparison
+    return out
+
+
 def transition_detected(verification: SizeVerification, level: str,
                         smaller: str, larger: str, factor: float = 2.0) -> bool:
     """Whether a cache level's miss rate jumps between two sizes.

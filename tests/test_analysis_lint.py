@@ -68,9 +68,31 @@ class TestFindingModel:
         report.add(Finding(check="a", severity="error", message="m",
                            benchmark="fft"))
         doc = json.loads(report.to_json())
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
         assert doc["summary"]["error"] == 1
         assert doc["findings"][0]["benchmark"] == "fft"
+
+    def test_v2_schema_is_additive(self):
+        """Every v1 key survives; v2 additions are optional."""
+        report = Report(emit_metrics=False)
+        report.add(Finding(check="a", severity="warning", message="m"))
+        doc = json.loads(report.to_json())
+        # the complete v1 surface, as a v1 consumer reads it
+        assert {"schema_version", "summary", "findings"} <= set(doc)
+        assert {"note", "warning", "error"} <= set(doc["summary"])
+        assert {"check", "severity", "message"} <= set(doc["findings"][0])
+        # extras is absent until populated, so v1 parsers never see it
+        assert "extras" not in doc
+        report.extras["probe"] = {"k": 1}
+        assert json.loads(report.to_json())["extras"] == {"probe": {"k": 1}}
+
+    def test_info_severity_and_fail_on_any(self):
+        report = Report(emit_metrics=False)
+        report.add(Finding(check="access-stride", severity="info", message="m"))
+        assert report.count("info") == 1
+        assert not report.fails("note")   # info ranks below note
+        assert report.fails("any")        # but 'any' trips on everything
+        assert severity_rank("any") <= severity_rank("info")
 
     def test_report_metric_emission(self):
         from repro.telemetry.metrics import default_registry
@@ -167,6 +189,51 @@ class TestStaticChecks:
             "}")
         assert "barrier-divergence" not in checks(findings)
 
+    def test_param_named_only_in_comment_is_unused(self):
+        """PR 3 false positive: a comment mention is not a use."""
+        findings = lint_cl_source(
+            "__kernel void f(__global float *x, int n) {\n"
+            "  // the caller derives n from the buffer size\n"
+            "  x[0] = 1.0f;\n"
+            "}")
+        hits = by_check(findings, "unused-param")
+        assert [h.argument for h in hits] == ["n"]
+
+    def test_param_named_only_in_string_is_unused(self):
+        findings = lint_cl_source(
+            '__kernel void f(__global float *x, int n) {\n'
+            '  printf("n goes here");\n'
+            '  x[0] = 1.0f;\n'
+            '}')
+        assert [h.argument for h in by_check(findings, "unused-param")] == ["n"]
+
+    def test_param_used_in_code_not_flagged_despite_comment(self):
+        findings = lint_cl_source(
+            "__kernel void f(__global float *x, int n) {\n"
+            "  /* n bounds the write */\n"
+            "  if (get_global_id(0) < n) x[get_global_id(0)] = 1.0f;\n"
+            "}")
+        assert "unused-param" not in checks(findings)
+
+    def test_constant_write_in_comment_is_clean(self):
+        findings = lint_cl_source(
+            "__kernel void f(__constant float *lut, __global float *y) {\n"
+            "  // never do lut[0] = 1.0f here\n"
+            "  y[0] = lut[0];\n"
+            "}")
+        assert "constant-write" not in checks(findings)
+
+    def test_barrier_in_comment_is_clean(self):
+        findings = lint_cl_source(
+            "__kernel void f(__global float *x) {\n"
+            "  int gid = get_global_id(0);\n"
+            "  if (gid < 16) {\n"
+            "    // a barrier(CLK_LOCAL_MEM_FENCE) here would deadlock\n"
+            "    x[gid] = 1.0f;\n"
+            "  }\n"
+            "}")
+        assert "barrier-divergence" not in checks(findings)
+
 
 # ---------------------------------------------------------------------------
 class TestProgramLint:
@@ -238,7 +305,7 @@ class TestSuiteAndCLI:
     def test_cli_lint_json(self, capsys):
         assert cli_main(["lint", "--benchmark", "fft", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
 
     def test_cli_lint_sanitize(self, capsys):
         assert cli_main(["lint", "--benchmark", "nw", "--sanitize"]) == 0
