@@ -43,6 +43,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..ocl.clsource import CLSourceError
+from ..telemetry.tracer import get_tracer
 from .frontend import (
     Assign,
     Bin,
@@ -1079,7 +1080,9 @@ def _line_of(expr: Expr) -> int:
 def interpret_kernel(kernel: KernelDef,
                      macros: dict[str, float] | None = None) -> KernelSummary:
     """Abstractly interpret one kernel under the given build macros."""
-    return _Interp(kernel, macros or {}).run()
+    with get_tracer().span("absint_interpret", phase="absint",
+                           kernel=kernel.name):
+        return _Interp(kernel, macros or {}).run()
 
 
 # ---------------------------------------------------------------------------
@@ -1160,6 +1163,12 @@ def static_footprint(model: "object") -> StaticFootprint:
     binds is priced at its declared size, as is a buffer the kernels
     never see (host-side staging).
     """
+    with get_tracer().span("absint_static_footprint", phase="absint"):
+        return _static_footprint(model)
+
+
+def _static_footprint(model: "object") -> StaticFootprint:
+    """The :func:`static_footprint` evaluation, outside its phase span."""
     kernels = {k.name: k for k in parse_source(model.source).kernels}  # type: ignore[attr-defined]
     macros = dict(model.macros)  # type: ignore[attr-defined]
     summaries: dict[str, KernelSummary] = {}

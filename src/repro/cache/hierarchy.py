@@ -10,6 +10,7 @@ Per-level counters map onto the PAPI events the paper collects
 from __future__ import annotations
 
 from ..devices.specs import DeviceSpec
+from ..telemetry.tracer import get_tracer
 from .setassoc import SetAssociativeCache
 
 
@@ -69,9 +70,13 @@ class CacheHierarchy:
 
     def access_many(self, addresses) -> None:
         """Feed a whole trace (iterable of byte addresses)."""
-        access = self.access
-        for a in addresses:
-            access(int(a))
+        with get_tracer().span("cache_sim_trace", phase="cache_sim") as sp:
+            access = self.access
+            count = 0
+            for a in addresses:
+                access(int(a))
+                count += 1
+            sp.set_attribute("accesses", count)
 
     # ------------------------------------------------------------------
     def miss_counts(self) -> dict[str, int]:

@@ -8,6 +8,7 @@ question the counter answers.
 
 from __future__ import annotations
 
+from ..telemetry.tracer import get_tracer
 from .setassoc import CacheStats
 
 
@@ -43,10 +44,14 @@ class TLB:
 
     def access_many(self, addresses) -> int:
         """Translate a trace; returns misses added."""
-        before = self.stats.misses
-        for a in addresses:
-            self.access(a)
-        return self.stats.misses - before
+        with get_tracer().span("tlb_trace", phase="cache_sim") as sp:
+            before = self.stats.misses
+            count = 0
+            for a in addresses:
+                self.access(a)
+                count += 1
+            sp.set_attribute("accesses", count)
+            return self.stats.misses - before
 
     def reset(self) -> None:
         self._pages.clear()

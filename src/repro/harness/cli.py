@@ -109,6 +109,36 @@ def _observability(args):
             print(f"wrote {metrics_path}")
 
 
+@contextlib.contextmanager
+def _ensure_tracer():
+    """Yield an enabled tracer: the current one, or a temporary install.
+
+    Lets phase-collecting commands (``regress record``, ``--profile``)
+    compose with ``--trace``: when :func:`_observability` already
+    installed an enabled tracer, its spans are reused rather than
+    shadowed.
+    """
+    from ..telemetry import get_tracer, tracing
+
+    current = get_tracer()
+    if current.enabled:
+        yield current
+    else:
+        with tracing() as tracer:
+            yield tracer
+
+
+def _phase_dict(spans) -> dict:
+    """Per-phase timing summary (the BENCH ``phases`` field) from spans."""
+    from ..telemetry import phase_summary
+
+    return {
+        stat.phase: {"total_s": stat.total_s, "self_s": stat.self_s,
+                     "count": stat.count}
+        for stat in phase_summary(spans).stats
+    }
+
+
 def _sweep_options(args, default_cache: bool) -> tuple[int | None, SweepCache | None, bool]:
     """Resolve ``--jobs``/``--cache-dir``/``--no-cache``/``--refresh``/``--resume``.
 
@@ -175,10 +205,15 @@ def cmd_run_all(args) -> int:
     for model-only timing — recommended when sweeping the large sizes,
     whose functional numpy passes are the expensive part.
     """
+    from ..telemetry import ProfileSession
+
     jobs, cache, refresh = _sweep_options(args, default_cache=True)
     configs = _matrix_configs(args)
-    with _observability(args):
+    session = ProfileSession(enabled=getattr(args, "profile", False))
+    with _observability(args), session:
         outcome = run_sweep(configs, jobs=jobs, cache=cache, refresh=refresh)
+    if session.enabled:
+        print(session.report().to_table())
     results = ResultSet(outcome.results)
     rows = []
     for name in sorted({c.benchmark for c in configs}):
@@ -247,8 +282,11 @@ def cmd_run(args) -> int:
         else:
             device_name = select_device(p, d, t).name
 
+    from ..telemetry import ProfileSession
+
     cls = get_benchmark(args.benchmark)
-    with _observability(args):
+    session = ProfileSession(enabled=getattr(args, "profile", False))
+    with _observability(args), session:
         if bench_argv:
             bench = cls.from_args(bench_argv)
             # derive a label for reporting; reuse the closest preset if any
@@ -276,6 +314,8 @@ def cmd_run(args) -> int:
             _print_sweep_summary(outcome, cache)
         else:
             _print_result(run_benchmark(config))
+    if session.enabled:
+        print(session.report().to_table())
     return EXIT_OK
 
 
@@ -369,20 +409,102 @@ def cmd_figure(args) -> int:
     return EXIT_OK
 
 
+def cmd_profile(args) -> int:
+    """``profile run|all``: self-profile the harness over a sweep.
+
+    Runs the selected matrix under a
+    :class:`~repro.telemetry.profile.ProfileSession` and reports where
+    the harness's own wall time went: a phase-attributed table (or
+    folded stacks / JSON with ``--format``), cProfile hotspots, and —
+    always — a folded-stack file for flamegraph tools plus one merged
+    Perfetto trace in which worker spans nest under the parent sweep
+    span.  The result cache defaults off here (``--cache-dir`` opts
+    in): serving cells from the cache would profile deserialisation,
+    not measurement.
+    """
+    import json as jsonmod
+
+    from ..telemetry import (
+        ChromeTraceExporter,
+        GLOBAL_EVENT_BUS,
+        ProfileSession,
+    )
+
+    jobs, cache, refresh = _sweep_options(args, default_cache=False)
+    configs = _matrix_configs(args)
+    if not configs:
+        raise UsageError("no matrix cells selected")
+    exporter = ChromeTraceExporter()
+    session = ProfileSession(memory=args.memory)
+    with exporter.attached(GLOBAL_EVENT_BUS), session:
+        outcome = run_sweep(configs, jobs=jobs, cache=cache, refresh=refresh)
+    report = session.report(top=args.top)
+
+    folded_path = Path(args.folded).expanduser()
+    folded_path.parent.mkdir(parents=True, exist_ok=True)
+    folded_path.write_text(report.to_folded() + "\n")
+    exporter.add_tracer(session.tracer)
+    trace_path = Path(args.trace).expanduser()
+    trace_path.parent.mkdir(parents=True, exist_ok=True)
+    exporter.write(trace_path)
+
+    if args.format == "table":
+        text = report.to_table()
+    elif args.format == "folded":
+        text = report.to_folded()
+    else:
+        text = jsonmod.dumps(report.to_json(), indent=2, sort_keys=True)
+    if args.output:
+        out = Path(args.output).expanduser()
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+    print(f"wrote {folded_path} (folded stacks) and {trace_path} "
+          f"(Perfetto trace, {report.span_count} spans)")
+    _print_sweep_summary(outcome, cache)
+    return EXIT_OK
+
+
 def cmd_trace(args) -> int:
-    """Replay a saved LSB recorder file into a Chrome/Perfetto trace."""
+    """``trace``: inspect a trace file without a viewer.
+
+    Replays a saved LSB recorder file into a Chrome/Perfetto trace, or
+    with ``--summary`` prints span count, total/self time and the top-k
+    slices by duration — for either an LSB file or an already-exported
+    Chrome trace JSON (auto-detected).
+    """
+    import json as jsonmod
+
     from ..scibench import lsb
-    from ..telemetry import trace_from_recorder
-    try:
-        recorder = lsb.load(args.lsb_file)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read {args.lsb_file!r}: {exc}", file=sys.stderr)
-        return EXIT_USAGE
-    exporter = trace_from_recorder(recorder)
-    out = args.output or f"{args.lsb_file}.trace.json"
-    exporter.write(out)
-    print(f"wrote {out} ({exporter.slice_count} slices from "
-          f"{len(recorder)} measurements)")
+    from ..telemetry import summarize_trace_events, trace_from_recorder
+
+    events = None
+    if args.summary:
+        # accept Chrome trace JSON directly; fall through to LSB replay
+        try:
+            payload = jsonmod.loads(
+                Path(args.lsb_file).read_text(encoding="utf-8"))
+            if isinstance(payload, dict) and "traceEvents" in payload:
+                events = payload["traceEvents"]
+        except (OSError, ValueError, UnicodeDecodeError):
+            events = None
+    if events is None:
+        try:
+            recorder = lsb.load(args.lsb_file)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.lsb_file!r}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        exporter = trace_from_recorder(recorder)
+        if not args.summary:
+            out = args.output or f"{args.lsb_file}.trace.json"
+            exporter.write(out)
+            print(f"wrote {out} ({exporter.slice_count} slices from "
+                  f"{len(recorder)} measurements)")
+            return EXIT_OK
+        events = exporter.to_dict()["traceEvents"]
+    print(summarize_trace_events(events, top=args.top).render())
     return EXIT_OK
 
 
@@ -539,8 +661,9 @@ def cmd_regress_record(args) -> int:
 
     jobs, cache, refresh = _sweep_options(args, default_cache=True)
     configs = _matrix_configs(args)
-    with _observability(args):
+    with _observability(args), _ensure_tracer() as tracer:
         outcome = run_sweep(configs, jobs=jobs, cache=cache, refresh=refresh)
+        phases = _phase_dict(tracer.finished)
     try:
         baseline = Baseline.from_sweep(args.name, configs, outcome.results)
         store = BaselineStore(args.baseline_dir or default_baseline_dir())
@@ -555,7 +678,8 @@ def cmd_regress_record(args) -> int:
         index = (args.bench_index if args.bench_index is not None
                  else trajectory.next_index())
         point = TrajectoryPoint.from_results(
-            index, outcome.results, label=args.label or args.name)
+            index, outcome.results, label=args.label or args.name,
+            phases=phases)
         try:
             point_path = trajectory.append(point)
         except TrajectoryError as exc:
@@ -678,6 +802,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="base RNG seed for the measurement protocol")
     run.add_argument("--no-execute", action="store_true",
                      help="model-only timing (skip functional execution)")
+    run.add_argument("--profile", action="store_true",
+                     help="self-profile the harness and print the "
+                          "phase/hotspot report afterwards")
     _add_sweep_flags(run)
     _add_observability_flags(run)
     run.set_defaults(func=cmd_run, rest=[])
@@ -698,11 +825,66 @@ def build_parser() -> argparse.ArgumentParser:
     figure.set_defaults(func=cmd_figure)
 
     trace = sub.add_parser(
-        "trace", help="convert a saved LSB recorder file to a Chrome trace")
-    trace.add_argument("lsb_file", help="LibSciBench .r file (see repro.scibench.lsb)")
+        "trace", help="convert a saved LSB recorder file to a Chrome trace, "
+                      "or summarise a trace with --summary")
+    trace.add_argument("lsb_file",
+                       help="LibSciBench .r file (see repro.scibench.lsb) "
+                            "or, with --summary, a Chrome trace JSON")
     trace.add_argument("-o", "--output", default=None, metavar="PATH",
                        help="output path (default: <lsb_file>.trace.json)")
+    trace.add_argument("--summary", action="store_true",
+                       help="print span count, total/self time and the "
+                            "top-k slices instead of writing a trace")
+    trace.add_argument("--top", type=int, default=10, metavar="K",
+                       help="slices to list in the summary (default: 10)")
     trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="self-profile the harness: phase attribution, hotspots, "
+             "flamegraph input, merged Perfetto trace")
+    profile_sub = profile.add_subparsers(dest="profile_command",
+                                         required=True)
+
+    def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--size", choices=SIZES, default=None)
+        parser.add_argument("--device", default=None,
+                            help="device name from Table 1 (default: all)")
+        parser.add_argument("--samples", type=int, default=50)
+        parser.add_argument("--seed", type=int, default=12345)
+        parser.add_argument("--no-execute", action="store_true",
+                            help="model-only timing (skip functional "
+                                 "execution)")
+        parser.add_argument("--format", choices=("table", "folded", "json"),
+                            default="table",
+                            help="report rendering (default: table)")
+        parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                            help="write the report here instead of stdout")
+        parser.add_argument("--folded", default="profile.folded",
+                            metavar="PATH",
+                            help="folded-stack output for flamegraph.pl / "
+                                 "speedscope (default: %(default)s)")
+        parser.add_argument("--trace", default="profile.trace.json",
+                            metavar="PATH",
+                            help="merged Perfetto trace output "
+                                 "(default: %(default)s)")
+        parser.add_argument("--memory", action="store_true",
+                            help="also track allocations with tracemalloc "
+                                 "(per-cell peak attribution)")
+        parser.add_argument("--top", type=int, default=20, metavar="N",
+                            help="hotspots to list (default: 20)")
+        _add_sweep_flags(parser)
+
+    profile_run = profile_sub.add_parser(
+        "run", help="profile a sweep of one benchmark")
+    profile_run.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    _add_profile_flags(profile_run)
+    profile_run.set_defaults(func=cmd_profile)
+
+    profile_all = profile_sub.add_parser(
+        "all", help="profile the full measurement matrix")
+    _add_profile_flags(profile_all)
+    profile_all.set_defaults(func=cmd_profile, benchmark=None)
 
     characterize = sub.add_parser(
         "characterize", help="AIWC metrics + suite diversity (paper §7)")

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import hashlib
 import math
+import time
+import tracemalloc
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -165,8 +167,12 @@ def run_benchmark(config: RunConfig, runlog: RunLog | None = None) -> RunResult:
                      device=spec.name, samples=config.samples,
                      execute=config.execute)
 
+    wall_start = time.perf_counter()
     with tracer.span("run_benchmark", benchmark=config.benchmark,
-                     size=config.size, device=spec.name):
+                     size=config.size, device=spec.name,
+                     phase="measure") as cell_span:
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
         validated = False
         if config.execute:
             device = find_device(spec.name)
@@ -214,6 +220,16 @@ def run_benchmark(config: RunConfig, runlog: RunLog | None = None) -> RunResult:
                 recorder.record(REGION_KERNEL, float(t), energy_j=float(e),
                                 sampled=True)
 
+        if tracemalloc.is_tracing():
+            # per-cell peak allocation attribution (repro profile --memory)
+            cell_span.set_attribute(
+                "peak_alloc_bytes", tracemalloc.get_traced_memory()[1])
+
+    registry.bucket_histogram(
+        "harness_cell_duration_seconds",
+        "Wall time spent measuring one (benchmark, size, device) cell",
+    ).observe(time.perf_counter() - wall_start,
+              benchmark=config.benchmark, size=config.size)
     registry.counter("harness_runs_total",
                      "Measurement groups executed").inc(
         benchmark=config.benchmark, device_class=spec.device_class.value)
@@ -313,7 +329,7 @@ def run_matrix(
         for size in sizes for device in devices
     ]
     with get_tracer().span("run_matrix", benchmark=benchmark,
-                           groups=len(configs)):
+                           groups=len(configs), phase="sweep"):
         outcome = run_sweep(configs, jobs=jobs, cache=cache,
                             refresh=refresh, runlog=runlog)
     if runlog is not None:

@@ -218,30 +218,37 @@ class SweepCache:
         a half-written file from a killed run must not wedge resumes.
         """
         path = self.path_for(key)
-        try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
-            if entry.get("format") != CACHE_FORMAT:
+        with get_tracer().span("sweep_cache_get", phase="cache_io",
+                               key=key) as sp:
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                if entry.get("format") != CACHE_FORMAT:
+                    sp.set_attribute("hit", False)
+                    return None
+                result = result_from_payload(entry["result"])
+                sp.set_attribute("hit", True)
+                return result
+            except (OSError, ValueError, KeyError, TypeError):
+                sp.set_attribute("hit", False)
                 return None
-            return result_from_payload(entry["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
 
     def put(self, key: str, config: RunConfig, result: RunResult) -> Path:
         """Persist one cell's result under ``key``; returns the path."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "format": CACHE_FORMAT,
-            "model_version": MODEL_VERSION,
-            "key": key,
-            "config": dataclasses.asdict(config),
-            "created_unix": time.time(),
-            "result": result_to_payload(result),
-        }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry, default=str), encoding="utf-8")
-        os.replace(tmp, path)
-        return path
+        with get_tracer().span("sweep_cache_put", phase="cache_io", key=key):
+            path = self.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            entry = {
+                "format": CACHE_FORMAT,
+                "model_version": MODEL_VERSION,
+                "key": key,
+                "config": dataclasses.asdict(config),
+                "created_unix": time.time(),
+                "result": result_to_payload(result),
+            }
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(entry, default=str), encoding="utf-8")
+            os.replace(tmp, path)
+            return path
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -278,21 +285,29 @@ class SweepOutcome:
         return len(self.results)
 
 
-def _compute_cell(config: RunConfig) -> tuple[dict, list[dict], dict]:
+def _compute_cell(
+    config: RunConfig, trace_ctx: dict | None = None,
+) -> tuple[dict, list[dict], dict, list[dict]]:
     """Worker entry point: measure one cell in a child process.
 
     Returns the serialised result, the cell's JSONL records (captured
-    in memory, each tagged with this worker's PID) and a metrics
-    snapshot, so the parent can merge both into its own run log and
-    registry.  The worker's registry is reset first: under ``fork`` it
-    inherits the parent's accumulated series, and the snapshot must be
-    a per-cell delta, not a cumulative copy.  Module-level and
-    argument-picklable so it works under both ``fork`` and ``spawn``
-    start methods.
+    in memory, each tagged with this worker's PID), a metrics snapshot
+    and the worker's finished spans, so the parent can merge all three
+    into its own run log, registry and trace.  The worker's registry is
+    reset first: under ``fork`` it inherits the parent's accumulated
+    series, and the snapshot must be a per-cell delta, not a cumulative
+    copy.  ``trace_ctx`` is the parent tracer's
+    :meth:`~repro.telemetry.tracer.Tracer.propagation_context` —
+    ``None`` (tracing off) keeps the worker on the no-op path and ships
+    no spans.  Module-level and argument-picklable so it works under
+    both ``fork`` and ``spawn`` start methods.
     """
     from ..telemetry.runlog import set_default_runlog
+    from ..telemetry.tracer import Tracer, set_tracer
     set_default_runlog(None)  # never write to a handle inherited from the parent
     default_registry().reset()
+    tracer = Tracer.from_context(trace_ctx)
+    set_tracer(tracer)  # fresh per cell: fork may inherit parent state
     runlog, buffer = memory_runlog()
     result = run_benchmark(config, runlog=runlog)
     pid = os.getpid()
@@ -302,7 +317,10 @@ def _compute_cell(config: RunConfig) -> tuple[dict, list[dict], dict]:
             record = json.loads(line)
             record["worker_pid"] = pid
             records.append(record)
-    return result_to_payload(result), records, default_registry().snapshot()
+    spans = tracer.to_dicts()
+    for span in spans:
+        span["attributes"]["worker_pid"] = pid
+    return result_to_payload(result), records, default_registry().snapshot(), spans
 
 
 def run_sweep(
@@ -374,61 +392,73 @@ def run_sweep(
     results: dict[int, RunResult] = {}
     pending: list[tuple[int, RunConfig]] = []
     keys: dict[int, str] = {}
-    for i, config in enumerate(configs):
-        hit = None
-        if cache is not None:
-            keys[i] = cache.key(config)
-            if not refresh:
-                hit = cache.get(keys[i])
-        if hit is not None:
-            with tracer.span("sweep_cell", benchmark=config.benchmark,
-                             size=config.size, device=config.device,
-                             cached=True):
-                pass
-            cached_counter.inc()
-            if runlog is not None:
-                runlog.write("cell_cached", benchmark=config.benchmark,
-                             size=config.size, device=config.device,
-                             key=keys[i])
-            results[i] = hit
-        else:
-            pending.append((i, config))
 
     def _finish(i: int, config: RunConfig, result: RunResult) -> None:
         computed_counter.inc()
         if cache is not None:
             cache.put(keys[i], config, result)
+        if runlog is not None:
+            runlog.write("cell_computed", benchmark=config.benchmark,
+                         size=config.size, device=config.device,
+                         key=keys.get(i))
         results[i] = result
 
-    if pending:
-        order = sweep_execution_order([c for _, c in pending])
-        if jobs == 1:
-            for pos in order:
-                i, config = pending[pos]
+    with tracer.span("run_sweep", phase="sweep",
+                     cells=len(configs), jobs=jobs):
+        for i, config in enumerate(configs):
+            hit = None
+            if cache is not None:
+                keys[i] = cache.key(config)
+                if not refresh:
+                    hit = cache.get(keys[i])
+            if hit is not None:
                 with tracer.span("sweep_cell", benchmark=config.benchmark,
                                  size=config.size, device=config.device,
-                                 cached=False):
-                    result = run_benchmark(config, runlog=runlog)
-                _finish(i, config, result)
-        else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = {
-                    pool.submit(_compute_cell, pending[pos][1]): pending[pos]
-                    for pos in order
-                }
-                for future in as_completed(futures):
-                    i, config = futures[future]
-                    payload, records, metrics = future.result()
-                    if runlog is not None:
-                        for record in records:
-                            runlog.write_record(record)
-                    registry.merge_snapshot(metrics)
-                    with tracer.span("sweep_cell",
-                                     benchmark=config.benchmark,
+                                 cached=True, key=keys[i]):
+                    pass
+                cached_counter.inc()
+                if runlog is not None:
+                    runlog.write("cell_cached", benchmark=config.benchmark,
+                                 size=config.size, device=config.device,
+                                 key=keys[i])
+                results[i] = hit
+            else:
+                pending.append((i, config))
+
+        if pending:
+            order = sweep_execution_order([c for _, c in pending])
+            if jobs == 1:
+                for pos in order:
+                    i, config = pending[pos]
+                    with tracer.span("sweep_cell", benchmark=config.benchmark,
                                      size=config.size, device=config.device,
-                                     cached=False):
-                        pass
-                    _finish(i, config, result_from_payload(payload))
+                                     cached=False, key=keys.get(i)):
+                        result = run_benchmark(config, runlog=runlog)
+                    _finish(i, config, result)
+            else:
+                trace_ctx = tracer.propagation_context()
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    futures = {
+                        pool.submit(_compute_cell, pending[pos][1],
+                                    trace_ctx): pending[pos]
+                        for pos in order
+                    }
+                    for future in as_completed(futures):
+                        i, config = futures[future]
+                        payload, records, metrics, spans = future.result()
+                        if runlog is not None:
+                            for record in records:
+                                runlog.write_record(record)
+                        registry.merge_snapshot(metrics)
+                        with tracer.span("sweep_cell",
+                                         benchmark=config.benchmark,
+                                         size=config.size,
+                                         device=config.device,
+                                         cached=False, key=keys.get(i)):
+                            # adopt the worker's spans under this cell,
+                            # same topology as the serial path
+                            tracer.graft(spans)
+                        _finish(i, config, result_from_payload(payload))
 
     wall_s = time.perf_counter() - start
     outcome = SweepOutcome(

@@ -85,6 +85,13 @@ class TrajectoryPoint:
     model_version: str = MODEL_VERSION
     created_unix: float = field(default_factory=time.time)
     cells: list[CellPoint] = field(default_factory=list)
+    #: Harness phase-timing summary for the recording sweep itself
+    #: (phase -> {"total_s", "self_s", "count"}), produced by
+    #: :func:`repro.telemetry.profile.phase_summary`.  Optional and
+    #: additive — points recorded before the profiler existed load as
+    #: ``None`` — so per-phase gating can join the trajectory without a
+    #: schema bump.
+    phases: dict | None = None
 
     def cell(self, benchmark: str, size: str, device: str
              ) -> CellPoint | None:
@@ -96,9 +103,10 @@ class TrajectoryPoint:
 
     @classmethod
     def from_results(cls, index: int, results: list[RunResult],
-                     label: str = "") -> "TrajectoryPoint":
+                     label: str = "",
+                     phases: dict | None = None) -> "TrajectoryPoint":
         """Summarise a sweep's results into one trajectory point."""
-        point = cls(index=index, label=label)
+        point = cls(index=index, label=label, phases=phases)
         for r in results:
             s = r.time_summary
             point.cells.append(CellPoint(
@@ -117,6 +125,7 @@ class TrajectoryPoint:
                 "model_version": self.model_version,
                 "created_unix": self.created_unix,
                 "cells": [c.to_dict() for c in self.cells],
+                "phases": self.phases,
             },
             indent=2,
             sort_keys=True,
@@ -142,6 +151,7 @@ class TrajectoryPoint:
                 model_version=str(payload["model_version"]),
                 created_unix=float(payload["created_unix"]),
                 cells=[CellPoint.from_dict(c) for c in payload["cells"]],
+                phases=payload.get("phases"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise TrajectoryError(f"malformed point: {exc!r}") from None

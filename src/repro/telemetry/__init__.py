@@ -15,17 +15,30 @@ use them):
   harness spans;
 * :mod:`~repro.telemetry.metrics` — counter/gauge/histogram registry
   with Prometheus text exposition;
-* :mod:`~repro.telemetry.runlog` — structured JSONL run log.
+* :mod:`~repro.telemetry.runlog` — structured JSONL run log;
+* :mod:`~repro.telemetry.profile` — phase-attributed self-profiling
+  (hotspot tables, folded stacks, per-cell allocation attribution).
 """
 
 from .chrometrace import ChromeTraceExporter, trace_from_recorder
 from .hooks import EventBus, GLOBAL_EVENT_BUS, on_event
 from .metrics import (
+    BucketHistogram,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     default_registry,
+)
+from .profile import (
+    KNOWN_PHASES,
+    PhaseSummary,
+    ProfileReport,
+    ProfileSession,
+    TraceSummary,
+    folded_stacks,
+    phase_summary,
+    summarize_trace_events,
 )
 from .runlog import (
     RunLog,
@@ -44,25 +57,34 @@ from .tracer import (
 )
 
 __all__ = [
+    "BucketHistogram",
     "ChromeTraceExporter",
     "Counter",
     "EventBus",
     "GLOBAL_EVENT_BUS",
     "Gauge",
     "Histogram",
+    "KNOWN_PHASES",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "PhaseSummary",
+    "ProfileReport",
+    "ProfileSession",
     "RunLog",
     "Span",
+    "TraceSummary",
     "Tracer",
     "default_registry",
+    "folded_stacks",
     "get_default_runlog",
     "get_tracer",
     "memory_runlog",
     "on_event",
+    "phase_summary",
     "read_jsonl",
     "set_default_runlog",
     "set_tracer",
+    "summarize_trace_events",
     "trace_from_recorder",
     "tracing",
 ]

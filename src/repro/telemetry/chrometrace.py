@@ -166,9 +166,17 @@ class ChromeTraceExporter:
             "name": span.name, "cat": "span", "pid": pid,
             "tid": span.depth + 1, "id": self._async_id,
         }
+        args = dict(span.attributes)
+        # ids let tools (repro trace --summary) rebuild the exact span
+        # tree instead of guessing nesting from timestamps
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
         self.trace_events.append({
             **common, "ph": "b", "ts": _ns_to_us(span.start_ns - origin_ns),
-            "args": dict(span.attributes),
+            "args": args,
         })
         self.trace_events.append({
             **common, "ph": "e", "ts": _ns_to_us(span.end_ns - origin_ns)})

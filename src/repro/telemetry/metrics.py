@@ -23,13 +23,19 @@ from __future__ import annotations
 
 import math
 import re
-from bisect import insort
+from bisect import bisect_left, insort
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 #: Quantiles exposed for every histogram family.
 DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+#: Default bucket boundaries (seconds) for :class:`BucketHistogram` —
+#: the Prometheus client default ladder, which spans the sub-ms model
+#: evaluations through the multi-second functional cells the sweep sees.
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0)
 
 
 def _check_name(name: str) -> str:
@@ -208,6 +214,91 @@ class Histogram(MetricFamily):
             yield key, lines
 
 
+class BucketHistogram(MetricFamily):
+    """A true Prometheus *histogram*: bucketed counts, not quantiles.
+
+    Where :class:`Histogram` keeps every observation and exposes exact
+    quantiles (a summary), this family folds each observation into a
+    fixed bucket ladder in O(log buckets) and exposes the cumulative
+    ``_bucket{le="..."}`` series the Prometheus histogram type
+    requires — constant memory, mergeable across processes, and
+    aggregable across scrape targets.  The sweep records every cell's
+    wall-clock measurement duration here
+    (``harness_cell_duration_seconds``).
+    """
+
+    type_name = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name} buckets must be strictly increasing, "
+                f"got {bounds}")
+        if not all(math.isfinite(b) for b in bounds):
+            raise ValueError(f"histogram {name} buckets must be finite "
+                             "(+Inf is implicit)")
+        self.buckets = bounds
+        # per label set: one count per bucket plus the +Inf overflow slot
+        self._counts: dict[tuple, list[int]] = {}
+        self._sums: dict[tuple, float] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into a label set's bucket ladder."""
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+        counts[bisect_left(self.buckets, float(value))] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+
+    def count(self, **labels) -> int:
+        """Total observations in one label set's series."""
+        return sum(self._counts.get(_label_key(labels), ()))
+
+    def sum(self, **labels) -> float:
+        """Sum of observations in one label set's series."""
+        return self._sums.get(_label_key(labels), 0.0)
+
+    @property
+    def total_count(self) -> int:
+        """Observations across every label set."""
+        return sum(sum(counts) for counts in self._counts.values())
+
+    def bucket_counts(self, **labels) -> dict[float, int]:
+        """Cumulative count per upper bound (``math.inf`` last)."""
+        counts = self._counts.get(_label_key(labels),
+                                  [0] * (len(self.buckets) + 1))
+        out: dict[float, int] = {}
+        running = 0
+        for bound, n in zip((*self.buckets, math.inf), counts):
+            running += n
+            out[bound] = running
+        return out
+
+    def _series(self):
+        for key, counts in self._counts.items():
+            lines = []
+            running = 0
+            for bound, n in zip(self.buckets, counts):
+                running += n
+                le = _format_labels(key, (("le", _format_value(bound)),))
+                lines.append(f"{self.name}_bucket{le} {running}")
+            inf = _format_labels(key, (("le", "+Inf"),))
+            total = running + counts[-1]
+            lines.append(f"{self.name}_bucket{inf} {total}")
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)} "
+                f"{_format_value(self._sums.get(key, 0.0))}"
+            )
+            lines.append(f"{self.name}_count{_format_labels(key)} {total}")
+            yield key, lines
+
+
 class MetricsRegistry:
     """Name -> instrument map with get-or-create accessors."""
 
@@ -240,6 +331,12 @@ class MetricsRegistry:
         """Get or create the :class:`Histogram` named ``name``."""
         return self._get_or_create(Histogram, name, help, quantiles=quantiles)
 
+    def bucket_histogram(self, name: str, help: str = "",
+                         buckets: tuple = DEFAULT_BUCKETS) -> BucketHistogram:
+        """Get or create the :class:`BucketHistogram` named ``name``."""
+        return self._get_or_create(BucketHistogram, name, help,
+                                   buckets=buckets)
+
     # ------------------------------------------------------------------
     @property
     def families(self) -> dict[str, MetricFamily]:
@@ -258,7 +355,7 @@ class MetricsRegistry:
         matters because instrumented modules hold on to their counters.
         """
         for family in self._families.values():
-            for attr in ("_values", "_observations", "_sums"):
+            for attr in ("_values", "_observations", "_sums", "_counts"):
                 store = getattr(family, attr, None)
                 if store is not None:
                     store.clear()
@@ -279,6 +376,12 @@ class MetricsRegistry:
                 entry["series"] = [
                     [list(key), list(obs), family._sums.get(key, 0.0)]
                     for key, obs in family._observations.items()
+                ]
+            elif isinstance(family, BucketHistogram):
+                entry["buckets"] = list(family.buckets)
+                entry["series"] = [
+                    [list(key), list(counts), family._sums.get(key, 0.0)]
+                    for key, counts in family._counts.items()
                 ]
             else:
                 entry["series"] = [
@@ -310,6 +413,23 @@ class MetricsRegistry:
                     labels = {k: v for k, v in key}
                     for value in observations:
                         family.observe(value, **labels)
+            elif entry["type"] == "histogram":
+                family = self.bucket_histogram(
+                    name, entry.get("help", ""),
+                    buckets=tuple(entry.get("buckets", DEFAULT_BUCKETS)))
+                if list(family.buckets) != [
+                        float(b) for b in entry.get("buckets", family.buckets)]:
+                    raise ValueError(
+                        f"histogram {name!r} bucket ladders differ; "
+                        "cannot merge counts")
+                for key, counts, total in entry["series"]:
+                    labels = tuple((k, v) for k, v in key)
+                    store = family._counts.setdefault(
+                        labels, [0] * (len(family.buckets) + 1))
+                    for i, n in enumerate(counts):
+                        store[i] += int(n)
+                    family._sums[labels] = (
+                        family._sums.get(labels, 0.0) + float(total))
 
     def __len__(self) -> int:
         return len(self._families)

@@ -1,0 +1,633 @@
+"""Self-profiling: phase attribution, hotspots, folded stacks, memory.
+
+The paper's methodology (§4.3) is built on knowing where time goes;
+this module turns that discipline on the harness itself.  It layers
+three instruments over the span :class:`~repro.telemetry.tracer.Tracer`:
+
+* **phase attribution** — every instrumented cost center tags its spans
+  with a ``phase`` attribute (:data:`PHASE_MEASURE` for the runner's
+  measurement loops, :data:`PHASE_CACHE_SIM` for cache-simulator trace
+  replays, :data:`PHASE_ABSINT` for the abstract interpreter,
+  :data:`PHASE_CACHE_IO` for sweep-cache (de)serialisation,
+  :data:`PHASE_SWEEP` for the sweep engine itself).  Child spans
+  inherit the nearest ancestor's phase, so :func:`phase_summary`
+  attributes *every* nanosecond of a traced run to exactly one phase
+  (exclusive self time) and reports the fraction of wall time covered;
+* **hotspots** — :class:`ProfileSession` wraps a run in ``cProfile``
+  (deterministic, so repeated profiles of the seeded harness agree) and
+  renders a top-N hotspot table;
+* **memory** — under ``tracemalloc`` the runner attributes the peak
+  allocated bytes of each measurement cell to its ``run_benchmark``
+  span (``peak_alloc_bytes``), giving per-cell allocation attribution.
+
+:func:`folded_stacks` renders the span tree in the collapsed-stack
+format flamegraph tools (``flamegraph.pl``, speedscope) consume, and
+:func:`summarize_trace_events` answers "what is in this trace?" for a
+Chrome/Perfetto JSON without opening a viewer.
+
+Like the rest of :mod:`repro.telemetry`, nothing here imports the rest
+of ``repro`` — every layer may use it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .tracer import Span, Tracer, get_tracer, set_tracer
+
+#: The runner's measurement loops (functional execution + sampling).
+PHASE_MEASURE = "measure"
+#: Cache/TLB simulator trace replays (``repro.cache``).
+PHASE_CACHE_SIM = "cache_sim"
+#: Abstract interpretation of kernel IR (``repro.analysis.absint``).
+PHASE_ABSINT = "absint"
+#: Sweep-cache (de)serialisation (``SweepCache.get``/``put``).
+PHASE_CACHE_IO = "cache_io"
+#: The sweep engine itself: scheduling, worker IPC, merging.
+PHASE_SWEEP = "sweep"
+#: Spans (or wall time) with no phased ancestor.
+PHASE_OTHER = "other"
+
+#: Every named phase the harness instruments, in reporting order.
+KNOWN_PHASES = (PHASE_MEASURE, PHASE_CACHE_SIM, PHASE_ABSINT,
+                PHASE_CACHE_IO, PHASE_SWEEP, PHASE_OTHER)
+
+
+def _as_dicts(spans) -> list[dict]:
+    """Normalise finished spans (Span objects or dicts) to dicts."""
+    out = []
+    for span in spans:
+        payload = span if isinstance(span, dict) else span.to_dict()
+        if payload.get("end_ns") is not None:
+            out.append(payload)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Phase attribution
+# ----------------------------------------------------------------------
+@dataclass
+class PhaseStat:
+    """One phase's share of a traced run."""
+
+    phase: str
+    #: Spans that introduce the phase (own ``phase`` attribute, or a
+    #: root span for :data:`PHASE_OTHER`).
+    count: int = 0
+    #: Inclusive seconds of the introducing spans (nested phases too).
+    total_s: float = 0.0
+    #: Exclusive seconds attributed to the phase; self times sum to the
+    #: traced wall time (up to parallel overlap).
+    self_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"phase": self.phase, "count": self.count,
+                "total_s": self.total_s, "self_s": self.self_s}
+
+
+@dataclass
+class PhaseSummary:
+    """Where a traced run's wall time went, phase by phase."""
+
+    wall_s: float
+    stats: list[PhaseStat] = field(default_factory=list)
+    #: Wall time not covered by any span (gaps between/outside spans).
+    untracked_s: float = 0.0
+
+    @property
+    def attributed_s(self) -> float:
+        """Exclusive seconds attributed to *named* phases (not other)."""
+        return sum(s.self_s for s in self.stats if s.phase != PHASE_OTHER)
+
+    @property
+    def attributed_fraction(self) -> float:
+        """Named-phase self time over wall time.
+
+        Can exceed 1.0 when worker spans recorded in parallel overlap
+        the parent's wall clock — more CPU seconds than wall seconds.
+        """
+        return self.attributed_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def stat(self, phase: str) -> PhaseStat | None:
+        """The entry for one phase, or ``None`` if it never appeared."""
+        for s in self.stats:
+            if s.phase == phase:
+                return s
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_s": self.wall_s,
+            "untracked_s": self.untracked_s,
+            "attributed_s": self.attributed_s,
+            "attributed_fraction": self.attributed_fraction,
+            "phases": [s.to_dict() for s in self.stats],
+        }
+
+    def rows(self) -> list[dict]:
+        """Render-ready rows, largest self time first."""
+        rows = []
+        for s in self.stats:
+            pct = 100.0 * s.self_s / self.wall_s if self.wall_s > 0 else 0.0
+            rows.append({
+                "phase": s.phase, "spans": s.count,
+                "total (s)": round(s.total_s, 6),
+                "self (s)": round(s.self_s, 6),
+                "self %": round(pct, 1),
+            })
+        return rows
+
+
+def phase_summary(spans, wall_s: float | None = None) -> PhaseSummary:
+    """Attribute a span set's wall time to named phases.
+
+    Parameters
+    ----------
+    spans : iterable of Span or dict
+        Finished spans (open spans are skipped).  Parent/child links
+        must be internally consistent — exactly what one tracer (plus
+        grafted worker spans) produces.
+    wall_s : float, optional
+        The wall-clock denominator.  Defaults to the extent of the
+        span set (earliest start to latest end).
+    """
+    payloads = _as_dicts(spans)
+    if not payloads:
+        return PhaseSummary(wall_s=wall_s or 0.0, untracked_s=wall_s or 0.0)
+
+    by_id = {d["span_id"]: d for d in payloads}
+    children_ns: dict[int, int] = {}
+    roots_ns = 0
+    for d in payloads:
+        dur = d["end_ns"] - d["start_ns"]
+        parent = d.get("parent_id")
+        if parent in by_id:
+            children_ns[parent] = children_ns.get(parent, 0) + dur
+        else:
+            roots_ns += dur
+
+    effective: dict[int, str] = {}
+
+    def _phase_of(span_id: int) -> str:
+        cached = effective.get(span_id)
+        if cached is not None:
+            return cached
+        d = by_id[span_id]
+        own = d.get("attributes", {}).get("phase")
+        if own is None:
+            parent = d.get("parent_id")
+            own = _phase_of(parent) if parent in by_id else PHASE_OTHER
+        effective[span_id] = own
+        return own
+
+    stats: dict[str, PhaseStat] = {}
+    for d in payloads:
+        phase = _phase_of(d["span_id"])
+        stat = stats.get(phase)
+        if stat is None:
+            stat = stats[phase] = PhaseStat(phase=phase)
+        dur_ns = d["end_ns"] - d["start_ns"]
+        self_ns = max(0, dur_ns - children_ns.get(d["span_id"], 0))
+        stat.self_s += self_ns * 1e-9
+        parent = d.get("parent_id")
+        parent_phase = _phase_of(parent) if parent in by_id else None
+        introduces = (d.get("attributes", {}).get("phase") is not None
+                      and parent_phase != phase) or parent not in by_id
+        if introduces:
+            stat.count += 1
+            stat.total_s += dur_ns * 1e-9
+
+    if wall_s is None:
+        start = min(d["start_ns"] for d in payloads)
+        end = max(d["end_ns"] for d in payloads)
+        wall_s = (end - start) * 1e-9
+    untracked_s = max(0.0, wall_s - roots_ns * 1e-9)
+    ordered = sorted(stats.values(), key=lambda s: (-s.self_s, s.phase))
+    return PhaseSummary(wall_s=wall_s, stats=ordered, untracked_s=untracked_s)
+
+
+# ----------------------------------------------------------------------
+# Folded stacks (flamegraph input)
+# ----------------------------------------------------------------------
+def folded_stacks(spans) -> str:
+    """The span tree in collapsed-stack format, one line per path.
+
+    Each line is ``root;child;leaf <self-microseconds>``, aggregated
+    over spans sharing a name path and sorted lexicographically, so the
+    output is deterministic for a deterministic trace and loads
+    directly into ``flamegraph.pl`` or https://speedscope.app.
+    Zero-self-time paths are dropped.
+    """
+    payloads = _as_dicts(spans)
+    by_id = {d["span_id"]: d for d in payloads}
+    children_ns: dict[int, int] = {}
+    for d in payloads:
+        parent = d.get("parent_id")
+        if parent in by_id:
+            dur = d["end_ns"] - d["start_ns"]
+            children_ns[parent] = children_ns.get(parent, 0) + dur
+
+    paths: dict[str, int] = {}
+
+    def _path(d: dict) -> str:
+        names = [d["name"]]
+        seen = {d["span_id"]}
+        parent = d.get("parent_id")
+        while parent in by_id and parent not in seen:
+            seen.add(parent)
+            names.append(by_id[parent]["name"])
+            parent = by_id[parent].get("parent_id")
+        return ";".join(reversed(names))
+
+    for d in payloads:
+        dur_ns = d["end_ns"] - d["start_ns"]
+        self_us = max(0, dur_ns - children_ns.get(d["span_id"], 0)) // 1000
+        if self_us:
+            path = _path(d)
+            paths[path] = paths.get(path, 0) + self_us
+    return "\n".join(f"{path} {value}"
+                     for path, value in sorted(paths.items()))
+
+
+# ----------------------------------------------------------------------
+# Hotspots + memory + the session that collects everything
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Hotspot:
+    """One function's cost in the profiled run."""
+
+    function: str
+    calls: int
+    tottime_s: float
+    cumtime_s: float
+
+    def to_dict(self) -> dict:
+        return {"function": self.function, "calls": self.calls,
+                "tottime_s": self.tottime_s, "cumtime_s": self.cumtime_s}
+
+
+@dataclass
+class MemoryStats:
+    """Peak allocation figures from ``tracemalloc``."""
+
+    peak_bytes: int
+    #: ``(cell label, peak bytes)`` per measurement cell, from the
+    #: ``peak_alloc_bytes`` span attribute the runner records.
+    cells: list[tuple[str, int]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"peak_bytes": self.peak_bytes,
+                "cells": [{"cell": c, "peak_bytes": b}
+                          for c, b in self.cells]}
+
+
+def _hotspots_from_profile(profile: cProfile.Profile,
+                           top: int) -> list[Hotspot]:
+    """Top-N functions by cumulative time from a finished cProfile."""
+    stats = pstats.Stats(profile)
+    rows = []
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        where = "built-in" if filename.startswith(("~", "<")) \
+            else f"{Path(filename).name}:{line}"
+        rows.append(Hotspot(function=f"{where}({func})", calls=int(nc),
+                            tottime_s=float(tt), cumtime_s=float(ct)))
+    rows.sort(key=lambda h: (-h.cumtime_s, -h.tottime_s, h.function))
+    return rows[:top]
+
+
+def _memory_cells(spans) -> list[tuple[str, int]]:
+    """Per-cell peak allocations recorded as span attributes."""
+    cells = []
+    for d in _as_dicts(spans):
+        attrs = d.get("attributes", {})
+        peak = attrs.get("peak_alloc_bytes")
+        if peak is None:
+            continue
+        label = "/".join(str(attrs[k])
+                         for k in ("benchmark", "size", "device")
+                         if k in attrs) or d["name"]
+        cells.append((label, int(peak)))
+    cells.sort(key=lambda c: (-c[1], c[0]))
+    return cells
+
+
+def _render_table(rows: list[dict], title: str) -> str:
+    """Minimal fixed-width table (telemetry cannot import the harness)."""
+    if not rows:
+        return f"{title}\n(no data)"
+    headers = list(rows[0].keys())
+    widths = {h: max(len(str(h)), *(len(str(r[h])) for r in rows))
+              for h in headers}
+    lines = [title,
+             "  ".join(str(h).ljust(widths[h]) for h in headers),
+             "  ".join("-" * widths[h] for h in headers)]
+    for r in rows:
+        lines.append("  ".join(str(r[h]).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)
+
+
+@dataclass
+class ProfileReport:
+    """Everything one :class:`ProfileSession` collected."""
+
+    phases: PhaseSummary
+    hotspots: list[Hotspot]
+    folded: str
+    span_count: int
+    trace_id: str
+    memory: MemoryStats | None = None
+
+    def to_json(self) -> dict:
+        """The report as a JSON-ready dict (``--format json``)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_count": self.span_count,
+            "phase": self.phases.to_dict(),
+            "hotspots": [h.to_dict() for h in self.hotspots],
+            "memory": self.memory.to_dict() if self.memory else None,
+        }
+
+    def to_folded(self) -> str:
+        """The folded-stack text (``--format folded``)."""
+        return self.folded
+
+    def to_table(self) -> str:
+        """The human-readable report (``--format table``)."""
+        pct = 100.0 * self.phases.attributed_fraction
+        parts = [_render_table(
+            self.phases.rows(),
+            f"Phases ({self.span_count} spans, wall "
+            f"{self.phases.wall_s:.3f} s, {pct:.1f}% attributed to "
+            f"named phases)")]
+        hot_rows = [{
+            "function": h.function, "calls": h.calls,
+            "tottime (s)": round(h.tottime_s, 4),
+            "cumtime (s)": round(h.cumtime_s, 4),
+        } for h in self.hotspots]
+        parts.append(_render_table(
+            hot_rows, f"Hotspots (top {len(hot_rows)} by cumulative time)"))
+        if self.memory is not None:
+            mem_rows = [{"cell": c, "peak KiB": round(b / 1024, 1)}
+                        for c, b in self.memory.cells[:10]]
+            parts.append(_render_table(
+                mem_rows,
+                f"Allocation peaks (overall "
+                f"{self.memory.peak_bytes / 1024:.1f} KiB)"))
+        return "\n\n".join(parts)
+
+
+class ProfileSession:
+    """Profile a block of harness work: spans + cProfile + tracemalloc.
+
+    Usage::
+
+        with ProfileSession(memory=True) as session:
+            run_sweep(configs, jobs=4)
+        print(session.report().to_table())
+
+    The session installs an enabled tracer (unless the global tracer is
+    already enabled, in which case it piggybacks on it so ``--trace``
+    and ``--profile`` compose), opens a root ``profile`` span so wall
+    time has a well-defined denominator, and runs the block under
+    ``cProfile`` — deterministic profiling, so two profiles of the
+    seeded harness rank the same hotspots.  ``memory=True`` adds
+    ``tracemalloc``; the runner then attributes each cell's peak
+    allocated bytes to its span.
+
+    A disabled session (``enabled=False``) is a strict no-op: no tracer
+    installed, no profiler started, zero spans recorded — the
+    instrumentation's zero-overhead path end to end.
+    """
+
+    def __init__(self, enabled: bool = True, memory: bool = False,
+                 tracer: Tracer | None = None):
+        self.enabled = enabled
+        self.memory = memory
+        self.tracer = tracer
+        self._installed_tracer = False
+        self._started_tracemalloc = False
+        self._profile: cProfile.Profile | None = None
+        self._previous: Tracer | None = None
+        self._root_cm = None
+        self._root: Span | None = None
+        self._peak_bytes: int | None = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ProfileSession":
+        if not self.enabled:
+            return self
+        if self.tracer is None:
+            current = get_tracer()
+            if current.enabled:
+                self.tracer = current
+            else:
+                self.tracer = Tracer(enabled=True)
+                self._previous = set_tracer(self.tracer)
+                self._installed_tracer = True
+        else:
+            self._previous = set_tracer(self.tracer)
+            self._installed_tracer = True
+        # instruments start BEFORE the root span opens: session setup
+        # (tracemalloc bookkeeping, cProfile init) must not count
+        # against the profiled wall time
+        if self.memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._profile = cProfile.Profile()
+        self._profile.enable()
+        self._root_cm = self.tracer.span("profile")
+        self._root = self._root_cm.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self.enabled:
+            return False
+        if self._root_cm is not None:
+            self._root_cm.__exit__(exc_type, exc, tb)
+        if self._profile is not None:
+            self._profile.disable()
+        if self.memory and tracemalloc.is_tracing():
+            self._peak_bytes = tracemalloc.get_traced_memory()[1]
+            if self._started_tracemalloc:
+                tracemalloc.stop()
+        if self._installed_tracer:
+            set_tracer(self._previous)
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def wall_s(self) -> float | None:
+        """Duration of the root ``profile`` span, once closed."""
+        if self._root is None or not self._root.ended:
+            return None
+        return self._root.duration_s
+
+    def report(self, top: int = 20) -> ProfileReport:
+        """Build the :class:`ProfileReport` for the finished session."""
+        if not self.enabled or self.tracer is None:
+            return ProfileReport(
+                phases=PhaseSummary(wall_s=0.0), hotspots=[], folded="",
+                span_count=0, trace_id="", memory=None)
+        spans = self.tracer.finished
+        memory = None
+        if self._peak_bytes is not None:
+            memory = MemoryStats(peak_bytes=self._peak_bytes,
+                                 cells=_memory_cells(spans))
+        return ProfileReport(
+            phases=phase_summary(spans, wall_s=self.wall_s),
+            hotspots=(_hotspots_from_profile(self._profile, top)
+                      if self._profile is not None else []),
+            folded=folded_stacks(spans),
+            span_count=len(spans),
+            trace_id=self.tracer.trace_id,
+            memory=memory,
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace summaries (``repro trace --summary``)
+# ----------------------------------------------------------------------
+@dataclass
+class TraceNameStat:
+    """Aggregate for one slice/span name inside a trace."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+
+
+@dataclass
+class TraceSummary:
+    """What a Chrome/Perfetto trace contains, without the viewer."""
+
+    span_count: int
+    wall_s: float
+    names: list[TraceNameStat] = field(default_factory=list)
+    top: int = 10
+
+    @property
+    def total_s(self) -> float:
+        """Sum of every slice's duration (inclusive)."""
+        return sum(n.total_s for n in self.names)
+
+    @property
+    def self_total_s(self) -> float:
+        """Sum of every slice's exclusive time."""
+        return sum(n.self_s for n in self.names)
+
+    def to_dict(self) -> dict:
+        return {
+            "span_count": self.span_count,
+            "wall_s": self.wall_s,
+            "total_s": self.total_s,
+            "self_total_s": self.self_total_s,
+            "names": [{"name": n.name, "count": n.count,
+                       "total_s": n.total_s, "self_s": n.self_s}
+                      for n in self.names],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        header = (f"{self.span_count} spans/slices, wall {self.wall_s:.3f} s,"
+                  f" total {self.total_s:.3f} s"
+                  f" (self {self.self_total_s:.3f} s)")
+        rows = [{
+            "name": n.name, "count": n.count,
+            "total (s)": round(n.total_s, 6),
+            "self (s)": round(n.self_s, 6),
+        } for n in self.names[:self.top]]
+        return _render_table(rows, header + f"\nTop {min(self.top, len(rows))} by total duration")
+
+
+def summarize_trace_events(events: list[dict], top: int = 10) -> TraceSummary:
+    """Summarise Trace Event Format events (the ``traceEvents`` list).
+
+    Handles duration slices (``ph: "X"``) and async begin/end pairs
+    (``ph: "b"``/``"e"``, the shape harness spans are exported as).
+    Self time is exact when the span events carry ``span_id`` /
+    ``parent_id`` args (this exporter's output) and falls back to
+    timestamp containment per ``(pid, tid)`` track otherwise.
+    """
+    intervals: list[dict] = []
+    open_async: dict[tuple, dict] = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph == "X":
+            intervals.append({
+                "name": e.get("name", "?"), "pid": e.get("pid"),
+                "tid": e.get("tid"), "start": e.get("ts", 0.0),
+                "end": e.get("ts", 0.0) + e.get("dur", 0.0),
+                "span_id": None, "parent_id": None,
+            })
+        elif ph == "b":
+            key = (e.get("pid"), e.get("cat"), e.get("id"), e.get("name"))
+            args = e.get("args", {}) or {}
+            open_async[key] = {
+                "name": e.get("name", "?"), "pid": e.get("pid"),
+                "tid": e.get("tid"), "start": e.get("ts", 0.0),
+                "span_id": args.get("span_id"),
+                "parent_id": args.get("parent_id"),
+            }
+        elif ph == "e":
+            key = (e.get("pid"), e.get("cat"), e.get("id"), e.get("name"))
+            begun = open_async.pop(key, None)
+            if begun is not None:
+                begun["end"] = e.get("ts", 0.0)
+                intervals.append(begun)
+    if not intervals:
+        return TraceSummary(span_count=0, wall_s=0.0, top=top)
+
+    # exclusive time: exact parent/child where ids exist ...
+    children_us: dict[tuple, float] = {}
+    with_ids = {(iv["pid"], iv["span_id"]): iv for iv in intervals
+                if iv["span_id"] is not None}
+    for iv in intervals:
+        if iv["span_id"] is None or iv["parent_id"] is None:
+            continue
+        parent_key = (iv["pid"], iv["parent_id"])
+        if parent_key in with_ids:
+            children_us[parent_key] = (children_us.get(parent_key, 0.0)
+                                       + iv["end"] - iv["start"])
+    # ... containment per (pid, tid) track for plain slices
+    plain: dict[tuple, list[dict]] = {}
+    for iv in intervals:
+        if iv["span_id"] is None:
+            plain.setdefault((iv["pid"], iv["tid"]), []).append(iv)
+    contained_us: dict[int, float] = {}
+    for track in plain.values():
+        track.sort(key=lambda iv: (iv["start"], -iv["end"]))
+        stack: list[dict] = []
+        for iv in track:
+            while stack and stack[-1]["end"] <= iv["start"]:
+                stack.pop()
+            if stack:
+                contained_us[id(stack[-1])] = (
+                    contained_us.get(id(stack[-1]), 0.0)
+                    + iv["end"] - iv["start"])
+            stack.append(iv)
+
+    stats: dict[str, TraceNameStat] = {}
+    for iv in intervals:
+        stat = stats.get(iv["name"])
+        if stat is None:
+            stat = stats[iv["name"]] = TraceNameStat(name=iv["name"])
+        dur_us = iv["end"] - iv["start"]
+        if iv["span_id"] is not None:
+            child_us = children_us.get((iv["pid"], iv["span_id"]), 0.0)
+        else:
+            child_us = contained_us.get(id(iv), 0.0)
+        stat.count += 1
+        stat.total_s += dur_us * 1e-6
+        stat.self_s += max(0.0, dur_us - child_us) * 1e-6
+
+    wall_us = (max(iv["end"] for iv in intervals)
+               - min(iv["start"] for iv in intervals))
+    ordered = sorted(stats.values(), key=lambda s: (-s.total_s, s.name))
+    return TraceSummary(span_count=len(intervals), wall_s=wall_us * 1e-6,
+                        names=ordered, top=top)

@@ -17,9 +17,15 @@ acceptance tests pin down).
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id (random, collision-improbable)."""
+    return os.urandom(8).hex()
 
 
 @dataclass
@@ -33,6 +39,11 @@ class Span:
     start_ns: int = 0
     end_ns: int | None = None
     attributes: dict = field(default_factory=dict)
+    #: Trace the span belongs to.  Every span of one :class:`Tracer`
+    #: shares the tracer's id; spans shipped back from sweep workers
+    #: carry the parent's id, which is how N processes produce one
+    #: coherent trace instead of N disconnected logs.
+    trace_id: str | None = None
 
     def set_attribute(self, key: str, value) -> None:
         """Attach (or overwrite) one attribute on this span."""
@@ -65,7 +76,22 @@ class Span:
             "start_ns": self.start_ns,
             "end_ns": self.end_ns,
             "attributes": dict(self.attributes),
+            "trace_id": self.trace_id,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (worker IPC)."""
+        return cls(
+            name=payload["name"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            depth=payload.get("depth", 0),
+            start_ns=payload.get("start_ns", 0),
+            end_ns=payload.get("end_ns"),
+            attributes=dict(payload.get("attributes", {})),
+            trace_id=payload.get("trace_id"),
+        )
 
 
 class _NoopSpan:
@@ -123,15 +149,24 @@ class Tracer:
         Nanosecond clock; injectable for deterministic tests.  Defaults
         to ``time.perf_counter_ns`` (wall time — spans time the *host*
         harness, while :class:`~repro.ocl.event.Event` timestamps live
-        on the simulated device clock).
+        on the simulated device clock).  On Linux ``perf_counter_ns``
+        reads ``CLOCK_MONOTONIC``, which is machine-wide, so spans
+        recorded by sweep workers on the same host share the parent's
+        time base and merge onto one timeline.
+    trace_id:
+        Identity of the trace every span of this tracer belongs to.
+        Workers adopt the parent sweep's id via
+        :meth:`propagation_context`; ``None`` generates a fresh one.
     """
 
-    def __init__(self, enabled: bool = True, clock=time.perf_counter_ns):
+    def __init__(self, enabled: bool = True, clock=time.perf_counter_ns,
+                 trace_id: str | None = None):
         self.enabled = enabled
         self._clock = clock
         self._stack: list[Span] = []
         self._next_id = 1
         self.finished: list[Span] = []
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes):
@@ -149,6 +184,7 @@ class Tracer:
             depth=len(self._stack),
             start_ns=self._clock(),
             attributes=dict(attributes),
+            trace_id=self.trace_id,
         )
         self._next_id += 1
         self._stack.append(span)
@@ -162,6 +198,67 @@ class Tracer:
         elif span in self._stack:
             self._stack.remove(span)
         self.finished.append(span)
+
+    # ------------------------------------------------------------------
+    # Cross-process propagation
+    # ------------------------------------------------------------------
+    def propagation_context(self) -> dict | None:
+        """The context to ship to a worker process, or ``None`` when off.
+
+        The worker builds its tracer with
+        ``Tracer.from_context(ctx)``, records spans locally, and ships
+        ``to_dicts()`` back; the parent then :meth:`graft`\\ s them under
+        the span that represents the worker's unit of work.
+        """
+        if not self.enabled:
+            return None
+        return {"trace_id": self.trace_id}
+
+    @classmethod
+    def from_context(cls, context: dict | None) -> "Tracer":
+        """A worker-side tracer adopting a shipped propagation context.
+
+        ``None`` (tracing disabled in the parent) yields a disabled
+        tracer, preserving the no-op fast path end to end.
+        """
+        if context is None:
+            return cls(enabled=False)
+        return cls(enabled=True, trace_id=context.get("trace_id"))
+
+    def graft(self, span_dicts: list[dict],
+              parent: Span | None = None) -> list[Span]:
+        """Adopt finished spans from another process into this tracer.
+
+        Span ids are remapped into this tracer's id space (worker ids
+        restart at 1 in every process, so shipping them verbatim would
+        collide); the *relative* parent/child links inside the shipped
+        set are preserved, and its root spans are re-parented under
+        ``parent`` (default: the innermost open span).  Depths shift by
+        the graft point's depth so the tree stays consistent.  Returns
+        the adopted spans, already appended to :attr:`finished`.
+        """
+        if not self.enabled:
+            return []
+        parent = parent if parent is not None else self.current_span
+        idmap: dict[int, int] = {}
+        for payload in span_dicts:
+            idmap[payload["span_id"]] = self._next_id
+            self._next_id += 1
+        base_depth = (parent.depth + 1) if parent is not None else 0
+        grafted: list[Span] = []
+        for payload in span_dicts:
+            span = Span.from_dict(payload)
+            span.span_id = idmap[span.span_id]
+            if span.parent_id in idmap:
+                span.parent_id = idmap[span.parent_id]
+            else:
+                span.parent_id = parent.span_id if parent is not None else None
+            span.depth = base_depth + payload.get("depth", 0)
+            if span.trace_id is None:
+                span.trace_id = self.trace_id
+            self.finished.append(span)
+            grafted.append(span)
+        return grafted
 
     # ------------------------------------------------------------------
     @property

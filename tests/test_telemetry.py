@@ -190,8 +190,10 @@ def parse_prometheus(text: str) -> dict:
                 r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', line)
             assert m, f"malformed sample line: {line!r}"
             sample_name = m.group(1) + (m.group(2) or "")
-            families[m.group(1).removesuffix("_sum").removesuffix("_count")][
-                "samples"][sample_name] = float(m.group(3))
+            family = m.group(1)
+            for suffix in ("_sum", "_count", "_bucket"):
+                family = family.removesuffix(suffix)
+            families[family]["samples"][sample_name] = float(m.group(3))
     return families
 
 
