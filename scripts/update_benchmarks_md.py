@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) the committed BENCHMARKS.md results document.
+
+Thin wrapper over ``repro regress render`` with the repository's
+conventions baked in: the committed trajectory lives under
+``benchmarks/trajectory/`` and renders to ``BENCHMARKS.md`` at the
+repo root.  CI runs ``--check`` to assert the document is current;
+after appending a trajectory point, run this script and commit both.
+
+Usage::
+
+    python scripts/update_benchmarks_md.py            # rewrite BENCHMARKS.md
+    python scripts/update_benchmarks_md.py --check    # exit 1 when stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_TRAJECTORY = REPO_ROOT / "benchmarks" / "trajectory"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCHMARKS.md"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trajectory-dir", default=str(DEFAULT_TRAJECTORY),
+                        metavar="DIR",
+                        help="committed trajectory (default: %(default)s)")
+    parser.add_argument("-o", "--output", default=str(DEFAULT_OUTPUT),
+                        metavar="PATH",
+                        help="results document (default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="verify instead of writing; exit 1 when stale")
+    args = parser.parse_args(argv)
+
+    from repro.harness.cli import main as repro_main
+
+    cli_args = ["regress", "render",
+                "--trajectory-dir", args.trajectory_dir,
+                "-o", args.output]
+    if args.check:
+        cli_args.append("--check")
+    return repro_main(cli_args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .batch import as_addresses, batch_enabled
 from .hierarchy import CacheHierarchy
 
 
@@ -105,7 +106,10 @@ class StreamPrefetcher:
     # ------------------------------------------------------------------
     def access(self, address: int) -> bool:
         """One demand access; returns True if it hit (incl. prefetched)."""
-        line = int(address) // self.line_bytes
+        return self._access_line(int(address), int(address) // self.line_bytes)
+
+    def _access_line(self, address: int, line: int) -> bool:
+        """The :meth:`access` body with the line split precomputed."""
         self.stats.demand_accesses += 1
 
         was_prefetched = line in self._prefetched_lines
@@ -131,8 +135,25 @@ class StreamPrefetcher:
         return hit
 
     def access_many(self, addresses) -> None:
-        for a in addresses:
-            self.access(int(a))
+        """Feed a demand trace.
+
+        Unlike the pure cache models, the prefetcher is irreducibly
+        sequential: each access both *reads* hierarchy state (was the
+        line prefetched? did the demand hit?) and *writes* it (issues
+        prefetches whose targets depend on the just-updated stream
+        trackers).  The batch path therefore only vectorizes the
+        address→line decomposition and localizes the per-access loop;
+        results are trivially identical to the scalar walk.
+        """
+        if batch_enabled():
+            arr = as_addresses(addresses)
+            access_line = self._access_line
+            for address, line in zip(arr.tolist(),
+                                     (arr // self.line_bytes).tolist()):
+                access_line(address, line)
+        else:
+            for a in addresses:
+                self.access(int(a))
 
     def reset(self) -> None:
         self.hierarchy.reset()

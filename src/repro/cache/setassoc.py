@@ -5,11 +5,25 @@ into line offset / set index / tag; each set holds ``associativity``
 tags in LRU order.  Used by the problem-size verifier to reproduce the
 paper's PAPI-counter methodology: miss rates jump when a benchmark's
 working set no longer fits a level.
+
+Two trace entry points share the same canonical state (the per-set
+LRU dicts): the scalar :meth:`SetAssociativeCache.access` oracle and
+the vectorized :meth:`SetAssociativeCache.access_batch` used by
+``access_many`` when batch simulation is enabled (see
+:mod:`repro.cache.batch` and ``docs/performance.md``).  The batch
+path is bit-exact against the oracle: sets are mutually independent,
+so grouping a trace by set index and replaying each group in order
+produces the same final state and the same per-access hit/miss
+outcomes as the interleaved scalar walk.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
+
+from .batch import as_addresses, batch_enabled
 
 
 def _is_pow2(x: int) -> bool:
@@ -18,7 +32,12 @@ def _is_pow2(x: int) -> bool:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one cache level."""
+    """Hit/miss counters for one cache level.
+
+    Counters are always Python ``int``s: batch updates pass through
+    :meth:`record_batch`, which coerces at the boundary so JSON
+    serialization of metrics never sees a ``np.int64``.
+    """
 
     accesses: int = 0
     hits: int = 0
@@ -33,8 +52,18 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def record_batch(self, accesses, hits) -> None:
+        """Accumulate one batch's counts, coercing numpy ints to ``int``."""
+        accesses = int(accesses)
+        hits = int(hits)
+        self.accesses += accesses
+        self.hits += hits
+        self.misses += accesses - hits
+
     def reset(self) -> None:
-        self.accesses = self.hits = self.misses = 0
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
 
 
 class SetAssociativeCache:
@@ -76,6 +105,7 @@ class SetAssociativeCache:
         self.associativity = associativity
         self.n_sets = n_sets
         self._offset_bits = line_bytes.bit_length() - 1
+        self._set_bits = n_sets.bit_length() - 1
         self._index_mask = n_sets - 1
         # Per-set LRU stacks: dicts preserve insertion order; the first
         # key is the LRU line, the last the MRU.
@@ -85,7 +115,7 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     def _split(self, address: int) -> tuple[int, int]:
         line = address >> self._offset_bits
-        return line & self._index_mask, line >> (self.n_sets.bit_length() - 1)
+        return line & self._index_mask, line >> self._set_bits
 
     def access(self, address: int) -> bool:
         """Access one byte address; returns True on hit.
@@ -109,11 +139,77 @@ class SetAssociativeCache:
 
     def access_many(self, addresses) -> int:
         """Run a sequence of byte addresses; returns the miss count added."""
-        before = self.stats.misses
-        access = self.access
-        for a in addresses:
-            access(a)
-        return self.stats.misses - before
+        if not batch_enabled():
+            before = self.stats.misses
+            access = self.access
+            for a in addresses:
+                access(a)
+            return self.stats.misses - before
+        hit_mask = self.access_batch(as_addresses(addresses))
+        return int(hit_mask.size - np.count_nonzero(hit_mask))
+
+    # ------------------------------------------------------------------
+    def access_batch(self, addresses: np.ndarray) -> np.ndarray:
+        """Access a whole int64 address array; returns the hit mask.
+
+        Bit-exact against a scalar :meth:`access` loop: the trace is
+        decomposed into (set, tag) with one vector shift, grouped by
+        set (sets never interact, so per-set replay order equals the
+        scalar interleaving restricted to that set), and within each
+        set consecutive repeats of the same tag — guaranteed MRU hits
+        that cannot change state — are compressed away before the
+        remaining tags walk the LRU dict in a tight local loop.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64).ravel()
+        n = int(addresses.size)
+        hit_mask = np.empty(n, dtype=bool)
+        if n == 0:
+            return hit_mask
+        lines = addresses >> self._offset_bits
+        tags = lines >> self._set_bits
+        if self.n_sets == 1:
+            self._replay_set(0, np.arange(n), tags, hit_mask)
+        else:
+            set_idx = lines & self._index_mask
+            order = np.argsort(set_idx, kind="stable")
+            sorted_sets = set_idx[order]
+            bounds = np.flatnonzero(sorted_sets[1:] != sorted_sets[:-1]) + 1
+            starts = np.concatenate(([0], bounds)).tolist()
+            ends = np.concatenate((bounds, [n])).tolist()
+            for gs, ge in zip(starts, ends):
+                positions = order[gs:ge]
+                self._replay_set(int(sorted_sets[gs]), positions,
+                                 tags[positions], hit_mask)
+        self.stats.record_batch(n, np.count_nonzero(hit_mask))
+        return hit_mask
+
+    def _replay_set(self, set_index: int, positions: np.ndarray,
+                    tags_g: np.ndarray, hit_mask: np.ndarray) -> None:
+        """Replay one set's tag subsequence, writing its hit outcomes."""
+        m = int(tags_g.size)
+        if m == 0:
+            return
+        # Consecutive equal tags within a set are MRU re-hits: no state
+        # change, so only the run heads need to touch the LRU dict.
+        keep = np.empty(m, dtype=bool)
+        keep[0] = True
+        np.not_equal(tags_g[1:], tags_g[:-1], out=keep[1:])
+        ways = self._sets[set_index]
+        assoc = self.associativity
+        run_hits: list[bool] = []
+        append = run_hits.append
+        for tag in tags_g[keep].tolist():
+            if tag in ways:
+                del ways[tag]
+                ways[tag] = None
+                append(True)
+            else:
+                if len(ways) >= assoc:
+                    ways.pop(next(iter(ways)))
+                ways[tag] = None
+                append(False)
+        hit_mask[positions] = True  # compressed repeats always hit
+        hit_mask[positions[keep]] = run_hits
 
     # ------------------------------------------------------------------
     def contains(self, address: int) -> bool:

@@ -123,14 +123,16 @@ class PapiEventSet:
         self._running = False
         misses = self.hierarchy.miss_counts()
         l3 = self.hierarchy.levels[2] if len(self.hierarchy.levels) > 2 else None
+        # int() at the boundary: batch simulation may accumulate numpy
+        # ints, and counter reports must stay JSON-native.
         counts = {
-            "PAPI_TOT_INS": self._instructions,
-            "PAPI_L1_DCM": misses.get("L1", 0),
-            "PAPI_L2_DCM": misses.get("L2", 0),
-            "PAPI_L3_TCM": misses.get("L3", 0),
-            "PAPI_TLB_DM": self.tlb.stats.misses,
-            "PAPI_BR_INS": self.branch.branches,
-            "PAPI_BR_MSP": self.branch.mispredictions,
-            "_L3_REQUESTS": l3.stats.accesses if l3 else 0,
+            "PAPI_TOT_INS": int(self._instructions),
+            "PAPI_L1_DCM": int(misses.get("L1", 0)),
+            "PAPI_L2_DCM": int(misses.get("L2", 0)),
+            "PAPI_L3_TCM": int(misses.get("L3", 0)),
+            "PAPI_TLB_DM": int(self.tlb.stats.misses),
+            "PAPI_BR_INS": int(self.branch.branches),
+            "PAPI_BR_MSP": int(self.branch.mispredictions),
+            "_L3_REQUESTS": int(l3.stats.accesses) if l3 else 0,
         }
         return CounterReport(counts=counts)

@@ -769,6 +769,51 @@ def cmd_regress_history(args) -> int:
     return EXIT_OK
 
 
+def cmd_regress_render(args) -> int:
+    """``regress render``: the trajectory as a markdown results document.
+
+    Regenerates the committed ``BENCHMARKS.md`` from the
+    ``BENCH_<n>.json`` history (rez's auto-updating results-document
+    pattern).  ``--check`` compares against the existing output file
+    instead of writing, exiting :data:`EXIT_FINDINGS` when stale — the
+    CI guard that the document tracks the trajectory.
+    """
+    from pathlib import Path
+
+    from ..regress import (
+        Trajectory,
+        TrajectoryError,
+        default_trajectory_dir,
+        render_markdown,
+    )
+
+    trajectory = Trajectory(args.trajectory_dir or default_trajectory_dir())
+    try:
+        points = trajectory.points()
+    except TrajectoryError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+    text = render_markdown(points, _regress_thresholds(args))
+    if args.check:
+        if not args.output:
+            raise UsageError("--check requires -o/--output to compare against")
+        path = Path(args.output)
+        current = path.read_text(encoding="utf-8") if path.exists() else None
+        if current != text:
+            print(f"{path} is stale; regenerate with "
+                  "`python scripts/update_benchmarks_md.py`",
+                  file=sys.stderr)
+            return EXIT_FINDINGS
+        print(f"{path} is up to date ({len(points)} trajectory point(s))")
+        return EXIT_OK
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output} ({len(points)} trajectory point(s))")
+    else:
+        print(text, end="")
+    return EXIT_OK
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a Chrome/Perfetto trace-event JSON of "
@@ -1039,6 +1084,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit 1 when any change point is detected")
     _add_threshold_flags(history)
     history.set_defaults(func=cmd_regress_history)
+
+    render = regress_sub.add_parser(
+        "render",
+        help="render the trajectory as a markdown results document "
+             "(BENCHMARKS.md)")
+    render.add_argument("--trajectory-dir", default=None, metavar="DIR",
+                        help="trajectory location (default: "
+                             "$REPRO_TRAJECTORY_DIR or .repro/trajectory)")
+    render.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the document here (default: stdout)")
+    render.add_argument("--check", action="store_true",
+                        help="compare against -o instead of writing; exit 1 "
+                             "when the committed document is stale")
+    _add_threshold_flags(render)
+    render.set_defaults(func=cmd_regress_render)
 
     return parser
 

@@ -107,6 +107,11 @@ class RunResult:
     breakdown: TimeBreakdown
     footprint_bytes: int
     validated: bool
+    #: Simulated PAPI counters for this cell (paper §4.3), from
+    #: :func:`repro.harness.artifacts.simulate_cell_counters`; ``None``
+    #: for results built outside :func:`run_benchmark` or loaded from
+    #: pre-counter payloads.  Always plain Python ints.
+    counters: dict[str, int] | None = None
     #: Per-region measurement log; absent for results built outside
     #: :func:`run_benchmark` (e.g. the CLI's custom-argument path).
     recorder: Recorder | None = field(repr=False, default=None)
@@ -150,8 +155,23 @@ def _energy_samples(
     return mean_power_w(spec, utilization) * times_s
 
 
-def run_benchmark(config: RunConfig, runlog: RunLog | None = None) -> RunResult:
-    """Measure one (benchmark, size, device) group."""
+def run_benchmark(config: RunConfig, runlog: RunLog | None = None,
+                  artifact_cache=None) -> RunResult:
+    """Measure one (benchmark, size, device) group.
+
+    Parameters
+    ----------
+    config : RunConfig
+        The cell to measure.
+    runlog : RunLog, optional
+        Explicit JSONL run log (default: the process-global one).
+    artifact_cache : optional
+        Persistent store for the per-(benchmark, size) analysis
+        artifacts (a :class:`~repro.harness.sweep.SweepCache`); the
+        in-process memo is always consulted first.
+    """
+    from .artifacts import get_cell_artifacts, simulate_cell_counters
+
     tracer = get_tracer()
     registry = default_registry()
     runlog = runlog if runlog is not None else get_default_runlog()
@@ -220,6 +240,15 @@ def run_benchmark(config: RunConfig, runlog: RunLog | None = None) -> RunResult:
                 recorder.record(REGION_KERNEL, float(t), energy_j=float(e),
                                 sampled=True)
 
+        # Simulated PAPI counters (paper §4.3), replayed from the
+        # memoized per-(benchmark, size) artifacts.  Deterministic and
+        # RNG-free, so adding this step cannot shift the timing samples.
+        with tracer.span("counter_sim", benchmark=config.benchmark,
+                         size=config.size):
+            artifacts = get_cell_artifacts(config.benchmark, config.size,
+                                           cache=artifact_cache)
+            counters = simulate_cell_counters(spec, artifacts)
+
         if tracemalloc.is_tracing():
             # per-cell peak allocation attribution (repro profile --memory)
             cell_span.set_attribute(
@@ -254,6 +283,7 @@ def run_benchmark(config: RunConfig, runlog: RunLog | None = None) -> RunResult:
         breakdown=breakdown,
         footprint_bytes=bench.footprint_bytes(),
         validated=validated,
+        counters=counters,
         recorder=recorder,
     )
     if runlog is not None:

@@ -52,7 +52,8 @@ from .runner import RunConfig, RunResult, run_benchmark
 #: Stamp mixed into every cache key.  Bump whenever the performance,
 #: noise or energy models change in a way that invalidates previously
 #: cached samples — every existing entry then misses and is recomputed.
-MODEL_VERSION = "1"
+#: "2": RunResult payloads gained the per-cell ``counters`` dict.
+MODEL_VERSION = "2"
 
 #: On-disk cache entry format (the JSON envelope, not the model).
 CACHE_FORMAT = 1
@@ -138,6 +139,7 @@ def result_to_payload(result: RunResult) -> dict:
         "breakdown": dataclasses.asdict(result.breakdown),
         "footprint_bytes": result.footprint_bytes,
         "validated": result.validated,
+        "counters": result.counters,
         "recorder": recorder,
     }
 
@@ -162,6 +164,7 @@ def result_from_payload(payload: dict) -> RunResult:
         breakdown=TimeBreakdown(**payload["breakdown"]),
         footprint_bytes=payload["footprint_bytes"],
         validated=payload["validated"],
+        counters=payload.get("counters"),
         recorder=recorder,
     )
 
@@ -247,6 +250,70 @@ class SweepCache:
             }
             tmp = path.with_suffix(".tmp")
             tmp.write_text(json.dumps(entry, default=str), encoding="utf-8")
+            os.replace(tmp, path)
+            return path
+
+    # ------------------------------------------------------------------
+    # Analysis artifacts (repro.harness.artifacts), stored alongside
+    # the results under <root>/analysis/<key[:2]>/<key>.npz.
+    # ------------------------------------------------------------------
+    def artifact_path_for(self, key: str) -> Path:
+        """Where the analysis artifact for ``key`` lives."""
+        return self.root / "analysis" / key[:2] / f"{key}.npz"
+
+    def get_artifact(self, key: str):
+        """Load cached :class:`~repro.harness.artifacts.CellArtifacts`.
+
+        Corruption or layout drift is a miss, exactly like :meth:`get`.
+        """
+        from .artifacts import CellArtifacts
+
+        path = self.artifact_path_for(key)
+        with get_tracer().span("sweep_cache_get_artifact",
+                               phase="cache_io", key=key) as sp:
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    meta = json.loads(str(data["meta"]))
+                    artifacts = CellArtifacts(
+                        benchmark=meta["benchmark"],
+                        size=meta["size"],
+                        trace_len=int(meta["trace_len"]),
+                        footprint_bytes=int(meta["footprint_bytes"]),
+                        static_bytes=meta["static_bytes"],
+                        strides=meta["strides"],
+                        trace=data["trace"].astype(np.int64, copy=False),
+                        branch_pcs=data["branch_pcs"].astype(
+                            np.int64, copy=False),
+                        branch_outcomes=data["branch_outcomes"].astype(
+                            bool, copy=False),
+                    )
+                sp.set_attribute("hit", True)
+                return artifacts
+            except (OSError, ValueError, KeyError, TypeError):
+                sp.set_attribute("hit", False)
+                return None
+
+    def put_artifact(self, key: str, artifacts) -> Path:
+        """Persist one shape's artifacts under ``key``; returns the path."""
+        with get_tracer().span("sweep_cache_put_artifact",
+                               phase="cache_io", key=key):
+            path = self.artifact_path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            meta = json.dumps({
+                "benchmark": artifacts.benchmark,
+                "size": artifacts.size,
+                "trace_len": artifacts.trace_len,
+                "footprint_bytes": artifacts.footprint_bytes,
+                "static_bytes": artifacts.static_bytes,
+                "strides": artifacts.strides,
+            })
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh, meta=np.asarray(meta),
+                    trace=artifacts.trace,
+                    branch_pcs=artifacts.branch_pcs,
+                    branch_outcomes=artifacts.branch_outcomes)
             os.replace(tmp, path)
             return path
 
@@ -433,7 +500,8 @@ def run_sweep(
                     with tracer.span("sweep_cell", benchmark=config.benchmark,
                                      size=config.size, device=config.device,
                                      cached=False, key=keys.get(i)):
-                        result = run_benchmark(config, runlog=runlog)
+                        result = run_benchmark(config, runlog=runlog,
+                                               artifact_cache=cache)
                     _finish(i, config, result)
             else:
                 trace_ctx = tracer.propagation_context()

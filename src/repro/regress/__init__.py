@@ -37,6 +37,7 @@ from .compare import (
     compare,
     compare_cell,
 )
+from .render import render_markdown
 from .report import FAIL_MODES, JSON_SCHEMA_VERSION, RegressReport
 from .trajectory import (
     TRAJECTORY_SCHEMA_VERSION,
@@ -68,6 +69,7 @@ __all__ = [
     "TrajectoryError",
     "TrajectoryPoint",
     "change_points",
+    "render_markdown",
     "classify",
     "compare",
     "compare_cell",

@@ -1,0 +1,154 @@
+"""Render the ``BENCH_<n>.json`` trajectory as a results document.
+
+The model is rez's auto-updating ``RESULTS.md`` benchmark log: every
+proven speedup lands as a trajectory point, and a generated markdown
+document — committed to the repository, kept current by CI — replays
+the history for humans.  :func:`render_markdown` is deterministic for
+a given trajectory (stable ordering, fixed float formats, dates
+derived from the stored ``created_unix``), so "is the committed
+document up to date?" is a plain string comparison
+(``scripts/update_benchmarks_md.py --check``).
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import datetime, timezone
+
+from ..telemetry.profile import KNOWN_PHASES
+from .compare import Thresholds
+from .trajectory import TrajectoryPoint, change_points
+
+#: The document's regeneration instruction (also the drift sentinel).
+HEADER = (
+    "# Benchmarking Results\n"
+    "\n"
+    "This document contains the historical benchmarking trajectory of\n"
+    "the harness: one row per recorded `BENCH_<n>.json` point, with\n"
+    "the phase-attributed self-profile of the recording sweep.  Do\n"
+    "**NOT** change this file by hand; regenerate it with\n"
+    "`python scripts/update_benchmarks_md.py` (or\n"
+    "`repro regress render`), and see `docs/performance.md` for how\n"
+    "to reproduce the numbers.\n"
+)
+
+
+def _geomean(values: list[float]) -> float:
+    """Geometric mean of positive values (NaN when none qualify)."""
+    logs = [math.log(v) for v in values if v > 0]
+    if not logs:
+        return math.nan
+    return math.exp(sum(logs) / len(logs))
+
+
+def _utc_date(created_unix: float) -> str:
+    return datetime.fromtimestamp(
+        created_unix, tz=timezone.utc).strftime("%Y-%m-%d")
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def _point_geomean_ms(point: TrajectoryPoint,
+                      coordinates: set | None = None) -> float:
+    """Geometric-mean cell time (ms), optionally over a coordinate set."""
+    means = [c.mean_s * 1e3 for c in point.cells
+             if coordinates is None or c.coordinates in coordinates]
+    return _geomean(means)
+
+
+def render_markdown(points: list[TrajectoryPoint],
+                    thresholds: Thresholds | None = None) -> str:
+    """The whole trajectory as deterministic markdown.
+
+    Sections: the trajectory table (per-point geomean cell time and
+    speedup versus the seed point, over the cells both share), the
+    per-phase self-time table (with the ``cache_sim`` collapse called
+    out against the seed), and the Welch-gated change points.
+    """
+    points = sorted(points, key=lambda p: p.index)
+    out = [HEADER]
+
+    if not points:
+        out.append("\nNo trajectory points recorded yet.\n")
+        return "".join(out)
+
+    seed = points[0]
+    seed_coords = {c.coordinates for c in seed.cells}
+
+    # ------------------------------------------------------------------
+    out.append("\n## Trajectory\n\n")
+    out.append(
+        f"Speedup is the ratio of geometric-mean cell times versus the\n"
+        f"seed point `BENCH_{seed.index}` "
+        f"(`{seed.label}`), over the cells both points share.\n\n")
+    rows = []
+    for p in points:
+        shared = seed_coords & {c.coordinates for c in p.cells}
+        speedup = math.nan
+        if shared:
+            seed_g = _point_geomean_ms(seed, shared)
+            here_g = _point_geomean_ms(p, shared)
+            if here_g and not math.isnan(here_g) and not math.isnan(seed_g):
+                speedup = seed_g / here_g
+        rows.append([
+            f"BENCH_{p.index}", p.label or "-", _utc_date(p.created_unix),
+            p.model_version, str(len(p.cells)),
+            _fmt(_point_geomean_ms(p)),
+            ("x" + _fmt(speedup, 2)) if not math.isnan(speedup) else "-",
+        ])
+    out.append(_table(
+        ["Point", "Label", "Date (UTC)", "Model", "Cells",
+         "Geomean cell (ms)", "Speedup vs seed"], rows))
+    out.append("\n")
+
+    # ------------------------------------------------------------------
+    phased = [p for p in points if p.phases]
+    out.append("\n## Phase self-times (s)\n\n")
+    if phased:
+        out.append(
+            "Exclusive wall-clock seconds per harness phase during each\n"
+            "recording sweep (`docs/profiling.md`).  The final column\n"
+            "tracks the simulator cost (`cache_sim`) against the first\n"
+            "phase-carrying point — the vectorization target.\n\n")
+        base = phased[0]
+        base_sim = (base.phases.get("cache_sim") or {}).get("self_s", 0.0)
+        rows = []
+        for p in phased:
+            row = [f"BENCH_{p.index}"]
+            for phase in KNOWN_PHASES:
+                info = p.phases.get(phase) or {}
+                row.append(_fmt(float(info.get("self_s", 0.0))))
+            sim = (p.phases.get("cache_sim") or {}).get("self_s", 0.0)
+            row.append("x" + _fmt(base_sim / sim, 2)
+                       if sim and base_sim else "-")
+            rows.append(row)
+        out.append(_table(
+            ["Point", *KNOWN_PHASES,
+             f"cache_sim speedup vs BENCH_{base.index}"], rows))
+        out.append("\n")
+    else:
+        out.append("No phase-carrying points recorded yet.\n")
+
+    # ------------------------------------------------------------------
+    out.append("\n## Change points\n\n")
+    changes = change_points(points, thresholds or Thresholds())
+    if changes:
+        out.append(
+            "Per-cell mean shifts that pass the three-part Welch gate\n"
+            "(`docs/regression.md`):\n\n")
+        for change in changes:
+            out.append(f"- {change.format()}\n")
+    else:
+        out.append("None detected.\n")
+    return "".join(out)

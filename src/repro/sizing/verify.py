@@ -25,14 +25,15 @@ from ..dwarfs.registry import get_benchmark
 TRACE_LEN = 120_000
 
 
-def _scaled_spec(spec: DeviceSpec, factor: float) -> DeviceSpec:
+def scaled_spec(spec: DeviceSpec, factor: float) -> DeviceSpec:
     """A copy of ``spec`` with every cache level scaled by ``factor``.
 
     Trace subsampling (needed to keep verification fast for
     multi-megabyte footprints) touches only a fraction of the working
     set's cache lines; scaling the simulated hierarchy by the same
     fraction preserves the capacity relationship — the standard
-    scaled-simulation technique.
+    scaled-simulation technique.  Shared with the per-cell counter
+    replay in :mod:`repro.harness.artifacts`.
     """
     if factor >= 1.0:
         return spec
@@ -47,11 +48,16 @@ def _scaled_spec(spec: DeviceSpec, factor: float) -> DeviceSpec:
     return dataclasses.replace(spec, caches=levels)
 
 
-def _touched_bytes(trace: np.ndarray, line_bytes: int = 64) -> int:
+def touched_bytes(trace: np.ndarray, line_bytes: int = 64) -> int:
     """Distinct cache-line bytes a trace actually exercises."""
     if len(trace) == 0:
         return 0
     return len(np.unique(trace // line_bytes)) * line_bytes
+
+
+# Former private names, kept as aliases for existing callers/tests.
+_scaled_spec = scaled_spec
+_touched_bytes = touched_bytes
 
 
 @dataclass(frozen=True)
@@ -94,8 +100,8 @@ def verify_benchmark_sizes(
         bench = cls.from_size(size)
         trace = bench.access_trace(max_len=trace_len)
         footprint = max(bench.footprint_bytes(), 1)
-        factor = min(1.0, _touched_bytes(trace) / footprint)
-        events = PapiEventSet(_scaled_spec(spec, factor))
+        factor = min(1.0, touched_bytes(trace) / footprint)
+        events = PapiEventSet(scaled_spec(spec, factor))
         events.start()
         events.record_memory_trace(trace)
         reports[size] = events.stop()

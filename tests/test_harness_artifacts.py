@@ -1,0 +1,184 @@
+"""Memoized analysis artifacts and the per-cell counter simulation.
+
+Covers the content-addressed artifact key, the in-process memo and
+the SweepCache npz persistence layer (round-trip, corruption-as-miss),
+the determinism and JSON-nativeness of ``simulate_cell_counters``,
+and the ``counters`` field riding along in cached sweep payloads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.devices import get_device
+from repro.harness import artifacts as art
+from repro.harness.artifacts import (
+    ARTIFACT_VERSION,
+    CellArtifacts,
+    artifact_key,
+    clear_memo,
+    get_cell_artifacts,
+    simulate_cell_counters,
+)
+from repro.harness.runner import RunConfig, RunResult, run_benchmark
+from repro.harness.sweep import (
+    SweepCache,
+    result_from_payload,
+    result_to_payload,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_artifact_key_is_stable_and_discriminating():
+    k = artifact_key("csr", "tiny")
+    assert k == artifact_key("csr", "tiny")
+    assert len(k) == 64 and set(k) <= set("0123456789abcdef")
+    assert k != artifact_key("csr", "small")
+    assert k != artifact_key("fft", "tiny")
+    assert k != artifact_key("csr", "tiny", trace_len=10)
+
+
+def test_artifact_key_depends_on_version(monkeypatch):
+    before = artifact_key("csr", "tiny")
+    monkeypatch.setattr(art, "ARTIFACT_VERSION", ARTIFACT_VERSION + "-next")
+    assert artifact_key("csr", "tiny") != before
+
+
+# ----------------------------------------------------------------------
+# Memo and computation
+# ----------------------------------------------------------------------
+def test_get_cell_artifacts_memoizes(monkeypatch):
+    calls = []
+    real_compute = art._compute
+
+    def counting(benchmark, size, trace_len):
+        calls.append((benchmark, size))
+        return real_compute(benchmark, size, trace_len)
+
+    monkeypatch.setattr(art, "_compute", counting)
+    first = get_cell_artifacts("csr", "tiny", trace_len=512)
+    second = get_cell_artifacts("csr", "tiny", trace_len=512)
+    assert second is first
+    assert calls == [("csr", "tiny")]
+    assert first.trace.dtype == np.int64
+    assert first.trace.size <= 512
+    assert first.branch_pcs.shape == first.branch_outcomes.shape
+    assert first.footprint_bytes > 0
+
+
+def test_memo_is_bounded(monkeypatch):
+    monkeypatch.setattr(art, "_MEMO_MAX", 2)
+    for size in ("tiny", "small", "medium"):
+        get_cell_artifacts("crc", size, trace_len=256)
+    assert len(art._memo) == 2
+    # Oldest shape (tiny) was trimmed; newest two remain.
+    assert artifact_key("crc", "tiny", 256) not in art._memo
+
+
+# ----------------------------------------------------------------------
+# SweepCache persistence
+# ----------------------------------------------------------------------
+def _equal_artifacts(a: CellArtifacts, b: CellArtifacts) -> bool:
+    return (
+        (a.benchmark, a.size, a.trace_len, a.footprint_bytes,
+         a.static_bytes, a.strides)
+        == (b.benchmark, b.size, b.trace_len, b.footprint_bytes,
+            b.static_bytes, b.strides)
+        and np.array_equal(a.trace, b.trace)
+        and np.array_equal(a.branch_pcs, b.branch_pcs)
+        and np.array_equal(a.branch_outcomes, b.branch_outcomes)
+    )
+
+
+def test_artifact_npz_round_trip(tmp_path):
+    cache = SweepCache(tmp_path)
+    original = get_cell_artifacts("csr", "tiny", trace_len=512)
+    key = artifact_key("csr", "tiny", 512)
+    path = cache.put_artifact(key, original)
+    assert path == cache.artifact_path_for(key)
+    assert path.suffix == ".npz"
+    loaded = cache.get_artifact(key)
+    assert loaded is not None
+    assert _equal_artifacts(loaded, original)
+
+
+def test_artifact_cache_feeds_the_memo(tmp_path, monkeypatch):
+    cache = SweepCache(tmp_path)
+    key = artifact_key("csr", "tiny", 512)
+    cache.put_artifact(key, get_cell_artifacts("csr", "tiny", trace_len=512))
+    clear_memo()
+
+    def explode(*_args):  # a warm cache must not recompute
+        raise AssertionError("recomputed despite persistent cache hit")
+
+    monkeypatch.setattr(art, "_compute", explode)
+    loaded = get_cell_artifacts("csr", "tiny", trace_len=512, cache=cache)
+    assert loaded.benchmark == "csr"
+
+
+def test_artifact_corruption_is_a_miss(tmp_path):
+    cache = SweepCache(tmp_path)
+    key = artifact_key("csr", "tiny", 512)
+    path = cache.artifact_path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"not an npz archive")
+    assert cache.get_artifact(key) is None
+    assert cache.get_artifact(artifact_key("fft", "tiny")) is None  # absent
+
+
+def test_result_cache_len_ignores_artifacts(tmp_path):
+    cache = SweepCache(tmp_path)
+    assert len(cache) == 0
+    cache.put_artifact(artifact_key("csr", "tiny", 512),
+                       get_cell_artifacts("csr", "tiny", trace_len=512))
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Counter simulation
+# ----------------------------------------------------------------------
+def test_simulate_cell_counters_is_deterministic_and_json_native():
+    spec = get_device("i7-6700K")
+    artifacts = get_cell_artifacts("csr", "tiny", trace_len=512)
+    first = simulate_cell_counters(spec, artifacts)
+    second = simulate_cell_counters(spec, artifacts)
+    assert first == second
+    assert first["PAPI_TOT_INS"] > 0
+    assert first["PAPI_BR_INS"] == int(artifacts.branch_pcs.size)
+    for name, value in first.items():
+        assert type(value) is int, name
+    json.dumps(first)
+
+
+def test_run_benchmark_attaches_counters(tmp_path):
+    config = RunConfig(benchmark="crc", size="tiny", device="i7-6700K",
+                       samples=3, min_loop_seconds=0.0)
+    result = run_benchmark(config, artifact_cache=SweepCache(tmp_path))
+    assert result.counters is not None
+    assert result.counters["PAPI_TOT_INS"] > 0
+    json.dumps(result.counters)
+
+
+def test_counters_survive_payload_round_trip(tmp_path):
+    config = RunConfig(benchmark="crc", size="tiny", device="i7-6700K",
+                       samples=3, min_loop_seconds=0.0)
+    result = run_benchmark(config)
+    payload = result_to_payload(result)
+    assert payload["counters"] == result.counters
+    restored = result_from_payload(payload)
+    assert restored.counters == result.counters
+    # Pre-counter payloads (model_version "1" era) load as None.
+    del payload["counters"]
+    assert result_from_payload(payload).counters is None

@@ -1,0 +1,172 @@
+"""The BENCHMARKS.md renderer, its CLI verb, and the committed document.
+
+``render_markdown`` must be deterministic (the ``--check`` CI guard is
+a plain string comparison), reflect per-phase self-times with the
+``cache_sim`` speedup called out, and the wrapper script must keep the
+committed ``BENCHMARKS.md`` verifiable.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cli import EXIT_FINDINGS, EXIT_OK, main
+from repro.regress import (
+    CellPoint,
+    Trajectory,
+    TrajectoryPoint,
+    render_markdown,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _cell(mean_s: float, device: str = "dev0") -> CellPoint:
+    return CellPoint(benchmark="crc", size="tiny", device=device,
+                     mean_s=mean_s, std_s=mean_s / 20, n=50)
+
+
+def _point(index: int, label: str, mean_s: float,
+           cache_sim_s: float | None = None) -> TrajectoryPoint:
+    phases = None
+    if cache_sim_s is not None:
+        phases = {"cache_sim": {"total_s": cache_sim_s,
+                                "self_s": cache_sim_s, "count": 1},
+                  "measure": {"total_s": 0.5, "self_s": 0.5, "count": 1}}
+    return TrajectoryPoint(
+        index=index, label=label, created_unix=1_754_000_000.0 + index,
+        cells=[_cell(mean_s), _cell(mean_s * 2, device="dev1")],
+        phases=phases)
+
+
+# ----------------------------------------------------------------------
+# render_markdown
+# ----------------------------------------------------------------------
+def test_render_empty_trajectory():
+    text = render_markdown([])
+    assert text.startswith("# Benchmarking Results")
+    assert "No trajectory points recorded yet." in text
+
+
+def test_render_is_deterministic_and_structured():
+    points = [_point(0, "scalar-sim", 2e-3, cache_sim_s=20.0),
+              _point(1, "vectorized-sim", 1e-3, cache_sim_s=2.0)]
+    first = render_markdown(points)
+    # Order of the input list must not matter.
+    assert render_markdown(list(reversed(points))) == first
+    assert "## Trajectory" in first
+    assert "## Phase self-times (s)" in first
+    assert "## Change points" in first
+    assert "| BENCH_0 | scalar-sim |" in first
+    assert "| BENCH_1 | vectorized-sim |" in first
+    # Dates derive from created_unix, never the wall clock.
+    assert "2025-07-31" in first
+
+
+def test_render_speedup_and_phase_columns():
+    points = [_point(0, "seed", 2e-3, cache_sim_s=20.0),
+              _point(1, "fast", 1e-3, cache_sim_s=2.0)]
+    text = render_markdown(points)
+    lines = [l for l in text.splitlines() if l.startswith("| BENCH_1")]
+    trajectory_row = lines[0]
+    assert "x2.00" in trajectory_row  # geomean halved against the seed
+    phase_row = lines[1]
+    assert "x10.00" in phase_row      # cache_sim self-time collapse
+    assert "cache_sim speedup vs BENCH_0" in text
+
+
+def test_render_without_phases_says_so():
+    text = render_markdown([_point(0, "seed", 1e-3)])
+    assert "No phase-carrying points recorded yet." in text
+    assert "None detected." in text
+
+
+# ----------------------------------------------------------------------
+# repro regress render / --check
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def trajectory_dir(tmp_path):
+    root = tmp_path / "trajectory"
+    trajectory = Trajectory(root)
+    trajectory.append(_point(0, "seed", 2e-3, cache_sim_s=20.0))
+    trajectory.append(_point(1, "fast", 1e-3, cache_sim_s=2.0))
+    return root
+
+
+def test_cli_render_writes_then_check_passes(trajectory_dir, tmp_path, capsys):
+    out = tmp_path / "BENCHMARKS.md"
+    assert main(["regress", "render", "--trajectory-dir", str(trajectory_dir),
+                 "-o", str(out)]) == EXIT_OK
+    assert out.exists() and "## Trajectory" in out.read_text()
+    assert main(["regress", "render", "--trajectory-dir", str(trajectory_dir),
+                 "-o", str(out), "--check"]) == EXIT_OK
+    assert "up to date" in capsys.readouterr().out
+
+
+def test_cli_render_check_detects_staleness(trajectory_dir, tmp_path, capsys):
+    out = tmp_path / "BENCHMARKS.md"
+    main(["regress", "render", "--trajectory-dir", str(trajectory_dir),
+          "-o", str(out)])
+    out.write_text(out.read_text() + "\nmanual edit\n")
+    assert main(["regress", "render", "--trajectory-dir", str(trajectory_dir),
+                 "-o", str(out), "--check"]) == EXIT_FINDINGS
+    assert "stale" in capsys.readouterr().err
+
+
+def test_cli_render_check_on_missing_output(trajectory_dir, tmp_path):
+    missing = tmp_path / "nope.md"
+    assert main(["regress", "render", "--trajectory-dir", str(trajectory_dir),
+                 "-o", str(missing), "--check"]) == EXIT_FINDINGS
+
+
+def test_cli_render_prints_without_output(trajectory_dir, capsys):
+    assert main(["regress", "render",
+                 "--trajectory-dir", str(trajectory_dir)]) == EXIT_OK
+    assert "# Benchmarking Results" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# scripts/update_benchmarks_md.py and the committed document
+# ----------------------------------------------------------------------
+def _load_script():
+    path = REPO_ROOT / "scripts" / "update_benchmarks_md.py"
+    spec = importlib.util.spec_from_file_location("update_benchmarks_md", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_update_script_round_trip(trajectory_dir, tmp_path):
+    script = _load_script()
+    out = tmp_path / "BENCHMARKS.md"
+    assert script.main(["--trajectory-dir", str(trajectory_dir),
+                        "-o", str(out)]) == 0
+    assert script.main(["--trajectory-dir", str(trajectory_dir),
+                        "-o", str(out), "--check"]) == 0
+    out.write_text("stale")
+    assert script.main(["--trajectory-dir", str(trajectory_dir),
+                        "-o", str(out), "--check"]) == 1
+
+
+def test_committed_benchmarks_md_is_current():
+    """The repository guard CI also enforces: the document tracks the
+    committed ``benchmarks/trajectory`` history exactly."""
+    committed = REPO_ROOT / "BENCHMARKS.md"
+    trajectory = Trajectory(REPO_ROOT / "benchmarks" / "trajectory")
+    assert committed.exists(), "BENCHMARKS.md must be committed"
+    assert committed.read_text(
+        encoding="utf-8") == render_markdown(trajectory.points())
+
+
+def test_committed_trajectory_proves_the_collapse():
+    """Acceptance: the first two points show >= 5x cache_sim reduction."""
+    points = Trajectory(REPO_ROOT / "benchmarks" / "trajectory").points()
+    assert len(points) >= 2
+    seed, vec = points[0], points[1]
+    seed_sim = seed.phases["cache_sim"]["self_s"]
+    vec_sim = vec.phases["cache_sim"]["self_s"]
+    assert seed_sim / vec_sim >= 5.0
