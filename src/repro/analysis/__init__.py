@@ -27,6 +27,18 @@ from .absint import (
     static_footprint,
     verify_benchmark_footprint,
 )
+from .accessmodel import (
+    TRACE_SOURCE_ENV,
+    TRACE_SOURCES,
+    access_model_findings,
+    classify_launch_sites,
+    compare_benchmark_traces,
+    ir_access_trace,
+    resolve_access_trace,
+    reuse_distance_summary,
+    synthesize_trace,
+    trace_source,
+)
 from .deep import deep_analyze_benchmark, run_deep_suite
 from .findings import (
     FAIL_ON_CHOICES,
@@ -53,20 +65,30 @@ __all__ = [
     "SEVERITIES",
     "SLACK_PER_BUFFER",
     "Sanitizer",
+    "TRACE_SOURCES",
+    "TRACE_SOURCE_ENV",
+    "access_model_findings",
     "analyze_benchmark",
     "benchmark_strides",
+    "classify_launch_sites",
+    "compare_benchmark_traces",
     "deep_analyze_benchmark",
     "default_severity",
     "interpret_kernel",
+    "ir_access_trace",
     "lint_cl_source",
     "lint_program",
     "parse_source",
+    "resolve_access_trace",
+    "reuse_distance_summary",
     "run_deep_suite",
     "run_suite",
     "sanitized",
     "severity_rank",
     "static_footprint",
     "strip_noncode",
+    "synthesize_trace",
     "tokenize",
+    "trace_source",
     "verify_benchmark_footprint",
 ]

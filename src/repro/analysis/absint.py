@@ -546,7 +546,14 @@ _NEGATED_CMP = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
 
 @dataclass(frozen=True)
 class Access:
-    """One abstract global-memory access of a kernel."""
+    """One abstract memory access of a kernel.
+
+    ``space`` is the address space of the accessed object (``global``
+    covers ``__constant`` too; ``local`` covers ``__local`` arrays and
+    pointer parameters).  ``epoch`` counts the ``barrier()`` calls seen
+    before the access: two accesses with different epochs are separated
+    by a work-group barrier and cannot race.
+    """
 
     param: str
     index: Interval
@@ -554,6 +561,8 @@ class Access:
     is_write: bool
     guards: tuple[Guard, ...]
     line: int
+    space: str = "global"
+    epoch: int = 0
 
 
 @dataclass
@@ -563,11 +572,14 @@ class KernelSummary:
     kernel: str
     accesses: list[Access] = field(default_factory=list)
     opaque: bool = False  # empty body: nothing to interpret
+    uses_barrier: bool = False
 
     def strides(self) -> dict[str, str]:
-        """Worst stride class per accessed buffer parameter."""
+        """Worst stride class per accessed global buffer parameter."""
         out: dict[str, str] = {}
         for access in self.accesses:
+            if access.space != "global":
+                continue
             cls = stride_class(access.index.dep)
             prev = out.get(access.param)
             if prev is None or _STRIDE_RANK[cls] > _STRIDE_RANK[prev]:
@@ -587,12 +599,14 @@ class _Interp:
     def __init__(self, kernel: KernelDef, macros: dict[str, float]) -> None:
         self.kernel = kernel
         self.env: dict[str, Interval] = {}
-        self.arrays: dict[str, Interval] = {}  # local arrays, one cell
+        self.arrays: dict[str, Interval] = {}  # declared arrays, one cell
+        self.local_arrays: dict[str, int] = {}  # __local array -> elem size
         self.defs: dict[str, tuple[str, str, int]] = {}  # v -> (div, u, c)
         self.buffers = {p.name: p for p in kernel.params if p.is_pointer}
         self.accesses: list[Access] = []
         self.guards: list[Guard] = []
         self.record = True
+        self.epoch = 0  # barrier() calls seen so far
         for name, value in macros.items():
             self.env[name] = point(Const(value))
         for p in kernel.params:
@@ -606,6 +620,7 @@ class _Interp:
                                 opaque=not self.kernel.body.stmts)
         self.exec_stmt(self.kernel.body)
         summary.accesses = self.accesses
+        summary.uses_barrier = self.epoch > 0
         return summary
 
     # -- statements -----------------------------------------------------
@@ -617,9 +632,12 @@ class _Interp:
                     return True
             return False
         if isinstance(stmt, Decl):
+            is_local = any(q.lstrip("_") == "local" for q in stmt.quals)
             for d in stmt.declarators:
                 if d.array_sizes:
                     self.arrays[d.name] = top(UNIFORM)
+                    if is_local:
+                        self.local_arrays[d.name] = type_sizeof(stmt.type_name)
                 elif d.init is not None:
                     value = self.eval(d.init)
                     self.env[d.name] = value
@@ -951,6 +969,9 @@ class _Interp:
                 self._record(base.name, index, is_write=True,
                              line=_line_of(target))
             elif isinstance(base, Ident) and base.name in self.arrays:
+                if base.name in self.local_arrays:
+                    self._record(base.name, index, is_write=True,
+                                 line=_line_of(target))
                 cell = self.arrays[base.name]
                 self.arrays[base.name] = iv_join(cell, value) \
                     if cell != value else cell
@@ -1030,6 +1051,11 @@ class _Interp:
             return iv_min(iv_max(args[0], args[1]), args[2])
         if name == "abs" and len(args) == 1:
             return iv_max(args[0], iv_neg(args[0]))
+        if name in ("barrier", "work_group_barrier"):
+            # accesses before and after a work-group barrier are in
+            # different epochs and cannot race with each other
+            self.epoch += 1
+            return top(UNIFORM)
         dep: Dep = UNIFORM
         for arg in args:
             dep = dep_join(dep, arg.dep)
@@ -1044,6 +1070,9 @@ class _Interp:
                              line=_line_of(expr))
             return top(INDIRECT)
         if isinstance(base, Ident) and base.name in self.arrays:
+            if record and base.name in self.local_arrays:
+                self._record(base.name, index, is_write=False,
+                             line=_line_of(expr))
             return self.arrays[base.name]
         self.eval(expr.base)
         return top(INDIRECT)
@@ -1052,10 +1081,17 @@ class _Interp:
                 line: int) -> None:
         if not self.record:
             return
+        if param in self.buffers:
+            buf = self.buffers[param]
+            elem_size = type_sizeof(buf.type_name)
+            space = "local" if buf.address_space == "local" else "global"
+        else:
+            elem_size = self.local_arrays[param]
+            space = "local"
         self.accesses.append(Access(
-            param=param, index=index,
-            elem_size=type_sizeof(self.buffers[param].type_name),
+            param=param, index=index, elem_size=elem_size,
             is_write=is_write, guards=tuple(self.guards), line=line,
+            space=space, epoch=self.epoch,
         ))
 
 

@@ -23,6 +23,11 @@ from ..dwarfs import registry
 from ..dwarfs.base import StaticLaunchModel
 from ..ocl.clsource import CLSourceError, kernel_suppressions
 from .absint import static_footprint, verify_benchmark_footprint
+from .accessmodel import (
+    access_model_findings,
+    compare_benchmark_traces,
+    reuse_distance_summary,
+)
 from .cfg import (
     constant_index_oob,
     divergent_barriers,
@@ -219,6 +224,8 @@ def deep_lint_model(
             macros=macros,
             launch_locals=launch_locals.get(kernel.name),
         ))
+    findings.extend(access_model_findings(
+        model, benchmark=benchmark, suppressions=suppressions))
     return findings
 
 
@@ -247,6 +254,7 @@ def deep_analyze_benchmark(
     extras: dict = {
         "strides": static_footprint(model).strides,
         "footprint": {},
+        "reuse": reuse_distance_summary(model),
     }
 
     for size in sizes:
@@ -288,14 +296,21 @@ def run_deep_suite(
     device_name: str = DEFAULT_DEVICE,
     ignore: tuple[str, ...] = (),
     emit_metrics: bool = True,
+    traces: bool = False,
 ) -> Report:
     """Shallow suite plus IR checks plus the §4.4 footprint gate.
 
     The shallow pass runs with its regex ``unused-param`` and
     ``barrier-divergence`` ignored (the IR versions subsume them); the
     deep findings honour the caller's ``ignore`` the same way the
-    shallow ones do.  Per-benchmark stride classes and footprint
-    comparisons land in ``Report.extras``.
+    shallow ones do.  Per-benchmark stride classes, footprint
+    comparisons and reuse-distance summaries land in ``Report.extras``.
+
+    ``traces`` adds the differential trace gate: for every benchmark
+    the IR-synthesised trace is cross-checked against the hand-authored
+    one (footprint span, indirect access, touched cache lines) at each
+    size preset, emitting ``trace-divergence`` findings on disagreement
+    and the comparison table under ``extras["trace_differential"]``.
     """
     report = run_suite(
         benchmarks=benchmarks,
@@ -310,9 +325,17 @@ def run_deep_suite(
     ignored = set(ignore)
     strides: dict = {}
     footprints: dict = {}
+    reuse: dict = {}
+    differential: dict = {}
     for name in benchmarks:
         sizes = None if size is None else (size,)
         findings, extras = deep_analyze_benchmark(name, sizes=sizes)
+        if traces:
+            trace_findings, table = compare_benchmark_traces(
+                name, sizes=sizes)
+            findings.extend(trace_findings)
+            if table:
+                differential[name] = table
         for finding in findings:
             if finding.check not in ignored:
                 report.add(finding)
@@ -320,8 +343,14 @@ def run_deep_suite(
             strides[name] = extras["strides"]
         if extras.get("footprint"):
             footprints[name] = extras["footprint"]
+        if extras.get("reuse"):
+            reuse[name] = extras["reuse"]
     if strides:
         report.extras["access_strides"] = strides
     if footprints:
         report.extras["footprint_verification"] = footprints
+    if reuse:
+        report.extras["reuse_distance"] = reuse
+    if differential:
+        report.extras["trace_differential"] = differential
     return report

@@ -53,6 +53,11 @@ DEFAULT_SEVERITIES: dict[str, str] = {
     "reqd-work-group-size": "error",
     "footprint-mismatch": "error",
     "access-stride": "info",
+    # access-model checks (repro.analysis.accessmodel)
+    "data-race": "error",
+    "uncoalesced-access": "warning",
+    "bank-conflict": "warning",
+    "trace-divergence": "error",
     # runtime sanitizer / suite
     "scalar-dtype": "error",
     "validation-failure": "error",

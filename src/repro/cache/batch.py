@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -72,7 +72,7 @@ def batch_mode() -> Iterator[None]:
             os.environ[ENV_VAR] = prior
 
 
-def as_addresses(addresses) -> np.ndarray:
+def as_addresses(addresses: Iterable[int] | np.ndarray) -> np.ndarray:
     """Coerce any address iterable to a 1-D int64 numpy array.
 
     Accepts ndarrays (cast without copy when already int64), ranges,

@@ -17,6 +17,8 @@ oracle.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from ..telemetry.tracer import get_tracer
@@ -29,7 +31,7 @@ _WEAK_NOT_TAKEN = 1
 class BranchPredictor:
     """Bimodal predictor with a power-of-two counter table."""
 
-    def __init__(self, table_size: int = 4096):
+    def __init__(self, table_size: int = 4096) -> None:
         if table_size & (table_size - 1) or table_size < 1:
             raise ValueError(f"table size must be a power of two, got {table_size}")
         self.table_size = table_size
@@ -52,7 +54,8 @@ class BranchPredictor:
             self._table[idx] = max(counter - 1, 0)
         return bool(prediction)
 
-    def run_trace(self, pcs, outcomes) -> int:
+    def run_trace(self, pcs: Iterable[int] | np.ndarray,
+                  outcomes: Iterable[bool] | np.ndarray) -> int:
         """Feed parallel arrays of PCs and outcomes; returns new mispredictions."""
         pcs = np.asarray(pcs)
         outcomes = np.asarray(outcomes, dtype=bool)

@@ -9,6 +9,8 @@ Per-level counters map onto the PAPI events the paper collects
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..devices.specs import DeviceSpec
 from ..telemetry.tracer import get_tracer
 from .batch import as_addresses, batch_enabled
@@ -18,7 +20,7 @@ from .setassoc import SetAssociativeCache
 class CacheHierarchy:
     """An inclusive multi-level cache fed with byte addresses."""
 
-    def __init__(self, levels: list[SetAssociativeCache]):
+    def __init__(self, levels: list[SetAssociativeCache]) -> None:
         if not levels:
             raise ValueError("hierarchy needs at least one level")
         sizes = [l.size_bytes for l in levels]
@@ -69,7 +71,7 @@ class CacheHierarchy:
         self.memory_accesses += 1
         return len(self.levels)
 
-    def access_many(self, addresses) -> None:
+    def access_many(self, addresses: Iterable[int]) -> None:
         """Feed a whole trace (iterable of byte addresses).
 
         With batch simulation enabled (the default, see

@@ -15,6 +15,7 @@ for evaluating these units.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from .batch import as_addresses, batch_enabled
 from .hierarchy import CacheHierarchy
@@ -64,7 +65,7 @@ class StreamPrefetcher:
     """
 
     def __init__(self, hierarchy: CacheHierarchy, streams: int = 8,
-                 depth: int = 2, trigger_confidence: int = 2):
+                 depth: int = 2, trigger_confidence: int = 2) -> None:
         if streams < 1 or depth < 1 or trigger_confidence < 1:
             raise ValueError("streams, depth and trigger_confidence must be >= 1")
         self.hierarchy = hierarchy
@@ -134,7 +135,7 @@ class StreamPrefetcher:
                 self.stats.prefetches_issued += 1
         return hit
 
-    def access_many(self, addresses) -> None:
+    def access_many(self, addresses: Iterable[int]) -> None:
         """Feed a demand trace.
 
         Unlike the pure cache models, the prefetcher is irreducibly

@@ -20,6 +20,7 @@ outcomes as the interleaved scalar walk.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -52,7 +53,8 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
-    def record_batch(self, accesses, hits) -> None:
+    def record_batch(self, accesses: int | np.integer,
+                     hits: int | np.integer) -> None:
         """Accumulate one batch's counts, coercing numpy ints to ``int``."""
         accesses = int(accesses)
         hits = int(hits)
@@ -83,7 +85,7 @@ class SetAssociativeCache:
     """
 
     def __init__(self, size_bytes: int, line_bytes: int = 64, associativity: int = 8,
-                 name: str = "cache"):
+                 name: str = "cache") -> None:
         if not _is_pow2(line_bytes):
             raise ValueError(f"line size must be a power of two, got {line_bytes}")
         if associativity < 1:
@@ -137,7 +139,7 @@ class SetAssociativeCache:
         ways[tag] = None
         return False
 
-    def access_many(self, addresses) -> int:
+    def access_many(self, addresses: Iterable[int]) -> int:
         """Run a sequence of byte addresses; returns the miss count added."""
         if not batch_enabled():
             before = self.stats.misses

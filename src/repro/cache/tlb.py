@@ -17,6 +17,8 @@ same LRU dict the oracle uses.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from ..telemetry.tracer import get_tracer
@@ -27,7 +29,8 @@ from .setassoc import CacheStats
 class TLB:
     """Fully-associative LRU translation look-aside buffer."""
 
-    def __init__(self, entries: int = 64, page_bytes: int = 4096, name: str = "dTLB"):
+    def __init__(self, entries: int = 64, page_bytes: int = 4096,
+                 name: str = "dTLB") -> None:
         if entries < 1:
             raise ValueError(f"TLB needs at least one entry, got {entries}")
         if page_bytes & (page_bytes - 1):
@@ -54,7 +57,7 @@ class TLB:
         self._pages[page] = None
         return False
 
-    def access_many(self, addresses) -> int:
+    def access_many(self, addresses: Iterable[int]) -> int:
         """Translate a trace; returns misses added."""
         with get_tracer().span("tlb_trace", phase="cache_sim") as sp:
             before = self.stats.misses

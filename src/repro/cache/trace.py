@@ -13,6 +13,8 @@ footprint.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 DEFAULT_MAX_LEN = 200_000
@@ -101,3 +103,159 @@ def offset_trace(trace: np.ndarray, base_address: int) -> np.ndarray:
     if len(trace) == 0:
         return trace
     return trace + np.int64(base_address)
+
+
+# ---------------------------------------------------------------------------
+# Declarative trace specs
+# ---------------------------------------------------------------------------
+#
+# Every dwarf used to carry a hand-written ``access_trace`` body that
+# composed the builders above.  The patterns were all instances of the
+# same small grammar — interleave a few component streams, each with a
+# share of the ``max_len`` budget, concatenate groups — so the per-dwarf
+# knowledge is now expressed as data (`TraceSpec`) and interpreted by
+# ``TraceSpec.build``.  The spec doubles as machine-readable ground
+# truth for the differential trace gate: each component kind maps onto
+# a stride class that the IR-derived model must agree with.
+
+def _resolve_budget(budget: tuple[str, float] | None, max_len: int) -> int:
+    # ("floordiv", k) → max_len // k; ("mul", f) → int(max_len * f); None →
+    # max_len.  Budgets stay as exact forms (not collapsed to one float) so
+    # rebuilt traces are bit-identical to the historical hand-written ones.
+    if budget is None:
+        return max_len
+    op, arg = budget
+    if op == "floordiv":
+        return max_len // int(arg)
+    if op == "mul":
+        return int(max_len * arg)
+    raise ValueError(f"unknown budget op: {op!r}")
+
+
+@dataclass(frozen=True)
+class TraceComponent:
+    """One address stream inside a trace spec.
+
+    ``kind`` selects the builder: ``sequential``, ``strided``,
+    ``random`` or ``blocked``.  ``offset`` rebases the stream (distinct
+    arrays laid out back to back); ``budget`` is this component's share
+    of the overall ``max_len`` cap.
+    """
+
+    kind: str
+    nbytes: int
+    element_bytes: int = 4
+    passes: int = 2
+    stride_bytes: int = 0
+    block_bytes: int = 0
+    reuse: int = 4
+    seed_offset: int = 0
+    offset: int = 0
+    budget: tuple[str, float] | None = None
+
+    def build(self, max_len: int, seed: int) -> np.ndarray:
+        cap = _resolve_budget(self.budget, max_len)
+        if self.kind == "sequential":
+            t = sequential(self.nbytes, element_bytes=self.element_bytes,
+                           passes=self.passes, max_len=cap)
+        elif self.kind == "strided":
+            t = strided(self.nbytes, self.stride_bytes,
+                        element_bytes=self.element_bytes,
+                        passes=self.passes, max_len=cap)
+        elif self.kind == "random":
+            rng = np.random.default_rng(seed + self.seed_offset)
+            t = random_uniform(self.nbytes, cap, rng,
+                               element_bytes=self.element_bytes)
+        elif self.kind == "blocked":
+            t = blocked(self.nbytes, self.block_bytes, reuse=self.reuse,
+                        max_len=cap)
+        else:
+            raise ValueError(f"unknown trace component kind: {self.kind!r}")
+        return offset_trace(t, self.offset) if self.offset else t
+
+    @property
+    def stride_class(self) -> str:
+        """The stride class this component models (differential gate)."""
+        if self.kind == "sequential":
+            return "unit"
+        if self.kind in ("strided", "blocked"):
+            return "strided"
+        if self.kind == "random":
+            return "indirect"
+        raise ValueError(f"unknown trace component kind: {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative access-trace description: groups of interleaved components.
+
+    Components within a group are round-robin interleaved; groups are
+    concatenated in order (``fft`` emits one group per butterfly stage).
+    """
+
+    groups: tuple[tuple[TraceComponent, ...], ...]
+
+    @classmethod
+    def single(cls, *components: TraceComponent) -> "TraceSpec":
+        return cls(groups=(tuple(components),))
+
+    def build(self, max_len: int = DEFAULT_MAX_LEN, seed: int = 0) -> np.ndarray:
+        parts = [
+            interleaved([c.build(max_len, seed) for c in group])
+            for group in self.groups
+        ]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def components(self) -> list[TraceComponent]:
+        return [c for group in self.groups for c in group]
+
+    def stride_classes(self) -> set[str]:
+        return {c.stride_class for c in self.components()}
+
+    def span_bytes(self) -> int:
+        """Upper bound on the byte span the built trace covers."""
+        hi = 0
+        for c in self.components():
+            if c.nbytes > 0:
+                hi = max(hi, c.offset + c.nbytes)
+        return hi
+
+
+def seq(nbytes: int, *, element_bytes: int = 4, passes: int = 2,
+        offset: int = 0, budget: tuple[str, float] | None = None) -> TraceComponent:
+    """Shorthand for a sequential component."""
+    return TraceComponent(kind="sequential", nbytes=nbytes,
+                          element_bytes=element_bytes, passes=passes,
+                          offset=offset, budget=budget)
+
+
+def strided_component(nbytes: int, stride_bytes: int, *, passes: int = 2,
+                      offset: int = 0,
+                      budget: tuple[str, float] | None = None) -> TraceComponent:
+    """Shorthand for a constant-stride component."""
+    return TraceComponent(kind="strided", nbytes=nbytes,
+                          stride_bytes=stride_bytes, passes=passes,
+                          offset=offset, budget=budget)
+
+
+def random_component(nbytes: int, *, element_bytes: int = 4, seed_offset: int = 0,
+                     offset: int = 0,
+                     budget: tuple[str, float] | None = None) -> TraceComponent:
+    """Shorthand for a uniformly random (gather) component."""
+    return TraceComponent(kind="random", nbytes=nbytes,
+                          element_bytes=element_bytes, seed_offset=seed_offset,
+                          offset=offset, budget=budget)
+
+
+def blocked_component(nbytes: int, block_bytes: int, *, reuse: int = 4,
+                      offset: int = 0,
+                      budget: tuple[str, float] | None = None) -> TraceComponent:
+    """Shorthand for a block-reuse (tiled) component."""
+    return TraceComponent(kind="blocked", nbytes=nbytes,
+                          block_bytes=block_bytes, reuse=reuse,
+                          offset=offset, budget=budget)

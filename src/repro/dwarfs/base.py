@@ -202,13 +202,19 @@ class Benchmark(abc.ABC):
     def profiles(self) -> list[KernelProfile]:
         """Per-iteration kernel characterizations for the analytic model."""
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
-        """Representative memory-access trace for counter verification.
+    def trace_spec(self) -> trace_mod.TraceSpec:
+        """Declarative spec for the hand-authored access trace.
 
         Default: two sequential passes over the footprint.  Benchmarks
-        with distinctive locality override this.
+        with distinctive locality override this with their own spec;
+        ``access_trace`` interprets it.
         """
-        return trace_mod.sequential(self.footprint_bytes(), passes=2, max_len=max_len)
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(self.footprint_bytes(), passes=2))
+
+    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+        """Representative memory-access trace for counter verification."""
+        return self.trace_spec().build(max_len=max_len, seed=getattr(self, "seed", 0))
 
     # ------------------------------------------------------------------
     def footprint_kib(self) -> float:

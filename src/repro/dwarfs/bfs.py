@@ -277,13 +277,12 @@ class BFS(Benchmark):
     def profiles(self) -> list[KernelProfile]:
         return [self._profile_level(None).scaled(self._estimated_depth())]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
-        rng = np.random.default_rng(self.seed + 3)
+    def trace_spec(self) -> trace_mod.TraceSpec:
         adjacency_bytes = (self.n + 1) * 4 + self._edge_estimate() * 4
         levels_bytes = self.n * 4
-        stream = trace_mod.sequential(adjacency_bytes, passes=1,
-                                      max_len=max_len // 2)
-        gather = trace_mod.offset_trace(
-            trace_mod.random_uniform(levels_bytes, max_len // 2, rng),
-            adjacency_bytes)
-        return trace_mod.interleaved([stream, gather])
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(adjacency_bytes, passes=1, budget=("floordiv", 2)),
+            trace_mod.random_component(levels_bytes, seed_offset=3,
+                                       offset=adjacency_bytes,
+                                       budget=("floordiv", 2)),
+        )

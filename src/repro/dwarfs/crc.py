@@ -306,13 +306,12 @@ class CRC(Benchmark):
     def profiles(self) -> list[KernelProfile]:
         return [self._profile_crc(None, None, None, None)]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """Message streaming interleaved with hot table lookups."""
-        rng = np.random.default_rng(self.seed + 1)
-        stream = trace_mod.sequential(self.n_bytes, element_bytes=1,
-                                      passes=2, max_len=max_len // 2)
-        table = trace_mod.offset_trace(
-            trace_mod.random_uniform(256 * 4, max_len // 2, rng),
-            self.n_pages * self.page_bytes,
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(self.n_bytes, element_bytes=1, passes=2,
+                          budget=("floordiv", 2)),
+            trace_mod.random_component(256 * 4, seed_offset=1,
+                                       offset=self.n_pages * self.page_bytes,
+                                       budget=("floordiv", 2)),
         )
-        return trace_mod.interleaved([stream, table])

@@ -187,15 +187,14 @@ class CSR(Benchmark):
         y = np.empty(self.n, dtype=np.float32)
         return [self._profile_spmv(None, None, None, values, None, y)]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """Streaming over matrix arrays interleaved with random x gathers."""
         nnz = self.matrix.nnz if self.matrix is not None else self._nnz_estimate()
         matrix_bytes = nnz * 8 + (self.n + 1) * 4
         x_bytes = self.n * 4
-        rng = np.random.default_rng(self.seed + 2)
-        stream = trace_mod.sequential(matrix_bytes, passes=2, max_len=int(max_len * 0.6))
-        gather = trace_mod.offset_trace(
-            trace_mod.random_uniform(x_bytes, int(max_len * 0.4), rng),
-            matrix_bytes,
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(matrix_bytes, passes=2, budget=("mul", 0.6)),
+            trace_mod.random_component(x_bytes, seed_offset=2,
+                                       offset=matrix_bytes,
+                                       budget=("mul", 0.4)),
         )
-        return trace_mod.interleaved([stream, gather])

@@ -260,13 +260,12 @@ class CWT(Benchmark):
             self._profile_scale(None).scaled(self.n_scales),
         ]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         hat_bytes = self.n * 8
         plane_bytes = self.n_scales * self.n * 8
-        hat = trace_mod.sequential(hat_bytes, passes=min(self.n_scales, 6),
-                                   max_len=max_len // 2)
-        plane = trace_mod.offset_trace(
-            trace_mod.sequential(plane_bytes, passes=1, max_len=max_len // 2),
-            hat_bytes,
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(hat_bytes, passes=min(self.n_scales, 6),
+                          budget=("floordiv", 2)),
+            trace_mod.seq(plane_bytes, passes=1, offset=hat_bytes,
+                          budget=("floordiv", 2)),
         )
-        return trace_mod.interleaved([hat, plane])

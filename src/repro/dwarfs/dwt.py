@@ -283,11 +283,12 @@ class DWT(Benchmark):
                 ))
         return out
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """Row-sequential pass interleaved with a column-strided pass."""
         nbytes = self.width * self.height * 4
-        rows = trace_mod.sequential(nbytes, passes=1, max_len=max_len // 2)
-        cols = trace_mod.strided(nbytes, stride_bytes=self.width * 4,
-                                 passes=max(self.height // 64, 1),
-                                 max_len=max_len // 2)
-        return trace_mod.interleaved([rows, cols])
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(nbytes, passes=1, budget=("floordiv", 2)),
+            trace_mod.strided_component(nbytes, self.width * 4,
+                                        passes=max(self.height // 64, 1),
+                                        budget=("floordiv", 2)),
+        )

@@ -172,16 +172,17 @@ class FFT(Benchmark):
         stage = self._profile_stage(None, None, None, self.n, 0)
         return [stage.scaled(self.stages)]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """Interleaved strided reads/sequential writes per stage."""
         half = self.n * 8  # one buffer
-        per_stage = max_len // max(self.stages, 1)
-        parts = []
+        div = 2 * max(self.stages, 1)  # per-stage budget, halved per stream
+        groups = []
         for stage in range(self.stages):
             stride = max(8 * (1 << stage), 64)
-            reads = trace_mod.strided(half, stride, passes=1, max_len=per_stage // 2)
-            writes = trace_mod.offset_trace(
-                trace_mod.sequential(half, passes=1, max_len=per_stage // 2), half
-            )
-            parts.append(trace_mod.interleaved([reads, writes]))
-        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            groups.append((
+                trace_mod.strided_component(half, stride, passes=1,
+                                            budget=("floordiv", div)),
+                trace_mod.seq(half, passes=1, offset=half,
+                              budget=("floordiv", div)),
+            ))
+        return trace_mod.TraceSpec(groups=tuple(groups))

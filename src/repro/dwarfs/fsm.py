@@ -289,12 +289,11 @@ class FSM(Benchmark):
     def profiles(self) -> list[KernelProfile]:
         return [self._profile_compose(None)]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
-        rng = np.random.default_rng(self.seed + 5)
-        table_bytes = self.transitions.nbytes
-        text = trace_mod.sequential(self.n_bytes, element_bytes=1, passes=1,
-                                    max_len=max_len // 2)
-        table = trace_mod.offset_trace(
-            trace_mod.random_uniform(table_bytes, max_len // 2, rng),
-            self.n_bytes)
-        return trace_mod.interleaved([text, table])
+    def trace_spec(self) -> trace_mod.TraceSpec:
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(self.n_bytes, element_bytes=1, passes=1,
+                          budget=("floordiv", 2)),
+            trace_mod.random_component(self.transitions.nbytes, seed_offset=5,
+                                       offset=self.n_bytes,
+                                       budget=("floordiv", 2)),
+        )

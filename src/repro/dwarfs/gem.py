@@ -180,13 +180,12 @@ class GEM(Benchmark):
     def profiles(self) -> list[KernelProfile]:
         return [self._profile_gem(None)]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """Vertices streamed once; atoms re-streamed (high reuse)."""
         atom_bytes = self.spec.n_atoms * mol.ATOM_BYTES
         vertex_bytes = self.spec.n_vertices * mol.VERTEX_BYTES
-        atoms = trace_mod.sequential(atom_bytes, passes=4, max_len=max_len // 2)
-        vertices = trace_mod.offset_trace(
-            trace_mod.sequential(vertex_bytes, passes=1, max_len=max_len // 2),
-            atom_bytes,
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(atom_bytes, passes=4, budget=("floordiv", 2)),
+            trace_mod.seq(vertex_bytes, passes=1, offset=atom_bytes,
+                          budget=("floordiv", 2)),
         )
-        return trace_mod.interleaved([atoms, vertices])

@@ -399,15 +399,13 @@ class HMM(Benchmark):
             self._profile_b(None),
         ]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """A-matrix re-streamed per timestep; lattices streamed once."""
         n, t = self.n_states, self.t_obs
         a_bytes = n * n * 4
         lattice_bytes = 2 * t * n * 4
-        a_stream = trace_mod.sequential(a_bytes, passes=min(t, 8),
-                                        max_len=max_len // 2)
-        lattice = trace_mod.offset_trace(
-            trace_mod.sequential(lattice_bytes, passes=1, max_len=max_len // 2),
-            a_bytes,
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(a_bytes, passes=min(t, 8), budget=("floordiv", 2)),
+            trace_mod.seq(lattice_bytes, passes=1, offset=a_bytes,
+                          budget=("floordiv", 2)),
         )
-        return trace_mod.interleaved([a_stream, lattice])

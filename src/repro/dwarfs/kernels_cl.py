@@ -21,6 +21,9 @@ __kernel void kmeans_assign(__global const float *features,
     const int point = get_global_id(0);
     const int n_features = N_FEATURES;   // -D at build time
     const int n_clusters = N_CLUSTERS;
+    // point-major feature rows are the paper's layout: each work item
+    // deliberately strides N_FEATURES elements through 'features'.
+    // repro-lint: allow(uncoalesced-access: features)
     float best = FLT_MAX;
     int best_cluster = 0;
     for (int c = 0; c < n_clusters; ++c) {
@@ -215,6 +218,9 @@ __kernel void crc_pages(__global const uchar *pages,
                         __global uint *crcs)
 {
     const int page = get_global_id(0);
+    // page-serial chains are the point of the dwarf (dependent
+    // lookups, not bandwidth); the page-major stride is intended.
+    // repro-lint: allow(uncoalesced-access: pages)
     uint crc = 0xFFFFFFFFu;
     for (int i = 0; i < lengths[page]; ++i)       // the dependent chain
         crc = table[(crc ^ pages[page * PAGE_BYTES + i]) & 0xFFu]
@@ -428,6 +434,11 @@ __kernel void bfs_level(__global const int *row_ptr,
     const int v = get_global_id(0);
     if (!frontier_flags[v]) return;
     frontier_flags[v] = 0;
+    // level-synchronous BFS: concurrent discoveries of a vertex all
+    // store the same depth / the same flag, so the collisions are
+    // idempotent by construction.
+    // repro-lint: allow(data-race: levels)
+    // repro-lint: allow(data-race: frontier_flags)
     for (int e = row_ptr[v]; e < row_ptr[v + 1]; ++e) {
         const int u = columns[e];                 // the gather
         if (levels[u] < 0) {
@@ -448,6 +459,11 @@ __kernel void fsm_compose(__global const uchar *text,
                           __global long *chunk_counts, int chunk_bytes)
 {
     const int chunk = get_global_id(0);
+    // per-chunk result rows (N_STATES entries each) are written once
+    // at chunk end; the chunk-major stride is inherent to the
+    // composition scheme.
+    // repro-lint: allow(uncoalesced-access: chunk_maps)
+    // repro-lint: allow(uncoalesced-access: chunk_counts)
     int state[N_STATES];
     long count[N_STATES];
     for (int s = 0; s < N_STATES; ++s) { state[s] = s; count[s] = 0; }

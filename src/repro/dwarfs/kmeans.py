@@ -257,17 +257,15 @@ class KMeans(Benchmark):
         clusters = np.empty((self.n_clusters, self.n_features), dtype=np.float32)
         return [self._profile_assign(None, features, clusters, None)]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         feature_bytes = self.n_points * self.n_features * 4
         membership_bytes = self.n_points * 4
         cluster_bytes = self.n_clusters * self.n_features * 4
-        features = trace_mod.sequential(feature_bytes, passes=2, max_len=int(max_len * 0.8))
-        member = trace_mod.offset_trace(
-            trace_mod.sequential(membership_bytes, passes=2, max_len=int(max_len * 0.15)),
-            feature_bytes,
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(feature_bytes, passes=2, budget=("mul", 0.8)),
+            trace_mod.seq(membership_bytes, passes=2, offset=feature_bytes,
+                          budget=("mul", 0.15)),
+            trace_mod.seq(cluster_bytes, passes=8,
+                          offset=feature_bytes + membership_bytes,
+                          budget=("mul", 0.05)),
         )
-        clusters = trace_mod.offset_trace(
-            trace_mod.sequential(cluster_bytes, passes=8, max_len=int(max_len * 0.05)),
-            feature_bytes + membership_bytes,
-        )
-        return trace_mod.interleaved([features, member, clusters])

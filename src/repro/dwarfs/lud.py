@@ -293,11 +293,8 @@ class LUD(Benchmark):
             ))
         return out
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """Blocked traversal: LU re-touches panels of the matrix."""
-        return trace_mod.blocked(
-            self.footprint_bytes(),
-            block_bytes=self.block * self.n * 4,
-            reuse=3,
-            max_len=max_len,
-        )
+        return trace_mod.TraceSpec.single(
+            trace_mod.blocked_component(self.footprint_bytes(),
+                                        self.block * self.n * 4, reuse=3))

@@ -350,7 +350,7 @@ class NQueens(Benchmark):
     def profiles(self) -> list[KernelProfile]:
         return [self._profile_nqueens(None)]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """Tiny working set hammered repeatedly: everything is L1-hot."""
-        return trace_mod.sequential(max(self.footprint_bytes(), 64), passes=64,
-                                    max_len=max_len)
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(max(self.footprint_bytes(), 64), passes=64))

@@ -302,15 +302,14 @@ class NW(Benchmark):
             launches=launches,
         )]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """Blocked traversal of the score matrix plus similarity stream."""
         score_bytes = (self.n + 1) ** 2 * 4
         sim_bytes = self.n * self.n * 4
-        blocksweep = trace_mod.blocked(score_bytes,
-                                       block_bytes=self.block * (self.n + 1) * 4,
-                                       reuse=2, max_len=max_len // 2)
-        sim = trace_mod.offset_trace(
-            trace_mod.sequential(sim_bytes, passes=1, max_len=max_len // 2),
-            score_bytes,
+        return trace_mod.TraceSpec.single(
+            trace_mod.blocked_component(score_bytes,
+                                        self.block * (self.n + 1) * 4,
+                                        reuse=2, budget=("floordiv", 2)),
+            trace_mod.seq(sim_bytes, passes=1, offset=score_bytes,
+                          budget=("floordiv", 2)),
         )
-        return trace_mod.interleaved([blocksweep, sim])

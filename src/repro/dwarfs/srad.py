@@ -257,10 +257,11 @@ class SRAD(Benchmark):
             self._profile_srad2(None).scaled(self.iterations),
         ]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
+    def trace_spec(self) -> trace_mod.TraceSpec:
         """Streaming over the planes with row-stride neighbour touches."""
         plane = self.rows * self.cols * 4
-        stream = trace_mod.sequential(plane * 6, passes=1, max_len=max_len // 2)
-        neighbours = trace_mod.strided(plane, stride_bytes=self.cols * 4,
-                                       passes=2, max_len=max_len // 2)
-        return trace_mod.interleaved([stream, neighbours])
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(plane * 6, passes=1, budget=("floordiv", 2)),
+            trace_mod.strided_component(plane, self.cols * 4, passes=2,
+                                        budget=("floordiv", 2)),
+        )

@@ -283,11 +283,11 @@ class UMesh(Benchmark):
     def profiles(self) -> list[KernelProfile]:
         return [self._profile_relax(None).scaled(self.sweeps)]
 
-    def access_trace(self, max_len: int = trace_mod.DEFAULT_MAX_LEN) -> np.ndarray:
-        rng = np.random.default_rng(self.seed + 7)
+    def trace_spec(self) -> trace_mod.TraceSpec:
         adjacency = (self.n + 1) * 4 + self._edge_estimate() * 4
         values = self.n * 4
-        stream = trace_mod.sequential(adjacency, passes=1, max_len=max_len // 2)
-        gather = trace_mod.offset_trace(
-            trace_mod.random_uniform(values, max_len // 2, rng), adjacency)
-        return trace_mod.interleaved([stream, gather])
+        return trace_mod.TraceSpec.single(
+            trace_mod.seq(adjacency, passes=1, budget=("floordiv", 2)),
+            trace_mod.random_component(values, seed_offset=7, offset=adjacency,
+                                       budget=("floordiv", 2)),
+        )

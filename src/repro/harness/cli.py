@@ -602,20 +602,33 @@ def cmd_lint(args) -> int:
     host bindings, optionally runs under the shadow-memory sanitizer,
     and exits nonzero when any finding reaches ``--fail-on``.  With
     ``--deep`` the IR pipeline runs as well: exact CFG/dataflow
-    versions of the lint checks plus the §4.4 symbolic working-set
-    cross-check against every size preset.
+    versions of the lint checks, the access-model checks (data races,
+    uncoalesced global access, bank conflicts) plus the §4.4 symbolic
+    working-set cross-check against every size preset.  ``--traces``
+    (implies ``--deep``) adds the differential trace gate: IR-derived
+    address traces are cross-checked against the hand-authored ones.
     """
     from ..analysis import run_deep_suite, run_suite
 
-    engine = run_deep_suite if args.deep else run_suite
+    deep = args.deep or args.traces
     benchmarks = [args.benchmark] if args.benchmark else None
-    report = engine(
-        benchmarks=benchmarks,
-        size=args.size,
-        sanitize=args.sanitize,
-        device_name=args.device,
-        ignore=tuple(args.ignore),
-    )
+    if deep:
+        report = run_deep_suite(
+            benchmarks=benchmarks,
+            size=args.size,
+            sanitize=args.sanitize,
+            device_name=args.device,
+            ignore=tuple(args.ignore),
+            traces=args.traces,
+        )
+    else:
+        report = run_suite(
+            benchmarks=benchmarks,
+            size=args.size,
+            sanitize=args.sanitize,
+            device_name=args.device,
+            ignore=tuple(args.ignore),
+        )
     if args.json:
         print(report.to_json())
     else:
@@ -976,9 +989,15 @@ def build_parser() -> argparse.ArgumentParser:
                            "sanitizer (OOB, uninit reads, races, leaks)")
     lint.add_argument("--deep", action="store_true",
                       help="run the kernel IR pipeline too: CFG/dataflow "
-                           "exact checks plus the symbolic working-set "
-                           "verification against footprint_bytes() "
-                           "(paper §4.4)")
+                           "exact checks, the access-model checks "
+                           "(data-race, uncoalesced-access, bank-conflict) "
+                           "plus the symbolic working-set verification "
+                           "against footprint_bytes() (paper §4.4)")
+    lint.add_argument("--traces", action="store_true",
+                      help="differential trace gate (implies --deep): "
+                           "cross-check IR-synthesised address traces "
+                           "against the hand-authored ones at every size "
+                           "preset")
     lint.add_argument("--json", action="store_true",
                       help="emit the JSON report (schema: docs/analysis.md)")
     lint.add_argument("--ignore", action="append", default=[], metavar="CHECK",

@@ -278,6 +278,7 @@ class SweepCache:
                         benchmark=meta["benchmark"],
                         size=meta["size"],
                         trace_len=int(meta["trace_len"]),
+                        trace_source=meta["trace_source"],
                         footprint_bytes=int(meta["footprint_bytes"]),
                         static_bytes=meta["static_bytes"],
                         strides=meta["strides"],
@@ -303,6 +304,7 @@ class SweepCache:
                 "benchmark": artifacts.benchmark,
                 "size": artifacts.size,
                 "trace_len": artifacts.trace_len,
+                "trace_source": artifacts.trace_source,
                 "footprint_bytes": artifacts.footprint_bytes,
                 "static_bytes": artifacts.static_bytes,
                 "strides": artifacts.strides,

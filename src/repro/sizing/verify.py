@@ -91,14 +91,21 @@ def verify_benchmark_sizes(
     sizes: tuple[str, ...] | None = None,
     trace_len: int = TRACE_LEN,
 ) -> SizeVerification:
-    """Replay a benchmark's trace per size through the cache simulator."""
+    """Replay a benchmark's trace per size through the cache simulator.
+
+    The trace provenance honours ``REPRO_TRACE_SOURCE``: hand-authored
+    trace specs by default, IR-synthesised traces from the static
+    launch model with ``REPRO_TRACE_SOURCE=ir``.
+    """
+    from ..analysis.accessmodel import resolve_access_trace
+
     spec = get_device(device) if isinstance(device, str) else device
     cls = get_benchmark(benchmark)
     sizes = sizes or cls.available_sizes()
     reports: dict[str, CounterReport] = {}
     for size in sizes:
         bench = cls.from_size(size)
-        trace = bench.access_trace(max_len=trace_len)
+        trace = resolve_access_trace(bench, max_len=trace_len)
         footprint = max(bench.footprint_bytes(), 1)
         factor = min(1.0, touched_bytes(trace) / footprint)
         events = PapiEventSet(scaled_spec(spec, factor))
