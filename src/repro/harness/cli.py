@@ -581,9 +581,11 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: os.cpu_count(); 1 = serial, "
                              "identical samples either way)")
     parser.add_argument("--cache-dir", default=None, metavar="PATH",
-                        help="content-addressed result cache location "
-                             "(default for full-matrix sweeps: "
-                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+                        help="content-addressed result cache location: a "
+                             "directory, or remote://HOST:PORT of a `serve "
+                             "--cache-only` instance (default for "
+                             "full-matrix sweeps: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the result cache")
     parser.add_argument("--refresh", action="store_true",
@@ -782,6 +784,35 @@ def cmd_regress_history(args) -> int:
     return EXIT_OK
 
 
+def cmd_serve(args) -> int:
+    """``serve``: benchmark-as-a-service over line-delimited JSON/TCP.
+
+    Full mode queues cell/matrix submissions from many concurrent
+    clients (deduplicated in flight, cached, LPT-scheduled over the
+    sweep pool); ``--cache-only`` serves just the shared result store
+    so other workers can point ``--cache-dir remote://host:port`` at
+    it.  Protocol and topology: ``docs/service.md``.  ``--log-jsonl``
+    doubles as the served-job history feeding ``regress render
+    --board``.
+    """
+    from ..service.server import BenchService, serve_forever
+
+    if args.queue_limit < 1:
+        raise UsageError("--queue-limit must be >= 1")
+    cache = None
+    if not args.no_cache:
+        cache = SweepCache(args.cache_dir or default_cache_dir())
+    elif args.cache_only:
+        raise UsageError("--cache-only needs a cache (drop --no-cache)")
+    with _observability(args):
+        service = BenchService(
+            host=args.host, port=args.port, cache=cache, jobs=args.jobs,
+            queue_limit=args.queue_limit, cache_only=args.cache_only,
+            execute=args.execute)
+        serve_forever(service, port_file=args.port_file)
+    return EXIT_OK
+
+
 def cmd_regress_render(args) -> int:
     """``regress render``: the trajectory as a markdown results document.
 
@@ -806,7 +837,22 @@ def cmd_regress_render(args) -> int:
     except TrajectoryError as exc:
         print(str(exc), file=sys.stderr)
         return EXIT_USAGE
-    text = render_markdown(points, _regress_thresholds(args))
+    if getattr(args, "board", False):
+        from ..service.board import load_job_history, render_board
+
+        job_records = []
+        if args.job_log:
+            try:
+                job_records = load_job_history(args.job_log)
+            except (OSError, ValueError) as exc:
+                print(f"cannot read job log {args.job_log!r}: {exc}",
+                      file=sys.stderr)
+                return EXIT_USAGE
+        text = render_board(points, job_records, _regress_thresholds(args))
+    elif getattr(args, "job_log", None):
+        raise UsageError("--job-log only makes sense with --board")
+    else:
+        text = render_markdown(points, _regress_thresholds(args))
     if args.check:
         if not args.output:
             raise UsageError("--check requires -o/--output to compare against")
@@ -1116,8 +1162,41 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--check", action="store_true",
                         help="compare against -o instead of writing; exit 1 "
                              "when the committed document is stale")
+    render.add_argument("--board", action="store_true",
+                        help="append the served-job history section "
+                             "(the auto-updating results board)")
+    render.add_argument("--job-log", default=None, metavar="PATH",
+                        help="service JSONL run log feeding the board's "
+                             "Served jobs section (from `serve --log-jsonl`)")
     _add_threshold_flags(render)
     render.set_defaults(func=cmd_regress_render)
+
+    serve = sub.add_parser(
+        "serve",
+        help="benchmark-as-a-service: queue cells/matrices over TCP "
+             "(docs/service.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=0, metavar="N",
+                       help="TCP port (default: 0 = ephemeral; see "
+                            "--port-file)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here once listening "
+                            "(for scripts racing an ephemeral port)")
+    serve.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                       help="pending-job bound before submits are rejected "
+                            "with retry_after (default: %(default)s)")
+    serve.add_argument("--cache-only", action="store_true",
+                       help="serve only the shared result store (no "
+                            "compute); workers reach it via --cache-dir "
+                            "remote://HOST:PORT")
+    serve.add_argument("--execute", action="store_true",
+                       help="default served cells to functional execution "
+                            "+ validation (clients can override per "
+                            "request)")
+    _add_sweep_flags(serve)
+    _add_observability_flags(serve)
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -32,9 +32,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import json
+import logging
 import os
 import time
+import zipfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,10 +47,18 @@ import numpy as np
 from ..devices.catalog import get_device
 from ..perfmodel.roofline import TimeBreakdown
 from ..scibench.recorder import Recorder
+from ..service.store import (
+    CacheBackend,
+    CacheBackendError,
+    LocalCacheBackend,
+    parse_backend_spec,
+)
 from ..telemetry.metrics import default_registry
 from ..telemetry.runlog import RunLog, get_default_runlog, memory_runlog
 from ..telemetry.tracer import get_tracer
 from .runner import RunConfig, RunResult, run_benchmark
+
+_log = logging.getLogger(__name__)
 
 #: Stamp mixed into every cache key.  Bump whenever the performance,
 #: noise or energy models change in a way that invalidates previously
@@ -55,8 +66,14 @@ from .runner import RunConfig, RunResult, run_benchmark
 #: "2": RunResult payloads gained the per-cell ``counters`` dict.
 MODEL_VERSION = "2"
 
-#: On-disk cache entry format (the JSON envelope, not the model).
-CACHE_FORMAT = 1
+#: On-disk cache entry format.  ``2`` is the sharded npz envelope
+#: (sample arrays as real numpy arrays, everything else in a JSON
+#: ``meta`` string); ``1`` is the legacy single-JSON-file envelope,
+#: still read transparently but never written.
+CACHE_FORMAT = 2
+
+#: The envelope version legacy ``.json`` entries must carry to be served.
+LEGACY_CACHE_FORMAT = 1
 
 
 def cell_key(config: RunConfig, model_version: str | None = None) -> str:
@@ -172,24 +189,92 @@ def result_from_payload(payload: dict) -> RunResult:
 # ----------------------------------------------------------------------
 # Content-addressed result cache
 # ----------------------------------------------------------------------
+def _encode_result_entry(entry: dict) -> bytes:
+    """Serialise a cache envelope to the npz blob (CACHE_FORMAT 2).
+
+    The timing/energy sample arrays — the bulk of every entry — are
+    stored as real numpy arrays; the rest of the envelope rides in a
+    single JSON ``meta`` string, mirroring the analysis-artifact layer.
+    """
+    payload = dict(entry["result"])
+    times = np.asarray(payload.pop("times_s"), dtype=float)
+    energies = np.asarray(payload.pop("energies_j"), dtype=float)
+    meta = dict(entry)
+    meta["result"] = payload
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer,
+        meta=np.asarray(json.dumps(meta, default=str)),
+        times_s=times,
+        energies_j=energies,
+    )
+    return buffer.getvalue()
+
+
+def _decode_result_entry(blob: bytes) -> dict:
+    """Rebuild a cache envelope from either on-disk representation.
+
+    npz blobs (zip magic) are the canonical format; anything else is
+    parsed as a legacy format-1 JSON envelope.  Raises ``ValueError``
+    (or an ``OSError``/``KeyError`` subclass) on torn or alien bytes —
+    the caller maps that to a logged miss.
+    """
+    if blob[:2] == b"PK":  # zip magic: the npz envelope
+        try:
+            with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+                entry = json.loads(str(data["meta"]))
+                if entry.get("format") != CACHE_FORMAT:
+                    raise ValueError(
+                        f"cache entry format {entry.get('format')!r} != "
+                        f"{CACHE_FORMAT}")
+                entry["result"]["times_s"] = [
+                    float(t) for t in data["times_s"]]
+                entry["result"]["energies_j"] = [
+                    float(e) for e in data["energies_j"]]
+                return entry
+        except zipfile.BadZipFile as exc:  # torn write / truncation
+            raise ValueError(f"torn npz cache entry: {exc}") from exc
+    entry = json.loads(blob.decode("utf-8"))
+    if entry.get("format") != LEGACY_CACHE_FORMAT:
+        raise ValueError(
+            f"legacy cache entry format {entry.get('format')!r} != "
+            f"{LEGACY_CACHE_FORMAT}")
+    return entry
+
+
 class SweepCache:
     """Content-addressed store of per-cell :class:`RunResult` entries.
 
-    Each entry lives at ``<root>/<key[:2]>/<key>.json`` where ``key``
-    is :meth:`key`'s SHA-256 over the cell's full configuration, the
+    Each entry lives under ``<key[:2]>/<key>.npz`` where ``key`` is
+    :meth:`key`'s SHA-256 over the cell's full configuration, the
     resolved device spec and the :data:`MODEL_VERSION` stamp.  Any
     change to those inputs — different sample count, a re-parameterised
     device, a model bump — yields a different key, so invalidation is
     simply a miss; stale entries are never served.
 
-    Writes are atomic (temp file + ``os.replace``) and only ever
-    performed by the parent sweep process, so concurrent workers never
-    race on the store.
+    Storage is pluggable (:class:`~repro.service.store.CacheBackend`):
+    the default :class:`~repro.service.store.LocalCacheBackend` keeps
+    the sharded directory layout (and transparently reads entries from
+    the legacy flat/JSON layouts), while a
+    :class:`~repro.service.store.RemoteCacheBackend`
+    (``remote://host:port``) lets many worker hosts share the store of
+    one ``repro serve --cache-only`` instance.  Encoding lives here, so
+    every backend serves byte-identical entries.
+
+    Local writes are atomic (temp file + ``os.replace``) and parent
+    shard directories are created race-tolerantly, so concurrent
+    processes sharing a store never observe torn entries; torn
+    *content* (a truncated npz from a crashed legacy writer, a corrupt
+    remote blob) is read as a miss with a logged warning, never a
+    crash.
     """
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(self, root: str | Path | CacheBackend):
+        self.backend = parse_backend_spec(root)
+        if isinstance(self.backend, LocalCacheBackend):
+            self.root: Path | str = self.backend.root
+        else:
+            self.root = self.backend.describe()
 
     # ------------------------------------------------------------------
     def key(self, config: RunConfig, model_version: str | None = None) -> str:
@@ -209,37 +294,59 @@ class SweepCache:
         return cell_key(config, model_version)
 
     def path_for(self, key: str) -> Path:
-        """Where the entry for ``key`` lives (whether or not it exists)."""
-        return self.root / key[:2] / f"{key}.json"
+        """Where a local backend stores ``key`` (whether or not it exists).
+
+        Only meaningful for :class:`LocalCacheBackend` storage; remote
+        stores have no client-visible paths.
+        """
+        if not isinstance(self.backend, LocalCacheBackend):
+            raise TypeError(
+                f"{self.backend.describe()} has no local entry paths")
+        return self.backend.path_for("result", key)
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> RunResult | None:
         """Load a cached result, or ``None`` on miss/corruption.
 
-        A corrupt or format-incompatible entry is treated as a miss
-        (the sweep recomputes and overwrites it) rather than an error —
-        a half-written file from a killed run must not wedge resumes.
+        A corrupt, torn or format-incompatible entry is treated as a
+        miss with a logged warning (the sweep recomputes and overwrites
+        it) rather than an error — a half-written file from a killed
+        run must not wedge resumes.  Backend failures (an unreachable
+        remote store) degrade the same way.
         """
-        path = self.path_for(key)
         with get_tracer().span("sweep_cache_get", phase="cache_io",
                                key=key) as sp:
             try:
-                entry = json.loads(path.read_text(encoding="utf-8"))
-                if entry.get("format") != CACHE_FORMAT:
+                blob = self.backend.read("result", key)
+                if blob is None:
                     sp.set_attribute("hit", False)
                     return None
+                entry = _decode_result_entry(blob)
                 result = result_from_payload(entry["result"])
                 sp.set_attribute("hit", True)
                 return result
-            except (OSError, ValueError, KeyError, TypeError):
+            except CacheBackendError as exc:
+                _log.warning("sweep cache backend failed for %s: %s",
+                             key, exc)
+                sp.set_attribute("hit", False)
+                return None
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                _log.warning(
+                    "treating corrupt sweep-cache entry %s as a miss: %s",
+                    key, exc)
                 sp.set_attribute("hit", False)
                 return None
 
-    def put(self, key: str, config: RunConfig, result: RunResult) -> Path:
-        """Persist one cell's result under ``key``; returns the path."""
+    def put(self, key: str, config: RunConfig,
+            result: RunResult) -> Path | str:
+        """Persist one cell's result under ``key``.
+
+        Returns the entry path for local backends (the historical
+        contract), the key for path-less remote backends.  A backend
+        write failure (an unreachable remote store) is logged and
+        swallowed — losing a cache entry must not take the run down.
+        """
         with get_tracer().span("sweep_cache_put", phase="cache_io", key=key):
-            path = self.path_for(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
             entry = {
                 "format": CACHE_FORMAT,
                 "model_version": MODEL_VERSION,
@@ -248,18 +355,26 @@ class SweepCache:
                 "created_unix": time.time(),
                 "result": result_to_payload(result),
             }
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(entry, default=str), encoding="utf-8")
-            os.replace(tmp, path)
-            return path
+            try:
+                self.backend.write("result", key, _encode_result_entry(entry))
+            except CacheBackendError as exc:
+                _log.warning("sweep cache backend failed to store %s: %s",
+                             key, exc)
+                return key
+            if isinstance(self.backend, LocalCacheBackend):
+                return self.path_for(key)
+            return key
 
     # ------------------------------------------------------------------
     # Analysis artifacts (repro.harness.artifacts), stored alongside
     # the results under <root>/analysis/<key[:2]>/<key>.npz.
     # ------------------------------------------------------------------
     def artifact_path_for(self, key: str) -> Path:
-        """Where the analysis artifact for ``key`` lives."""
-        return self.root / "analysis" / key[:2] / f"{key}.npz"
+        """Where a local backend stores the artifact for ``key``."""
+        if not isinstance(self.backend, LocalCacheBackend):
+            raise TypeError(
+                f"{self.backend.describe()} has no local entry paths")
+        return self.backend.path_for("artifact", key)
 
     def get_artifact(self, key: str):
         """Load cached :class:`~repro.harness.artifacts.CellArtifacts`.
@@ -268,11 +383,14 @@ class SweepCache:
         """
         from .artifacts import CellArtifacts
 
-        path = self.artifact_path_for(key)
         with get_tracer().span("sweep_cache_get_artifact",
                                phase="cache_io", key=key) as sp:
             try:
-                with np.load(path, allow_pickle=False) as data:
+                blob = self.backend.read("artifact", key)
+                if blob is None:
+                    sp.set_attribute("hit", False)
+                    return None
+                with np.load(io.BytesIO(blob), allow_pickle=False) as data:
                     meta = json.loads(str(data["meta"]))
                     artifacts = CellArtifacts(
                         benchmark=meta["benchmark"],
@@ -290,16 +408,22 @@ class SweepCache:
                     )
                 sp.set_attribute("hit", True)
                 return artifacts
-            except (OSError, ValueError, KeyError, TypeError):
+            except (CacheBackendError, OSError, ValueError, KeyError,
+                    TypeError) as exc:
+                _log.warning(
+                    "treating corrupt artifact entry %s as a miss: %s",
+                    key, exc)
                 sp.set_attribute("hit", False)
                 return None
 
-    def put_artifact(self, key: str, artifacts) -> Path:
-        """Persist one shape's artifacts under ``key``; returns the path."""
+    def put_artifact(self, key: str, artifacts) -> Path | str:
+        """Persist one shape's artifacts under ``key``.
+
+        Returns the entry path for local backends, the key otherwise.
+        Backend write failures degrade like :meth:`put`.
+        """
         with get_tracer().span("sweep_cache_put_artifact",
                                phase="cache_io", key=key):
-            path = self.artifact_path_for(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
             meta = json.dumps({
                 "benchmark": artifacts.benchmark,
                 "size": artifacts.size,
@@ -309,30 +433,37 @@ class SweepCache:
                 "static_bytes": artifacts.static_bytes,
                 "strides": artifacts.strides,
             })
-            tmp = path.with_suffix(".tmp")
-            with open(tmp, "wb") as fh:
-                np.savez_compressed(
-                    fh, meta=np.asarray(meta),
-                    trace=artifacts.trace,
-                    branch_pcs=artifacts.branch_pcs,
-                    branch_outcomes=artifacts.branch_outcomes)
-            os.replace(tmp, path)
-            return path
+            buffer = io.BytesIO()
+            np.savez_compressed(
+                buffer, meta=np.asarray(meta),
+                trace=artifacts.trace,
+                branch_pcs=artifacts.branch_pcs,
+                branch_outcomes=artifacts.branch_outcomes)
+            try:
+                self.backend.write("artifact", key, buffer.getvalue())
+            except CacheBackendError as exc:
+                _log.warning(
+                    "sweep cache backend failed to store artifact %s: %s",
+                    key, exc)
+                return key
+            if isinstance(self.backend, LocalCacheBackend):
+                return self.artifact_path_for(key)
+            return key
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.backend.keys("result"))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every result entry; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("*/*.json"):
-            path.unlink(missing_ok=True)
-            removed += 1
+        for key in self.backend.keys("result"):
+            if self.backend.delete("result", key):
+                removed += 1
         return removed
 
     def __repr__(self) -> str:
-        return f"<SweepCache {self.root}: {len(self)} entries>"
+        return f"<SweepCache {self.backend.describe()}: {len(self)} entries>"
 
 
 # ----------------------------------------------------------------------

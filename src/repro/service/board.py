@@ -1,0 +1,103 @@
+"""Auto-updating results board: trajectory + served-job history.
+
+``repro regress render --board`` composes the regression trajectory
+document (:func:`repro.regress.render.render_markdown`) with a service
+section derived from a ``repro serve`` job log — the JSONL stream of
+``job_submitted`` / ``job_deduped`` / ``job_done`` / ``job_failed`` /
+``job_cancelled`` records the engine writes.  The output is
+deterministic for a given (trajectory, job log) pair, so the document
+can be committed and checked in CI exactly like ``BENCHMARKS.md``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..telemetry.runlog import read_jsonl
+
+#: Engine job-log events the board understands.
+JOB_EVENTS = frozenset({
+    "job_submitted", "job_deduped", "job_done", "job_failed",
+    "job_cancelled",
+})
+
+
+def load_job_history(path) -> list[dict]:
+    """The job-relevant records of a service JSONL run log.
+
+    The log may interleave worker ``run_*`` records and sweep events;
+    only the ``job_*`` lifecycle records feed the board.
+    """
+    return [r for r in read_jsonl(path) if r.get("event") in JOB_EVENTS]
+
+
+def summarize_jobs(records: list[dict]) -> dict:
+    """Roll a job history up into board-ready aggregates."""
+    done = [r for r in records if r.get("event") == "job_done"]
+    cells: dict[tuple, dict] = defaultdict(
+        lambda: {"jobs": 0, "cached": 0, "elapsed": []})
+    for r in done:
+        key = (r.get("benchmark", "?"), r.get("size", "?"),
+               r.get("device", "?"))
+        entry = cells[key]
+        entry["jobs"] += 1
+        entry["cached"] += 1 if r.get("cached") else 0
+        entry["elapsed"].append(float(r.get("elapsed_s", 0.0)))
+    return {
+        "submitted": sum(r["event"] == "job_submitted" for r in records),
+        "deduped": sum(r["event"] == "job_deduped" for r in records),
+        "done": len(done),
+        "failed": sum(r["event"] == "job_failed" for r in records),
+        "cancelled": sum(r["event"] == "job_cancelled" for r in records),
+        "cached": sum(1 for r in done if r.get("cached")),
+        "cells": dict(cells),
+    }
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def render_job_section(records: list[dict]) -> str:
+    """The served-jobs section of the board (markdown)."""
+    from ..regress.render import _table
+
+    out = ["\n## Served jobs\n\n"]
+    if not records:
+        out.append("No served-job history recorded yet.\n")
+        return "".join(out)
+    summary = summarize_jobs(records)
+    computed = summary["done"] - summary["cached"]
+    out.append(
+        f"{summary['submitted']} job(s) submitted, "
+        f"{summary['deduped']} joined in flight (dedup), "
+        f"{summary['done']} completed "
+        f"({summary['cached']} from cache, {computed} computed), "
+        f"{summary['failed']} failed, "
+        f"{summary['cancelled']} cancelled.\n\n")
+    rows = []
+    for (benchmark, size, device), entry in sorted(summary["cells"].items()):
+        elapsed = entry["elapsed"]
+        mean_s = sum(elapsed) / len(elapsed) if elapsed else 0.0
+        rows.append([
+            benchmark, size, device, str(entry["jobs"]),
+            str(entry["cached"]), _fmt(mean_s * 1e3, 1),
+        ])
+    out.append(_table(
+        ["Benchmark", "Size", "Device", "Jobs", "Cache hits",
+         "Mean latency (ms)"], rows))
+    out.append("\n")
+    return "".join(out)
+
+
+def render_board(points, job_records: list[dict] | None = None,
+                 thresholds=None) -> str:
+    """The full board: trajectory document + served-job section."""
+    from ..regress.render import render_markdown
+
+    text = render_markdown(points, thresholds)
+    return text + render_job_section(job_records or [])
+
+
+__all__ = ["JOB_EVENTS", "load_job_history", "render_board",
+           "render_job_section", "summarize_jobs"]

@@ -1,0 +1,133 @@
+"""Synchronous client for the benchmark service.
+
+A thin convenience over one TCP connection speaking the v1 protocol —
+what the tests, the smoke script and quick shell one-liners use.  It
+is deliberately blocking: submit, then read records as they stream.
+Anything fancier (many concurrent connections, async pipelining) can
+speak :mod:`repro.service.protocol` directly.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .protocol import decode_record, encode_record
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an ``error`` record."""
+
+
+class ServiceClient:
+    """One blocking connection to a ``repro serve`` instance."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
+        self.sock = socket.create_connection((host, int(port)),
+                                             timeout=timeout_s)
+        self.stream = self.sock.makefile("rwb")
+        self.hello = self.read()  # the greeting
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self.stream.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def send(self, record: dict) -> dict:
+        """Write one request (auto-assigning ``id``); returns it."""
+        record = dict(record)
+        record.setdefault("id", self._next_id)
+        self._next_id += 1
+        self.stream.write(encode_record(record))
+        self.stream.flush()
+        return record
+
+    def read(self) -> dict:
+        """Block for the next response record."""
+        line = self.stream.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_record(line)
+
+    def read_until(self, rtype: str) -> dict:
+        """Read records until one of type ``rtype`` arrives."""
+        while True:
+            record = self.read()
+            if record["type"] == rtype:
+                return record
+            if record["type"] == "error":
+                raise ServiceError(record.get("error", "unknown error"))
+
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        self.send({"type": "ping"})
+        return self.read_until("pong")
+
+    def metrics_text(self) -> str:
+        self.send({"type": "metrics"})
+        return self.read_until("metrics")["text"]
+
+    def shutdown(self) -> dict:
+        self.send({"type": "shutdown"})
+        return self.read_until("bye")
+
+    def submit(self, benchmark: str, size: str, device: str,
+               **options) -> dict:
+        """Submit one cell; returns the ``ack`` (or ``rejected``) record."""
+        request = {"type": "submit", "benchmark": benchmark, "size": size,
+                   "device": device, **options}
+        self.send(request)
+        while True:
+            record = self.read()
+            if record["type"] in ("ack", "rejected"):
+                return record
+            if record["type"] == "error":
+                raise ServiceError(record.get("error", "unknown error"))
+
+    def submit_matrix(self, benchmarks=None, sizes=None,
+                      devices=None, **options) -> dict:
+        request = {"type": "submit_matrix", "benchmarks": benchmarks,
+                   "sizes": sizes, "devices": devices, **options}
+        self.send(request)
+        record = self.read()
+        if record["type"] == "error":
+            raise ServiceError(record.get("error", "unknown error"))
+        return record
+
+    def cancel(self, job_id: int) -> dict:
+        self.send({"type": "cancel", "job_id": int(job_id)})
+        return self.read_until("cancelled")
+
+    def results(self, count: int) -> list[dict]:
+        """Collect ``count`` streamed ``result`` records (completion order)."""
+        collected = []
+        while len(collected) < count:
+            record = self.read()
+            if record["type"] == "result":
+                collected.append(record)
+            elif record["type"] == "error":
+                raise ServiceError(record.get("error", "unknown error"))
+        return collected
+
+    def run_cell(self, benchmark: str, size: str, device: str,
+                 **options) -> dict:
+        """Submit one cell and block for its result record."""
+        ack = self.submit(benchmark, size, device, **options)
+        if ack["type"] == "rejected":
+            raise ServiceError(
+                f"rejected: {ack.get('error')} "
+                f"(retry_after={ack.get('retry_after')}s)")
+        return self.results(1)[0]
+
+
+__all__ = ["ServiceClient", "ServiceError"]

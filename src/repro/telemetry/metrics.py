@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 import re
 from bisect import bisect_left, insort
+from contextlib import contextmanager
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -147,6 +148,21 @@ class Gauge(MetricFamily):
     def value(self, **labels) -> float:
         """One label set's current value (0.0 if never set)."""
         return self._values.get(_label_key(labels), 0.0)
+
+    @contextmanager
+    def track_inprogress(self, **labels):
+        """Hold the gauge one higher while the ``with`` body runs.
+
+        The decrement is unconditional (``finally``), so an exception
+        inside the body cannot leak a phantom in-flight entry — which
+        is exactly the failure mode an in-progress gauge exists to
+        rule out.
+        """
+        self.inc(**labels)
+        try:
+            yield self
+        finally:
+            self.dec(**labels)
 
     def _series(self):
         for key, value in self._values.items():

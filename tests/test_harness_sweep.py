@@ -141,13 +141,33 @@ class TestSweepCache:
         outcome = run_sweep(configs, jobs=1, cache=cache)
         assert (outcome.computed, outcome.cached) == (2, 0)
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss(self, tmp_path, caplog):
         cache = SweepCache(tmp_path)
         config = RunConfig("fft", "tiny", "i7-6700K", samples=4)
         run_sweep([config], jobs=1, cache=cache)
         key = cache.key(config)
         cache.path_for(key).write_text("{ truncated garbage")
-        assert cache.get(key) is None
+        with caplog.at_level("WARNING", logger="repro.harness.sweep"):
+            assert cache.get(key) is None
+        assert any("miss" in r.message for r in caplog.records)
+        outcome = run_sweep([config], jobs=1, cache=cache)
+        assert outcome.computed == 1  # recomputed and healed
+        assert cache.get(key) is not None
+
+    def test_torn_npz_entry_is_a_logged_miss(self, tmp_path, caplog):
+        """A partially-written npz (killed mid-write, full disk) must
+        read as a miss with a warning, never crash the sweep."""
+        cache = SweepCache(tmp_path)
+        config = RunConfig("fft", "tiny", "i7-6700K", samples=4)
+        run_sweep([config], jobs=1, cache=cache)
+        key = cache.key(config)
+        path = cache.path_for(key)
+        blob = path.read_bytes()
+        assert blob[:2] == b"PK" and path.suffix == ".npz"
+        path.write_bytes(blob[: len(blob) // 2])  # torn: half the zip
+        with caplog.at_level("WARNING", logger="repro.harness.sweep"):
+            assert cache.get(key) is None
+        assert any("corrupt" in r.message for r in caplog.records)
         outcome = run_sweep([config], jobs=1, cache=cache)
         assert outcome.computed == 1  # recomputed and healed
         assert cache.get(key) is not None
@@ -161,15 +181,62 @@ class TestSweepCache:
         assert len(cache) == 2
 
     def test_format_stamp_checked(self, tmp_path):
+        from repro.harness.sweep import (
+            _decode_result_entry,
+            _encode_result_entry,
+        )
         cache = SweepCache(tmp_path)
         config = RunConfig("fft", "tiny", "i7-6700K", samples=4)
         run_sweep([config], jobs=1, cache=cache)
         key = cache.key(config)
-        entry = json.loads(cache.path_for(key).read_text())
+        entry = _decode_result_entry(cache.path_for(key).read_bytes())
         assert entry["format"] == CACHE_FORMAT
         entry["format"] = CACHE_FORMAT + 1
-        cache.path_for(key).write_text(json.dumps(entry))
+        cache.path_for(key).write_bytes(_encode_result_entry(entry))
         assert cache.get(key) is None
+
+    def test_legacy_json_layouts_served(self, tmp_path):
+        """Entries written by the pre-npz layouts — sharded and flat
+        JSON — are still served transparently."""
+        import dataclasses
+
+        from repro.harness.sweep import LEGACY_CACHE_FORMAT, MODEL_VERSION
+
+        cache = SweepCache(tmp_path)
+        configs = _configs()[:2]
+        fresh = run_sweep(configs, jobs=1)
+        for layout, (config, result) in zip(
+                ("sharded", "flat"), zip(configs, fresh.results)):
+            key = cache.key(config)
+            entry = json.dumps({
+                "format": LEGACY_CACHE_FORMAT,
+                "model_version": MODEL_VERSION,
+                "key": key,
+                "config": dataclasses.asdict(config),
+                "created_unix": 0.0,
+                "result": result_to_payload(result),
+            }, default=str)
+            if layout == "sharded":
+                path = tmp_path / key[:2] / f"{key}.json"
+                path.parent.mkdir(parents=True, exist_ok=True)
+            else:
+                path = tmp_path / f"{key}.json"
+            path.write_text(entry)
+        assert len(cache) == 2
+        outcome = run_sweep(configs, jobs=1, cache=cache)
+        assert (outcome.computed, outcome.cached) == (0, 2)
+        for a, b in zip(fresh.results, outcome.results):
+            np.testing.assert_array_equal(a.times_s, b.times_s)
+            np.testing.assert_array_equal(a.energies_j, b.energies_j)
+
+    def test_entries_land_in_sharded_npz_layout(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        config = RunConfig("fft", "tiny", "i7-6700K", samples=4)
+        run_sweep([config], jobs=1, cache=cache)
+        key = cache.key(config)
+        path = cache.path_for(key)
+        assert path == tmp_path / key[:2] / f"{key}.npz"
+        assert path.exists()
 
     def test_clear(self, tmp_path):
         cache = SweepCache(tmp_path)

@@ -1,0 +1,132 @@
+"""The results board: job-history aggregation + --board CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import EXIT_OK, EXIT_USAGE, main
+from repro.regress import CellPoint, Trajectory, TrajectoryPoint
+from repro.service.board import (
+    load_job_history,
+    render_board,
+    render_job_section,
+    summarize_jobs,
+)
+
+
+def _job_log(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+def _done(benchmark="fft", size="tiny", device="dev0", cached=False,
+          elapsed_s=0.25):
+    return {"event": "job_done", "ts": 1_754_000_000.0,
+            "benchmark": benchmark, "size": size, "device": device,
+            "cached": cached, "elapsed_s": elapsed_s, "job_id": 1,
+            "key": "ab" * 32, "state": "done"}
+
+
+def _point(index, label="seed"):
+    cell = CellPoint(benchmark="crc", size="tiny", device="dev0",
+                     mean_s=1e-3, std_s=5e-5, n=50)
+    return TrajectoryPoint(index=index, label=label,
+                           created_unix=1_754_000_000.0 + index,
+                           cells=[cell])
+
+
+class TestSummarize:
+    def test_counts_and_cells(self):
+        records = [
+            {"event": "job_submitted"},
+            {"event": "job_submitted"},
+            {"event": "job_deduped"},
+            _done(cached=False, elapsed_s=0.2),
+            _done(cached=True, elapsed_s=0.01),
+            _done(benchmark="csr", cached=False, elapsed_s=0.4),
+            {"event": "job_failed"},
+            {"event": "job_cancelled"},
+        ]
+        summary = summarize_jobs(records)
+        assert summary["submitted"] == 2
+        assert summary["deduped"] == 1
+        assert summary["done"] == 3
+        assert summary["cached"] == 1
+        assert summary["failed"] == 1
+        assert summary["cancelled"] == 1
+        fft = summary["cells"][("fft", "tiny", "dev0")]
+        assert fft["jobs"] == 2 and fft["cached"] == 1
+
+    def test_load_filters_foreign_records(self, tmp_path):
+        log = _job_log(tmp_path / "svc.jsonl", [
+            {"event": "sweep_start", "cells": 3},
+            _done(),
+            {"event": "run_complete", "benchmark": "fft"},
+            {"event": "job_deduped"},
+        ])
+        records = load_job_history(log)
+        assert [r["event"] for r in records] == ["job_done", "job_deduped"]
+
+
+class TestRenderBoard:
+    def test_board_composes_trajectory_and_jobs(self):
+        text = render_board([_point(0)], [_done(), _done(cached=True)])
+        assert text.startswith("# Benchmarking Results")
+        assert "## Trajectory" in text
+        assert "## Served jobs" in text
+        assert "2 completed (1 from cache, 1 computed)" in text
+        assert "| fft | tiny | dev0 | 2 | 1 |" in text
+
+    def test_board_without_history(self):
+        text = render_board([_point(0)], [])
+        assert "No served-job history recorded yet." in text
+
+    def test_job_section_deterministic(self):
+        records = [_done(), _done(benchmark="csr"), {"event": "job_deduped"}]
+        assert render_job_section(records) == render_job_section(records)
+
+
+class TestBoardCli:
+    def _trajectory(self, tmp_path):
+        trajectory = Trajectory(tmp_path / "traj")
+        trajectory.append(_point(0))
+        return tmp_path / "traj"
+
+    def test_render_board_flag(self, tmp_path, capsys):
+        traj = self._trajectory(tmp_path)
+        log = _job_log(tmp_path / "svc.jsonl", [_done()])
+        status = main(["regress", "render", "--trajectory-dir", str(traj),
+                       "--board", "--job-log", str(log)])
+        out = capsys.readouterr().out
+        assert status == EXIT_OK
+        assert "## Served jobs" in out
+        assert "1 completed" in out
+
+    def test_board_writes_output_file(self, tmp_path):
+        traj = self._trajectory(tmp_path)
+        log = _job_log(tmp_path / "svc.jsonl", [_done()])
+        out_path = tmp_path / "BOARD.md"
+        status = main(["regress", "render", "--trajectory-dir", str(traj),
+                       "--board", "--job-log", str(log),
+                       "-o", str(out_path)])
+        assert status == EXIT_OK
+        assert "## Served jobs" in out_path.read_text()
+
+    def test_job_log_requires_board(self, tmp_path):
+        traj = self._trajectory(tmp_path)
+        status = main(["regress", "render", "--trajectory-dir", str(traj),
+                       "--job-log", "whatever.jsonl"])
+        assert status == EXIT_USAGE
+
+    def test_missing_job_log_is_usage_error(self, tmp_path):
+        traj = self._trajectory(tmp_path)
+        status = main(["regress", "render", "--trajectory-dir", str(traj),
+                       "--board", "--job-log", str(tmp_path / "nope.jsonl")])
+        assert status == EXIT_USAGE
+
+    def test_plain_render_unchanged(self, tmp_path, capsys):
+        traj = self._trajectory(tmp_path)
+        status = main(["regress", "render", "--trajectory-dir", str(traj)])
+        out = capsys.readouterr().out
+        assert status == EXIT_OK
+        assert "## Served jobs" not in out
