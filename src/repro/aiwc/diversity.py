@@ -55,7 +55,14 @@ class DiversityReport:
 
 
 def standardize(vectors: np.ndarray) -> np.ndarray:
-    """Z-score each feature; constant features map to zero."""
+    """Z-score each feature; constant features map to zero.
+
+    Non-finite inputs (an ``inf`` intensity, a NaN from an empty
+    trace) are treated as zero so one degenerate benchmark cannot
+    poison every pairwise distance.
+    """
+    vectors = np.nan_to_num(np.asarray(vectors, dtype=float),
+                            nan=0.0, posinf=0.0, neginf=0.0)
     mean = vectors.mean(axis=0)
     std = vectors.std(axis=0)
     std[std == 0] = 1.0

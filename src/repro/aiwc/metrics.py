@@ -83,13 +83,44 @@ class AIWCMetrics:
     )
 
     def vector(self) -> np.ndarray:
-        """The metrics as a plain feature vector (fixed field order)."""
-        return np.array([getattr(self, f) for f in self.NUMERIC_FIELDS])
+        """The metrics as a plain feature vector (fixed field order).
 
-    def as_row(self) -> dict:
-        row = {"benchmark": self.benchmark, "dwarf": self.dwarf}
-        row.update({f: round(getattr(self, f), 3) for f in self.NUMERIC_FIELDS})
+        Degenerate metrics (an ``inf`` arithmetic intensity from a
+        zero-byte profile, a NaN from an empty trace) are mapped to
+        0.0 so downstream distance math stays finite.
+        """
+        raw = np.array([float(getattr(self, f)) for f in self.NUMERIC_FIELDS])
+        return np.nan_to_num(raw, nan=0.0, posinf=0.0, neginf=0.0)
+
+    def as_row(self) -> dict[str, object]:
+        """JSON-ready mapping of the vector plus identity columns."""
+        row: dict[str, object] = {
+            "benchmark": self.benchmark, "dwarf": self.dwarf}
+        row.update({f: round(float(v), 3)
+                    for f, v in zip(self.NUMERIC_FIELDS, self.vector())})
         return row
+
+
+def pattern_entropy_from_weights(weights: object) -> float:
+    """Shannon entropy (bits) of a non-negative weight vector.
+
+    The guard against degenerate inputs lives here so both the dynamic
+    and the static characterization share it: non-finite or negative
+    weights are dropped (an empty trace or zero-footprint cell yields
+    no information, not NaN), an all-zero vector scores 0.0, and the
+    result is bounded by ``log2(len(weights))``.
+    """
+    arr = np.asarray(weights, dtype=float).ravel()
+    arr = arr[np.isfinite(arr) & (arr > 0)]
+    total = arr.sum()
+    if total <= 0 or not np.isfinite(total):
+        return 0.0
+    probs = arr / total
+    # a weight can underflow to probability 0 against a huge total;
+    # 0 * log2(0) would be NaN, but its information content is 0
+    probs = probs[probs > 0]
+    # + 0.0 normalises the -0.0 a single-class mix produces
+    return float(-(probs * np.log2(probs)).sum()) + 0.0
 
 
 def _pattern_entropy(profiles: list[KernelProfile]) -> float:
@@ -97,14 +128,11 @@ def _pattern_entropy(profiles: list[KernelProfile]) -> float:
     weights = np.zeros(3)
     for p in profiles:
         traffic = p.bytes_total * p.launches
+        if not math.isfinite(traffic) or traffic <= 0:
+            continue
         weights += traffic * np.array(
             [p.seq_fraction, p.strided_fraction, p.random_fraction])
-    total = weights.sum()
-    if total <= 0:
-        return 0.0
-    probs = weights / total
-    probs = probs[probs > 0]
-    return float(-(probs * np.log2(probs)).sum())
+    return pattern_entropy_from_weights(weights)
 
 
 def characterize(bench: Benchmark) -> AIWCMetrics:

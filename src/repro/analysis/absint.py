@@ -40,10 +40,11 @@ dependency lattice carried next to each interval.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..ocl.clsource import CLSourceError
 from ..telemetry.tracer import get_tracer
+from .cfg import stmt_exprs, walk_expr, walk_stmts
 from .frontend import (
     Assign,
     Bin,
@@ -508,11 +509,20 @@ def iv_max(a: Interval, b: Interval) -> Interval:
 
 @dataclass(frozen=True)
 class Guard:
-    """One comparison guarding an access, for per-launch feasibility."""
+    """One comparison guarding an access, for per-launch feasibility.
+
+    ``mask`` marks guards inherited from an early-return fall-through
+    (``if (cond) return;``): the rest of the kernel runs under the
+    negated condition, which partitions the NDRange into active and
+    inactive lanes rather than expressing data-dependent control flow.
+    Masked guards still gate feasibility and op weighting, but the
+    static AIWC stage does not count work behind them as divergent.
+    """
 
     lhs: Interval
     op: str
     rhs: Interval
+    mask: bool = False
 
     def feasible(self, env: dict[str, float]) -> bool:
         """Can any value pair in the operand ranges satisfy the guard?"""
@@ -552,7 +562,12 @@ class Access:
     covers ``__constant`` too; ``local`` covers ``__local`` arrays and
     pointer parameters).  ``epoch`` counts the ``barrier()`` calls seen
     before the access: two accesses with different epochs are separated
-    by a work-group barrier and cannot race.
+    by a work-group barrier and cannot race.  ``weight`` is the
+    per-work-item repetition count (the enclosing-loop trip product,
+    like :attr:`OpEvent.weight`): the static AIWC stage prices a
+    site's traffic as ``min(extent, weight * work_items * elem_size)``
+    so a wavefront kernel indexing across the whole matrix is charged
+    the bytes it touches, not the span it addresses.
     """
 
     param: str
@@ -563,6 +578,30 @@ class Access:
     line: int
     space: str = "global"
     epoch: int = 0
+    weight: SymExpr = ONE
+
+
+@dataclass(frozen=True)
+class OpEvent:
+    """One counted arithmetic operation of a kernel body.
+
+    ``weight`` is the per-work-item repetition count: the symbolic
+    product of the trip counts of every enclosing loop (data-dependent
+    trips appear as ``__trip<n>`` symbols resolved per launch via
+    :attr:`KernelSummary.trip_buffers`).  ``guards`` are the path
+    conditions active at the operation — the static AIWC stage scales
+    the weight by the satisfied fraction of each guard.  ``chain``
+    marks operations on a loop-carried load chain (the CRC/FSM
+    table-walk idiom); ``divergent`` marks operations behind
+    data-dependent (memory-derived) control flow.
+    """
+
+    kind: str  # "fp" | "int"
+    weight: SymExpr
+    guards: tuple[Guard, ...]
+    chain: bool = False
+    divergent: bool = False
+    line: int = 0
 
 
 @dataclass
@@ -573,6 +612,14 @@ class KernelSummary:
     accesses: list[Access] = field(default_factory=list)
     opaque: bool = False  # empty body: nothing to interpret
     uses_barrier: bool = False
+    ops: list[OpEvent] = field(default_factory=list)
+    #: ``__trip<n>`` symbol -> buffer parameters a data-dependent loop
+    #: walks via its loop variable (empty when none was identified).
+    #: The static AIWC stage resolves such a trip count as the largest
+    #: candidate's element count divided by the launch's total work
+    #: items (the "segment partition" heuristic: CSR rows split nnz,
+    #: CRC pages split the message, BFS vertices split the edge list).
+    trip_buffers: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
     def strides(self) -> dict[str, str]:
         """Worst stride class per accessed global buffer parameter."""
@@ -592,6 +639,37 @@ _GS = ("__gs0", "__gs1", "__gs2")
 _LS = ("__ls0", "__ls1", "__ls2")
 _NG = ("__ng0", "__ng1", "__ng2")
 
+#: Binary operators counted as arithmetic work.
+_ARITH_OPS = frozenset({"+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"})
+
+#: OpenCL math built-ins counted as one floating-point operation.
+_FLOAT_FUNCS = frozenset({
+    "sqrt", "rsqrt", "cbrt", "exp", "exp2", "exp10", "expm1",
+    "log", "log2", "log10", "log1p", "pow", "powr", "pown",
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+    "sinh", "cosh", "tanh", "hypot", "fabs", "floor", "ceil",
+    "round", "trunc", "rint", "fract", "fmod", "remainder",
+    "fmin", "fmax", "mix", "smoothstep", "step", "sign",
+    "erf", "erfc", "tgamma", "lgamma",
+})
+
+
+def _is_float_type(type_name: str) -> bool:
+    """Whether a C type spelling names a floating-point scalar/vector."""
+    base = type_name.split()[-1] if type_name else ""
+    return base.rstrip("0123456789") in ("float", "double", "half")
+
+
+def _has_inf(expr: SymExpr) -> bool:
+    """Whether a symbolic endpoint mentions an infinite constant."""
+    if isinstance(expr, Const):
+        return not math.isfinite(expr.value)
+    if isinstance(expr, SBin):
+        return _has_inf(expr.lhs) or _has_inf(expr.rhs)
+    if isinstance(expr, (SMin, SMax)):
+        return any(_has_inf(a) for a in expr.args)
+    return False
+
 
 class _Interp:
     """One abstract execution of a kernel body."""
@@ -607,6 +685,22 @@ class _Interp:
         self.guards: list[Guard] = []
         self.record = True
         self.epoch = 0  # barrier() calls seen so far
+        # -- opcode accounting state (static AIWC) ----------------------
+        self.ops: list[OpEvent] = []
+        self.weight: SymExpr = ONE  # product of enclosing loop trips
+        self.chain_depth = 0  # > 0 inside a loop-carried load chain
+        self.addr_depth = 0  # > 0 inside an Index subscript
+        self.ctl_depth = 0  # > 0 inside loop control (cond/step)
+        self.trip_counter = 0
+        self.trip_buffers: dict[str, str | None] = {}
+        self.float_names: set[str] = {
+            p.name for p in kernel.params
+            if not p.is_pointer and _is_float_type(p.type_name)
+        }
+        self.float_buffers: set[str] = {
+            p.name for p in kernel.params
+            if p.is_pointer and _is_float_type(p.type_name)
+        }
         for name, value in macros.items():
             self.env[name] = point(Const(value))
         for p in kernel.params:
@@ -621,6 +715,8 @@ class _Interp:
         self.exec_stmt(self.kernel.body)
         summary.accesses = self.accesses
         summary.uses_barrier = self.epoch > 0
+        summary.ops = self.ops
+        summary.trip_buffers = dict(self.trip_buffers)
         return summary
 
     # -- statements -----------------------------------------------------
@@ -633,6 +729,9 @@ class _Interp:
             return False
         if isinstance(stmt, Decl):
             is_local = any(q.lstrip("_") == "local" for q in stmt.quals)
+            if _is_float_type(stmt.type_name):
+                for d in stmt.declarators:
+                    self.float_names.add(d.name)
             for d in stmt.declarators:
                 if d.array_sizes:
                     self.arrays[d.name] = top(UNIFORM)
@@ -687,12 +786,15 @@ class _Interp:
         if then_ret:
             self.env = else_env
             # the fall-through keeps the negated guard (early-return
-            # idiom: the rest of the kernel runs under !cond)
-            self.guards = saved_guards + else_guards
+            # idiom: the rest of the kernel runs under !cond); such
+            # guards are lane masks, not data-dependent divergence
+            self.guards = saved_guards + [replace(g, mask=True)
+                                          for g in else_guards]
             return False
         if else_ret:
             self.env = then_env
-            self.guards = saved_guards + then_guards
+            self.guards = saved_guards + [replace(g, mask=True)
+                                          for g in then_guards]
             return False
         self.env = self._join_envs(then_env, else_env)
         return False
@@ -713,11 +815,15 @@ class _Interp:
         if init is not None:
             self.exec_stmt(init)
         loop_var = self._loop_var(init)
-        var_range = self._loop_range(loop_var, cond)
-        if loop_var is not None and var_range is not None:
-            self.env[loop_var] = var_range
-        if cond is not None:
-            self.eval(cond)  # loads in the condition count as accesses
+        self.ctl_depth += 1  # loop control is not counted work
+        try:
+            var_range = self._loop_range(loop_var, cond)
+            if loop_var is not None and var_range is not None:
+                self.env[loop_var] = var_range
+            if cond is not None:
+                self.eval(cond)  # loads in the condition count as accesses
+        finally:
+            self.ctl_depth -= 1
 
         def rebind() -> None:
             if loop_var is not None and var_range is not None:
@@ -748,10 +854,125 @@ class _Interp:
             rebind()
         self.record = saved_record
         if self.record:
-            self.exec_stmt(body)
+            trip = self._trip_expr(loop_var, var_range, step, body)
+            chain = self._chain_loop(loop_var, body)
+            saved_weight = self.weight
+            self.weight = s_mul(saved_weight, trip)
+            if chain:
+                self.chain_depth += 1
+            try:
+                self.exec_stmt(body)
+            finally:
+                if chain:
+                    self.chain_depth -= 1
+                self.weight = saved_weight
             if step is not None:
-                self.eval(step)
+                self.ctl_depth += 1
+                try:
+                    self.eval(step)
+                finally:
+                    self.ctl_depth -= 1
             rebind()
+
+    def _trip_expr(self, loop_var: str | None, var_range: Interval | None,
+                   step: Expr | None, body: Stmt) -> SymExpr:
+        """Symbolic trip count of one loop (per enclosing iteration).
+
+        A bounded range yields ``ceil((hi - lo + 1) / step)``; a
+        data-dependent range (endpoints fed from memory) yields a fresh
+        ``__trip<n>`` symbol resolved per launch via the partitioned
+        buffer recorded in :attr:`trip_buffers`.
+        """
+        if (var_range is not None and not _has_inf(var_range.lo)
+                and not _has_inf(var_range.hi)):
+            step_amount = self._step_amount(loop_var, step)
+            span = s_add(s_sub(var_range.hi, var_range.lo), step_amount)
+            return _fold("/", span, step_amount)
+        name = f"__trip{self.trip_counter}"
+        self.trip_counter += 1
+        self.trip_buffers[name] = self._partition_buffer(loop_var, body)
+        return Sym(name)
+
+    def _step_amount(self, loop_var: str | None,
+                     step: Expr | None) -> SymExpr:
+        """The per-iteration increment of the loop variable (default 1)."""
+        if loop_var is None or step is None:
+            return ONE
+        expr = _strip(step)
+        if isinstance(expr, Unary) and expr.op in ("++", "--"):
+            return ONE
+        if isinstance(expr, Assign):
+            target = _strip(expr.target)
+            if not (isinstance(target, Ident) and target.name == loop_var):
+                return ONE
+            value: Expr | None = None
+            if expr.op in ("+=", "-="):
+                value = expr.value
+            elif expr.op == "=":
+                rhs = _strip(expr.value)
+                if isinstance(rhs, Bin) and rhs.op in ("+", "-"):
+                    lhs = _strip(rhs.lhs)
+                    if isinstance(lhs, Ident) and lhs.name == loop_var:
+                        value = rhs.rhs
+            if value is not None:
+                iv = self.eval_pure(value)
+                if iv.is_point and not _has_inf(iv.lo):
+                    return iv.lo
+        return ONE
+
+    def _partition_buffer(self, loop_var: str | None,
+                          body: Stmt) -> tuple[str, ...]:
+        """Buffers a data-dependent loop walks via its loop variable."""
+        if loop_var is None:
+            return ()
+        found: list[str] = []
+        for stmt in walk_stmts(body):
+            for root in stmt_exprs(stmt):
+                for node in walk_expr(root):
+                    if not isinstance(node, Index):
+                        continue
+                    base = _strip(node.base)
+                    if not (isinstance(base, Ident)
+                            and base.name in self.buffers):
+                        continue
+                    if base.name not in found and any(
+                        isinstance(n, Ident) and n.name == loop_var
+                        for n in walk_expr(node.index)
+                    ):
+                        found.append(base.name)
+        return tuple(found)
+
+    def _chain_loop(self, loop_var: str | None, body: Stmt) -> bool:
+        """Whether the loop body carries a load chain (CRC/FSM idiom):
+        a scalar (or private cell) is reassigned from a buffer load
+        whose subscript depends on the value being replaced."""
+        for stmt in walk_stmts(body):
+            for root in stmt_exprs(stmt):
+                for node in walk_expr(root):
+                    if not isinstance(node, Assign):
+                        continue
+                    target = _strip(node.target)
+                    if isinstance(target, Index):
+                        tbase = _strip(target.base)
+                        tname = tbase.name \
+                            if isinstance(tbase, Ident) else None
+                    elif isinstance(target, Ident):
+                        tname = target.name
+                    else:
+                        tname = None
+                    if tname is None or tname == loop_var:
+                        continue
+                    for sub in walk_expr(node.value):
+                        if not isinstance(sub, Index):
+                            continue
+                        sbase = _strip(sub.base)
+                        if (isinstance(sbase, Ident)
+                                and sbase.name in self.buffers
+                                and any(isinstance(n, Ident)
+                                        and n.name == tname
+                                        for n in walk_expr(sub.index))):
+                            return True
+        return False
 
     def _loop_var(self, init: Stmt | None) -> str | None:
         if isinstance(init, Decl) and len(init.declarators) == 1:
@@ -827,6 +1048,12 @@ class _Interp:
             self._refine_into(env, guards, cond.rhs, True)
             return
         if not (isinstance(cond, Bin) and cond.op in _NEGATED_CMP):
+            if isinstance(cond, Bin) and cond.op in ("&&", "||"):
+                return
+            # bare truth test: ``if (e)`` means ``e != 0`` (negated: == 0)
+            iv = self.eval_pure(cond)
+            guards.append(Guard(lhs=iv, op="==" if negate else "!=",
+                                rhs=point(ZERO)))
             return
         op = _NEGATED_CMP[cond.op] if negate else cond.op
         lhs_iv = self.eval_pure(cond.lhs)
@@ -878,6 +1105,75 @@ class _Interp:
                                       src_iv.hi, src_iv.dep)
                 env[src] = src_iv
 
+    # -- opcode accounting ----------------------------------------------
+    def _count_op(self, kind: str, divergent: bool = False,
+                  line: int = 0) -> None:
+        """Record one op at the current loop weight and guard context.
+
+        Loop-control expressions never count; address arithmetic inside
+        subscripts counts only on a load chain, where the address
+        computation *is* the dependent work (the CRC table walk).
+        """
+        if not self.record or self.ctl_depth:
+            return
+        if self.addr_depth and not self.chain_depth:
+            return
+        if not divergent:
+            divergent = any(
+                not g.mask and (dep_rank(g.lhs.dep) >= 2
+                                or dep_rank(g.rhs.dep) >= 2)
+                for g in self.guards
+            )
+        self.ops.append(OpEvent(
+            kind=kind, weight=self.weight, guards=tuple(self.guards),
+            chain=self.chain_depth > 0, divergent=divergent, line=line,
+        ))
+
+    def _expr_is_float(self, expr: Expr) -> bool:
+        """Pure-AST floating-point classification from declared types."""
+        expr = _strip(expr)
+        if isinstance(expr, FloatLit):
+            return True
+        if isinstance(expr, (IntLit, StrLit)):
+            return False
+        if isinstance(expr, Ident):
+            return expr.name in self.float_names
+        if isinstance(expr, Index):
+            base = _strip(expr.base)
+            return isinstance(base, Ident) and (
+                base.name in self.float_buffers
+                or base.name in self.float_names
+            )
+        if isinstance(expr, Unary):
+            return self._expr_is_float(expr.operand)
+        if isinstance(expr, Bin):
+            if expr.op in _NEGATED_CMP or expr.op in ("&&", "||"):
+                return False  # comparisons and logic yield int
+            return (self._expr_is_float(expr.lhs)
+                    or self._expr_is_float(expr.rhs))
+        if isinstance(expr, Assign):
+            return self._expr_is_float(expr.target)
+        if isinstance(expr, Cond):
+            return (self._expr_is_float(expr.then)
+                    or self._expr_is_float(expr.other))
+        if isinstance(expr, Call):
+            if expr.func in _FLOAT_FUNCS \
+                    or expr.func.startswith(("native_", "half_")):
+                return True
+            if expr.func in ("min", "max", "clamp", "abs", "mad", "fma"):
+                return any(self._expr_is_float(a) for a in expr.args)
+            if expr.func.startswith("convert_"):
+                return _is_float_type(expr.func[len("convert_"):])
+            return False
+        if isinstance(expr, Cast):
+            return _is_float_type(expr.type_name)
+        if isinstance(expr, Member):
+            return self._expr_is_float(expr.base)
+        if isinstance(expr, VectorCtor):
+            return (_is_float_type(expr.type_name)
+                    or any(self._expr_is_float(a) for a in expr.args))
+        return False
+
     # -- expressions ----------------------------------------------------
     def eval_pure(self, expr: Expr) -> Interval:
         """Evaluate without recording accesses (guard snapshots)."""
@@ -907,8 +1203,15 @@ class _Interp:
         if isinstance(expr, Unary):
             return self._eval_unary(expr)
         if isinstance(expr, Bin):
-            return iv_binop(expr.op, self.eval(expr.lhs),
-                            self.eval(expr.rhs))
+            lhs = self.eval(expr.lhs)
+            rhs = self.eval(expr.rhs)
+            if expr.op in _ARITH_OPS:
+                self._count_op(
+                    "fp" if self._expr_is_float(expr) else "int")
+            elif expr.op in _NEGATED_CMP:
+                self._count_op("int", divergent=(
+                    dep_rank(lhs.dep) >= 2 or dep_rank(rhs.dep) >= 2))
+            return iv_binop(expr.op, lhs, rhs)
         if isinstance(expr, Assign):
             return self._eval_assign(expr)
         if isinstance(expr, Cond):
@@ -937,14 +1240,19 @@ class _Interp:
             updated = iv_add(value, point(delta))
             if isinstance(target, Ident) and target.name in self.env:
                 self.env[target.name] = updated
+            self._count_op("int")
             return updated if expr.prefix else value
         value = self.eval(expr.operand)
         if expr.op == "-":
+            self._count_op(
+                "fp" if self._expr_is_float(expr.operand) else "int")
             return iv_neg(value)
         if expr.op == "+":
             return value
         if expr.op == "!":
+            self._count_op("int", divergent=dep_rank(value.dep) >= 2)
             return Interval(ZERO, ONE, value.dep)
+        self._count_op("int")
         return top(value.dep)  # ~
 
     def _eval_assign(self, expr: Assign) -> Interval:
@@ -957,6 +1265,9 @@ class _Interp:
                 current = self._eval_load(target, record=False)
             assert current is not None
             value = iv_binop(expr.op[:-1], current, value)
+            self._count_op("fp" if (self._expr_is_float(expr.target)
+                                    or self._expr_is_float(expr.value))
+                           else "int")
         if isinstance(target, Ident):
             self.env[target.name] = value
             if expr.op == "=":
@@ -964,7 +1275,11 @@ class _Interp:
             return value
         if isinstance(target, Index):
             base = _strip(target.base)
-            index = self.eval(target.index)
+            self.addr_depth += 1
+            try:
+                index = self.eval(target.index)
+            finally:
+                self.addr_depth -= 1
             if isinstance(base, Ident) and base.name in self.buffers:
                 self._record(base.name, index, is_write=True,
                              line=_line_of(target))
@@ -985,14 +1300,16 @@ class _Interp:
 
     def _eval_cond(self, expr: Cond) -> Interval:
         self.eval(expr.cond)
-        then_env, _ = self._refined(expr.cond, negate=False)
-        else_env, _ = self._refined(expr.cond, negate=True)
-        saved = self.env
+        then_env, then_guards = self._refined(expr.cond, negate=False)
+        else_env, else_guards = self._refined(expr.cond, negate=True)
+        saved, saved_guards = self.env, self.guards
         self.env = then_env
+        self.guards = saved_guards + then_guards
         then_iv = self.eval(expr.then)
         self.env = else_env
+        self.guards = saved_guards + else_guards
         else_iv = self.eval(expr.other)
-        self.env = saved
+        self.env, self.guards = saved, saved_guards
         then_iv = self._clamp_by_cond(expr.cond, expr.then, then_iv,
                                       negate=False)
         else_iv = self._clamp_by_cond(expr.cond, expr.other, else_iv,
@@ -1025,6 +1342,17 @@ class _Interp:
     def _eval_call(self, expr: Call) -> Interval:
         args = [self.eval(a) for a in expr.args]
         name = expr.func
+        if name in ("mad", "fma") and len(args) == 3:
+            self._count_op("fp")
+            self._count_op("fp")
+        elif name in ("min", "max", "clamp", "abs") and args:
+            self._count_op(
+                "fp" if any(self._expr_is_float(a) for a in expr.args)
+                else "int",
+                divergent=any(dep_rank(a.dep) >= 2 for a in args))
+        elif name in _FLOAT_FUNCS \
+                or name.startswith(("native_", "half_")):
+            self._count_op("fp")
         if name in ("get_global_id", "get_local_id", "get_group_id"):
             dim = 0
             if expr.args:
@@ -1063,7 +1391,11 @@ class _Interp:
 
     def _eval_load(self, expr: Index, record: bool = True) -> Interval:
         base = _strip(expr.base)
-        index = self.eval(expr.index)
+        self.addr_depth += 1
+        try:
+            index = self.eval(expr.index)
+        finally:
+            self.addr_depth -= 1
         if isinstance(base, Ident) and base.name in self.buffers:
             if record:
                 self._record(base.name, index, is_write=False,
@@ -1091,7 +1423,7 @@ class _Interp:
         self.accesses.append(Access(
             param=param, index=index, elem_size=elem_size,
             is_write=is_write, guards=tuple(self.guards), line=line,
-            space=space, epoch=self.epoch,
+            space=space, epoch=self.epoch, weight=self.weight,
         ))
 
 

@@ -435,6 +435,111 @@ def divergent_barriers(kernel: KernelDef, cfg: CFG | None = None,
     return sorted(set(lines))
 
 
+def _load_tainted_names(kernel: KernelDef) -> set[str]:
+    """Names whose value may derive from a memory load (data taint).
+
+    Unlike :func:`_tainted_names` this does **not** seed from the
+    work-item id built-ins: a branch on ``get_global_id`` partitions
+    the NDRange deterministically, while a branch on loaded data is
+    genuinely input-dependent.  The static AIWC stage uses the
+    distinction to bound branch entropy.
+    """
+    assigns: list[tuple[str, Expr]] = []
+    for stmt in walk_stmts(kernel.body):
+        if isinstance(stmt, Decl):
+            for d in stmt.declarators:
+                if d.init is not None:
+                    assigns.append((d.name, d.init))
+        for root in stmt_exprs(stmt):
+            for node in walk_expr(root):
+                if isinstance(node, Assign):
+                    target = node.target
+                    while isinstance(target, Paren):
+                        target = target.inner
+                    if isinstance(target, Ident):
+                        assigns.append((target.name, node.value))
+
+    def data_tainted(expr: Expr, tainted: set[str]) -> bool:
+        for node in walk_expr(expr):
+            if isinstance(node, Index):
+                return True
+            if isinstance(node, Ident) and node.name in tainted:
+                return True
+        return False
+
+    tainted: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, value in assigns:
+            if name not in tainted and data_tainted(value, tainted):
+                tainted.add(name)
+                changed = True
+    return tainted
+
+
+def branch_entropy_bound(kernel: KernelDef, cfg: CFG | None = None,
+                         ) -> float:
+    """Upper bound (bits) on the kernel's branch-outcome entropy.
+
+    Each reachable two-way branch (CFG branch node or ternary) whose
+    condition derives from a memory load contributes at most one bit
+    of outcome entropy; branches on work-item ids or uniform scalars
+    contribute none (their outcome is fixed by the launch).  A bound
+    of zero therefore proves the kernel has no data-dependent control
+    flow at all — the static AIWC stage pins ``branch_fraction`` to
+    zero in that case.
+    """
+    if cfg is None:
+        cfg = build_cfg(kernel)
+    tainted = _load_tainted_names(kernel)
+
+    def data_dependent(expr: Expr | None) -> bool:
+        if expr is None:
+            return False
+        for node in walk_expr(expr):
+            if isinstance(node, Index):
+                return True
+            if isinstance(node, Ident) and node.name in tainted:
+                return True
+        return False
+
+    reachable = cfg.reachable()
+    bits = sum(
+        1 for node in cfg.nodes
+        if node.kind == "branch" and node.id in reachable
+        and len(node.succs) >= 2 and data_dependent(node.expr)
+    )
+    # ternaries never become CFG branch nodes; count them separately
+    for stmt in walk_stmts(kernel.body):
+        for root in stmt_exprs(stmt):
+            for node in walk_expr(root):
+                if isinstance(node, Cond) and data_dependent(node.cond):
+                    bits += 1
+    return float(bits)
+
+
+def sync_phases(kernel: KernelDef, cfg: CFG | None = None) -> int:
+    """Number of barrier-separated phases every work item executes.
+
+    Counts the ``barrier()`` statements that dominate EXIT — the
+    synchronisation points *every* work item passes — and returns one
+    more than that (a kernel with no uniform barrier is one phase).
+    Divergent barriers are a defect reported elsewhere
+    (:func:`divergent_barriers`) and do not define phases.
+    """
+    if cfg is None:
+        cfg = build_cfg(kernel)
+    dom = cfg.dominators()
+    barriers = 0
+    for node in cfg.nodes:
+        if node.stmt is None or node.id not in dom[1]:
+            continue
+        if _contains_barrier(node.stmt) is not None:
+            barriers += 1
+    return barriers + 1
+
+
 def unreachable_statements(kernel: KernelDef, cfg: CFG | None = None,
                            ) -> list[int]:
     """Lines of statements that no path from ENTRY reaches."""

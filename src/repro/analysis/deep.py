@@ -297,6 +297,7 @@ def run_deep_suite(
     ignore: tuple[str, ...] = (),
     emit_metrics: bool = True,
     traces: bool = False,
+    aiwc: bool = False,
 ) -> Report:
     """Shallow suite plus IR checks plus the §4.4 footprint gate.
 
@@ -311,6 +312,12 @@ def run_deep_suite(
     one (footprint span, indirect access, touched cache lines) at each
     size preset, emitting ``trace-divergence`` findings on disagreement
     and the comparison table under ``extras["trace_differential"]``.
+
+    ``aiwc`` adds the AIWC differential gate: the static workload
+    characterization (:mod:`repro.analysis.staticaiwc`) is compared
+    metric-by-metric against the dynamic one at each size preset,
+    emitting ``aiwc-divergence`` findings beyond the tolerance bands
+    and both vectors under ``extras["aiwc_differential"]``.
     """
     report = run_suite(
         benchmarks=benchmarks,
@@ -327,6 +334,7 @@ def run_deep_suite(
     footprints: dict = {}
     reuse: dict = {}
     differential: dict = {}
+    aiwc_differential: dict = {}
     for name in benchmarks:
         sizes = None if size is None else (size,)
         findings, extras = deep_analyze_benchmark(name, sizes=sizes)
@@ -336,6 +344,14 @@ def run_deep_suite(
             findings.extend(trace_findings)
             if table:
                 differential[name] = table
+        if aiwc:
+            from .staticaiwc import compare_benchmark_aiwc
+
+            aiwc_findings, aiwc_table = compare_benchmark_aiwc(
+                name, sizes=sizes)
+            findings.extend(aiwc_findings)
+            if aiwc_table:
+                aiwc_differential[name] = aiwc_table
         for finding in findings:
             if finding.check not in ignored:
                 report.add(finding)
@@ -353,4 +369,6 @@ def run_deep_suite(
         report.extras["reuse_distance"] = reuse
     if differential:
         report.extras["trace_differential"] = differential
+    if aiwc_differential:
+        report.extras["aiwc_differential"] = aiwc_differential
     return report

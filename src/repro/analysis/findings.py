@@ -58,6 +58,7 @@ DEFAULT_SEVERITIES: dict[str, str] = {
     "uncoalesced-access": "warning",
     "bank-conflict": "warning",
     "trace-divergence": "error",
+    "aiwc-divergence": "error",
     # runtime sanitizer / suite
     "scalar-dtype": "error",
     "validation-failure": "error",
@@ -236,11 +237,22 @@ class Report:
 
         v2 keeps every v1 key; ``extras`` appears only when populated,
         so v1 consumers keep parsing v2 documents unchanged.
+
+        Findings are emitted in a stable location-then-check order (and
+        ``sort_keys`` orders every mapping), so two runs over the same
+        inputs produce byte-identical documents that diff cleanly in
+        CI, whatever order the passes discovered them in.
         """
+        ordered = sorted(
+            self.findings,
+            key=lambda f: (f.benchmark or "", f.kernel or "",
+                           f.argument or "", f.location or "",
+                           f.check, f.severity, f.message),
+        )
         document: dict = {
             "schema_version": JSON_SCHEMA_VERSION,
             "summary": self.summary(),
-            "findings": [f.to_dict() for f in self.findings],
+            "findings": [f.to_dict() for f in ordered],
         }
         if self.extras:
             document["extras"] = self.extras

@@ -521,6 +521,55 @@ def cmd_characterize(args) -> int:
     return EXIT_OK
 
 
+def cmd_aiwc(args) -> int:
+    """``aiwc``: workload characterization, dynamic or purely static.
+
+    ``--static`` derives the AIWC vectors from the kernel IR (the
+    static AIWC stage) instead of the hand-authored profiles, covering
+    extensions too.  A positional ``.cl`` path characterizes a
+    user-supplied kernel with no dynamic run at all: a default launch
+    model is synthesized (one launch per kernel, default NDRange and
+    buffer sizes) and interpreted abstractly.
+    """
+    import json as _json
+
+    if args.source is not None:
+        from ..analysis.staticaiwc import characterize_model, model_from_source
+        from ..ocl.clsource import CLSourceError
+        try:
+            source = Path(args.source).read_text()
+            model = model_from_source(source)
+            result = characterize_model(model, name=Path(args.source).stem)
+        except (OSError, CLSourceError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if args.json:
+            print(_json.dumps({"metrics": result.metrics.as_row(),
+                               "kernels": result.per_kernel},
+                              indent=2, sort_keys=True))
+        else:
+            print(render_table([result.metrics.as_row()],
+                               f"Static AIWC: {args.source}"))
+        return EXIT_OK
+
+    if args.static:
+        from ..analysis.staticaiwc import characterize_suite_static
+        metrics = characterize_suite_static(args.size)
+        title = f"Static AIWC metrics ({args.size})"
+    else:
+        from ..aiwc import characterize_suite
+        metrics = characterize_suite(args.size)
+        title = f"AIWC metrics ({args.size})"
+    rows = [m.as_row() for m in metrics]
+    if args.benchmark:
+        rows = [r for r in rows if r["benchmark"] == args.benchmark]
+    if args.json:
+        print(_json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render_table(rows, title))
+    return EXIT_OK
+
+
 def cmd_autotune(args) -> int:
     """Local work-group size tuning (paper §7)."""
     from ..tuning import autotune_benchmark
@@ -609,10 +658,13 @@ def cmd_lint(args) -> int:
     working-set cross-check against every size preset.  ``--traces``
     (implies ``--deep``) adds the differential trace gate: IR-derived
     address traces are cross-checked against the hand-authored ones.
+    ``--aiwc`` (also implies ``--deep``) adds the AIWC differential
+    gate: the static workload-characterization vector is compared
+    against the dynamic one per metric with tolerance bands.
     """
     from ..analysis import run_deep_suite, run_suite
 
-    deep = args.deep or args.traces
+    deep = args.deep or args.traces or args.aiwc
     benchmarks = [args.benchmark] if args.benchmark else None
     if deep:
         report = run_deep_suite(
@@ -622,6 +674,7 @@ def cmd_lint(args) -> int:
             device_name=args.device,
             ignore=tuple(args.ignore),
             traces=args.traces,
+            aiwc=args.aiwc,
         )
     else:
         report = run_suite(
@@ -995,6 +1048,26 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--size", choices=SIZES, default="large")
     characterize.set_defaults(func=cmd_characterize)
 
+    aiwc = sub.add_parser(
+        "aiwc", help="AIWC characterization: dynamic profiles or the "
+                     "static IR stage")
+    aiwc.add_argument("source", nargs="?", default=None, metavar="FILE.cl",
+                      help="characterize a user-supplied OpenCL source "
+                           "statically (no dynamic run; a default launch "
+                           "model is synthesized)")
+    aiwc.add_argument("--static", action="store_true",
+                      help="derive the vectors from the kernel IR instead "
+                           "of the hand-authored profiles (covers the "
+                           "extension benchmarks too)")
+    aiwc.add_argument("--benchmark",
+                      choices=sorted(BENCHMARKS) + sorted(EXTENSIONS),
+                      default=None,
+                      help="restrict the table to one benchmark")
+    aiwc.add_argument("--size", choices=SIZES, default="large")
+    aiwc.add_argument("--json", action="store_true",
+                      help="emit the metric rows as JSON")
+    aiwc.set_defaults(func=cmd_aiwc)
+
     autotune = sub.add_parser(
         "autotune", help="local work-group size tuning (paper §7)")
     autotune.add_argument("benchmark", choices=sorted(BENCHMARKS))
@@ -1044,6 +1117,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "cross-check IR-synthesised address traces "
                            "against the hand-authored ones at every size "
                            "preset")
+    lint.add_argument("--aiwc", action="store_true",
+                      help="AIWC differential gate (implies --deep): "
+                           "compare the static workload-characterization "
+                           "vector against the dynamic one per metric at "
+                           "every size preset")
     lint.add_argument("--json", action="store_true",
                       help="emit the JSON report (schema: docs/analysis.md)")
     lint.add_argument("--ignore", action="append", default=[], metavar="CHECK",

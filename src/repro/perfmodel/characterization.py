@@ -121,6 +121,26 @@ class KernelProfile:
         return replace(self, launches=launches)
 
 
+def static_profiles(bench: object) -> list[KernelProfile]:
+    """Kernel profiles derived statically from the benchmark's IR.
+
+    The source-only twin of ``Benchmark.profiles()``: the static AIWC
+    stage (:mod:`repro.analysis.staticaiwc`) interprets the
+    benchmark's :class:`~repro.dwarfs.base.StaticLaunchModel` and
+    synthesizes one profile per kernel, so the analytic model and the
+    scheduler can price a kernel that has never run.  Raises
+    ``ValueError`` when the benchmark ships no static launch model.
+    """
+    from ..analysis.staticaiwc import profiles_from_model
+
+    model = bench.static_launches()  # type: ignore[attr-defined]
+    if model is None:
+        raise ValueError(
+            f"{bench.name} has no static launch model"  # type: ignore[attr-defined]
+            " to derive profiles from")
+    return profiles_from_model(model)
+
+
 def merge_working_set(profiles: list[KernelProfile]) -> float:
     """Combined working set of a group of kernels sharing buffers.
 

@@ -20,8 +20,14 @@ from dataclasses import dataclass
 from ..devices.catalog import device_names, get_device
 from ..devices.specs import DeviceSpec
 from ..dwarfs.base import Benchmark
+from ..perfmodel.characterization import static_profiles
 from ..perfmodel.energy import kernel_energy
 from ..perfmodel.roofline import iteration_time
+
+#: Valid ``profile_source`` values: ``dynamic`` uses the benchmark's
+#: hand-authored ``profiles()``; ``static`` derives profiles from the
+#: IR via the static AIWC stage, so scheduling works from source alone.
+PROFILE_SOURCES = ("dynamic", "static")
 
 
 class Objective(enum.Enum):
@@ -70,7 +76,19 @@ class Selection:
         return self.chosen is not None
 
 
-def predict(bench: Benchmark, device: str | DeviceSpec) -> DevicePrediction:
+def _resolve_profiles(bench: Benchmark, profile_source: str) -> list:
+    """The benchmark's kernel profiles from the requested source."""
+    if profile_source not in PROFILE_SOURCES:
+        raise ValueError(
+            f"profile_source must be one of {PROFILE_SOURCES}, "
+            f"got {profile_source!r}")
+    if profile_source == "static":
+        return static_profiles(bench)
+    return bench.profiles()
+
+
+def predict(bench: Benchmark, device: str | DeviceSpec,
+            profile_source: str = "dynamic") -> DevicePrediction:
     """Model one device's time/energy for a benchmark iteration.
 
     Parameters
@@ -80,6 +98,11 @@ def predict(bench: Benchmark, device: str | DeviceSpec) -> DevicePrediction:
         kernel profiles are consulted, nothing executes.
     device : str or DeviceSpec
         Catalog name or an already-resolved spec.
+    profile_source : str
+        ``"dynamic"`` (default) prices the hand-authored
+        ``bench.profiles()``; ``"static"`` prices profiles derived
+        from the IR by the static AIWC stage — device choice from
+        source alone.
 
     Returns
     -------
@@ -87,7 +110,7 @@ def predict(bench: Benchmark, device: str | DeviceSpec) -> DevicePrediction:
         Modeled kernel time (s) and energy (J) for one iteration.
     """
     spec = get_device(device) if isinstance(device, str) else device
-    breakdown = iteration_time(spec, bench.profiles())
+    breakdown = iteration_time(spec, _resolve_profiles(bench, profile_source))
     energy = kernel_energy(spec, breakdown)
     return DevicePrediction(
         device=spec.name,
@@ -98,7 +121,8 @@ def predict(bench: Benchmark, device: str | DeviceSpec) -> DevicePrediction:
 
 
 def predict_all(bench: Benchmark,
-                devices: list[str] | None = None) -> list[DevicePrediction]:
+                devices: list[str] | None = None,
+                profile_source: str = "dynamic") -> list[DevicePrediction]:
     """Predictions across a device set.
 
     Parameters
@@ -107,13 +131,16 @@ def predict_all(bench: Benchmark,
         A sized benchmark instance.
     devices : list of str, optional
         Catalog names to consider; default the full Table 1 catalog.
+    profile_source : str
+        ``"dynamic"`` or ``"static"`` (see :func:`predict`).
 
     Returns
     -------
     list of DevicePrediction
         One prediction per device, in input (or catalog) order.
     """
-    return [predict(bench, d) for d in (devices or device_names())]
+    return [predict(bench, d, profile_source)
+            for d in (devices or device_names())]
 
 
 def select_device(
@@ -122,6 +149,7 @@ def select_device(
     time_budget_s: float | None = None,
     energy_budget_j: float | None = None,
     objective: Objective | str = Objective.TIME,
+    profile_source: str = "dynamic",
 ) -> Selection:
     """Pick the best device for a task under optional budgets.
 
@@ -142,6 +170,8 @@ def select_device(
     objective : Objective or str
         Ranking criterion among feasible devices: ``"time"``,
         ``"energy"`` or ``"edp"``.
+    profile_source : str
+        ``"dynamic"`` or ``"static"`` (see :func:`predict`).
 
     Returns
     -------
@@ -151,7 +181,7 @@ def select_device(
     """
     if isinstance(objective, str):
         objective = Objective(objective)
-    predictions = predict_all(bench, devices)
+    predictions = predict_all(bench, devices, profile_source)
     feasible, rejected = [], []
     for p in predictions:
         ok = ((time_budget_s is None or p.time_s <= time_budget_s)

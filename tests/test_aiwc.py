@@ -103,3 +103,49 @@ class TestDiversity:
     def test_needs_two_benchmarks(self):
         with pytest.raises(ValueError):
             analyze([characterize(create("fft", "tiny"))])
+
+
+class TestDegenerateInputs:
+    """Regression tests: NaN/inf metrics must never poison the math."""
+
+    def _metrics(self, **overrides):
+        base = dict(
+            benchmark="degenerate", dwarf="test",
+            opcode_total=1.0, fp_fraction=0.5, arithmetic_intensity=1.0,
+            work_items_log=2.0, granularity=1.0, serial_fraction=0.0,
+            launch_intensity=0.0, memory_entropy=0.5,
+            unique_footprint_log=3.0, branch_fraction=0.1,
+        )
+        base.update(overrides)
+        return AIWCMetrics(**base)
+
+    def test_vector_sanitizes_nan_and_inf(self):
+        m = self._metrics(arithmetic_intensity=float("inf"),
+                          memory_entropy=float("nan"),
+                          granularity=float("-inf"))
+        v = m.vector()
+        assert np.isfinite(v).all()
+        assert v[m.NUMERIC_FIELDS.index("arithmetic_intensity")] == 0.0
+        assert v[m.NUMERIC_FIELDS.index("memory_entropy")] == 0.0
+
+    def test_as_row_sanitizes(self):
+        m = self._metrics(arithmetic_intensity=float("inf"))
+        assert m.as_row()["arithmetic_intensity"] == 0.0
+
+    def test_entropy_from_degenerate_weights(self):
+        from repro.aiwc.metrics import pattern_entropy_from_weights
+        assert pattern_entropy_from_weights([0.0, 0.0, 0.0]) == 0.0
+        assert pattern_entropy_from_weights([]) == 0.0
+        assert pattern_entropy_from_weights(
+            [float("nan"), float("inf"), -1.0]) == 0.0
+        # one finite positive weight: zero bits, not NaN
+        assert pattern_entropy_from_weights(
+            [float("nan"), 5.0]) == 0.0
+
+    def test_standardize_tolerates_nonfinite_rows(self):
+        degenerate = self._metrics(arithmetic_intensity=float("inf"),
+                                   memory_entropy=float("nan"))
+        report = analyze([degenerate,
+                          self._metrics(benchmark="a"),
+                          self._metrics(benchmark="b", fp_fraction=0.9)])
+        assert np.isfinite(report.distances).all()

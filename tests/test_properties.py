@@ -376,3 +376,54 @@ def test_bootstrap_ci_ordered_and_scale_invariant(a, b, k, seed):
                                   n_boot=200, seed=seed)
     assert lo == pytest.approx(lo2, rel=1e-6)
     assert hi == pytest.approx(hi2, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Static AIWC invariants
+# ----------------------------------------------------------------------
+_weights = st.lists(
+    st.floats(min_value=0.0, max_value=1e12,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=16)
+
+
+@given(_weights)
+def test_pattern_entropy_bounded(weights):
+    """0 <= H <= log2(k) for any k-element non-negative weight vector."""
+    from repro.aiwc.metrics import pattern_entropy_from_weights
+    h = pattern_entropy_from_weights(weights)
+    assert 0.0 <= h <= np.log2(len(weights)) + 1e-9
+
+
+@given(_weights, st.randoms(use_true_random=False))
+def test_pattern_entropy_permutation_invariant(weights, rng):
+    """Entropy is a function of the multiset, not the order."""
+    from repro.aiwc.metrics import pattern_entropy_from_weights
+    shuffled = list(weights)
+    rng.shuffle(shuffled)
+    assert pattern_entropy_from_weights(shuffled) == pytest.approx(
+        pattern_entropy_from_weights(weights), abs=1e-9)
+
+
+@given(_weights)
+def test_pattern_entropy_ignores_degenerate_entries(weights):
+    """NaN/inf/negative entries carry no information."""
+    from repro.aiwc.metrics import pattern_entropy_from_weights
+    noisy = weights + [float("nan"), float("inf"), -1.0]
+    assert pattern_entropy_from_weights(noisy) == pytest.approx(
+        pattern_entropy_from_weights(weights), abs=1e-9)
+
+
+@SLOW
+@given(st.sampled_from(["kmeans", "lud", "fft", "nw", "srad", "umesh"]))
+def test_static_opcode_counts_monotone_in_size(name):
+    """Growing the problem never shrinks the static op count or footprint."""
+    from repro.analysis.staticaiwc import characterize_static
+    from repro.dwarfs import registry
+    cls = registry.get_benchmark(name)
+    metrics = [characterize_static(cls.from_size(s))
+               for s in cls.available_sizes()]
+    ops = [m.opcode_total for m in metrics]
+    footprints = [m.unique_footprint_log for m in metrics]
+    assert all(a <= b + 1e-9 for a, b in zip(ops, ops[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(footprints, footprints[1:]))
